@@ -1,0 +1,117 @@
+// PCSearch: the paper's q1 and q5 over a personal-computer image corpus —
+// near-duplicate detection with a ball-tree index over matching features,
+// and string lookup over OCR output.
+//
+//	go run ./examples/pcsearch
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/exec"
+	"repro/internal/vision"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "deeplens-pcsearch")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	cfg := dataset.Default()
+	cfg.PCImages = 120
+	pc := dataset.NewPC(cfg)
+	imgs := make([]*codec.Image, len(pc.Images))
+	for i := range pc.Images {
+		imgs[i] = pc.Images[i].Image
+	}
+
+	db, err := core.Open(filepath.Join(dir, "deeplens.db"), exec.New(exec.CPU))
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+
+	// ETL 1: whole-image patches with the near-duplicate matching feature.
+	it := core.FromImages("pc", imgs)
+	it = core.GridHistogramTransformer(3, it)
+	it = core.DropData(it)
+	images, err := db.Materialize("pc.images", core.Schema{
+		Data: core.Pixels(0, 0),
+		Fields: []core.Field{
+			{Name: "frameno", Kind: core.KindInt},
+			{Name: "ghist", Kind: core.KindVec, VecDim: 64},
+		},
+	}, it)
+	if err != nil {
+		return err
+	}
+
+	// ETL 2: OCR words from every image.
+	wordsIt := core.OCRGenerator(vision.NewDocumentOCR(), core.FromImages("pc", imgs))
+	wordsIt = core.DropData(wordsIt)
+	words, err := db.Materialize("pc.words", core.OCRSchema(), wordsIt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("corpus: %d images, %d recognized words\n", images.Len(), words.Len())
+
+	// q1: near-duplicates via a ball-tree index on the matching feature.
+	if _, err := db.BuildIndex(images, "ghist", core.IdxBallTree); err != nil {
+		return err
+	}
+	idx, err := db.Index(images, "ghist", core.IdxBallTree)
+	if err != nil {
+		return err
+	}
+	ps, _ := images.Patches()
+	pairs, err := core.SimilarityJoinIndexed(db, ps, images, idx, core.SimilarityJoinOpts{
+		LeftField: "ghist", RightField: "ghist", Eps: 0.066, DedupUnordered: true})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("q1: %d near-duplicate pairs found (%d planted by the generator):\n",
+		len(pairs), len(pc.NearDupPairs))
+	for i, pr := range pairs {
+		fmt.Printf("  image %d ~ image %d\n", pr[0].Ref.Frame, pr[1].Ref.Frame)
+		if i >= 4 {
+			break
+		}
+	}
+
+	// q5: first image containing a target string.
+	target := pc.Vocabulary[2]
+	hit, err := core.Drain(core.Limit(core.OrderBy(core.Select(words.Scan(),
+		core.FieldEq("text", core.StrV(target))), "frameno", true), 1))
+	if err != nil {
+		return err
+	}
+	if len(hit) == 0 {
+		fmt.Printf("q5: %q not found in the corpus\n", target)
+		return nil
+	}
+	frame := hit[0][0].Meta["frameno"].I
+	fmt.Printf("q5: first image containing %q is image %d", target, frame)
+	// Verify against generator ground truth.
+	for _, w := range pc.Images[frame].Words {
+		if w == target {
+			fmt.Print(" (verified against ground truth)")
+			break
+		}
+	}
+	fmt.Println()
+	return nil
+}

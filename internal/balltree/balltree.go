@@ -1,0 +1,252 @@
+// Package balltree implements the metric ball tree DeepLens uses for
+// Euclidean threshold ("similarity") queries over high-dimensional patch
+// features — the index behind the image-matching queries q1 and q4 and the
+// on-the-fly index similarity join. Following Kumar et al.'s finding cited
+// by the paper, the ball tree remains effective where KD-trees and R-trees
+// degrade with dimensionality; its non-linear build/probe cost as the
+// indexed relation grows is exactly what Figure 7 studies.
+package balltree
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Point is an indexed vector with a caller-assigned identifier.
+type Point struct {
+	Vec []float32
+	ID  uint64
+}
+
+const leafSize = 16
+
+type node struct {
+	center []float32
+	radius float64
+	pts    []Point // leaf only
+	left   *node
+	right  *node
+}
+
+// Tree is an immutable ball tree built over a point set.
+type Tree struct {
+	dim  int
+	root *node
+	size int
+}
+
+// Dist returns the Euclidean distance between two equal-length vectors.
+func Dist(a, b []float32) float64 {
+	var s float64
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// distWithin returns the distance if it is <= limit, or (0, false) after
+// abandoning the accumulation early — the leaf-scan fast path for tight
+// range queries.
+func distWithin(a, b []float32, limit float64) (float64, bool) {
+	limit2 := limit * limit
+	var s float64
+	i := 0
+	for ; i+8 <= len(a); i += 8 {
+		for k := i; k < i+8; k++ {
+			d := float64(a[k]) - float64(b[k])
+			s += d * d
+		}
+		if s > limit2 {
+			return 0, false
+		}
+	}
+	for ; i < len(a); i++ {
+		d := float64(a[i]) - float64(b[i])
+		s += d * d
+	}
+	if s > limit2 {
+		return 0, false
+	}
+	return math.Sqrt(s), true
+}
+
+// Build constructs a ball tree over pts (copied slice header, shared
+// backing vectors). All vectors must share one dimensionality.
+func Build(pts []Point) (*Tree, error) {
+	if len(pts) == 0 {
+		return &Tree{}, nil
+	}
+	dim := len(pts[0].Vec)
+	for _, p := range pts {
+		if len(p.Vec) != dim {
+			return nil, fmt.Errorf("balltree: mixed dimensions %d and %d", dim, len(p.Vec))
+		}
+	}
+	cp := append([]Point(nil), pts...)
+	return &Tree{dim: dim, root: build(cp), size: len(pts)}, nil
+}
+
+func centroid(pts []Point, dim int) []float32 {
+	c := make([]float32, dim)
+	for _, p := range pts {
+		for i, v := range p.Vec {
+			c[i] += v
+		}
+	}
+	inv := 1 / float32(len(pts))
+	for i := range c {
+		c[i] *= inv
+	}
+	return c
+}
+
+func build(pts []Point) *node {
+	dim := len(pts[0].Vec)
+	c := centroid(pts, dim)
+	var radius float64
+	for _, p := range pts {
+		if d := Dist(c, p.Vec); d > radius {
+			radius = d
+		}
+	}
+	n := &node{center: c, radius: radius}
+	if len(pts) <= leafSize {
+		n.pts = pts
+		return n
+	}
+	// Split: farthest point from centroid seeds the left ball; farthest
+	// point from that seed seeds the right ball.
+	var l int
+	var ld float64
+	for i, p := range pts {
+		if d := Dist(c, p.Vec); d >= ld {
+			ld, l = d, i
+		}
+	}
+	var r int
+	var rd float64
+	for i, p := range pts {
+		if d := Dist(pts[l].Vec, p.Vec); d >= rd {
+			rd, r = d, i
+		}
+	}
+	if l == r { // all points identical: force a leaf
+		n.pts = pts
+		return n
+	}
+	lv, rv := pts[l].Vec, pts[r].Vec
+	// Partition in place by closer seed, keeping both sides non-empty.
+	i, j := 0, len(pts)-1
+	for i <= j {
+		if Dist(lv, pts[i].Vec) <= Dist(rv, pts[i].Vec) {
+			i++
+		} else {
+			pts[i], pts[j] = pts[j], pts[i]
+			j--
+		}
+	}
+	if i == 0 || i == len(pts) { // degenerate partition: split by halves
+		i = len(pts) / 2
+	}
+	n.left = build(pts[:i])
+	n.right = build(pts[i:])
+	return n
+}
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return t.size }
+
+// Dim returns the vector dimensionality (0 when empty).
+func (t *Tree) Dim() int { return t.dim }
+
+// RangeSearch calls fn for every point within radius eps of q (inclusive).
+// fn returning false stops the search.
+func (t *Tree) RangeSearch(q []float32, eps float64, fn func(Point, float64) bool) {
+	if t.root == nil {
+		return
+	}
+	rangeSearch(t.root, q, eps, fn)
+}
+
+func rangeSearch(n *node, q []float32, eps float64, fn func(Point, float64) bool) bool {
+	if _, ok := distWithin(n.center, q, n.radius+eps); !ok {
+		return true // ball cannot contain any match
+	}
+	if n.pts != nil {
+		for _, p := range n.pts {
+			if d, ok := distWithin(p.Vec, q, eps); ok {
+				if !fn(p, d) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if !rangeSearch(n.left, q, eps, fn) {
+		return false
+	}
+	return rangeSearch(n.right, q, eps, fn)
+}
+
+// Neighbor is a kNN result.
+type Neighbor struct {
+	Point Point
+	Dist  float64
+}
+
+// maxHeap over neighbor distances.
+type nnHeap []Neighbor
+
+func (h nnHeap) Len() int            { return len(h) }
+func (h nnHeap) Less(i, j int) bool  { return h[i].Dist > h[j].Dist }
+func (h nnHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nnHeap) Push(x interface{}) { *h = append(*h, x.(Neighbor)) }
+func (h *nnHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// KNN returns the k nearest neighbors of q in increasing distance order.
+func (t *Tree) KNN(q []float32, k int) []Neighbor {
+	if t.root == nil || k <= 0 {
+		return nil
+	}
+	h := &nnHeap{}
+	knn(t.root, q, k, h)
+	out := make([]Neighbor, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(Neighbor)
+	}
+	return out
+}
+
+func knn(n *node, q []float32, k int, h *nnHeap) {
+	dc := Dist(n.center, q)
+	if h.Len() == k && dc-n.radius > (*h)[0].Dist {
+		return
+	}
+	if n.pts != nil {
+		for _, p := range n.pts {
+			d := Dist(p.Vec, q)
+			if h.Len() < k {
+				heap.Push(h, Neighbor{Point: p, Dist: d})
+			} else if d < (*h)[0].Dist {
+				(*h)[0] = Neighbor{Point: p, Dist: d}
+				heap.Fix(h, 0)
+			}
+		}
+		return
+	}
+	// Visit the child whose center is closer first for tighter pruning.
+	a, b := n.left, n.right
+	if Dist(a.center, q) > Dist(b.center, q) {
+		a, b = b, a
+	}
+	knn(a, q, k, h)
+	knn(b, q, k, h)
+}

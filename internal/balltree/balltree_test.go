@@ -1,0 +1,210 @@
+package balltree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func randPoints(rng *rand.Rand, n, dim int) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		v := make([]float32, dim)
+		for d := range v {
+			v[d] = float32(rng.NormFloat64())
+		}
+		pts[i] = Point{Vec: v, ID: uint64(i)}
+	}
+	return pts
+}
+
+func bruteRange(pts []Point, q []float32, eps float64) []uint64 {
+	var ids []uint64
+	for _, p := range pts {
+		if Dist(p.Vec, q) <= eps {
+			ids = append(ids, p.ID)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func treeRange(t *Tree, q []float32, eps float64) []uint64 {
+	var ids []uint64
+	t.RangeSearch(q, eps, func(p Point, _ float64) bool { ids = append(ids, p.ID); return true })
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func TestEmpty(t *testing.T) {
+	tr, err := Build(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	tr.RangeSearch([]float32{0}, 1, func(Point, float64) bool {
+		t.Fatal("callback on empty tree")
+		return true
+	})
+	if nn := tr.KNN([]float32{0}, 3); nn != nil {
+		t.Fatalf("KNN on empty tree = %v", nn)
+	}
+}
+
+func TestMixedDimensionsRejected(t *testing.T) {
+	pts := []Point{{Vec: []float32{1, 2}}, {Vec: []float32{1, 2, 3}}}
+	if _, err := Build(pts); err == nil {
+		t.Fatal("mixed dims accepted")
+	}
+}
+
+func TestRangeMatchesBruteAcrossDims(t *testing.T) {
+	for _, dim := range []int{2, 4, 16, 64} {
+		rng := rand.New(rand.NewSource(int64(dim)))
+		pts := randPoints(rng, 3000, dim)
+		tr, err := Build(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 40; trial++ {
+			q := make([]float32, dim)
+			for d := range q {
+				q[d] = float32(rng.NormFloat64())
+			}
+			eps := 0.5 + rng.Float64()*float64(dim)/4
+			want := bruteRange(pts, q, eps)
+			got := treeRange(tr, q, eps)
+			if len(want) != len(got) {
+				t.Fatalf("dim %d trial %d: range %d ids, want %d", dim, trial, len(got), len(want))
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("dim %d trial %d: id mismatch at %d", dim, trial, i)
+				}
+			}
+		}
+	}
+}
+
+func TestKNNMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := randPoints(rng, 2000, 8)
+	tr, _ := Build(pts)
+	for trial := 0; trial < 50; trial++ {
+		q := make([]float32, 8)
+		for d := range q {
+			q[d] = float32(rng.NormFloat64())
+		}
+		k := 1 + rng.Intn(10)
+		got := tr.KNN(q, k)
+		if len(got) != k {
+			t.Fatalf("KNN returned %d, want %d", len(got), k)
+		}
+		// Reference: sort all by distance.
+		type dp struct {
+			d  float64
+			id uint64
+		}
+		all := make([]dp, len(pts))
+		for i, p := range pts {
+			all[i] = dp{Dist(p.Vec, q), p.ID}
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].d < all[j].d })
+		for i := range got {
+			if math.Abs(got[i].Dist-all[i].d) > 1e-9 {
+				t.Fatalf("trial %d: neighbor %d dist %g, want %g", trial, i, got[i].Dist, all[i].d)
+			}
+		}
+		// Increasing order.
+		if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i].Dist < got[j].Dist }) {
+			t.Fatal("KNN result not sorted")
+		}
+	}
+}
+
+func TestKNNMoreThanN(t *testing.T) {
+	pts := randPoints(rand.New(rand.NewSource(1)), 5, 3)
+	tr, _ := Build(pts)
+	got := tr.KNN([]float32{0, 0, 0}, 50)
+	if len(got) != 5 {
+		t.Fatalf("KNN(k=50) over 5 points returned %d", len(got))
+	}
+}
+
+func TestIdenticalPoints(t *testing.T) {
+	pts := make([]Point, 500)
+	for i := range pts {
+		pts[i] = Point{Vec: []float32{1, 2, 3}, ID: uint64(i)}
+	}
+	tr, err := Build(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := treeRange(tr, []float32{1, 2, 3}, 0)
+	if len(got) != 500 {
+		t.Fatalf("identical points: found %d of 500", len(got))
+	}
+}
+
+func TestEarlyStop(t *testing.T) {
+	pts := randPoints(rand.New(rand.NewSource(2)), 1000, 4)
+	tr, _ := Build(pts)
+	n := 0
+	tr.RangeSearch(pts[0].Vec, 100, func(Point, float64) bool {
+		n++
+		return n < 7
+	})
+	if n != 7 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+// Property: the reported distance matches Dist and is within eps.
+func TestQuickReportedDistances(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := randPoints(rng, 800, 6)
+	tr, _ := Build(pts)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q := make([]float32, 6)
+		for d := range q {
+			q[d] = float32(r.NormFloat64())
+		}
+		eps := r.Float64() * 3
+		ok := true
+		tr.RangeSearch(q, eps, func(p Point, d float64) bool {
+			if d > eps || math.Abs(d-Dist(p.Vec, q)) > 1e-9 {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every indexed point is its own nearest neighbor at eps=0.
+func TestQuickSelfMatch(t *testing.T) {
+	pts := randPoints(rand.New(rand.NewSource(4)), 500, 10)
+	tr, _ := Build(pts)
+	for _, p := range pts {
+		found := false
+		tr.RangeSearch(p.Vec, 1e-12, func(got Point, _ float64) bool {
+			if got.ID == p.ID {
+				found = true
+				return false
+			}
+			return true
+		})
+		if !found {
+			t.Fatalf("point %d not found by self-query", p.ID)
+		}
+	}
+}

@@ -1,0 +1,372 @@
+package codec
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// gradientImage builds a smooth test image (codec-friendly content).
+func gradientImage(w, h int) *Image {
+	img := NewImage(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			img.Set(x, y, 0, uint8((x*255)/max(1, w-1)))
+			img.Set(x, y, 1, uint8((y*255)/max(1, h-1)))
+			img.Set(x, y, 2, uint8(((x+y)*255)/max(1, w+h-2)))
+		}
+	}
+	return img
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// noisyImage builds a hard-to-compress image.
+func noisyImage(w, h int, seed int64) *Image {
+	img := NewImage(w, h)
+	rng := rand.New(rand.NewSource(seed))
+	rng.Read(img.Pix)
+	return img
+}
+
+func psnr(a, b *Image) float64 {
+	mse := MSE(a, b)
+	if mse == 0 {
+		return math.Inf(1)
+	}
+	return 10 * math.Log10(255*255/mse)
+}
+
+func TestDCTRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		var in, freq, back [64]float32
+		for i := range in {
+			in[i] = float32(rng.Intn(256) - 128)
+		}
+		fdct8(&in, &freq)
+		idct8(&freq, &back)
+		for i := range in {
+			if math.Abs(float64(in[i]-back[i])) > 0.01 {
+				t.Fatalf("trial %d: DCT round trip error %g at %d", trial, in[i]-back[i], i)
+			}
+		}
+	}
+}
+
+func TestZigzagIsPermutation(t *testing.T) {
+	seen := [64]bool{}
+	for _, z := range zigzag {
+		if z < 0 || z >= 64 || seen[z] {
+			t.Fatalf("zigzag not a permutation at %d", z)
+		}
+		seen[z] = true
+	}
+}
+
+func TestBlockRLERoundTrip(t *testing.T) {
+	f := func(vals [64]int16) bool {
+		var coefs [64]int32
+		for i, v := range vals {
+			coefs[zigzag[i]] = int32(v)
+		}
+		var buf bytes.Buffer
+		encodeBlockRLE(&buf, &coefs)
+		var got [64]int32
+		if err := decodeBlockRLE(bytes.NewReader(buf.Bytes()), &got); err != nil {
+			return false
+		}
+		return got == coefs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDLJRoundTripQuality(t *testing.T) {
+	img := gradientImage(64, 48)
+	for _, tc := range []struct {
+		q       Quality
+		minPSNR float64
+	}{
+		{QualityHigh, 38},
+		{QualityMedium, 32},
+		{QualityLow, 24},
+	} {
+		data, err := EncodeDLJ(img, tc.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeDLJ(data)
+		if err != nil {
+			t.Fatalf("quality %v: decode: %v", tc.q, err)
+		}
+		if got.W != img.W || got.H != img.H {
+			t.Fatalf("quality %v: size %dx%d", tc.q, got.W, got.H)
+		}
+		if p := psnr(img, got); p < tc.minPSNR {
+			t.Fatalf("quality %v: PSNR %.1f dB below %v", tc.q, p, tc.minPSNR)
+		}
+	}
+}
+
+func TestDLJQualityLadderMonotone(t *testing.T) {
+	img := noisyImage(64, 64, 3)
+	pHigh := encodedPSNR(t, img, QualityHigh)
+	pMed := encodedPSNR(t, img, QualityMedium)
+	pLow := encodedPSNR(t, img, QualityLow)
+	if !(pHigh >= pMed && pMed >= pLow) {
+		t.Fatalf("PSNR not monotone with quality: %.1f / %.1f / %.1f", pHigh, pMed, pLow)
+	}
+	sHigh := encodedSize(t, img, QualityHigh)
+	sLow := encodedSize(t, img, QualityLow)
+	if sLow >= sHigh {
+		t.Fatalf("low quality (%d B) not smaller than high (%d B)", sLow, sHigh)
+	}
+}
+
+func encodedPSNR(t *testing.T, img *Image, q Quality) float64 {
+	t.Helper()
+	data, err := EncodeDLJ(img, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeDLJ(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return psnr(img, got)
+}
+
+func encodedSize(t *testing.T, img *Image, q Quality) int {
+	t.Helper()
+	data, err := EncodeDLJ(img, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(data)
+}
+
+func TestDLJNonMultipleOf8(t *testing.T) {
+	img := gradientImage(50, 37) // deliberately ragged
+	data, err := EncodeDLJ(img, QualityHigh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeDLJ(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.W != 50 || got.H != 37 {
+		t.Fatalf("size %dx%d", got.W, got.H)
+	}
+	if p := psnr(img, got); p < 30 {
+		t.Fatalf("ragged-size PSNR %.1f", p)
+	}
+}
+
+func TestDLJCorruptInput(t *testing.T) {
+	if _, err := DecodeDLJ(nil); err == nil {
+		t.Fatal("nil input decoded")
+	}
+	if _, err := DecodeDLJ([]byte("not a dlj image....")); err == nil {
+		t.Fatal("junk decoded")
+	}
+	img := gradientImage(16, 16)
+	data, _ := EncodeDLJ(img, QualityHigh)
+	data = data[:len(data)/2]
+	if _, err := DecodeDLJ(data); err == nil {
+		t.Fatal("truncated bitstream decoded")
+	}
+}
+
+// makeClip renders a synthetic surveillance-style clip: static gradient
+// background plus a moving bright square.
+func makeClip(w, h, n int) []*Image {
+	bg := gradientImage(w, h)
+	out := make([]*Image, n)
+	for f := 0; f < n; f++ {
+		img := bg.Clone()
+		ox := (f * 3) % (w - 12)
+		oy := h / 3
+		for y := 0; y < 10; y++ {
+			for x := 0; x < 10; x++ {
+				img.Set(ox+x, oy+y, 0, 230)
+				img.Set(ox+x, oy+y, 1, 40)
+				img.Set(ox+x, oy+y, 2, 40)
+			}
+		}
+		out[f] = img
+	}
+	return out
+}
+
+func TestDLVRoundTrip(t *testing.T) {
+	clip := makeClip(64, 48, 40)
+	data, err := EncodeDLV(clip, QualityHigh, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeDLV(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(clip) {
+		t.Fatalf("decoded %d frames, want %d", len(got), len(clip))
+	}
+	for i := range clip {
+		if p := psnr(clip[i], got[i]); p < 30 {
+			t.Fatalf("frame %d PSNR %.1f dB", i, p)
+		}
+	}
+}
+
+func TestDLVCompressesStaticVideo(t *testing.T) {
+	clip := makeClip(96, 64, 60)
+	raw := int64(0)
+	for _, f := range clip {
+		raw += int64(f.RawSize())
+	}
+	data, err := EncodeDLV(clip, QualityMedium, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(raw) / float64(len(data))
+	if ratio < 20 {
+		t.Fatalf("compression ratio %.1fx below 20x on static video (raw=%d enc=%d)", ratio, raw, len(data))
+	}
+}
+
+func TestDLVNoDriftAcrossGOP(t *testing.T) {
+	// Encoder must reconstruct from its own decoded output; PSNR of the
+	// last P-frame in a long GOP must stay close to the first.
+	clip := makeClip(64, 48, 30)
+	data, _ := EncodeDLV(clip, QualityHigh, 30) // single I-frame then 29 P
+	got, err := DecodeDLV(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := psnr(clip[1], got[1])
+	last := psnr(clip[29], got[29])
+	if last < first-6 {
+		t.Fatalf("drift: frame1 PSNR %.1f, frame29 PSNR %.1f", first, last)
+	}
+	if last < 28 {
+		t.Fatalf("late-GOP PSNR %.1f too low", last)
+	}
+}
+
+func TestDLVFrameSizeMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewDLVWriter(&buf, 32, 32, QualityHigh, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteFrame(NewImage(64, 64)); err == nil {
+		t.Fatal("mismatched frame accepted")
+	}
+}
+
+func TestDLVCorrupt(t *testing.T) {
+	if _, err := DecodeDLV([]byte("garbage stream")); err == nil {
+		t.Fatal("junk stream decoded")
+	}
+	clip := makeClip(32, 32, 5)
+	data, _ := EncodeDLV(clip, QualityHigh, 5)
+	if _, err := DecodeDLV(data[:len(data)-10]); err == nil {
+		t.Fatal("truncated stream decoded without error")
+	}
+}
+
+func TestDLVEmptyClip(t *testing.T) {
+	if _, err := EncodeDLV(nil, QualityHigh, 10); err == nil {
+		t.Fatal("empty clip encoded")
+	}
+}
+
+func TestCropAndAt(t *testing.T) {
+	img := gradientImage(40, 30)
+	c := img.Crop(10, 5, 20, 15)
+	if c.W != 10 || c.H != 10 {
+		t.Fatalf("crop size %dx%d", c.W, c.H)
+	}
+	if c.At(0, 0, 1) != img.At(10, 5, 1) {
+		t.Fatal("crop content mismatch")
+	}
+	// Clamped reads.
+	if img.At(-5, -5, 0) != img.At(0, 0, 0) || img.At(1000, 1000, 2) != img.At(39, 29, 2) {
+		t.Fatal("At clamping broken")
+	}
+	// Degenerate crop.
+	d := img.Crop(30, 30, 10, 10)
+	if d.W != 1 || d.H != 1 {
+		t.Fatalf("degenerate crop %dx%d", d.W, d.H)
+	}
+}
+
+func TestQuantTableMonotone(t *testing.T) {
+	lo := quantTable(QualityLow)
+	hi := quantTable(QualityHigh)
+	for i := 0; i < 64; i++ {
+		if lo[i] < hi[i] {
+			t.Fatalf("quant[%d]: low=%d < high=%d", i, lo[i], hi[i])
+		}
+	}
+	// Extremes clamp without panic.
+	quantTable(Quality(0))
+	quantTable(Quality(1000))
+}
+
+// TestDLVBitFlipRobustness: random single-byte corruptions of a valid
+// stream must produce an error or a decoded clip, never a panic.
+func TestDLVBitFlipRobustness(t *testing.T) {
+	clip := makeClip(48, 32, 12)
+	data, err := EncodeDLV(clip, QualityMedium, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		mut := append([]byte(nil), data...)
+		pos := rng.Intn(len(mut))
+		mut[pos] ^= byte(1 << uint(rng.Intn(8)))
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d (flip at %d): panic %v", trial, pos, r)
+				}
+			}()
+			DecodeDLV(mut) // error or success both fine
+		}()
+	}
+}
+
+// TestDLJBitFlipRobustness: same property for the intra codec.
+func TestDLJBitFlipRobustness(t *testing.T) {
+	img := gradientImage(40, 28)
+	data, err := EncodeDLJ(img, QualityMedium)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		mut := append([]byte(nil), data...)
+		pos := rng.Intn(len(mut))
+		mut[pos] ^= byte(1 << uint(rng.Intn(8)))
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d (flip at %d): panic %v", trial, pos, r)
+				}
+			}()
+			DecodeDLJ(mut)
+		}()
+	}
+}

@@ -1,0 +1,167 @@
+// Package codec implements DeepLens's video codecs, replacing the paper's
+// OpenH264/OGG/MPEG4 dependencies with two from-scratch formats that
+// preserve the properties the experiments measure:
+//
+//   - DLJ, an intra-frame (JPEG-like) codec: per-channel 8x8 DCT,
+//     quality-scaled quantization, zigzag + run-length coding, and a flate
+//     entropy stage. Frames are independently decodable, so the Frame File
+//     keeps per-frame random access ("JPEG" in Figure 3).
+//   - DLV, an inter-frame (H.264-like) codec: GOP structure with DLJ
+//     I-frames and motion-compensated P-frames (three-step block search on
+//     a reconstructed reference, residual DCT, skip blocks). Decoding is
+//     sequential within a GOP, which is what precludes temporal filter
+//     pushdown in Figure 3, and the lossy quality ladder (High/Medium/Low)
+//     is what Figure 2 trades against storage and downstream accuracy.
+package codec
+
+import "math"
+
+const blockSize = 8
+
+// baseQuant is the standard JPEG luminance quantization table, the
+// starting point scaled by Quality.
+var baseQuant = [64]int{
+	16, 11, 10, 16, 24, 40, 51, 61,
+	12, 12, 14, 19, 26, 58, 60, 55,
+	14, 13, 16, 24, 40, 57, 69, 56,
+	14, 17, 22, 29, 51, 87, 80, 62,
+	18, 22, 37, 56, 68, 109, 103, 77,
+	24, 35, 55, 64, 81, 104, 113, 92,
+	49, 64, 78, 87, 103, 121, 120, 101,
+	72, 92, 95, 98, 112, 100, 103, 99,
+}
+
+// zigzag maps scan order to block order.
+var zigzag = [64]int{
+	0, 1, 8, 16, 9, 2, 3, 10,
+	17, 24, 32, 25, 18, 11, 4, 5,
+	12, 19, 26, 33, 40, 48, 41, 34,
+	27, 20, 13, 6, 7, 14, 21, 28,
+	35, 42, 49, 56, 57, 50, 43, 36,
+	29, 22, 15, 23, 30, 37, 44, 51,
+	58, 59, 52, 45, 38, 31, 39, 46,
+	53, 60, 61, 54, 47, 55, 62, 63,
+}
+
+// cosTable[u][x] = cos((2x+1)uπ/16), precomputed for the 8-point DCT.
+var cosTable [8][8]float32
+
+func init() {
+	for u := 0; u < 8; u++ {
+		for x := 0; x < 8; x++ {
+			cosTable[u][x] = float32(math.Cos(float64(2*x+1) * float64(u) * math.Pi / 16))
+		}
+	}
+}
+
+func alpha(u int) float32 {
+	if u == 0 {
+		return float32(1 / math.Sqrt2)
+	}
+	return 1
+}
+
+// fdct8 computes the 2-D type-II DCT of an 8x8 block (row-major, values
+// centered around 0).
+func fdct8(in, out *[64]float32) {
+	var tmp [64]float32
+	// Rows.
+	for y := 0; y < 8; y++ {
+		for u := 0; u < 8; u++ {
+			var s float32
+			for x := 0; x < 8; x++ {
+				s += in[y*8+x] * cosTable[u][x]
+			}
+			tmp[y*8+u] = s * alpha(u) / 2
+		}
+	}
+	// Columns.
+	for u := 0; u < 8; u++ {
+		for v := 0; v < 8; v++ {
+			var s float32
+			for y := 0; y < 8; y++ {
+				s += tmp[y*8+u] * cosTable[v][y]
+			}
+			out[v*8+u] = s * alpha(v) / 2
+		}
+	}
+}
+
+// idct8 inverts fdct8.
+func idct8(in, out *[64]float32) {
+	var tmp [64]float32
+	// Columns.
+	for u := 0; u < 8; u++ {
+		for y := 0; y < 8; y++ {
+			var s float32
+			for v := 0; v < 8; v++ {
+				s += alpha(v) * in[v*8+u] * cosTable[v][y]
+			}
+			tmp[y*8+u] = s / 2
+		}
+	}
+	// Rows.
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			var s float32
+			for u := 0; u < 8; u++ {
+				s += alpha(u) * tmp[y*8+u] * cosTable[u][x]
+			}
+			out[y*8+x] = s / 2
+		}
+	}
+}
+
+// Quality selects a quantization level; the paper's Figure 2 sweeps
+// High / Medium / Low.
+type Quality int
+
+// Quality ladder. Numeric values follow the JPEG quality convention.
+const (
+	QualityLow    Quality = 10
+	QualityMedium Quality = 50
+	QualityHigh   Quality = 90
+)
+
+func (q Quality) String() string {
+	switch q {
+	case QualityLow:
+		return "low"
+	case QualityMedium:
+		return "medium"
+	case QualityHigh:
+		return "high"
+	default:
+		return "custom"
+	}
+}
+
+// quantTable returns the scaled quantization table for q (clamped to
+// [1,100]).
+func quantTable(q Quality) [64]int {
+	qi := int(q)
+	if qi < 1 {
+		qi = 1
+	}
+	if qi > 100 {
+		qi = 100
+	}
+	var scale int
+	if qi < 50 {
+		scale = 5000 / qi
+	} else {
+		scale = 200 - 2*qi
+	}
+	var out [64]int
+	for i, b := range baseQuant {
+		v := (b*scale + 50) / 100
+		if v < 1 {
+			v = 1
+		}
+		if v > 255 {
+			v = 255
+		}
+		out[i] = v
+	}
+	return out
+}

@@ -1,0 +1,194 @@
+package codec
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// dljMagic identifies a standalone DLJ image.
+const dljMagic = 0x444C4A31 // "DLJ1"
+
+// ErrCorrupt is returned when a bitstream fails to parse.
+var ErrCorrupt = errors.New("codec: corrupt bitstream")
+
+// encodeBlockRLE writes one quantized 8x8 block in zigzag order as
+// (run, level) pairs: uvarint(run+1) then signed varint level, terminated
+// by uvarint(0).
+func encodeBlockRLE(buf *bytes.Buffer, coefs *[64]int32) {
+	var tmp [binary.MaxVarintLen64]byte
+	run := 0
+	for i := 0; i < 64; i++ {
+		v := coefs[zigzag[i]]
+		if v == 0 {
+			run++
+			continue
+		}
+		n := binary.PutUvarint(tmp[:], uint64(run+1))
+		buf.Write(tmp[:n])
+		n = binary.PutVarint(tmp[:], int64(v))
+		buf.Write(tmp[:n])
+		run = 0
+	}
+	buf.WriteByte(0) // end of block
+}
+
+// decodeBlockRLE reads one block written by encodeBlockRLE.
+func decodeBlockRLE(r *bytes.Reader, coefs *[64]int32) error {
+	*coefs = [64]int32{}
+	pos := 0
+	for {
+		run, err := binary.ReadUvarint(r)
+		if err != nil {
+			return ErrCorrupt
+		}
+		if run == 0 {
+			return nil
+		}
+		pos += int(run) - 1
+		if pos >= 64 {
+			return ErrCorrupt
+		}
+		level, err := binary.ReadVarint(r)
+		if err != nil {
+			return ErrCorrupt
+		}
+		coefs[zigzag[pos]] = int32(level)
+		pos++
+	}
+}
+
+// encodeChannelBlock DCT-quantizes the 8x8 block of channel c at (bx, by).
+func encodeChannelBlock(img *Image, bx, by, c int, qt *[64]int, buf *bytes.Buffer) {
+	var in, out [64]float32
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			in[y*8+x] = float32(img.At(bx*8+x, by*8+y, c)) - 128
+		}
+	}
+	fdct8(&in, &out)
+	var q [64]int32
+	for i := 0; i < 64; i++ {
+		v := out[i] / float32(qt[i])
+		if v >= 0 {
+			q[i] = int32(v + 0.5)
+		} else {
+			q[i] = int32(v - 0.5)
+		}
+	}
+	encodeBlockRLE(buf, &q)
+}
+
+// decodeChannelBlock inverts encodeChannelBlock into img.
+func decodeChannelBlock(img *Image, bx, by, c int, qt *[64]int, r *bytes.Reader) error {
+	var q [64]int32
+	if err := decodeBlockRLE(r, &q); err != nil {
+		return err
+	}
+	var in, out [64]float32
+	for i := 0; i < 64; i++ {
+		in[i] = float32(q[i]) * float32(qt[i])
+	}
+	idct8(&in, &out)
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			v := out[y*8+x] + 128
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			img.Set(bx*8+x, by*8+y, c, uint8(v+0.5))
+		}
+	}
+	return nil
+}
+
+// encodeBody writes the DLJ block payload (all channels) without header or
+// entropy stage.
+func encodeBody(img *Image, qt *[64]int) *bytes.Buffer {
+	buf := &bytes.Buffer{}
+	bw := (img.W + 7) / 8
+	bh := (img.H + 7) / 8
+	for c := 0; c < 3; c++ {
+		for by := 0; by < bh; by++ {
+			for bx := 0; bx < bw; bx++ {
+				encodeChannelBlock(img, bx, by, c, qt, buf)
+			}
+		}
+	}
+	return buf
+}
+
+func decodeBody(raw []byte, w, h int, qt *[64]int) (*Image, error) {
+	img := NewImage(w, h)
+	r := bytes.NewReader(raw)
+	bw := (w + 7) / 8
+	bh := (h + 7) / 8
+	for c := 0; c < 3; c++ {
+		for by := 0; by < bh; by++ {
+			for bx := 0; bx < bw; bx++ {
+				if err := decodeChannelBlock(img, bx, by, c, qt, r); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return img, nil
+}
+
+func deflate(raw []byte) []byte {
+	var out bytes.Buffer
+	fw, _ := flate.NewWriter(&out, flate.DefaultCompression)
+	fw.Write(raw)
+	fw.Close()
+	return out.Bytes()
+}
+
+func inflate(raw []byte) ([]byte, error) {
+	fr := flate.NewReader(bytes.NewReader(raw))
+	defer fr.Close()
+	out, err := io.ReadAll(fr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return out, nil
+}
+
+// EncodeDLJ compresses img as a standalone intra-coded image.
+func EncodeDLJ(img *Image, q Quality) ([]byte, error) {
+	if err := img.Validate(); err != nil {
+		return nil, err
+	}
+	qt := quantTable(q)
+	body := deflate(encodeBody(img, &qt).Bytes())
+	out := make([]byte, 9+len(body))
+	binary.BigEndian.PutUint32(out[0:], dljMagic)
+	binary.LittleEndian.PutUint16(out[4:], uint16(img.W))
+	binary.LittleEndian.PutUint16(out[6:], uint16(img.H))
+	out[8] = uint8(q)
+	copy(out[9:], body)
+	return out, nil
+}
+
+// DecodeDLJ decompresses a standalone DLJ image.
+func DecodeDLJ(data []byte) (*Image, error) {
+	if len(data) < 9 || binary.BigEndian.Uint32(data[0:]) != dljMagic {
+		return nil, ErrCorrupt
+	}
+	w := int(binary.LittleEndian.Uint16(data[4:]))
+	h := int(binary.LittleEndian.Uint16(data[6:]))
+	if w <= 0 || h <= 0 {
+		return nil, ErrCorrupt
+	}
+	qt := quantTable(Quality(data[8]))
+	raw, err := inflate(data[9:])
+	if err != nil {
+		return nil, err
+	}
+	return decodeBody(raw, w, h, &qt)
+}

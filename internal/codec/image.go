@@ -1,0 +1,97 @@
+package codec
+
+import "fmt"
+
+// Image is an interleaved 8-bit RGB raster, the unit both codecs operate
+// on. Pix has length W*H*3, row-major, channel-last.
+type Image struct {
+	W, H int
+	Pix  []uint8
+}
+
+// NewImage allocates a black image.
+func NewImage(w, h int) *Image {
+	return &Image{W: w, H: h, Pix: make([]uint8, w*h*3)}
+}
+
+// At returns the channel c value at (x, y) with coordinates clamped to the
+// image bounds (the codec's edge-extension rule).
+func (im *Image) At(x, y, c int) uint8 {
+	if x < 0 {
+		x = 0
+	}
+	if x >= im.W {
+		x = im.W - 1
+	}
+	if y < 0 {
+		y = 0
+	}
+	if y >= im.H {
+		y = im.H - 1
+	}
+	return im.Pix[(y*im.W+x)*3+c]
+}
+
+// Set stores v at (x, y, c); out-of-bounds coordinates are ignored.
+func (im *Image) Set(x, y, c int, v uint8) {
+	if x < 0 || x >= im.W || y < 0 || y >= im.H {
+		return
+	}
+	im.Pix[(y*im.W+x)*3+c] = v
+}
+
+// Clone returns a deep copy.
+func (im *Image) Clone() *Image {
+	return &Image{W: im.W, H: im.H, Pix: append([]uint8(nil), im.Pix...)}
+}
+
+// Validate checks the pixel buffer length matches the dimensions.
+func (im *Image) Validate() error {
+	if im.W <= 0 || im.H <= 0 || len(im.Pix) != im.W*im.H*3 {
+		return fmt.Errorf("codec: invalid image %dx%d with %d pixel bytes", im.W, im.H, len(im.Pix))
+	}
+	return nil
+}
+
+// RawSize returns the uncompressed storage footprint in bytes, the "RAW"
+// row of Figure 2.
+func (im *Image) RawSize() int { return len(im.Pix) }
+
+// Crop returns the subimage [x0,x1)x[y0,y1) with bounds clamped.
+func (im *Image) Crop(x0, y0, x1, y1 int) *Image {
+	if x0 < 0 {
+		x0 = 0
+	}
+	if y0 < 0 {
+		y0 = 0
+	}
+	if x1 > im.W {
+		x1 = im.W
+	}
+	if y1 > im.H {
+		y1 = im.H
+	}
+	if x1 <= x0 || y1 <= y0 {
+		return NewImage(1, 1)
+	}
+	out := NewImage(x1-x0, y1-y0)
+	for y := y0; y < y1; y++ {
+		src := (y*im.W + x0) * 3
+		dst := (y - y0) * out.W * 3
+		copy(out.Pix[dst:dst+out.W*3], im.Pix[src:src+out.W*3])
+	}
+	return out
+}
+
+// MSE returns the mean squared pixel error between two equal-size images.
+func MSE(a, b *Image) float64 {
+	if a.W != b.W || a.H != b.H {
+		panic("codec: MSE size mismatch")
+	}
+	var se float64
+	for i := range a.Pix {
+		d := float64(int(a.Pix[i]) - int(b.Pix[i]))
+		se += d * d
+	}
+	return se / float64(len(a.Pix))
+}

@@ -1,0 +1,368 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/exec"
+	"repro/internal/kv"
+)
+
+// DB is a DeepLens database: a page file holding materialized patch
+// collections, persistent indexes, lineage state, and the catalog, plus
+// the execution device query operators run on.
+type DB struct {
+	mu    sync.Mutex
+	store *kv.Store
+	dev   exec.Device
+
+	nextID   uint64
+	sys      *kv.Bucket // catalog + counters
+	patchLoc *kv.Bucket // patch id -> collection name (global lineage resolution)
+	cols     map[string]*Collection
+	indexes  map[string]map[string]*Index // collection -> field -> index
+}
+
+// ErrNotFound reports a missing collection, patch or index.
+var ErrNotFound = errors.New("core: not found")
+
+// Open opens (or creates) a database at path on the given device.
+func Open(path string, dev exec.Device) (*DB, error) {
+	st, err := kv.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := st.Bucket("sys.catalog")
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	loc, err := st.Bucket("sys.patchloc")
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	db := &DB{
+		store: st, dev: dev, sys: sys, patchLoc: loc,
+		cols:    make(map[string]*Collection),
+		indexes: make(map[string]map[string]*Index),
+	}
+	if v, err := sys.Get([]byte("nextid")); err == nil {
+		db.nextID = kv.ParseU64Key(v)
+	}
+	// Load collection descriptors.
+	if err := sys.Scan([]byte("col."), []byte("col/"), func(k, v []byte) bool {
+		var d colDesc
+		if json.Unmarshal(v, &d) == nil {
+			db.cols[d.Name] = nil // lazily opened
+		}
+		return true
+	}); err != nil {
+		st.Close()
+		return nil, err
+	}
+	return db, nil
+}
+
+// Device returns the execution device the engine runs kernels on.
+func (db *DB) Device() exec.Device { return db.dev }
+
+// SetDevice swaps the execution device (the optimizer's placement choice).
+func (db *DB) SetDevice(dev exec.Device) { db.dev = dev }
+
+// Store exposes the underlying kv store (for persistent indexes).
+func (db *DB) Store() *kv.Store { return db.store }
+
+// Close flushes and closes the database.
+func (db *DB) Close() error {
+	if err := db.Flush(); err != nil {
+		db.store.Close()
+		return err
+	}
+	return db.store.Close()
+}
+
+// Flush persists all dirty state without closing, including every open
+// collection's descriptor (count updates from direct Appends).
+func (db *DB) Flush() error {
+	db.mu.Lock()
+	if err := db.sys.Put([]byte("nextid"), kv.U64Key(db.nextID)); err != nil {
+		db.mu.Unlock()
+		return err
+	}
+	for _, c := range db.cols {
+		if c == nil {
+			continue
+		}
+		if err := c.saveDesc(); err != nil {
+			db.mu.Unlock()
+			return err
+		}
+	}
+	db.mu.Unlock()
+	return db.store.Flush()
+}
+
+// NewPatchID allocates a database-unique patch id.
+func (db *DB) NewPatchID() PatchID {
+	db.mu.Lock()
+	db.nextID++
+	id := db.nextID
+	db.mu.Unlock()
+	return PatchID(id)
+}
+
+type colDesc struct {
+	Name   string `json:"name"`
+	Schema Schema `json:"schema"`
+	Count  int    `json:"count"`
+}
+
+// CreateCollection registers a new (empty) materialized collection.
+func (db *DB) CreateCollection(name string, schema Schema) (*Collection, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.cols[name]; ok {
+		return nil, fmt.Errorf("core: collection %q already exists", name)
+	}
+	if _, err := db.sys.Get([]byte("col." + name)); err == nil {
+		return nil, fmt.Errorf("core: collection %q already exists on disk", name)
+	}
+	b, err := db.store.Bucket("col." + name)
+	if err != nil {
+		return nil, err
+	}
+	c := &Collection{db: db, name: name, schema: schema, bucket: b}
+	if err := c.saveDesc(); err != nil {
+		return nil, err
+	}
+	db.cols[name] = c
+	return c, nil
+}
+
+// Collection opens an existing collection by name.
+func (db *DB) Collection(name string) (*Collection, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if c, ok := db.cols[name]; ok && c != nil {
+		return c, nil
+	}
+	v, err := db.sys.Get([]byte("col." + name))
+	if err != nil {
+		return nil, fmt.Errorf("%w: collection %q", ErrNotFound, name)
+	}
+	var d colDesc
+	if err := json.Unmarshal(v, &d); err != nil {
+		return nil, err
+	}
+	b, err := db.store.Bucket("col." + name)
+	if err != nil {
+		return nil, err
+	}
+	c := &Collection{db: db, name: name, schema: d.Schema, bucket: b, count: d.Count}
+	db.cols[name] = c
+	return c, nil
+}
+
+// Collections lists materialized collection names.
+func (db *DB) Collections() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	names := make([]string, 0, len(db.cols))
+	for n := range db.cols {
+		names = append(names, n)
+	}
+	return names
+}
+
+// Materialize drains it into a new collection (paper §4.1 Materialize).
+func (db *DB) Materialize(name string, schema Schema, it Iterator) (*Collection, error) {
+	c, err := db.CreateCollection(name, schema)
+	if err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	for {
+		t, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		for _, p := range t {
+			if err := c.Append(p); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := c.saveDesc(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// GetPatch resolves a patch id anywhere in the database (lineage chains
+// cross collections).
+func (db *DB) GetPatch(id PatchID) (*Patch, error) {
+	v, err := db.patchLoc.Get(kv.U64Key(uint64(id)))
+	if err != nil {
+		return nil, fmt.Errorf("%w: patch %d", ErrNotFound, id)
+	}
+	col, err := db.Collection(string(v))
+	if err != nil {
+		return nil, err
+	}
+	return col.Get(id)
+}
+
+// Backtrace follows a patch's lineage chain to its base (§5.1): the
+// returned slice starts at p's parent and ends at the patch with no
+// parent; the final Ref's Source/Frame identify the raw image.
+func (db *DB) Backtrace(p *Patch) ([]*Patch, error) {
+	var chain []*Patch
+	cur := p
+	for cur.Ref.Parent != 0 {
+		parent, err := db.GetPatch(cur.Ref.Parent)
+		if err != nil {
+			return chain, err
+		}
+		chain = append(chain, parent)
+		cur = parent
+	}
+	return chain, nil
+}
+
+// Collection is a named materialized set of patches persisted in one kv
+// bucket, with an in-memory cache for repeated scans.
+type Collection struct {
+	db     *DB
+	name   string
+	schema Schema
+	bucket *kv.Bucket
+	count  int
+
+	mu    sync.Mutex
+	cache []*Patch
+	byID  map[PatchID]*Patch
+}
+
+// Name returns the collection name.
+func (c *Collection) Name() string { return c.name }
+
+// Schema returns the collection's schema.
+func (c *Collection) Schema() Schema { return c.schema }
+
+// Len returns the number of patches.
+func (c *Collection) Len() int { return c.count }
+
+func (c *Collection) saveDesc() error {
+	d := colDesc{Name: c.name, Schema: c.schema, Count: c.count}
+	v, err := json.Marshal(d)
+	if err != nil {
+		return err
+	}
+	return c.db.sys.Put([]byte("col."+c.name), v)
+}
+
+// Append validates, ids, and persists a patch. Lineage attributes _source
+// and _frame are auto-populated from Ref so indexes and queries work on
+// provenance natively (§5.1).
+func (c *Collection) Append(p *Patch) error {
+	if p.ID == 0 {
+		p.ID = c.db.NewPatchID()
+	}
+	if p.Meta == nil {
+		p.Meta = Metadata{}
+	}
+	p.Meta["_source"] = StrV(p.Ref.Source)
+	p.Meta["_frame"] = IntV(int64(p.Ref.Frame))
+	if err := c.schema.ValidatePatch(p); err != nil {
+		return fmt.Errorf("collection %q: %w", c.name, err)
+	}
+	if err := c.bucket.Put(kv.U64Key(uint64(p.ID)), p.Marshal()); err != nil {
+		return err
+	}
+	if err := c.db.patchLoc.Put(kv.U64Key(uint64(p.ID)), []byte(c.name)); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.count++
+	if c.cache != nil {
+		c.cache = append(c.cache, p)
+		c.byID[p.ID] = p
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// Get fetches one patch by id, serving from the in-memory cache when the
+// collection has been scanned (index joins fetch per match; disk reads
+// there would dominate query time).
+func (c *Collection) Get(id PatchID) (*Patch, error) {
+	c.mu.Lock()
+	if c.byID != nil {
+		if p, ok := c.byID[id]; ok {
+			c.mu.Unlock()
+			return p, nil
+		}
+	}
+	c.mu.Unlock()
+	v, err := c.bucket.Get(kv.U64Key(uint64(id)))
+	if err != nil {
+		return nil, fmt.Errorf("%w: patch %d in %q", ErrNotFound, id, c.name)
+	}
+	return UnmarshalPatch(v)
+}
+
+// Patches returns all patches, loading and caching them on first use.
+func (c *Collection) Patches() ([]*Patch, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cache != nil {
+		return c.cache, nil
+	}
+	var out []*Patch
+	var scanErr error
+	err := c.bucket.Scan(nil, nil, func(_, v []byte) bool {
+		p, err := UnmarshalPatch(v)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		out = append(out, p)
+		return true
+	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	if err != nil {
+		return nil, err
+	}
+	c.cache = out
+	c.byID = make(map[PatchID]*Patch, len(out))
+	for _, p := range out {
+		c.byID[p.ID] = p
+	}
+	c.count = len(out)
+	return out, nil
+}
+
+// Scan returns an iterator over all patches.
+func (c *Collection) Scan() Iterator {
+	ps, err := c.Patches()
+	if err != nil {
+		return NewFuncIterator(func() (Tuple, bool, error) { return nil, false, err }, nil)
+	}
+	return FromPatches(ps)
+}
+
+// InvalidateCache drops the in-memory cache (tests and memory control).
+func (c *Collection) InvalidateCache() {
+	c.mu.Lock()
+	c.cache = nil
+	c.byID = nil
+	c.mu.Unlock()
+}

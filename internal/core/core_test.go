@@ -1,0 +1,639 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/exec"
+	"repro/internal/tensor"
+)
+
+func openDB(t testing.TB) *DB {
+	t.Helper()
+	db, err := Open(filepath.Join(t.TempDir(), "dl.db"), exec.New(exec.CPU))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestPatchMarshalRoundTrip(t *testing.T) {
+	p := &Patch{
+		ID:   42,
+		Ref:  Ref{Source: "cam0", Frame: 17, Parent: 9},
+		Data: tensor.FromU8([]uint8{1, 2, 3, 4, 5, 6}, 1, 2, 3),
+		Meta: Metadata{
+			"label": StrV("car"),
+			"score": FloatV(0.83),
+			"frame": IntV(-5),
+			"hist":  VecV([]float32{0.1, 0.2, 0.3}),
+			"bbox":  RectV(1, 2, 3, 4),
+		},
+	}
+	got, err := UnmarshalPatch(p.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != p.ID || got.Ref != p.Ref {
+		t.Fatalf("identity lost: %+v", got)
+	}
+	if !tensor.Equal(got.Data, p.Data) {
+		t.Fatal("payload lost")
+	}
+	for k, v := range p.Meta {
+		if !got.Meta[k].Equal(v) {
+			t.Fatalf("meta %q lost: %+v vs %+v", k, got.Meta[k], v)
+		}
+	}
+}
+
+func TestPatchMarshalQuick(t *testing.T) {
+	f := func(id uint64, frame uint64, src string, label string, score float64, iv int64) bool {
+		p := &Patch{ID: PatchID(id), Ref: Ref{Source: src, Frame: frame},
+			Meta: Metadata{"l": StrV(label), "s": FloatV(score), "i": IntV(iv)}}
+		got, err := UnmarshalPatch(p.Marshal())
+		if err != nil {
+			return false
+		}
+		return got.ID == p.ID && got.Ref.Source == src &&
+			got.Meta["l"].Equal(p.Meta["l"]) && got.Meta["s"].Equal(p.Meta["s"]) &&
+			got.Meta["i"].Equal(p.Meta["i"])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalCorrupt(t *testing.T) {
+	p := &Patch{ID: 1, Meta: Metadata{"k": StrV("v")}}
+	raw := p.Marshal()
+	for cut := 1; cut < len(raw); cut++ {
+		if _, err := UnmarshalPatch(raw[:cut]); err == nil {
+			// Some prefixes parse as valid shorter patches only if all
+			// fields complete; a cut mid-structure must error. Allow valid
+			// prefix only if it equals a full encoding, which cannot
+			// happen for proper prefixes of varint streams here.
+			t.Fatalf("truncated patch at %d decoded", cut)
+		}
+	}
+}
+
+func TestSortKeyOrderPreserving(t *testing.T) {
+	fInt := func(a, b int64) bool {
+		ka, _ := IntV(a).SortKey()
+		kb, _ := IntV(b).SortKey()
+		return (a < b) == (string(ka) < string(kb))
+	}
+	if err := quick.Check(fInt, nil); err != nil {
+		t.Fatalf("int sort keys: %v", err)
+	}
+	fFloat := func(a, b float64) bool {
+		ka, _ := FloatV(a).SortKey()
+		kb, _ := FloatV(b).SortKey()
+		return (a < b) == (string(ka) < string(kb))
+	}
+	cfg := &quick.Config{MaxCount: 1000, Values: nil}
+	if err := quick.Check(fFloat, cfg); err != nil {
+		t.Fatalf("float sort keys: %v", err)
+	}
+	if _, err := VecV([]float32{1}).SortKey(); err == nil {
+		t.Fatal("vec sort key allowed")
+	}
+}
+
+func simpleSchema() Schema {
+	return Schema{
+		Data: Pixels(0, 0),
+		Fields: []Field{
+			{Name: "label", Kind: KindStr, Domain: []string{"car", "pedestrian", "player"}},
+			{Name: "frameno", Kind: KindInt},
+		},
+	}
+}
+
+func mkPatch(label string, frame int64) *Patch {
+	return &Patch{
+		Ref:  Ref{Source: "cam", Frame: uint64(frame)},
+		Meta: Metadata{"label": StrV(label), "frameno": IntV(frame)},
+	}
+}
+
+func TestCollectionAppendScanPersist(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dl.db")
+	db, err := Open(path, exec.New(exec.CPU))
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := db.CreateCollection("dets", simpleSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		label := "car"
+		if i%3 == 0 {
+			label = "pedestrian"
+		}
+		if err := col.Append(mkPatch(label, int64(i%50))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if col.Len() != 500 {
+		t.Fatalf("Len = %d", col.Len())
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(path, exec.New(exec.CPU))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	col2, err := db2.Collection("dets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := col2.Patches()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 500 {
+		t.Fatalf("reopen: %d patches", len(ps))
+	}
+	// Lineage attributes auto-populated.
+	if ps[0].Meta["_source"].S != "cam" {
+		t.Fatalf("lineage attribute missing: %+v", ps[0].Meta)
+	}
+}
+
+func TestSchemaValidation(t *testing.T) {
+	db := openDB(t)
+	col, _ := db.CreateCollection("dets", simpleSchema())
+	// Out-of-domain label rejected.
+	if err := col.Append(mkPatch("truck", 1)); err == nil {
+		t.Fatal("out-of-domain label accepted")
+	}
+	// Missing declared field rejected.
+	p := &Patch{Meta: Metadata{"label": StrV("car")}}
+	if err := col.Append(p); err == nil {
+		t.Fatal("missing field accepted")
+	}
+	// Wrong kind rejected.
+	p2 := &Patch{Meta: Metadata{"label": IntV(3), "frameno": IntV(1)}}
+	if err := col.Append(p2); err == nil {
+		t.Fatal("wrong-kind field accepted")
+	}
+}
+
+func TestFilterValidationRejectsImpossibleLabel(t *testing.T) {
+	db := openDB(t)
+	col, _ := db.CreateCollection("dets", simpleSchema())
+	if _, err := db.PlanFilter(col, "label", StrV("car")); err != nil {
+		t.Fatalf("valid filter rejected: %v", err)
+	}
+	if _, err := db.PlanFilter(col, "label", StrV("bicycle")); err == nil {
+		t.Fatal("filter on impossible label accepted (type system should catch it)")
+	}
+	if _, err := db.PlanFilter(col, "nosuch", StrV("x")); err == nil {
+		t.Fatal("filter on undeclared field accepted")
+	}
+}
+
+func TestCreateDuplicateCollection(t *testing.T) {
+	db := openDB(t)
+	db.CreateCollection("c", simpleSchema())
+	if _, err := db.CreateCollection("c", simpleSchema()); err == nil {
+		t.Fatal("duplicate collection created")
+	}
+}
+
+func TestSelectAndCount(t *testing.T) {
+	db := openDB(t)
+	col, _ := db.CreateCollection("dets", simpleSchema())
+	for i := 0; i < 90; i++ {
+		label := []string{"car", "pedestrian", "player"}[i%3]
+		col.Append(mkPatch(label, int64(i)))
+	}
+	n, err := Count(Select(col.Scan(), FieldEq("label", StrV("car"))))
+	if err != nil || n != 30 {
+		t.Fatalf("count = %d, %v", n, err)
+	}
+	n, _ = Count(Select(col.Scan(), FieldRange("frameno", 10, 20)))
+	if n != 10 {
+		t.Fatalf("range count = %d", n)
+	}
+}
+
+func TestGroupCountAndOrderBy(t *testing.T) {
+	db := openDB(t)
+	col, _ := db.CreateCollection("dets", simpleSchema())
+	for i := 0; i < 30; i++ {
+		col.Append(mkPatch("car", int64(i%3)))
+	}
+	groups, err := Drain(GroupCount(col.Scan(), "frameno"))
+	if err != nil || len(groups) != 3 {
+		t.Fatalf("groups = %d, %v", len(groups), err)
+	}
+	for _, g := range groups {
+		if g[0].Meta["count"].I != 10 {
+			t.Fatalf("group count = %d", g[0].Meta["count"].I)
+		}
+	}
+	ordered, _ := Drain(OrderBy(col.Scan(), "frameno", false))
+	if ordered[0][0].Meta["frameno"].I != 2 {
+		t.Fatal("descending order broken")
+	}
+}
+
+func TestLimitAndProject(t *testing.T) {
+	db := openDB(t)
+	col, _ := db.CreateCollection("dets", simpleSchema())
+	for i := 0; i < 20; i++ {
+		p := mkPatch("car", int64(i))
+		p.Data = tensor.NewU8(4, 4, 3)
+		col.Append(p)
+	}
+	ts, err := Drain(Limit(Project(col.Scan(), "label"), 5))
+	if err != nil || len(ts) != 5 {
+		t.Fatalf("limit+project: %d, %v", len(ts), err)
+	}
+	p := ts[0][0]
+	if p.Data != nil {
+		t.Fatal("project kept payload")
+	}
+	if _, ok := p.Meta["frameno"]; ok {
+		t.Fatal("project kept dropped field")
+	}
+	if _, ok := p.Meta["label"]; !ok {
+		t.Fatal("project lost kept field")
+	}
+}
+
+func TestHashAndBTreeIndexLookup(t *testing.T) {
+	db := openDB(t)
+	col, _ := db.CreateCollection("dets", simpleSchema())
+	want := map[int64][]PatchID{}
+	for i := 0; i < 300; i++ {
+		p := mkPatch("car", int64(i%25))
+		col.Append(p)
+		want[int64(i%25)] = append(want[int64(i%25)], p.ID)
+	}
+	for _, kind := range []IndexKind{IdxHash, IdxBTree} {
+		idx, err := db.BuildIndex(col, "frameno", kind)
+		if err != nil {
+			t.Fatalf("%v build: %v", kind, err)
+		}
+		for f, ids := range want {
+			got, err := idx.LookupEq(IntV(f))
+			if err != nil {
+				t.Fatalf("%v lookup: %v", kind, err)
+			}
+			sortIDs(got)
+			w := append([]PatchID(nil), ids...)
+			sortIDs(w)
+			if len(got) != len(w) {
+				t.Fatalf("%v lookup(%d): %d ids, want %d", kind, f, len(got), len(w))
+			}
+			for i := range w {
+				if got[i] != w[i] {
+					t.Fatalf("%v lookup(%d) mismatch", kind, f)
+				}
+			}
+		}
+		// Missing key.
+		got, err := idx.LookupEq(IntV(999))
+		if err != nil || len(got) != 0 {
+			t.Fatalf("%v missing key: %v, %v", kind, got, err)
+		}
+	}
+}
+
+func TestBTreeIndexRange(t *testing.T) {
+	db := openDB(t)
+	col, _ := db.CreateCollection("dets", simpleSchema())
+	for i := 0; i < 100; i++ {
+		col.Append(mkPatch("car", int64(i)))
+	}
+	idx, err := db.BuildIndex(col, "frameno", IdxBTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := IntV(20), IntV(30)
+	ids, err := idx.LookupRange(&lo, &hi)
+	if err != nil || len(ids) != 10 {
+		t.Fatalf("range: %d ids, %v", len(ids), err)
+	}
+}
+
+func TestIndexPersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dl.db")
+	db, _ := Open(path, exec.New(exec.CPU))
+	col, _ := db.CreateCollection("dets", simpleSchema())
+	for i := 0; i < 100; i++ {
+		col.Append(mkPatch("car", int64(i%10)))
+	}
+	if _, err := db.BuildIndex(col, "frameno", IdxHash); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.BuildIndex(col, "frameno", IdxBTree); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	db2, _ := Open(path, exec.New(exec.CPU))
+	defer db2.Close()
+	col2, _ := db2.Collection("dets")
+	for _, kind := range []IndexKind{IdxHash, IdxBTree} {
+		if !db2.HasIndex(col2, "frameno", kind) {
+			t.Fatalf("%v index descriptor lost", kind)
+		}
+		idx, err := db2.Index(col2, "frameno", kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids, err := idx.LookupEq(IntV(3))
+		if err != nil || len(ids) != 10 {
+			t.Fatalf("%v reopen lookup: %d, %v", kind, len(ids), err)
+		}
+	}
+}
+
+func vecSchema(dim int) Schema {
+	return Schema{
+		Data: Pixels(0, 0),
+		Fields: []Field{
+			{Name: "emb", Kind: KindVec, VecDim: dim},
+			{Name: "frameno", Kind: KindInt},
+		},
+	}
+}
+
+func mkVecPatch(rng *rand.Rand, dim int, frame int64) *Patch {
+	v := make([]float32, dim)
+	for i := range v {
+		v[i] = float32(rng.NormFloat64())
+	}
+	return &Patch{Ref: Ref{Source: "s", Frame: uint64(frame)},
+		Meta: Metadata{"emb": VecV(v), "frameno": IntV(frame)}}
+}
+
+func TestSimilarityJoinMethodsAgree(t *testing.T) {
+	db := openDB(t)
+	const dim = 16
+	col, _ := db.CreateCollection("vecs", vecSchema(dim))
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 400; i++ {
+		col.Append(mkVecPatch(rng, dim, int64(i)))
+	}
+	ps, _ := col.Patches()
+	opts := SimilarityJoinOpts{LeftField: "emb", RightField: "emb", Eps: 3.5, DedupUnordered: true}
+
+	nested, err := SimilarityJoinNested(ps, ps, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := SimilarityJoinBatched(db, ps, ps, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fly, err := SimilarityJoinOnTheFly(ps, ps, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := db.BuildIndex(col, "emb", IdxBallTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexed, err := SimilarityJoinIndexed(db, ps, col, idx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := func(ts []Tuple) []string {
+		out := make([]string, len(ts))
+		for i, tp := range ts {
+			out[i] = fmt.Sprintf("%d-%d", tp[0].ID, tp[1].ID)
+		}
+		sort.Strings(out)
+		return out
+	}
+	nk := key(nested)
+	if len(nk) == 0 {
+		t.Fatal("no pairs at eps=3.5; test is vacuous")
+	}
+	for name, other := range map[string][]Tuple{"batched": batched, "onthefly": fly, "indexed": indexed} {
+		ok := key(other)
+		if len(ok) != len(nk) {
+			t.Fatalf("%s: %d pairs, nested found %d", name, len(ok), len(nk))
+		}
+		for i := range nk {
+			if ok[i] != nk[i] {
+				t.Fatalf("%s: pair mismatch at %d: %s vs %s", name, i, ok[i], nk[i])
+			}
+		}
+	}
+}
+
+func TestNestedLoopAndHashJoinAgree(t *testing.T) {
+	db := openDB(t)
+	left, _ := db.CreateCollection("l", simpleSchema())
+	right, _ := db.CreateCollection("r", simpleSchema())
+	for i := 0; i < 60; i++ {
+		left.Append(mkPatch("car", int64(i%10)))
+		right.Append(mkPatch("pedestrian", int64(i%15)))
+	}
+	theta := func(a, b *Patch) bool {
+		return a.Meta["frameno"].I == b.Meta["frameno"].I
+	}
+	nl, err := Drain(NestedLoopJoin(left.Scan(), right.Scan(), theta))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hj, err := Drain(HashEquiJoin(left.Scan(), right.Scan(), "frameno", "frameno"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nl) == 0 || len(nl) != len(hj) {
+		t.Fatalf("nested=%d hash=%d", len(nl), len(hj))
+	}
+}
+
+func TestIndexEquiJoinAgrees(t *testing.T) {
+	db := openDB(t)
+	left, _ := db.CreateCollection("l", simpleSchema())
+	right, _ := db.CreateCollection("r", simpleSchema())
+	for i := 0; i < 80; i++ {
+		left.Append(mkPatch("car", int64(i%8)))
+		right.Append(mkPatch("player", int64(i%12)))
+	}
+	idx, err := db.BuildIndex(right, "frameno", IdxHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ij, err := Drain(IndexEquiJoin(db, left.Scan(), "frameno", right, idx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hj, _ := Drain(HashEquiJoin(left.Scan(), right.Scan(), "frameno", "frameno"))
+	if len(ij) != len(hj) {
+		t.Fatalf("index join %d rows, hash join %d", len(ij), len(hj))
+	}
+}
+
+func TestRangeThetaJoinSortedAgreesWithNested(t *testing.T) {
+	db := openDB(t)
+	sch := Schema{Fields: []Field{{Name: "depth", Kind: KindFloat}}}
+	col, _ := db.CreateCollection("d", sch)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 150; i++ {
+		col.Append(&Patch{Ref: Ref{Source: "s", Frame: uint64(i)},
+			Meta: Metadata{"depth": FloatV(rng.Float64() * 10)}})
+	}
+	ps, _ := col.Patches()
+	const gap = 1.0
+	sorted, err := RangeThetaJoinSorted(ps, ps, "depth", gap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nested, _ := Drain(NestedLoopJoin(FromPatches(ps), FromPatches(ps), func(a, b *Patch) bool {
+		return a.ID != b.ID && a.Meta["depth"].F > b.Meta["depth"].F+gap
+	}))
+	if len(sorted) != len(nested) {
+		t.Fatalf("sorted %d pairs, nested %d", len(sorted), len(nested))
+	}
+}
+
+func TestDistinctClusters(t *testing.T) {
+	// Three identities, several observations each; pairs connect
+	// same-identity observations.
+	var patches []*Patch
+	var pairs []Tuple
+	id := PatchID(1)
+	for ident := 0; ident < 3; ident++ {
+		var group []*Patch
+		for obs := 0; obs < 4; obs++ {
+			p := &Patch{ID: id}
+			id++
+			group = append(group, p)
+			patches = append(patches, p)
+		}
+		for i := 0; i < len(group)-1; i++ {
+			pairs = append(pairs, Tuple{group[i], group[i+1]})
+		}
+	}
+	reps := DistinctClusters(patches, pairs)
+	if len(reps) != 3 {
+		t.Fatalf("distinct = %d, want 3", len(reps))
+	}
+	// No pairs: everything distinct.
+	if got := DistinctClusters(patches, nil); len(got) != len(patches) {
+		t.Fatalf("no-pair distinct = %d", len(got))
+	}
+}
+
+func TestBacktrace(t *testing.T) {
+	db := openDB(t)
+	base, _ := db.CreateCollection("frames", Schema{})
+	framePatch := &Patch{Ref: Ref{Source: "video0", Frame: 7}}
+	base.Append(framePatch)
+	dets, _ := db.CreateCollection("dets", Schema{})
+	detPatch := &Patch{Ref: Ref{Source: "video0", Frame: 7, Parent: framePatch.ID}}
+	dets.Append(detPatch)
+	ocr, _ := db.CreateCollection("ocr", Schema{})
+	ocrPatch := &Patch{Ref: Ref{Source: "video0", Frame: 7, Parent: detPatch.ID}}
+	ocr.Append(ocrPatch)
+
+	chain, err := db.Backtrace(ocrPatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 2 {
+		t.Fatalf("chain length %d, want 2", len(chain))
+	}
+	if chain[0].ID != detPatch.ID || chain[1].ID != framePatch.ID {
+		t.Fatal("chain order wrong")
+	}
+	if chain[1].Ref.Parent != 0 {
+		t.Fatal("chain does not end at base")
+	}
+}
+
+func TestOptimizerSimJoinChoices(t *testing.T) {
+	cm := DefaultCostModel()
+	// Tiny join: nested or batched CPU beats GPU (launch overhead).
+	small := cm.PlanSimilarityJoin(20, 20, 64, false)
+	if small.Device == exec.GPU {
+		t.Fatalf("tiny join placed on GPU: %+v", small)
+	}
+	// Huge join: index or GPU should win over scalar nested loop.
+	big := cm.PlanSimilarityJoin(20000, 20000, 64, false)
+	if big.Method == SimNested {
+		t.Fatalf("huge join planned as scalar nested loop: %s", big.Explain)
+	}
+	// With a prebuilt index on a large build side, indexed should be
+	// competitive.
+	withIdx := cm.PlanSimilarityJoin(1000, 100000, 64, true)
+	if withIdx.Method == SimNested {
+		t.Fatalf("indexed available but nested chosen: %s", withIdx.Explain)
+	}
+}
+
+func TestOptimizerFilterPath(t *testing.T) {
+	db := openDB(t)
+	col, _ := db.CreateCollection("dets", simpleSchema())
+	for i := 0; i < 50; i++ {
+		col.Append(mkPatch("car", int64(i)))
+	}
+	m, err := db.PlanFilter(col, "label", StrV("car"))
+	if err != nil || m != FilterScan {
+		t.Fatalf("no-index plan = %v, %v", m, err)
+	}
+	db.BuildIndex(col, "label", IdxHash)
+	m, _ = db.PlanFilter(col, "label", StrV("car"))
+	if m != FilterHashIndex {
+		t.Fatalf("hash available but plan = %v", m)
+	}
+	// Execution agreement.
+	scan, _ := db.ExecuteFilter(col, "label", StrV("car"), FilterScan)
+	indexed, _ := db.ExecuteFilter(col, "label", StrV("car"), FilterHashIndex)
+	if len(scan) != len(indexed) || len(scan) != 50 {
+		t.Fatalf("scan %d vs indexed %d", len(scan), len(indexed))
+	}
+}
+
+func TestPlaceDevice(t *testing.T) {
+	cm := DefaultCostModel()
+	if dev := cm.PlaceDevice(1e4, 1e3, 1); dev == exec.GPU {
+		t.Fatal("tiny kernel placed on GPU")
+	}
+	if dev := cm.PlaceDevice(1e12, 1e8, 10); dev != exec.GPU {
+		t.Fatalf("huge kernel placed on %v", dev)
+	}
+}
+
+func TestCalibrateKeepsModelSane(t *testing.T) {
+	cm := DefaultCostModel()
+	cm.Calibrate()
+	if cm.CDist <= 0 || cm.CBuild <= 0 {
+		t.Fatalf("calibration produced %+v", cm)
+	}
+}
+
+func TestIndexNotFound(t *testing.T) {
+	db := openDB(t)
+	col, _ := db.CreateCollection("c", simpleSchema())
+	if _, err := db.Index(col, "label", IdxHash); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing index err = %v", err)
+	}
+}
+
+func sortIDs(ids []PatchID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}

@@ -1,0 +1,361 @@
+package core
+
+import (
+	"repro/internal/codec"
+	"repro/internal/tensor"
+	"repro/internal/video"
+	"repro/internal/vision"
+)
+
+// This file is the Visual ETL layer (§4): patch generators turn raw frames
+// into patch collections; transformers featurize or annotate patches. All
+// stages are ordinary iterator operators, so any intermediate result can
+// be materialized and indexed.
+
+// FrameRange is the optional temporal filter of the Load API (§3.1).
+type FrameRange struct {
+	Lo, Hi uint64 // [Lo, Hi); Hi = 0 means unbounded
+}
+
+// LoadVideo returns whole-frame patches from a stored video, pushing the
+// temporal filter into the storage format when it supports it (the scan
+// semantics differ per format: the Frame File seeks, the Encoded File
+// decodes its whole prefix, the Segmented File seeks to the covering
+// clip). The iterator's patches carry pixel payloads and frameno metadata.
+func LoadVideo(source string, st video.Store, filter FrameRange) Iterator {
+	hi := filter.Hi
+	if hi == 0 {
+		hi = ^uint64(0)
+	}
+	ch := make(chan *Patch, 16)
+	errc := make(chan error, 1)
+	go func() {
+		defer close(ch)
+		err := st.Scan(filter.Lo, hi, func(f video.Frame) bool {
+			ch <- &Patch{
+				Ref:  Ref{Source: source, Frame: f.Number},
+				Data: imageToTensor(f.Image),
+				Meta: Metadata{
+					"frameno": IntV(int64(f.Number)),
+					"width":   IntV(int64(f.Image.W)),
+					"height":  IntV(int64(f.Image.H)),
+				},
+			}
+			return true
+		})
+		errc <- err
+	}()
+	return NewFuncIterator(func() (Tuple, bool, error) {
+		p, ok := <-ch
+		if !ok {
+			if err := <-errc; err != nil {
+				return nil, false, err
+			}
+			return nil, false, nil
+		}
+		return Tuple{p}, true, nil
+	}, func() error {
+		// Drain so the producer goroutine exits.
+		for range ch {
+		}
+		return nil
+	})
+}
+
+// FromImages wraps an in-memory image list (the PC corpus) as whole-image
+// patches of the named source.
+func FromImages(source string, imgs []*codec.Image) Iterator {
+	i := 0
+	return NewFuncIterator(func() (Tuple, bool, error) {
+		if i >= len(imgs) {
+			return nil, false, nil
+		}
+		img := imgs[i]
+		p := &Patch{
+			Ref:  Ref{Source: source, Frame: uint64(i)},
+			Data: imageToTensor(img),
+			Meta: Metadata{
+				"frameno": IntV(int64(i)),
+				"width":   IntV(int64(img.W)),
+				"height":  IntV(int64(img.H)),
+			},
+		}
+		i++
+		return Tuple{p}, true, nil
+	}, nil)
+}
+
+func imageToTensor(img *codec.Image) *tensor.Tensor {
+	return tensor.FromU8(append([]uint8(nil), img.Pix...), img.H, img.W, 3)
+}
+
+// ImageToTensor converts an image to the HxWx3 uint8 payload convention.
+func ImageToTensor(img *codec.Image) *tensor.Tensor { return imageToTensor(img) }
+
+// TensorToImage converts a pixel patch payload back to an image.
+func TensorToImage(t *tensor.Tensor) *codec.Image {
+	if t == nil || t.DType != tensor.U8 || len(t.Shape) != 3 {
+		return nil
+	}
+	return &codec.Image{W: t.Shape[1], H: t.Shape[0], Pix: append([]uint8(nil), t.U8s...)}
+}
+
+// TileGenerator splits each whole-frame patch into a grid of tileW x
+// tileH subimage patches (§2.2: patches "can be whole images, smaller
+// tiled subimages, or even subimages extracted by an object detection
+// neural network"). Edge tiles are clipped to the frame. Lineage points at
+// the frame patch.
+func TileGenerator(tileW, tileH int, in Iterator) Iterator {
+	return Transform(in, func(t Tuple) ([]Tuple, error) {
+		frame := t[0]
+		img := TensorToImage(frame.Data)
+		if img == nil {
+			return nil, nil
+		}
+		var outs []Tuple
+		for y := 0; y < img.H; y += tileH {
+			for x := 0; x < img.W; x += tileW {
+				x2, y2 := x+tileW, y+tileH
+				if x2 > img.W {
+					x2 = img.W
+				}
+				if y2 > img.H {
+					y2 = img.H
+				}
+				crop := img.Crop(x, y, x2, y2)
+				outs = append(outs, Tuple{{
+					Ref:  Ref{Source: frame.Ref.Source, Frame: frame.Ref.Frame, Parent: frame.ID},
+					Data: imageToTensor(crop),
+					Meta: Metadata{
+						"bbox":    RectV(float64(x), float64(y), float64(x2), float64(y2)),
+						"frameno": IntV(int64(frame.Ref.Frame)),
+					},
+				}})
+			}
+		}
+		return outs, nil
+	})
+}
+
+// DetectionSchema types the SSD-sim generator's output (§4.2): a closed
+// label domain, bbox rect, score and frame lineage.
+func DetectionSchema() Schema {
+	return Schema{
+		Data: Pixels(0, 0),
+		Fields: []Field{
+			{Name: "label", Kind: KindStr, Domain: vision.ClassNames()},
+			{Name: "score", Kind: KindFloat},
+			{Name: "bbox", Kind: KindRect},
+			{Name: "frameno", Kind: KindInt},
+		},
+	}
+}
+
+// DetectGenerator runs the object detector over whole-frame patches and
+// emits one patch per detection, cropped to the bounding box, with lineage
+// back to the frame patch (§4.1 Patch Generators).
+func DetectGenerator(det *vision.Detector, in Iterator) Iterator {
+	return Transform(in, func(t Tuple) ([]Tuple, error) {
+		frame := t[0]
+		img := TensorToImage(frame.Data)
+		if img == nil {
+			return nil, nil
+		}
+		dets := det.Detect(img)
+		outs := make([]Tuple, 0, len(dets))
+		for _, d := range dets {
+			crop := img.Crop(d.X1, d.Y1, d.X2, d.Y2)
+			outs = append(outs, Tuple{{
+				Ref:  Ref{Source: frame.Ref.Source, Frame: frame.Ref.Frame, Parent: frame.ID},
+				Data: imageToTensor(crop),
+				Meta: Metadata{
+					"label":   StrV(d.Class.String()),
+					"score":   FloatV(d.Score),
+					"bbox":    RectV(float64(d.X1), float64(d.Y1), float64(d.X2), float64(d.Y2)),
+					"frameno": IntV(int64(frame.Ref.Frame)),
+				},
+			}})
+		}
+		return outs, nil
+	})
+}
+
+// OCRSchema types the OCR generator's output.
+func OCRSchema() Schema {
+	return Schema{
+		Data: Pixels(0, 0),
+		Fields: []Field{
+			{Name: "text", Kind: KindStr},
+			{Name: "score", Kind: KindFloat},
+			{Name: "bbox", Kind: KindRect},
+			{Name: "frameno", Kind: KindInt},
+		},
+	}
+}
+
+// OCRGenerator runs text recognition over patches and emits one patch per
+// recognized word. When the input is a detection patch (has a bbox), the
+// word's bbox is offset into frame coordinates and lineage points at the
+// detection patch.
+func OCRGenerator(ocr *vision.OCR, in Iterator) Iterator {
+	return Transform(in, func(t Tuple) ([]Tuple, error) {
+		src := t[0]
+		img := TensorToImage(src.Data)
+		if img == nil {
+			return nil, nil
+		}
+		offX, offY := 0.0, 0.0
+		if bb, ok := src.Meta["bbox"]; ok && len(bb.V) == 4 {
+			offX, offY = float64(bb.V[0]), float64(bb.V[1])
+		}
+		words := ocr.Recognize(img)
+		outs := make([]Tuple, 0, len(words))
+		for _, w := range words {
+			crop := img.Crop(w.X1, w.Y1, w.X2, w.Y2)
+			outs = append(outs, Tuple{{
+				Ref:  Ref{Source: src.Ref.Source, Frame: src.Ref.Frame, Parent: src.ID},
+				Data: imageToTensor(crop),
+				Meta: Metadata{
+					"text":  StrV(w.Text),
+					"score": FloatV(w.Score),
+					"bbox": RectV(offX+float64(w.X1), offY+float64(w.Y1),
+						offX+float64(w.X2), offY+float64(w.Y2)),
+					"frameno": IntV(int64(src.Ref.Frame)),
+				},
+			}})
+		}
+		return outs, nil
+	})
+}
+
+// HistogramTransformer adds a "hist" color-histogram vector to each patch
+// (§4.1 Transformers; the low-dimensional matching feature).
+func HistogramTransformer(in Iterator) Iterator {
+	return Transform(in, func(t Tuple) ([]Tuple, error) {
+		p := t[0]
+		img := TensorToImage(p.Data)
+		if img != nil {
+			p.Meta["hist"] = VecV(vision.ColorHistogram(img))
+		}
+		return []Tuple{t}, nil
+	})
+}
+
+// GridHistogramTransformer adds a "ghist" feature to each patch: a spatial
+// grid histogram projected to 64 dimensions (the whole-image
+// near-duplicate feature q1 matches on; low-dimensional per the paper's
+// Example 2 so multidimensional indexes stay effective).
+func GridHistogramTransformer(grid int, in Iterator) Iterator {
+	return Transform(in, func(t Tuple) ([]Tuple, error) {
+		p := t[0]
+		img := TensorToImage(p.Data)
+		if img != nil {
+			p.Meta["ghist"] = VecV(vision.RandomProject(vision.GridHistogram(img, grid), 64))
+		}
+		return []Tuple{t}, nil
+	})
+}
+
+// transformBatchSize is the tuple batch transformers accumulate before
+// one fused model invocation.
+const transformBatchSize = 32
+
+// BatchTransform buffers up to size tuples and maps them through fn
+// together — how transformers batch their model inference.
+func BatchTransform(in Iterator, size int, fn func([]Tuple) error) Iterator {
+	var pending []Tuple
+	done := false
+	return NewFuncIterator(func() (Tuple, bool, error) {
+		for {
+			if len(pending) > 0 {
+				t := pending[0]
+				pending = pending[1:]
+				return t, true, nil
+			}
+			if done {
+				return nil, false, nil
+			}
+			batch := make([]Tuple, 0, size)
+			for len(batch) < size {
+				t, ok, err := in.Next()
+				if err != nil {
+					return nil, false, err
+				}
+				if !ok {
+					done = true
+					break
+				}
+				batch = append(batch, t)
+			}
+			if len(batch) == 0 {
+				return nil, false, nil
+			}
+			if err := fn(batch); err != nil {
+				return nil, false, err
+			}
+			pending = batch
+		}
+	}, in.Close)
+}
+
+// EmbedTransformer adds an "emb" backbone embedding to each patch (the
+// high-dimensional matching feature; burns the NN inference the ETL phase
+// is dominated by). Inference is batched across tuples.
+func EmbedTransformer(e *vision.Embedder, in Iterator) Iterator {
+	return BatchTransform(in, transformBatchSize, func(batch []Tuple) error {
+		var imgs []*codec.Image
+		var idx []int
+		for i, t := range batch {
+			if img := TensorToImage(t[0].Data); img != nil {
+				imgs = append(imgs, img)
+				idx = append(idx, i)
+			}
+		}
+		if len(imgs) == 0 {
+			return nil
+		}
+		embs := e.EmbedBatch(imgs)
+		for j, i := range idx {
+			batch[i][0].Meta["emb"] = VecV(embs[j])
+		}
+		return nil
+	})
+}
+
+// DepthTransformer adds a "depth" prediction to each patch using its bbox
+// geometry and pixels. Inference is batched across tuples.
+func DepthTransformer(dm *vision.DepthModel, in Iterator) Iterator {
+	return BatchTransform(in, transformBatchSize, func(batch []Tuple) error {
+		var imgs []*codec.Image
+		var boxes [][4]int
+		var idx []int
+		for i, t := range batch {
+			img := TensorToImage(t[0].Data)
+			bb, ok := t[0].Meta["bbox"]
+			if img != nil && ok && len(bb.V) == 4 {
+				imgs = append(imgs, img)
+				boxes = append(boxes, [4]int{int(bb.V[0]), int(bb.V[1]), int(bb.V[2]), int(bb.V[3])})
+				idx = append(idx, i)
+			}
+		}
+		if len(imgs) == 0 {
+			return nil
+		}
+		depths := dm.PredictBatch(imgs, boxes)
+		for j, i := range idx {
+			batch[i][0].Meta["depth"] = FloatV(depths[j])
+		}
+		return nil
+	})
+}
+
+// DropData strips the dense payload (after featurization, queries that
+// only touch metadata don't need pixels; §4.1 compression).
+func DropData(in Iterator) Iterator {
+	return Transform(in, func(t Tuple) ([]Tuple, error) {
+		for _, p := range t {
+			p.Data = nil
+		}
+		return []Tuple{t}, nil
+	})
+}

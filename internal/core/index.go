@@ -1,0 +1,462 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/balltree"
+	"repro/internal/btree"
+	"repro/internal/hashidx"
+	"repro/internal/kdtree"
+	"repro/internal/lsh"
+	"repro/internal/rtree"
+)
+
+// IndexKind selects an access method (§3.2: hash, B+ tree, sorted file on
+// single attributes; R-tree and ball tree on multidimensional data; LSH as
+// the approximate alternative).
+type IndexKind int
+
+// Supported index kinds.
+const (
+	IdxBTree IndexKind = iota + 1
+	IdxHash
+	IdxRTree
+	IdxBallTree
+	IdxKDTree
+	IdxLSH
+)
+
+func (k IndexKind) String() string {
+	switch k {
+	case IdxBTree:
+		return "btree"
+	case IdxHash:
+		return "hash"
+	case IdxRTree:
+		return "rtree"
+	case IdxBallTree:
+		return "balltree"
+	case IdxKDTree:
+		return "kdtree"
+	case IdxLSH:
+		return "lsh"
+	default:
+		return fmt.Sprintf("idx(%d)", int(k))
+	}
+}
+
+// Index is a secondary index over one metadata field of a collection.
+// B+ tree and hash indexes are persistent (they live in the database's
+// page file); the multidimensional indexes are memory-resident and
+// rebuilt on demand after reopen (descriptor-tracked).
+type Index struct {
+	Kind  IndexKind
+	Col   string
+	Field string
+	// BuildTime records construction cost (Figure 6's subject).
+	BuildTime time.Duration
+
+	bt   *btree.Tree
+	hash *hashidx.Index
+	rt   *rtree.Tree
+	ball *balltree.Tree
+	kd   *kdtree.Tree
+	lshI *lsh.Index
+}
+
+type idxDesc struct {
+	Kind  IndexKind `json:"kind"`
+	Col   string    `json:"col"`
+	Field string    `json:"field"`
+	Root  uint64    `json:"root,omitempty"` // btree root or hash meta page
+}
+
+func indexKey(col, field string, kind IndexKind) string {
+	return fmt.Sprintf("idx.%s.%s.%s", col, field, kind)
+}
+
+// vecOf extracts the indexable vector for a field ("" = the Data payload).
+func vecOf(p *Patch, field string) ([]float32, bool) {
+	if field == "" {
+		if p.Data != nil && p.Data.F32s != nil {
+			return p.Data.F32s, true
+		}
+		return nil, false
+	}
+	v, ok := p.Meta[field]
+	if !ok || (v.Kind != KindVec && v.Kind != KindRect) {
+		return nil, false
+	}
+	return v.V, true
+}
+
+// BuildIndex constructs an index of the given kind over field on col and
+// registers it. Rebuilding an existing (col, field, kind) replaces it.
+func (db *DB) BuildIndex(col *Collection, field string, kind IndexKind) (*Index, error) {
+	patches, err := col.Patches()
+	if err != nil {
+		return nil, err
+	}
+	idx := &Index{Kind: kind, Col: col.Name(), Field: field}
+	start := time.Now()
+	switch kind {
+	case IdxBTree:
+		t := btree.New(db.store.Pager())
+		for _, p := range patches {
+			k, err := compositeKey(p, field)
+			if err != nil {
+				return nil, err
+			}
+			if err := t.Put(k, nil); err != nil {
+				return nil, err
+			}
+		}
+		idx.bt = t
+	case IdxHash:
+		h, err := hashidx.Create(db.store.Pager())
+		if err != nil {
+			return nil, err
+		}
+		idx.hash = h
+		for _, p := range patches {
+			if err := hashPostingAdd(h, p, field); err != nil {
+				return nil, err
+			}
+		}
+		if err := h.Flush(); err != nil {
+			return nil, err
+		}
+	case IdxRTree:
+		dim := 2
+		t := rtree.New(dim)
+		for _, p := range patches {
+			vec, ok := vecOf(p, field)
+			if !ok || len(vec) != 4 {
+				continue
+			}
+			r := rtree.BBox2D(float64(vec[0]), float64(vec[1]), float64(vec[2]), float64(vec[3]))
+			if err := t.Insert(r, uint64(p.ID)); err != nil {
+				return nil, err
+			}
+		}
+		idx.rt = t
+	case IdxBallTree:
+		var pts []balltree.Point
+		for _, p := range patches {
+			if vec, ok := vecOf(p, field); ok {
+				pts = append(pts, balltree.Point{Vec: vec, ID: uint64(p.ID)})
+			}
+		}
+		t, err := balltree.Build(pts)
+		if err != nil {
+			return nil, err
+		}
+		idx.ball = t
+	case IdxKDTree:
+		var pts []kdtree.Point
+		for _, p := range patches {
+			if vec, ok := vecOf(p, field); ok {
+				pts = append(pts, kdtree.Point{Vec: vec, ID: uint64(p.ID)})
+			}
+		}
+		t, err := kdtree.Build(pts)
+		if err != nil {
+			return nil, err
+		}
+		idx.kd = t
+	case IdxLSH:
+		dim := 0
+		for _, p := range patches {
+			if vec, ok := vecOf(p, field); ok {
+				dim = len(vec)
+				break
+			}
+		}
+		if dim == 0 {
+			return nil, fmt.Errorf("core: no vectors under field %q to index", field)
+		}
+		ix, err := lsh.New(dim, 6, 16, 42)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range patches {
+			if vec, ok := vecOf(p, field); ok && len(vec) == dim {
+				if err := ix.Insert(lsh.Point{Vec: vec, ID: uint64(p.ID)}); err != nil {
+					return nil, err
+				}
+			}
+		}
+		idx.lshI = ix
+	default:
+		return nil, fmt.Errorf("core: unknown index kind %v", kind)
+	}
+	idx.BuildTime = time.Since(start)
+
+	// Register.
+	d := idxDesc{Kind: kind, Col: col.Name(), Field: field}
+	switch kind {
+	case IdxBTree:
+		d.Root = idx.bt.Root()
+	case IdxHash:
+		d.Root = idx.hash.Meta()
+	}
+	dv, err := json.Marshal(d)
+	if err != nil {
+		return nil, err
+	}
+	if err := db.sys.Put([]byte(indexKey(col.Name(), field, kind)), dv); err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	if db.indexes[col.Name()] == nil {
+		db.indexes[col.Name()] = make(map[string]*Index)
+	}
+	db.indexes[col.Name()][field+"/"+kind.String()] = idx
+	db.mu.Unlock()
+	return idx, nil
+}
+
+// Index returns a registered index, reopening persistent ones and
+// rebuilding memory-resident ones as needed. Returns ErrNotFound when no
+// such index was ever built.
+func (db *DB) Index(col *Collection, field string, kind IndexKind) (*Index, error) {
+	db.mu.Lock()
+	if m := db.indexes[col.Name()]; m != nil {
+		if idx, ok := m[field+"/"+kind.String()]; ok {
+			db.mu.Unlock()
+			return idx, nil
+		}
+	}
+	db.mu.Unlock()
+	v, err := db.sys.Get([]byte(indexKey(col.Name(), field, kind)))
+	if err != nil {
+		return nil, fmt.Errorf("%w: index %s on %s.%s", ErrNotFound, kind, col.Name(), field)
+	}
+	var d idxDesc
+	if err := json.Unmarshal(v, &d); err != nil {
+		return nil, err
+	}
+	switch kind {
+	case IdxBTree:
+		idx := &Index{Kind: kind, Col: d.Col, Field: d.Field, bt: btree.Open(db.store.Pager(), d.Root)}
+		db.registerMem(col.Name(), field, kind, idx)
+		return idx, nil
+	case IdxHash:
+		h, err := hashidx.Open(db.store.Pager(), d.Root)
+		if err != nil {
+			return nil, err
+		}
+		idx := &Index{Kind: kind, Col: d.Col, Field: d.Field, hash: h}
+		db.registerMem(col.Name(), field, kind, idx)
+		return idx, nil
+	default:
+		// Memory-resident: rebuild from the collection.
+		return db.BuildIndex(col, field, kind)
+	}
+}
+
+// HasIndex reports whether an index descriptor exists without building.
+func (db *DB) HasIndex(col *Collection, field string, kind IndexKind) bool {
+	db.mu.Lock()
+	if m := db.indexes[col.Name()]; m != nil {
+		if _, ok := m[field+"/"+kind.String()]; ok {
+			db.mu.Unlock()
+			return true
+		}
+	}
+	db.mu.Unlock()
+	_, err := db.sys.Get([]byte(indexKey(col.Name(), field, kind)))
+	return err == nil
+}
+
+func (db *DB) registerMem(col, field string, kind IndexKind, idx *Index) {
+	db.mu.Lock()
+	if db.indexes[col] == nil {
+		db.indexes[col] = make(map[string]*Index)
+	}
+	db.indexes[col][field+"/"+kind.String()] = idx
+	db.mu.Unlock()
+}
+
+// compositeKey encodes (field value, patch id) for duplicate-tolerant
+// B+ tree indexing; prefix scans give equality and range lookups.
+func compositeKey(p *Patch, field string) ([]byte, error) {
+	v, ok := p.Meta[field]
+	if !ok {
+		return nil, fmt.Errorf("core: patch %d lacks field %q", p.ID, field)
+	}
+	sk, err := v.SortKey()
+	if err != nil {
+		return nil, err
+	}
+	k := make([]byte, 2+len(sk)+8)
+	binary.BigEndian.PutUint16(k, uint16(len(sk)))
+	copy(k[2:], sk)
+	binary.BigEndian.PutUint64(k[2+len(sk):], uint64(p.ID))
+	return k, nil
+}
+
+func compositePrefix(v Value) ([]byte, error) {
+	sk, err := v.SortKey()
+	if err != nil {
+		return nil, err
+	}
+	k := make([]byte, 2+len(sk))
+	binary.BigEndian.PutUint16(k, uint16(len(sk)))
+	copy(k[2:], sk)
+	return k, nil
+}
+
+func compositePatchID(k []byte) PatchID {
+	return PatchID(binary.BigEndian.Uint64(k[len(k)-8:]))
+}
+
+// hash posting lists: key = sortkey || chunk number; each chunk holds up
+// to postingChunk ids.
+const postingChunk = 400
+
+func hashPostingAdd(h *hashidx.Index, p *Patch, field string) error {
+	v, ok := p.Meta[field]
+	if !ok {
+		return fmt.Errorf("core: patch %d lacks field %q", p.ID, field)
+	}
+	sk, err := v.SortKey()
+	if err != nil {
+		return err
+	}
+	for chunk := uint32(0); ; chunk++ {
+		key := postingKey(sk, chunk)
+		cur, err := h.Get(key)
+		if errors.Is(err, hashidx.ErrNotFound) {
+			cur = nil
+		} else if err != nil {
+			return err
+		}
+		if len(cur)/8 < postingChunk {
+			var idb [8]byte
+			binary.LittleEndian.PutUint64(idb[:], uint64(p.ID))
+			return h.Put(key, append(cur, idb[:]...))
+		}
+	}
+}
+
+func postingKey(sk []byte, chunk uint32) []byte {
+	k := make([]byte, len(sk)+4)
+	copy(k, sk)
+	binary.BigEndian.PutUint32(k[len(sk):], chunk)
+	return k
+}
+
+// LookupEq returns the patch ids with field == v (hash or B+ tree index).
+func (idx *Index) LookupEq(v Value) ([]PatchID, error) {
+	switch idx.Kind {
+	case IdxHash:
+		sk, err := v.SortKey()
+		if err != nil {
+			return nil, err
+		}
+		var out []PatchID
+		for chunk := uint32(0); ; chunk++ {
+			cur, err := idx.hash.Get(postingKey(sk, chunk))
+			if errors.Is(err, hashidx.ErrNotFound) {
+				return out, nil
+			}
+			if err != nil {
+				return nil, err
+			}
+			for off := 0; off+8 <= len(cur); off += 8 {
+				out = append(out, PatchID(binary.LittleEndian.Uint64(cur[off:])))
+			}
+			if len(cur)/8 < postingChunk {
+				return out, nil
+			}
+		}
+	case IdxBTree:
+		prefix, err := compositePrefix(v)
+		if err != nil {
+			return nil, err
+		}
+		var out []PatchID
+		end := append(append([]byte(nil), prefix...), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF)
+		err = idx.bt.Scan(prefix, end, func(k, _ []byte) bool {
+			if bytes.HasPrefix(k, prefix) {
+				out = append(out, compositePatchID(k))
+			}
+			return true
+		})
+		return out, err
+	default:
+		return nil, fmt.Errorf("core: %v index does not support equality lookup", idx.Kind)
+	}
+}
+
+// LookupRange returns patch ids with lo <= field < hi (B+ tree only).
+// Nil bounds are unbounded.
+func (idx *Index) LookupRange(lo, hi *Value) ([]PatchID, error) {
+	if idx.Kind != IdxBTree {
+		return nil, fmt.Errorf("core: %v index does not support range lookup", idx.Kind)
+	}
+	var loK, hiK []byte
+	var err error
+	if lo != nil {
+		if loK, err = compositePrefix(*lo); err != nil {
+			return nil, err
+		}
+	}
+	if hi != nil {
+		if hiK, err = compositePrefix(*hi); err != nil {
+			return nil, err
+		}
+	}
+	var out []PatchID
+	err = idx.bt.Scan(loK, hiK, func(k, _ []byte) bool {
+		out = append(out, compositePatchID(k))
+		return true
+	})
+	return out, err
+}
+
+// LookupSimilar returns patch ids whose indexed vector lies within eps of
+// q (ball tree, KD-tree or LSH).
+func (idx *Index) LookupSimilar(q []float32, eps float64) ([]PatchID, error) {
+	var out []PatchID
+	switch idx.Kind {
+	case IdxBallTree:
+		idx.ball.RangeSearch(q, eps, func(p balltree.Point, _ float64) bool {
+			out = append(out, PatchID(p.ID))
+			return true
+		})
+	case IdxKDTree:
+		idx.kd.RangeSearch(q, eps, func(p kdtree.Point, _ float64) bool {
+			out = append(out, PatchID(p.ID))
+			return true
+		})
+	case IdxLSH:
+		idx.lshI.RangeSearch(q, eps, func(p lsh.Point, _ float64) bool {
+			out = append(out, PatchID(p.ID))
+			return true
+		})
+	default:
+		return nil, fmt.Errorf("core: %v index does not support similarity lookup", idx.Kind)
+	}
+	return out, nil
+}
+
+// LookupIntersect returns patch ids whose indexed rect intersects the
+// query box (R-tree only).
+func (idx *Index) LookupIntersect(x1, y1, x2, y2 float64) ([]PatchID, error) {
+	if idx.Kind != IdxRTree {
+		return nil, fmt.Errorf("core: %v index does not support spatial lookup", idx.Kind)
+	}
+	var out []PatchID
+	idx.rt.SearchIntersect(rtree.BBox2D(x1, y1, x2, y2), func(e rtree.Entry) bool {
+		out = append(out, PatchID(e.ID))
+		return true
+	})
+	return out, nil
+}

@@ -1,0 +1,449 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/balltree"
+)
+
+// Theta is an arbitrary join predicate over one patch from each side.
+type Theta func(l, r *Patch) bool
+
+// NestedLoopJoin compares all pairs (the generic θ-join of §5); the right
+// side is materialized. Output tuples concatenate left and right patches.
+func NestedLoopJoin(left, right Iterator, theta Theta) Iterator {
+	rts, err := Drain(right)
+	if err != nil {
+		return errIter(err)
+	}
+	var cur Tuple
+	var ri int
+	return NewFuncIterator(func() (Tuple, bool, error) {
+		for {
+			if cur == nil {
+				t, ok, err := left.Next()
+				if err != nil || !ok {
+					return nil, false, err
+				}
+				cur = t
+				ri = 0
+			}
+			for ri < len(rts) {
+				r := rts[ri]
+				ri++
+				if theta(cur[0], r[0]) {
+					return append(append(Tuple{}, cur...), r...), true, nil
+				}
+			}
+			cur = nil
+		}
+	}, left.Close)
+}
+
+func errIter(err error) Iterator {
+	return NewFuncIterator(func() (Tuple, bool, error) { return nil, false, err }, nil)
+}
+
+// HashEquiJoin joins on equality of one metadata field, building an
+// in-memory hash table on the right side.
+func HashEquiJoin(left, right Iterator, leftField, rightField string) Iterator {
+	rts, err := Drain(right)
+	if err != nil {
+		return errIter(err)
+	}
+	table := map[string][]Tuple{}
+	for _, t := range rts {
+		v, ok := t[0].Meta[rightField]
+		if !ok {
+			continue
+		}
+		sk, err := v.SortKey()
+		if err != nil {
+			continue
+		}
+		table[string(sk)] = append(table[string(sk)], t)
+	}
+	var matches []Tuple
+	var cur Tuple
+	return NewFuncIterator(func() (Tuple, bool, error) {
+		for {
+			if len(matches) > 0 {
+				r := matches[0]
+				matches = matches[1:]
+				return append(append(Tuple{}, cur...), r...), true, nil
+			}
+			t, ok, err := left.Next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			v, has := t[0].Meta[leftField]
+			if !has {
+				continue
+			}
+			sk, err := v.SortKey()
+			if err != nil {
+				continue
+			}
+			cur = t
+			matches = append([]Tuple(nil), table[string(sk)]...)
+		}
+	}, left.Close)
+}
+
+// IndexEquiJoin probes a persistent equality index on the right
+// collection for each left tuple (the paper's index join).
+func IndexEquiJoin(db *DB, left Iterator, leftField string, rightCol *Collection, idx *Index) Iterator {
+	var pending []Tuple
+	return NewFuncIterator(func() (Tuple, bool, error) {
+		for {
+			if len(pending) > 0 {
+				t := pending[0]
+				pending = pending[1:]
+				return t, true, nil
+			}
+			t, ok, err := left.Next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			v, has := t[0].Meta[leftField]
+			if !has {
+				continue
+			}
+			ids, err := idx.LookupEq(v)
+			if err != nil {
+				return nil, false, err
+			}
+			for _, id := range ids {
+				r, err := rightCol.Get(id)
+				if err != nil {
+					return nil, false, err
+				}
+				pending = append(pending, append(append(Tuple{}, t...), r))
+			}
+		}
+	}, left.Close)
+}
+
+// SimilarityJoinOpts configures a feature-matching join.
+type SimilarityJoinOpts struct {
+	// LeftField/RightField name the vector metadata ("" = Data payload).
+	LeftField, RightField string
+	// Eps is the Euclidean match threshold.
+	Eps float64
+	// ExcludeSelf drops pairs with identical patch ids (self-joins).
+	ExcludeSelf bool
+	// DedupUnordered keeps only pairs with left.ID < right.ID (self-joins).
+	DedupUnordered bool
+}
+
+// SimilarityJoinNested is the baseline all-pairs implementation: for every
+// left patch, scan every right patch and compare distances one by one —
+// what DeepLens runs when no index exists.
+func SimilarityJoinNested(left, right []*Patch, opts SimilarityJoinOpts) ([]Tuple, error) {
+	var out []Tuple
+	eps2 := opts.Eps * opts.Eps
+	for _, l := range left {
+		lv, err := VecField(l, opts.LeftField)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range right {
+			if opts.ExcludeSelf && l.ID == r.ID {
+				continue
+			}
+			if opts.DedupUnordered && l.ID >= r.ID {
+				continue
+			}
+			rv, err := VecField(r, opts.RightField)
+			if err != nil {
+				return nil, err
+			}
+			if len(rv) != len(lv) {
+				return nil, fmt.Errorf("core: similarity join dims %d vs %d", len(lv), len(rv))
+			}
+			var s float64
+			for i := range lv {
+				d := float64(lv[i]) - float64(rv[i])
+				s += d * d
+				if s > eps2 {
+					break
+				}
+			}
+			if s <= eps2 {
+				out = append(out, Tuple{l, r})
+			}
+		}
+	}
+	return out, nil
+}
+
+// SimilarityJoinBatched is the vectorized all-pairs implementation: the
+// full distance matrix is computed with one device kernel per left block —
+// the execution Figure 8 compares across CPU/AVX/GPU at query time.
+func SimilarityJoinBatched(db *DB, left, right []*Patch, opts SimilarityJoinOpts) ([]Tuple, error) {
+	if len(left) == 0 || len(right) == 0 {
+		return nil, nil
+	}
+	lv0, err := VecField(left[0], opts.LeftField)
+	if err != nil {
+		return nil, err
+	}
+	dim := len(lv0)
+	lx := make([]float32, len(left)*dim)
+	for i, p := range left {
+		v, err := VecField(p, opts.LeftField)
+		if err != nil {
+			return nil, err
+		}
+		if len(v) != dim {
+			return nil, fmt.Errorf("core: similarity join dims %d vs %d", dim, len(v))
+		}
+		copy(lx[i*dim:], v)
+	}
+	ry := make([]float32, len(right)*dim)
+	for i, p := range right {
+		v, err := VecField(p, opts.RightField)
+		if err != nil {
+			return nil, err
+		}
+		if len(v) != dim {
+			return nil, fmt.Errorf("core: similarity join dims %d vs %d", dim, len(v))
+		}
+		copy(ry[i*dim:], v)
+	}
+	eps2 := float32(opts.Eps * opts.Eps)
+	var out []Tuple
+	// Block the left side to bound the distance-matrix allocation.
+	const block = 256
+	dists := make([]float32, block*len(right))
+	for lo := 0; lo < len(left); lo += block {
+		hi := lo + block
+		if hi > len(left) {
+			hi = len(left)
+		}
+		m := hi - lo
+		db.dev.PairwiseSqDist(lx[lo*dim:hi*dim], ry, m, len(right), dim, dists[:m*len(right)])
+		for i := 0; i < m; i++ {
+			l := left[lo+i]
+			for j, r := range right {
+				if dists[i*len(right)+j] > eps2 {
+					continue
+				}
+				if opts.ExcludeSelf && l.ID == r.ID {
+					continue
+				}
+				if opts.DedupUnordered && l.ID >= r.ID {
+					continue
+				}
+				out = append(out, Tuple{l, r})
+			}
+		}
+	}
+	return out, nil
+}
+
+// SimilarityJoinIndexed probes a prebuilt similarity index on the right
+// collection.
+func SimilarityJoinIndexed(db *DB, left []*Patch, rightCol *Collection, idx *Index, opts SimilarityJoinOpts) ([]Tuple, error) {
+	var out []Tuple
+	for _, l := range left {
+		lv, err := VecField(l, opts.LeftField)
+		if err != nil {
+			return nil, err
+		}
+		ids, err := idx.LookupSimilar(lv, opts.Eps)
+		if err != nil {
+			return nil, err
+		}
+		for _, id := range ids {
+			if opts.ExcludeSelf && l.ID == PatchID(id) {
+				continue
+			}
+			if opts.DedupUnordered && l.ID >= PatchID(id) {
+				continue
+			}
+			r, err := rightCol.Get(id)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Tuple{l, r})
+		}
+	}
+	return out, nil
+}
+
+// SimilarityJoinOnTheFly implements §5's "On-The-Fly Index Similarity
+// Join": build an in-memory ball tree over the smaller relation, then
+// probe with the other. Index construction is charged to the query.
+func SimilarityJoinOnTheFly(left, right []*Patch, opts SimilarityJoinOpts) ([]Tuple, error) {
+	buildRight := len(right) <= len(left)
+	build, probe := right, left
+	buildField, probeField := opts.RightField, opts.LeftField
+	if !buildRight {
+		build, probe = left, right
+		buildField, probeField = opts.LeftField, opts.RightField
+	}
+	pts := make([]balltree.Point, 0, len(build))
+	byID := make(map[PatchID]*Patch, len(build))
+	for _, p := range build {
+		v, err := VecField(p, buildField)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, balltree.Point{Vec: v, ID: uint64(p.ID)})
+		byID[p.ID] = p
+	}
+	bt, err := balltree.Build(pts)
+	if err != nil {
+		return nil, err
+	}
+	var out []Tuple
+	for _, q := range probe {
+		qv, err := VecField(q, probeField)
+		if err != nil {
+			return nil, err
+		}
+		bt.RangeSearch(qv, opts.Eps, func(pt balltree.Point, _ float64) bool {
+			m := byID[PatchID(pt.ID)]
+			var l, r *Patch
+			if buildRight {
+				l, r = q, m
+			} else {
+				l, r = m, q
+			}
+			if opts.ExcludeSelf && l.ID == r.ID {
+				return true
+			}
+			if opts.DedupUnordered && l.ID >= r.ID {
+				return true
+			}
+			out = append(out, Tuple{l, r})
+			return true
+		})
+	}
+	return out, nil
+}
+
+// SpatialJoinNested is the baseline bbox-intersection join: all pairs of
+// patches whose rect fields overlap.
+func SpatialJoinNested(left, right []*Patch, leftField, rightField string) ([]Tuple, error) {
+	var out []Tuple
+	for _, l := range left {
+		lb, ok := l.Meta[leftField]
+		if !ok || len(lb.V) != 4 {
+			continue
+		}
+		for _, r := range right {
+			rb, ok := r.Meta[rightField]
+			if !ok || len(rb.V) != 4 {
+				continue
+			}
+			if rectsIntersect(lb.V, rb.V) {
+				out = append(out, Tuple{l, r})
+			}
+		}
+	}
+	return out, nil
+}
+
+// SpatialJoinIndexed probes a prebuilt R-tree on the right collection for
+// every left patch — the paper's "containment and intersection" use of the
+// multidimensional index (§3.2).
+func SpatialJoinIndexed(db *DB, left []*Patch, rightCol *Collection, idx *Index, leftField string) ([]Tuple, error) {
+	var out []Tuple
+	for _, l := range left {
+		lb, ok := l.Meta[leftField]
+		if !ok || len(lb.V) != 4 {
+			continue
+		}
+		ids, err := idx.LookupIntersect(float64(lb.V[0]), float64(lb.V[1]), float64(lb.V[2]), float64(lb.V[3]))
+		if err != nil {
+			return nil, err
+		}
+		for _, id := range ids {
+			r, err := rightCol.Get(id)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Tuple{l, r})
+		}
+	}
+	return out, nil
+}
+
+func rectsIntersect(a, b []float32) bool {
+	return a[0] <= b[2] && b[0] <= a[2] && a[1] <= b[3] && b[1] <= a[3]
+}
+
+// RangeThetaJoinSorted evaluates l.field > r.field + gap by sorting the
+// right side and binary-searching per left tuple — the accelerated plan
+// for q6's depth comparison. Results match the nested-loop θ-join.
+func RangeThetaJoinSorted(left, right []*Patch, field string, gap float64) ([]Tuple, error) {
+	type entry struct {
+		v float64
+		p *Patch
+	}
+	rs := make([]entry, 0, len(right))
+	for _, r := range right {
+		v, ok := r.Meta[field]
+		if !ok {
+			continue
+		}
+		rs = append(rs, entry{v.AsFloat(), r})
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].v < rs[j].v })
+	var out []Tuple
+	for _, l := range left {
+		lv, ok := l.Meta[field]
+		if !ok {
+			continue
+		}
+		limit := lv.AsFloat() - gap
+		// All right entries with value < limit match.
+		n := sort.Search(len(rs), func(i int) bool { return rs[i].v >= limit })
+		for i := 0; i < n; i++ {
+			if rs[i].p.ID == l.ID {
+				continue
+			}
+			out = append(out, Tuple{l, rs[i].p})
+		}
+	}
+	return out, nil
+}
+
+// DistinctClusters groups patches into identity clusters by single-link
+// similarity (pairs within eps are the same identity) and returns one
+// representative per cluster — the deduplication step of q4. pairs must
+// list matching pairs (e.g. from a similarity self-join with
+// DedupUnordered).
+func DistinctClusters(patches []*Patch, pairs []Tuple) []*Patch {
+	parent := make(map[PatchID]PatchID, len(patches))
+	var find func(PatchID) PatchID
+	find = func(x PatchID) PatchID {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, p := range patches {
+		parent[p.ID] = p.ID
+	}
+	for _, pr := range pairs {
+		a, b := find(pr[0].ID), find(pr[1].ID)
+		if a != b {
+			parent[a] = b
+		}
+	}
+	seen := map[PatchID]bool{}
+	var out []*Patch
+	for _, p := range patches {
+		root := find(p.ID)
+		if !seen[root] {
+			seen[root] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Predicate evaluates a tuple.
+type Predicate func(Tuple) bool
+
+// FieldEq builds a predicate on one metadata field of the tuple's first
+// patch.
+func FieldEq(field string, v Value) Predicate {
+	return func(t Tuple) bool {
+		got, ok := t[0].Meta[field]
+		return ok && got.Equal(v)
+	}
+}
+
+// FieldRange builds lo <= field < hi on the first patch (numeric fields).
+func FieldRange(field string, lo, hi float64) Predicate {
+	return func(t Tuple) bool {
+		got, ok := t[0].Meta[field]
+		if !ok {
+			return false
+		}
+		f := got.AsFloat()
+		return f >= lo && f < hi
+	}
+}
+
+// Select filters tuples by pred (§5's Select operator).
+func Select(in Iterator, pred Predicate) Iterator {
+	return NewFuncIterator(func() (Tuple, bool, error) {
+		for {
+			t, ok, err := in.Next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			if pred(t) {
+				return t, true, nil
+			}
+		}
+	}, in.Close)
+}
+
+// Transform maps each tuple through fn (patch generators and transformers
+// are Transform instances over single-patch tuples). fn returning an empty
+// slice drops the input; returning several fans out.
+func Transform(in Iterator, fn func(Tuple) ([]Tuple, error)) Iterator {
+	var pending []Tuple
+	return NewFuncIterator(func() (Tuple, bool, error) {
+		for {
+			if len(pending) > 0 {
+				t := pending[0]
+				pending = pending[1:]
+				return t, true, nil
+			}
+			t, ok, err := in.Next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			outs, err := fn(t)
+			if err != nil {
+				return nil, false, err
+			}
+			pending = outs
+		}
+	}, in.Close)
+}
+
+// Project keeps only the named metadata fields (plus lineage attributes)
+// and drops the dense payload — the classic width reducer before
+// materialization.
+func Project(in Iterator, fields ...string) Iterator {
+	keep := make(map[string]bool, len(fields)+2)
+	for _, f := range fields {
+		keep[f] = true
+	}
+	keep["_source"] = true
+	keep["_frame"] = true
+	return Transform(in, func(t Tuple) ([]Tuple, error) {
+		out := make(Tuple, len(t))
+		for i, p := range t {
+			q := &Patch{ID: p.ID, Ref: p.Ref, Meta: Metadata{}}
+			for k, v := range p.Meta {
+				if keep[k] {
+					q.Meta[k] = v
+				}
+			}
+			out[i] = q
+		}
+		return []Tuple{out}, nil
+	})
+}
+
+// Limit stops after n tuples.
+func Limit(in Iterator, n int) Iterator {
+	emitted := 0
+	return NewFuncIterator(func() (Tuple, bool, error) {
+		if emitted >= n {
+			return nil, false, nil
+		}
+		t, ok, err := in.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		emitted++
+		return t, true, nil
+	}, in.Close)
+}
+
+// OrderBy sorts (materializing) by a comparable metadata field of the
+// first patch.
+func OrderBy(in Iterator, field string, asc bool) Iterator {
+	ts, err := Drain(in)
+	if err != nil {
+		return NewFuncIterator(func() (Tuple, bool, error) { return nil, false, err }, nil)
+	}
+	sort.SliceStable(ts, func(i, j int) bool {
+		vi := ts[i][0].Meta[field]
+		vj := ts[j][0].Meta[field]
+		if asc {
+			return vi.Less(vj)
+		}
+		return vj.Less(vi)
+	})
+	return NewSliceIterator(ts)
+}
+
+// GroupCount groups by a metadata field and emits one synthetic patch per
+// group with fields {group, count} — the aggregation q2 needs ("count per
+// frame number").
+func GroupCount(in Iterator, field string) Iterator {
+	ts, err := Drain(in)
+	if err != nil {
+		return NewFuncIterator(func() (Tuple, bool, error) { return nil, false, err }, nil)
+	}
+	type group struct {
+		val Value
+		n   int64
+	}
+	byKey := map[string]*group{}
+	var order []string
+	for _, t := range ts {
+		v, ok := t[0].Meta[field]
+		if !ok {
+			continue
+		}
+		sk, err := v.SortKey()
+		if err != nil {
+			continue
+		}
+		k := string(sk)
+		g, ok := byKey[k]
+		if !ok {
+			g = &group{val: v}
+			byKey[k] = g
+			order = append(order, k)
+		}
+		g.n++
+	}
+	sort.Strings(order)
+	out := make([]Tuple, 0, len(order))
+	for _, k := range order {
+		g := byKey[k]
+		out = append(out, Tuple{&Patch{Meta: Metadata{
+			"group": g.val,
+			"count": IntV(g.n),
+		}}})
+	}
+	return NewSliceIterator(out)
+}
+
+// AggCount consumes the input and emits a single tuple {count: n}.
+func AggCount(in Iterator) Iterator {
+	n, err := Count(in)
+	if err != nil {
+		return NewFuncIterator(func() (Tuple, bool, error) { return nil, false, err }, nil)
+	}
+	return NewSliceIterator([]Tuple{{&Patch{Meta: Metadata{"count": IntV(int64(n))}}}})
+}
+
+// VecField extracts the float32 vector under field, or the Data payload
+// when field is "".
+func VecField(p *Patch, field string) ([]float32, error) {
+	vec, ok := vecOf(p, field)
+	if !ok {
+		return nil, fmt.Errorf("core: patch %d has no vector under %q", p.ID, field)
+	}
+	return vec, nil
+}

@@ -1,0 +1,304 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/exec"
+)
+
+// This file is the visual query optimizer (§5.1 future work, §7.4): a
+// cost-based physical planner over the engine's alternative operator
+// implementations. The paper's central observations are encoded here:
+// non-linear index-join costs (Figure 7), device placement with
+// launch/transfer overheads (Figure 8), and the accuracy implications of
+// plan order (Table 1), which the planner surfaces rather than hides.
+
+// SimMethod is a physical implementation of the similarity join.
+type SimMethod int
+
+// Similarity-join physical operators.
+const (
+	SimNested   SimMethod = iota + 1 // all pairs, scalar
+	SimBatched                       // all pairs, device-batched distance matrix
+	SimOnTheFly                      // build ball tree on smaller side, probe
+	SimIndexed                       // probe a prebuilt ball tree
+)
+
+func (m SimMethod) String() string {
+	switch m {
+	case SimNested:
+		return "nested-loop"
+	case SimBatched:
+		return "batched-all-pairs"
+	case SimOnTheFly:
+		return "on-the-fly-balltree"
+	case SimIndexed:
+		return "prebuilt-balltree"
+	default:
+		return fmt.Sprintf("sim(%d)", int(m))
+	}
+}
+
+// CostModel holds calibrated per-operation constants (seconds). The
+// defaults are measured on the reference container; Calibrate refines the
+// scalar-distance constant at runtime.
+type CostModel struct {
+	// CDist is the cost of one scalar distance component (per dimension).
+	CDist float64
+	// CDevFlop is the per-FLOP cost on each device for batched kernels.
+	CDevFlop map[exec.Kind]float64
+	// DevOverhead is the per-kernel fixed cost on each device.
+	DevOverhead map[exec.Kind]time.Duration
+	// CBuild scales ball-tree construction (per element per dim per log n).
+	CBuild float64
+	// ProbeAlpha captures the super-logarithmic growth of ball-tree probes
+	// as the indexed relation grows (Figure 7's non-linearity): probe cost
+	// multiplies by (n/1000)^ProbeAlpha beyond 1000 elements.
+	ProbeAlpha float64
+	// DimPenalty inflates ball-tree probe cost per dimension beyond 8
+	// (pruning weakens in high dimensions).
+	DimPenalty float64
+	// CFetch is the cost of fetching one patch by id during index joins.
+	CFetch float64
+}
+
+// DefaultCostModel returns constants calibrated against the reference
+// environment.
+func DefaultCostModel() *CostModel {
+	return &CostModel{
+		CDist: 1.2e-9,
+		CDevFlop: map[exec.Kind]float64{
+			exec.CPU: 6e-10,
+			exec.AVX: 1.5e-10,
+			exec.GPU: 4e-11,
+		},
+		DevOverhead: map[exec.Kind]time.Duration{
+			exec.CPU: 0,
+			exec.AVX: 2 * time.Microsecond,
+			exec.GPU: 200 * time.Microsecond,
+		},
+		CBuild:     2.5e-9,
+		ProbeAlpha: 0.35,
+		DimPenalty: 0.02,
+		CFetch:     4e-6,
+	}
+}
+
+// Calibrate measures the scalar distance constant with a short microbench
+// and rescales the model's CPU-relative constants accordingly.
+func (cm *CostModel) Calibrate() {
+	const n, dim = 2000, 64
+	a := make([]float32, n*dim)
+	for i := range a {
+		a[i] = float32(i%97) * 0.01
+	}
+	start := time.Now()
+	var sink float32
+	for i := 0; i < n; i++ {
+		base := (i * dim) % (len(a) - dim)
+		var s float32
+		for d := 0; d < dim; d++ {
+			diff := a[base+d] - a[d]
+			s += diff * diff
+		}
+		sink += s
+	}
+	_ = sink
+	perComponent := time.Since(start).Seconds() / float64(n*dim)
+	if perComponent > 0 {
+		ratio := perComponent / cm.CDist
+		cm.CDist = perComponent
+		cm.CBuild *= ratio
+		cm.CDevFlop[exec.CPU] *= ratio
+	}
+}
+
+// simCost estimates the wall time of one similarity-join method.
+// nL/nR are the relation sizes, dim the vector dimensionality.
+func (cm *CostModel) simCost(m SimMethod, dev exec.Kind, nL, nR, dim int) float64 {
+	nf := float64(nL)
+	mf := float64(nR)
+	df := float64(dim)
+	switch m {
+	case SimNested:
+		return nf * mf * df * cm.CDist
+	case SimBatched:
+		flops := 3 * nf * mf * df
+		kernels := math.Ceil(nf / 256)
+		bytesMoved := 4 * (nf*df + mf*df + nf*mf)
+		transfer := 0.0
+		if dev == exec.GPU {
+			transfer = bytesMoved / 6e9
+		}
+		return flops*cm.CDevFlop[dev] + kernels*cm.DevOverhead[dev].Seconds() + transfer
+	case SimOnTheFly, SimIndexed:
+		build, probe := mf, nf
+		if m == SimOnTheFly && nf < mf {
+			build, probe = nf, mf
+		}
+		buildCost := 0.0
+		if m == SimOnTheFly {
+			buildCost = cm.CBuild * build * df * math.Log2(build+2)
+		}
+		// Probe: log(build) balls visited, inflated non-linearly with size
+		// and dimension (Figure 7).
+		inflate := 1.0
+		if build > 1000 {
+			inflate = math.Pow(build/1000, cm.ProbeAlpha)
+		}
+		dimInflate := 1 + cm.DimPenalty*math.Max(0, df-8)
+		perProbe := cm.CDist * df * 32 * math.Log2(build+2) * inflate * dimInflate
+		return buildCost + probe*perProbe + probe*cm.CFetch
+	}
+	return math.Inf(1)
+}
+
+// SimJoinPlan is the optimizer's physical choice for a similarity join.
+type SimJoinPlan struct {
+	Method  SimMethod
+	Device  exec.Kind
+	EstCost float64
+	// Explain records the costs of every alternative considered.
+	Explain string
+}
+
+// PlanSimilarityJoin picks the cheapest physical operator for a
+// similarity join of the given shape. hasIndex reports a prebuilt ball
+// tree on the right side.
+func (cm *CostModel) PlanSimilarityJoin(nL, nR, dim int, hasIndex bool) SimJoinPlan {
+	type cand struct {
+		m   SimMethod
+		dev exec.Kind
+	}
+	cands := []cand{
+		{SimNested, exec.CPU},
+		{SimBatched, exec.CPU},
+		{SimBatched, exec.AVX},
+		{SimBatched, exec.GPU},
+		{SimOnTheFly, exec.CPU},
+	}
+	if hasIndex {
+		cands = append(cands, cand{SimIndexed, exec.CPU})
+	}
+	best := SimJoinPlan{EstCost: math.Inf(1)}
+	explain := ""
+	for _, c := range cands {
+		cost := cm.simCost(c.m, c.dev, nL, nR, dim)
+		explain += fmt.Sprintf("%s@%s=%.4fs ", c.m, c.dev, cost)
+		if cost < best.EstCost {
+			best = SimJoinPlan{Method: c.m, Device: c.dev, EstCost: cost}
+		}
+	}
+	best.Explain = explain
+	return best
+}
+
+// PlaceDevice picks the device for a batched kernel of the given FLOP and
+// byte volume — the CPU/GPU balancing the paper calls the significant
+// challenge (§7.4.2).
+func (cm *CostModel) PlaceDevice(flops float64, bytesMoved float64, kernels int) exec.Kind {
+	best := exec.CPU
+	bestCost := math.Inf(1)
+	for _, dev := range []exec.Kind{exec.CPU, exec.AVX, exec.GPU} {
+		cost := flops*cm.CDevFlop[dev] + float64(kernels)*cm.DevOverhead[dev].Seconds()
+		if dev == exec.GPU {
+			cost += bytesMoved / 6e9
+		}
+		if cost < bestCost {
+			best, bestCost = dev, cost
+		}
+	}
+	return best
+}
+
+// FilterMethod is a physical implementation of a selection.
+type FilterMethod int
+
+// Selection physical operators.
+const (
+	FilterScan FilterMethod = iota + 1
+	FilterHashIndex
+	FilterBTreeIndex
+)
+
+func (m FilterMethod) String() string {
+	switch m {
+	case FilterScan:
+		return "scan-filter"
+	case FilterHashIndex:
+		return "hash-index"
+	case FilterBTreeIndex:
+		return "btree-index"
+	default:
+		return fmt.Sprintf("filter(%d)", int(m))
+	}
+}
+
+// PlanFilter chooses the access path for an equality selection, after
+// validating the predicate against the schema (plan-time type checking,
+// §4.2).
+func (db *DB) PlanFilter(col *Collection, field string, v Value) (FilterMethod, error) {
+	if err := col.Schema().ValidateFilterValue(field, v); err != nil {
+		return 0, err
+	}
+	if db.HasIndex(col, field, IdxHash) {
+		return FilterHashIndex, nil
+	}
+	if db.HasIndex(col, field, IdxBTree) {
+		return FilterBTreeIndex, nil
+	}
+	return FilterScan, nil
+}
+
+// ExecuteFilter runs an equality selection with the chosen access path.
+func (db *DB) ExecuteFilter(col *Collection, field string, v Value, method FilterMethod) ([]*Patch, error) {
+	switch method {
+	case FilterHashIndex, FilterBTreeIndex:
+		kind := IdxHash
+		if method == FilterBTreeIndex {
+			kind = IdxBTree
+		}
+		idx, err := db.Index(col, field, kind)
+		if err != nil {
+			return nil, err
+		}
+		ids, err := idx.LookupEq(v)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]*Patch, 0, len(ids))
+		for _, id := range ids {
+			p, err := col.Get(id)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, p)
+		}
+		return out, nil
+	default:
+		return DrainPatches(Select(col.Scan(), FieldEq(field, v)))
+	}
+}
+
+// PlanMode selects the optimizer's objective for plans whose order affects
+// result accuracy (§7.4.3, Table 1).
+type PlanMode int
+
+// Optimizer objectives.
+const (
+	// PerformanceFirst applies classical rewrites (filter pushdown) for
+	// the fastest plan.
+	PerformanceFirst PlanMode = iota
+	// AccuracyFirst suppresses rewrites that change the result's accuracy
+	// profile: match on all candidates, filter afterwards.
+	AccuracyFirst
+)
+
+func (m PlanMode) String() string {
+	if m == AccuracyFirst {
+		return "accuracy-first"
+	}
+	return "performance-first"
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/exec"
+)
+
+// TestSimCostMonotone checks the cost model's sanity properties: cost is
+// non-decreasing in relation sizes and dimensionality for every method.
+func TestSimCostMonotone(t *testing.T) {
+	cm := DefaultCostModel()
+	methods := []SimMethod{SimNested, SimBatched, SimOnTheFly, SimIndexed}
+	f := func(nL, nR, dim uint16) bool {
+		l, r, d := int(nL%5000)+1, int(nR%5000)+1, int(dim%256)+1
+		for _, m := range methods {
+			base := cm.simCost(m, exec.CPU, l, r, d)
+			if base < 0 {
+				return false
+			}
+			if cm.simCost(m, exec.CPU, l*2, r, d) < base {
+				return false
+			}
+			if cm.simCost(m, exec.CPU, l, r*2, d) < base {
+				return false
+			}
+			if cm.simCost(m, exec.CPU, l, r, d*2) < base {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSimCostNonLinearity: doubling the ball-tree build side beyond the
+// inflation knee should more than double probe-side cost growth (Figure 7's
+// non-linearity is encoded in the model).
+func TestSimCostNonLinearity(t *testing.T) {
+	cm := DefaultCostModel()
+	small := cm.simCost(SimIndexed, exec.CPU, 1000, 2000, 64)
+	big := cm.simCost(SimIndexed, exec.CPU, 1000, 64000, 64)
+	if big <= small {
+		t.Fatalf("indexed cost did not grow with build side: %g vs %g", small, big)
+	}
+	// Pure log growth would give factor log(64000)/log(2000) ~ 1.45; the
+	// non-linear inflation should push it past 2.
+	if big/small < 2 {
+		t.Fatalf("non-linearity too weak: factor %.2f", big/small)
+	}
+}
+
+// TestPlanPrefersIndexAtScale: for large clustered joins with an index
+// available, the planner must not pick the scalar nested loop.
+func TestPlanPrefersIndexAtScale(t *testing.T) {
+	cm := DefaultCostModel()
+	for _, n := range []int{10000, 50000, 200000} {
+		p := cm.PlanSimilarityJoin(n, n, 128, true)
+		if p.Method == SimNested {
+			t.Fatalf("n=%d: picked nested loop (%s)", n, p.Explain)
+		}
+	}
+}
+
+// TestPlanSmallJoinAvoidsOffload: tiny joins must stay on CPU regardless
+// of index availability (launch overhead dominates).
+func TestPlanSmallJoinAvoidsOffload(t *testing.T) {
+	cm := DefaultCostModel()
+	p := cm.PlanSimilarityJoin(8, 8, 16, false)
+	if p.Device == exec.GPU {
+		t.Fatalf("tiny join offloaded: %+v", p)
+	}
+	if p.EstCost <= 0 {
+		t.Fatalf("estimate %f", p.EstCost)
+	}
+}
+
+func TestPlanModeStrings(t *testing.T) {
+	if PerformanceFirst.String() != "performance-first" || AccuracyFirst.String() != "accuracy-first" {
+		t.Fatal("PlanMode strings wrong")
+	}
+}
+
+func TestFilterMethodStrings(t *testing.T) {
+	for m, want := range map[FilterMethod]string{
+		FilterScan:       "scan-filter",
+		FilterHashIndex:  "hash-index",
+		FilterBTreeIndex: "btree-index",
+	} {
+		if m.String() != want {
+			t.Fatalf("%d.String() = %q", m, m.String())
+		}
+	}
+}
+
+func TestExplainListsAllCandidates(t *testing.T) {
+	cm := DefaultCostModel()
+	p := cm.PlanSimilarityJoin(100, 100, 64, true)
+	for _, want := range []string{"nested-loop", "batched-all-pairs", "on-the-fly-balltree", "prebuilt-balltree"} {
+		if !contains(p.Explain, want) {
+			t.Fatalf("explain missing %q: %s", want, p.Explain)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,497 @@
+// Package dataset generates the paper's three benchmark datasets (§6.1)
+// synthetically, with ground truth:
+//
+//   - PC: a personal-computer image corpus of photographs, screenshots and
+//     document scans (paper: 779 images), including planted near-duplicate
+//     pairs (q1) and known text content (q5).
+//   - TrafficCam: a fixed traffic-camera view with cars and pedestrians on
+//     schedules (paper: 24.5 min of 1080p, 35 280 frames), the substrate of
+//     q2, q4 and q6.
+//   - Football: clips of one team's plays with jersey-numbered players
+//     (paper: 15 clips, 15 244 frames), the substrate of q3.
+//
+// Default configurations render at reduced resolution and frame counts so
+// the suite runs on a laptop; Paper() restores paper-scale counts. All
+// generation is deterministic in Config.Seed.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/codec"
+	"repro/internal/vision"
+)
+
+// Config scales the generated datasets.
+type Config struct {
+	Seed int64
+
+	// TrafficCam.
+	TrafficW, TrafficH int
+	TrafficFrames      int
+	TrafficFPS         int
+
+	// PC corpus.
+	PCImages int
+
+	// Football.
+	FootballClips        int
+	FootballClipLen      int
+	FootballW, FootballH int
+}
+
+// Default returns the laptop-scale configuration used by tests and the
+// default bench run.
+func Default() Config {
+	return Config{
+		Seed:     1,
+		TrafficW: 192, TrafficH: 108,
+		TrafficFrames: 600, TrafficFPS: 24,
+		PCImages:      120,
+		FootballClips: 5, FootballClipLen: 60,
+		FootballW: 160, FootballH: 90,
+	}
+}
+
+// Paper returns the paper-scale configuration (same reduced resolution;
+// full frame/image counts). Figures' *shapes* are scale-robust; EXPERIMENTS.md
+// records which configuration produced each number.
+func Paper() Config {
+	c := Default()
+	c.TrafficFrames = 35280
+	c.PCImages = 779
+	c.FootballClips = 15
+	c.FootballClipLen = 1016 // 15 clips x ~1016 frames ~= 15 244 images
+	return c
+}
+
+// ---------------------------------------------------------- TrafficCam ----
+
+// Traffic is the generated traffic-camera dataset.
+type Traffic struct {
+	Scene  *vision.Scene
+	Frames int
+	FPS    int
+	// DistinctPedestrians is the number of unique pedestrian identities
+	// that ever appear with reasonable visibility (ground truth for q4).
+	DistinctPedestrians int
+}
+
+// NewTraffic builds the TrafficCam scene: cars entering on a fixed
+// schedule and a pool of pedestrian identities, some re-appearing in
+// multiple time windows (which is what makes q4's distinct count hard).
+func NewTraffic(cfg Config) *Traffic {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w, h := cfg.TrafficW, cfg.TrafficH
+	horizon := h / 4
+	sc := &vision.Scene{
+		W: w, H: h, Horizon: horizon, Focal: float64(h) / 3,
+		Background: vision.NewTrafficBackground(w, h, horizon),
+	}
+	id := uint64(1)
+
+	// Cars: one enters roughly every 40 frames, drives across and exits.
+	for t := 0; t < cfg.TrafficFrames; t += 30 + rng.Intn(25) {
+		car := vision.NewObject(id, vision.ClassCar, rng)
+		id++
+		car.VX = 0.4 + rng.Float64()*0.6
+		car.X0 = -6
+		car.Z0 = 3.5 + rng.Float64()*7
+		car.Appear = t
+		car.Vanish = t + int(112/car.VX)
+		sc.Objects = append(sc.Objects, car)
+	}
+
+	// Pedestrians: a pool of identities; each gets 1-3 disjoint appearance
+	// windows (so raw per-window counting overestimates distinct
+	// identities — the deduplication q4 must do). Windows of one identity
+	// never overlap: the same person cannot be on screen twice.
+	nPed := 6 + cfg.TrafficFrames/150
+	distinct := 0
+	for p := 0; p < nPed; p++ {
+		base := vision.NewObject(id, vision.ClassPedestrian, rng)
+		id++
+		appearances := 1 + rng.Intn(3)
+		shown := false
+		cursor := rng.Intn(cfg.TrafficFrames/2 + 1)
+		for a := 0; a < appearances; a++ {
+			o := *base // same identity: same ID and color signature
+			o.X0 = 5 + rng.Float64()*85
+			o.VX = (rng.Float64() - 0.5) * 0.4
+			o.Z0 = 2.5 + rng.Float64()*5
+			o.SwayAmp = 0.4
+			o.SwayFreq = 0.15
+			o.Appear = cursor
+			o.Vanish = o.Appear + 60 + rng.Intn(120)
+			cursor = o.Vanish + 30 + rng.Intn(cfg.TrafficFrames/3+1)
+			if o.Appear < cfg.TrafficFrames {
+				shown = true
+			}
+			sc.Objects = append(sc.Objects, &o)
+		}
+		if shown {
+			distinct++
+		}
+	}
+	return &Traffic{Scene: sc, Frames: cfg.TrafficFrames, FPS: cfg.TrafficFPS, DistinctPedestrians: distinct}
+}
+
+// Render draws frame t with exact ground truth.
+func (tr *Traffic) Render(t int) (*codec.Image, []vision.GT) { return tr.Scene.Render(t) }
+
+// VehiclePresent reports whether frame t contains at least one car with
+// visibility >= 0.25 (ground truth for q2).
+func (tr *Traffic) VehiclePresent(t int) bool {
+	for _, gt := range tr.Scene.GroundTruth(t) {
+		if gt.Class == vision.ClassCar && gt.Visibility >= 0.25 && (gt.X2-gt.X1)*(gt.Y2-gt.Y1) >= 12 {
+			return true
+		}
+	}
+	return false
+}
+
+// PedestrianPairsBehind returns ground-truth (p1 behind p2) ordered pairs
+// among pedestrians visible in frame t (q6), requiring a depth separation
+// of at least minGap to avoid ties.
+func (tr *Traffic) PedestrianPairsBehind(t int, minGap float64) [][2]uint64 {
+	gts := tr.Scene.GroundTruth(t)
+	var peds []vision.GT
+	for _, gt := range gts {
+		if gt.Class == vision.ClassPedestrian && gt.Visibility >= 0.5 {
+			peds = append(peds, gt)
+		}
+	}
+	var out [][2]uint64
+	for i := range peds {
+		for j := range peds {
+			if i == j {
+				continue
+			}
+			if peds[i].Depth > peds[j].Depth+minGap { // i farther: i behind j
+				out = append(out, [2]uint64{peds[i].ID, peds[j].ID})
+			}
+		}
+	}
+	return out
+}
+
+// ------------------------------------------------------------ Football ----
+
+// Football is the generated football dataset: clips of the same team, one
+// target player number appearing in every clip.
+type Football struct {
+	Clips        []*vision.Scene
+	ClipLen      int
+	FPS          int
+	TargetJersey string
+}
+
+// NewFootball builds the clips. Each clip contains 6-9 players of the same
+// team (green family), all with distinct jersey numbers; the target player
+// (jersey "7") appears near the camera in every clip so its number is
+// legible (q3 tracks it).
+func NewFootball(cfg Config) *Football {
+	rng := rand.New(rand.NewSource(cfg.Seed + 100))
+	fb := &Football{ClipLen: cfg.FootballClipLen, FPS: 24, TargetJersey: "7"}
+	id := uint64(1)
+	for c := 0; c < cfg.FootballClips; c++ {
+		w, h := cfg.FootballW, cfg.FootballH
+		horizon := h / 5
+		sc := &vision.Scene{
+			W: w, H: h, Horizon: horizon, Focal: float64(h) / 2.2,
+			Background: vision.NewFieldBackground(w, h, horizon),
+		}
+		// Target player: close to camera, slow drift, whole clip.
+		target := vision.NewObject(id, vision.ClassPlayer, rng)
+		id++
+		target.Jersey = fb.TargetJersey
+		target.X0 = 20 + rng.Float64()*40
+		target.VX = 0.15 + rng.Float64()*0.2
+		target.Z0 = 1.9 + rng.Float64()*0.5
+		target.SwayAmp = 1.2
+		target.SwayFreq = 0.12
+		target.Appear, target.Vanish = 0, cfg.FootballClipLen
+		sc.Objects = append(sc.Objects, target)
+		// Supporting players, distinct numbers != 7.
+		numbers := []string{"3", "12", "25", "41", "58", "66", "80", "94"}
+		nSupport := 5 + rng.Intn(4)
+		for p := 0; p < nSupport && p < len(numbers); p++ {
+			o := vision.NewObject(id, vision.ClassPlayer, rng)
+			id++
+			o.Jersey = numbers[p]
+			o.X0 = 5 + rng.Float64()*90
+			o.VX = (rng.Float64() - 0.5) * 0.6
+			o.Z0 = 2.5 + rng.Float64()*4
+			o.SwayAmp = 0.8
+			o.SwayFreq = 0.1 + rng.Float64()*0.1
+			o.Appear = rng.Intn(cfg.FootballClipLen / 2)
+			o.Vanish = o.Appear + cfg.FootballClipLen/2 + rng.Intn(cfg.FootballClipLen/2)
+			sc.Objects = append(sc.Objects, o)
+		}
+		fb.Clips = append(fb.Clips, sc)
+	}
+	return fb
+}
+
+// TargetTrajectory returns the ground-truth bbox centers of the target
+// player in clip c for every frame where it is visible (q3's expected
+// output).
+func (fb *Football) TargetTrajectory(c int) map[int][2]int {
+	out := make(map[int][2]int)
+	sc := fb.Clips[c]
+	for t := 0; t < fb.ClipLen; t++ {
+		for _, gt := range sc.GroundTruth(t) {
+			if gt.Jersey == fb.TargetJersey && gt.Visibility >= 0.5 {
+				out[t] = [2]int{(gt.X1 + gt.X2) / 2, (gt.Y1 + gt.Y2) / 2}
+			}
+		}
+	}
+	return out
+}
+
+// -------------------------------------------------------------- PC -------
+
+// PCKind labels the three image types in the PC corpus.
+type PCKind int
+
+// PC image kinds.
+const (
+	KindPhoto PCKind = iota
+	KindScreenshot
+	KindDocScan
+)
+
+func (k PCKind) String() string {
+	switch k {
+	case KindPhoto:
+		return "photo"
+	case KindScreenshot:
+		return "screenshot"
+	default:
+		return "docscan"
+	}
+}
+
+// PCImage is one corpus image with its ground truth.
+type PCImage struct {
+	Kind  PCKind
+	Image *codec.Image
+	// Words lists the exact strings rendered into the image (empty for
+	// photos).
+	Words []string
+	// DupOf is the index of the image this one near-duplicates, or -1.
+	DupOf int
+}
+
+// PC is the generated personal-computer corpus.
+type PC struct {
+	Images []PCImage
+	// NearDupPairs lists ground-truth near-duplicate pairs (i < j).
+	NearDupPairs [][2]int
+	// Vocabulary is the word list documents draw from.
+	Vocabulary []string
+}
+
+// Vocabulary returns the closed word list used by the generator (q5 picks
+// targets from it).
+func vocabulary() []string {
+	return []string{
+		"INVOICE", "REPORT", "SUMMARY", "BUDGET", "MEETING", "PROJECT",
+		"DRAFT", "FINAL", "REVIEW", "NOTES", "AGENDA", "MEMO",
+		"TOTAL", "AMOUNT", "DATE", "CLIENT", "ORDER", "RECEIPT",
+		"TAX", "LEDGER", "PAYROLL", "CONTRACT", "POLICY", "CLAIM",
+	}
+}
+
+// NewPC generates the corpus: ~45% photos, ~25% screenshots, ~30% document
+// scans, plus near-duplicates for about 8% of images (noise + slight
+// brightness shift, the classic reverse-image-search positives).
+func NewPC(cfg Config) *PC {
+	rng := rand.New(rand.NewSource(cfg.Seed + 200))
+	pc := &PC{Vocabulary: vocabulary()}
+	for i := 0; i < cfg.PCImages; i++ {
+		r := rng.Float64()
+		var img PCImage
+		switch {
+		case r < 0.45:
+			img = genPhoto(rng)
+		case r < 0.70:
+			img = genScreenshot(rng, pc.Vocabulary)
+		default:
+			img = genDocScan(rng, pc.Vocabulary)
+		}
+		img.DupOf = -1
+		pc.Images = append(pc.Images, img)
+	}
+	// Near-duplicates: perturb ~8% of existing images.
+	nDup := cfg.PCImages * 8 / 100
+	for d := 0; d < nDup; d++ {
+		src := rng.Intn(len(pc.Images))
+		for pc.Images[src].DupOf != -1 { // don't chain duplicates
+			src = rng.Intn(len(pc.Images))
+		}
+		dup := perturb(pc.Images[src], rng)
+		dup.DupOf = src
+		pc.Images = append(pc.Images, dup)
+		pc.NearDupPairs = append(pc.NearDupPairs, [2]int{src, len(pc.Images) - 1})
+	}
+	return pc
+}
+
+// genPhoto renders a photo-like image: gradient sky/ground plus colored
+// shapes.
+func genPhoto(rng *rand.Rand) PCImage {
+	w := 80 + rng.Intn(64)
+	h := 60 + rng.Intn(48)
+	img := codec.NewImage(w, h)
+	// Two-band gradient with random palette.
+	top := [3]uint8{uint8(120 + rng.Intn(120)), uint8(120 + rng.Intn(120)), uint8(150 + rng.Intn(100))}
+	bot := [3]uint8{uint8(40 + rng.Intn(120)), uint8(80 + rng.Intn(120)), uint8(40 + rng.Intn(100))}
+	split := h / 3 * 2
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			src := top
+			if y >= split {
+				src = bot
+			}
+			f := float64(y) / float64(h)
+			for c := 0; c < 3; c++ {
+				img.Set(x, y, c, uint8(float64(src[c])*(1-0.3*f)))
+			}
+		}
+	}
+	// Shapes.
+	for s := 0; s < 3+rng.Intn(5); s++ {
+		col := [3]uint8{uint8(rng.Intn(256)), uint8(rng.Intn(256)), uint8(rng.Intn(256))}
+		sx, sy := rng.Intn(w), rng.Intn(h)
+		sw, sh := 5+rng.Intn(w/3), 5+rng.Intn(h/3)
+		for y := sy; y < sy+sh && y < h; y++ {
+			for x := sx; x < sx+sw && x < w; x++ {
+				img.Set(x, y, 0, col[0])
+				img.Set(x, y, 1, col[1])
+				img.Set(x, y, 2, col[2])
+			}
+		}
+	}
+	return PCImage{Kind: KindPhoto, Image: img}
+}
+
+// genScreenshot renders a UI-like image: panels, a title bar, and a couple
+// of text labels.
+func genScreenshot(rng *rand.Rand, vocab []string) PCImage {
+	w := 128 + rng.Intn(64)
+	h := 80 + rng.Intn(40)
+	img := codec.NewImage(w, h)
+	chrome := uint8(210 + rng.Intn(40))
+	for i := range img.Pix {
+		img.Pix[i] = chrome
+	}
+	// Title bar in an app-specific accent color.
+	bar := [3]uint8{uint8(40 + rng.Intn(160)), uint8(40 + rng.Intn(160)), uint8(90 + rng.Intn(160))}
+	for y := 0; y < 10; y++ {
+		for x := 0; x < w; x++ {
+			img.Set(x, y, 0, bar[0])
+			img.Set(x, y, 1, bar[1])
+			img.Set(x, y, 2, bar[2])
+		}
+	}
+	// Panels.
+	for p := 0; p < 2+rng.Intn(3); p++ {
+		px, py := rng.Intn(w/2), 12+rng.Intn(h/2)
+		pw, ph := 20+rng.Intn(w/2), 10+rng.Intn(h/3)
+		shade := uint8(180 + rng.Intn(60))
+		for y := py; y < py+ph && y < h; y++ {
+			for x := px; x < px+pw && x < w; x++ {
+				img.Set(x, y, 0, shade)
+				img.Set(x, y, 1, shade)
+				img.Set(x, y, 2, shade)
+			}
+		}
+	}
+	// Labels.
+	var words []string
+	nw := 1 + rng.Intn(2)
+	for i := 0; i < nw; i++ {
+		word := vocab[rng.Intn(len(vocab))]
+		x := 4 + rng.Intn(max(1, w-len(word)*12))
+		y := 14 + i*16
+		vision.DrawString(img, word, x, y, 1, [3]uint8{30, 30, 30})
+		words = append(words, word)
+	}
+	return PCImage{Kind: KindScreenshot, Image: img, Words: words}
+}
+
+// genDocScan renders a document: tinted page with a letterhead band and
+// rows of words. The letterhead and tint individualize each document so
+// that distinct documents separate in feature space (near-duplicate
+// ground truth stays meaningful).
+func genDocScan(rng *rand.Rand, vocab []string) PCImage {
+	w := 110 + rng.Intn(40)
+	h := 130 + rng.Intn(50)
+	img := codec.NewImage(w, h)
+	tint := [3]uint8{uint8(238 + rng.Intn(17)), uint8(238 + rng.Intn(17)), uint8(236 + rng.Intn(19))}
+	for i := 0; i < w*h; i++ {
+		img.Pix[i*3] = tint[0]
+		img.Pix[i*3+1] = tint[1]
+		img.Pix[i*3+2] = tint[2]
+	}
+	// Letterhead band.
+	head := [3]uint8{uint8(70 + rng.Intn(170)), uint8(70 + rng.Intn(170)), uint8(70 + rng.Intn(170))}
+	bandH := 6 + rng.Intn(10)
+	for y := 0; y < bandH; y++ {
+		for x := 0; x < w; x++ {
+			img.Set(x, y, 0, head[0])
+			img.Set(x, y, 1, head[1])
+			img.Set(x, y, 2, head[2])
+		}
+	}
+	var words []string
+	y := bandH + 6
+	for y < h-12 {
+		x := 6
+		for x < w-40 {
+			word := vocab[rng.Intn(len(vocab))]
+			if x+len(word)*6 >= w-4 {
+				break
+			}
+			vision.DrawString(img, word, x, y, 1, [3]uint8{25, 25, 25})
+			words = append(words, word)
+			x += len(word)*6 + 8
+		}
+		y += 12
+	}
+	return PCImage{Kind: KindDocScan, Image: img, Words: words}
+}
+
+// perturb produces a near-duplicate: additive noise plus a small uniform
+// brightness shift.
+func perturb(src PCImage, rng *rand.Rand) PCImage {
+	img := src.Image.Clone()
+	shift := rng.Intn(5) - 2
+	for i := range img.Pix {
+		v := int(img.Pix[i]) + shift + rng.Intn(3) - 1
+		if v < 0 {
+			v = 0
+		}
+		if v > 255 {
+			v = 255
+		}
+		img.Pix[i] = uint8(v)
+	}
+	return PCImage{Kind: src.Kind, Image: img, Words: append([]string(nil), src.Words...)}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Describe summarizes a configuration for logs and EXPERIMENTS.md.
+func Describe(cfg Config) string {
+	return fmt.Sprintf("traffic=%dx%d/%df pc=%d football=%dx%d clips=%d len=%d seed=%d",
+		cfg.TrafficW, cfg.TrafficH, cfg.TrafficFrames, cfg.PCImages,
+		cfg.FootballW, cfg.FootballH, cfg.FootballClips, cfg.FootballClipLen, cfg.Seed)
+}

@@ -1,0 +1,283 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/vision"
+)
+
+func smallCfg() Config {
+	c := Default()
+	c.TrafficFrames = 200
+	c.PCImages = 40
+	c.FootballClips = 2
+	c.FootballClipLen = 30
+	return c
+}
+
+func TestTrafficDeterministic(t *testing.T) {
+	cfg := smallCfg()
+	a := NewTraffic(cfg)
+	b := NewTraffic(cfg)
+	ia, _ := a.Render(42)
+	ib, _ := b.Render(42)
+	if codec.MSE(ia, ib) != 0 {
+		t.Fatal("traffic render not deterministic")
+	}
+}
+
+func TestTrafficHasBothClassesAndVariation(t *testing.T) {
+	tr := NewTraffic(smallCfg())
+	carFrames, pedFrames, emptyVehicleFrames := 0, 0, 0
+	for f := 0; f < tr.Frames; f += 10 {
+		gts := tr.Scene.GroundTruth(f)
+		hasCar, hasPed := false, false
+		for _, gt := range gts {
+			switch gt.Class {
+			case vision.ClassCar:
+				hasCar = true
+			case vision.ClassPedestrian:
+				hasPed = true
+			}
+		}
+		if hasCar {
+			carFrames++
+		}
+		if hasPed {
+			pedFrames++
+		}
+		if !tr.VehiclePresent(f) {
+			emptyVehicleFrames++
+		}
+	}
+	if carFrames == 0 || pedFrames == 0 {
+		t.Fatalf("cars in %d frames, peds in %d frames", carFrames, pedFrames)
+	}
+	if emptyVehicleFrames == 0 {
+		t.Fatal("q2 ground truth is trivially all-true (no vehicle-free frames)")
+	}
+	if tr.DistinctPedestrians <= 0 {
+		t.Fatal("no distinct pedestrians")
+	}
+}
+
+func TestTrafficReappearanceMakesDistinctHard(t *testing.T) {
+	tr := NewTraffic(smallCfg())
+	// Count pedestrian appearance windows vs distinct IDs.
+	windows := 0
+	ids := map[uint64]bool{}
+	for _, o := range tr.Scene.Objects {
+		if o.Class == vision.ClassPedestrian {
+			windows++
+			ids[o.ID] = true
+		}
+	}
+	if windows <= len(ids) {
+		t.Fatalf("windows=%d ids=%d: no identity reappears, q4 would be trivial", windows, len(ids))
+	}
+}
+
+func TestPedestrianPairsConsistent(t *testing.T) {
+	tr := NewTraffic(smallCfg())
+	found := false
+	for f := 0; f < tr.Frames; f += 7 {
+		pairs := tr.PedestrianPairsBehind(f, 0.5)
+		for _, p := range pairs {
+			if p[0] == p[1] {
+				t.Fatal("self-pair in ground truth")
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no behind-pairs in any sampled frame; q6 ground truth empty")
+	}
+}
+
+func TestFootballTargetVisibleInEveryClip(t *testing.T) {
+	fb := NewFootball(smallCfg())
+	if len(fb.Clips) != 2 {
+		t.Fatalf("clips = %d", len(fb.Clips))
+	}
+	for c := range fb.Clips {
+		traj := fb.TargetTrajectory(c)
+		if len(traj) < fb.ClipLen/2 {
+			t.Fatalf("clip %d: target visible in only %d/%d frames", c, len(traj), fb.ClipLen)
+		}
+	}
+}
+
+func TestFootballJerseyLegible(t *testing.T) {
+	fb := NewFootball(smallCfg())
+	ocr := vision.NewJerseyOCR()
+	hits := 0
+	total := 0
+	sc := fb.Clips[0]
+	for f := 0; f < fb.ClipLen; f += 5 {
+		img, gts := sc.Render(f)
+		for _, gt := range gts {
+			if gt.Jersey != fb.TargetJersey || gt.Visibility < 0.8 {
+				continue
+			}
+			total++
+			patch := img.Crop(gt.X1, gt.Y1, gt.X2, gt.Y2)
+			for _, w := range ocr.Recognize(patch) {
+				if w.Text == fb.TargetJersey {
+					hits++
+					break
+				}
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("target never cleanly visible")
+	}
+	if float64(hits)/float64(total) < 0.6 {
+		t.Fatalf("jersey OCR hit rate %d/%d below 60%%", hits, total)
+	}
+}
+
+func TestPCCorpusComposition(t *testing.T) {
+	cfg := smallCfg()
+	pc := NewPC(cfg)
+	if len(pc.Images) < cfg.PCImages {
+		t.Fatalf("images = %d", len(pc.Images))
+	}
+	kinds := map[PCKind]int{}
+	withWords := 0
+	for _, im := range pc.Images {
+		kinds[im.Kind]++
+		if len(im.Words) > 0 {
+			withWords++
+		}
+		if err := im.Image.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if kinds[KindPhoto] == 0 || kinds[KindScreenshot] == 0 || kinds[KindDocScan] == 0 {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	if withWords == 0 {
+		t.Fatal("no images carry text ground truth")
+	}
+	if len(pc.NearDupPairs) == 0 {
+		t.Fatal("no near-duplicate pairs")
+	}
+	for _, p := range pc.NearDupPairs {
+		if pc.Images[p[1]].DupOf != p[0] {
+			t.Fatalf("pair %v inconsistent with DupOf", p)
+		}
+	}
+}
+
+func TestPCNearDuplicatesCloseInFeatureSpace(t *testing.T) {
+	pc := NewPC(smallCfg())
+	var dupDists, crossDists []float64
+	for _, p := range pc.NearDupPairs {
+		a := vision.ColorHistogram(pc.Images[p[0]].Image)
+		b := vision.ColorHistogram(pc.Images[p[1]].Image)
+		dupDists = append(dupDists, l2(a, b))
+	}
+	// Cross distances between unrelated photos.
+	var photoIdx []int
+	for i, im := range pc.Images {
+		if im.Kind == KindPhoto && im.DupOf == -1 {
+			photoIdx = append(photoIdx, i)
+		}
+	}
+	for i := 0; i+1 < len(photoIdx); i += 2 {
+		a := vision.ColorHistogram(pc.Images[photoIdx[i]].Image)
+		b := vision.ColorHistogram(pc.Images[photoIdx[i+1]].Image)
+		crossDists = append(crossDists, l2(a, b))
+	}
+	if len(dupDists) == 0 || len(crossDists) == 0 {
+		t.Skip("not enough pairs at this scale")
+	}
+	if maxOf(dupDists) >= minOf(crossDists) {
+		t.Logf("dup max %.3f, cross min %.3f: distributions overlap (acceptable, thresholded matching still works)", maxOf(dupDists), minOf(crossDists))
+	}
+	if avg(dupDists) >= avg(crossDists) {
+		t.Fatalf("duplicate distances (avg %.3f) not smaller than cross distances (avg %.3f)", avg(dupDists), avg(crossDists))
+	}
+}
+
+func TestPCDocumentsReadable(t *testing.T) {
+	pc := NewPC(smallCfg())
+	ocr := vision.NewDocumentOCR()
+	checked := 0
+	recovered := 0
+	for _, im := range pc.Images {
+		if im.Kind != KindDocScan || len(im.Words) == 0 || im.DupOf != -1 {
+			continue
+		}
+		words := ocr.Recognize(im.Image)
+		got := map[string]bool{}
+		for _, w := range words {
+			got[w.Text] = true
+		}
+		for _, want := range im.Words {
+			checked++
+			if got[want] {
+				recovered++
+			}
+		}
+		if checked > 60 {
+			break
+		}
+	}
+	if checked == 0 {
+		t.Skip("no documents at this scale")
+	}
+	if float64(recovered)/float64(checked) < 0.8 {
+		t.Fatalf("document OCR recovered %d/%d words", recovered, checked)
+	}
+}
+
+func l2(a, b []float32) float64 {
+	var s float64
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+func avg(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func maxOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func minOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func TestPaperConfigScales(t *testing.T) {
+	p := Paper()
+	if p.TrafficFrames != 35280 || p.PCImages != 779 || p.FootballClips != 15 {
+		t.Fatalf("paper config %+v", p)
+	}
+	if Describe(p) == "" {
+		t.Fatal("empty description")
+	}
+}

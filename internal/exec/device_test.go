@@ -1,0 +1,166 @@
+package exec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func randMat(rng *rand.Rand, n int) []float32 {
+	m := make([]float32, n)
+	for i := range m {
+		m[i] = float32(rng.NormFloat64())
+	}
+	return m
+}
+
+// refGEMM is the trusted reference.
+func refGEMM(m, n, k int, a, b, c []float32) {
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float32
+			for p := 0; p < k; p++ {
+				s += a[i*k+p] * b[p*n+j]
+			}
+			c[i*n+j] += s
+		}
+	}
+}
+
+func TestGEMMAgreesAcrossDevices(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	fast := NewGPU(GPUProfile{LaunchLatency: 0, BytesPerSecond: math.Inf(1)})
+	for _, dims := range [][3]int{{1, 1, 1}, {3, 5, 7}, {16, 16, 16}, {33, 17, 65}, {100, 40, 60}} {
+		m, n, k := dims[0], dims[1], dims[2]
+		a := randMat(rng, m*k)
+		b := randMat(rng, k*n)
+		want := make([]float32, m*n)
+		refGEMM(m, n, k, a, b, want)
+		for _, dev := range []Device{New(CPU), New(AVX), fast} {
+			got := make([]float32, m*n)
+			dev.GEMM(m, n, k, a, b, got)
+			for i := range want {
+				if math.Abs(float64(want[i]-got[i])) > 1e-3 {
+					t.Fatalf("%v GEMM(%v) mismatch at %d: %g vs %g", dev.Kind(), dims, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestGEMMAccumulates(t *testing.T) {
+	dev := New(CPU)
+	a := []float32{1, 0, 0, 1} // identity
+	b := []float32{2, 3, 4, 5}
+	c := []float32{10, 10, 10, 10}
+	dev.GEMM(2, 2, 2, a, b, c)
+	want := []float32{12, 13, 14, 15}
+	for i := range want {
+		if c[i] != want[i] {
+			t.Fatalf("c[%d] = %g, want %g", i, c[i], want[i])
+		}
+	}
+}
+
+func TestPairwiseAgreesAcrossDevices(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	fast := NewGPU(GPUProfile{LaunchLatency: 0, BytesPerSecond: math.Inf(1)})
+	for _, dims := range [][3]int{{1, 1, 4}, {10, 20, 8}, {37, 53, 16}, {64, 64, 3}} {
+		lx, ly, d := dims[0], dims[1], dims[2]
+		x := randMat(rng, lx*d)
+		y := randMat(rng, ly*d)
+		want := make([]float32, lx*ly)
+		for i := 0; i < lx; i++ {
+			for j := 0; j < ly; j++ {
+				var s float32
+				for p := 0; p < d; p++ {
+					dd := x[i*d+p] - y[j*d+p]
+					s += dd * dd
+				}
+				want[i*ly+j] = s
+			}
+		}
+		for _, dev := range []Device{New(CPU), New(AVX), fast} {
+			got := make([]float32, lx*ly)
+			dev.PairwiseSqDist(x, y, lx, ly, d, got)
+			for i := range want {
+				if math.Abs(float64(want[i]-got[i])) > 1e-3 {
+					t.Fatalf("%v pairwise(%v) mismatch at %d", dev.Kind(), dims, i)
+				}
+			}
+		}
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	dev := New(CPU)
+	a := make([]float32, 4)
+	dev.GEMM(2, 2, 1, a[:2], a[:2], a)
+	dev.PairwiseSqDist(a[:2], a[:2], 1, 1, 2, a[:1])
+	st := dev.Stats()
+	if st.Kernels != 2 {
+		t.Fatalf("Kernels = %d, want 2", st.Kernels)
+	}
+	if st.FLOPs <= 0 {
+		t.Fatalf("FLOPs = %d", st.FLOPs)
+	}
+}
+
+func TestGPUChargesOverhead(t *testing.T) {
+	dev := NewGPU(GPUProfile{LaunchLatency: time.Millisecond, BytesPerSecond: 1e12})
+	a := make([]float32, 16)
+	start := time.Now()
+	dev.GEMM(4, 4, 1, a[:4], a[:4], a)
+	if time.Since(start) < time.Millisecond {
+		t.Fatal("GPU launch latency not charged")
+	}
+	if dev.Stats().Overhead < time.Millisecond {
+		t.Fatalf("Overhead = %v", dev.Stats().Overhead)
+	}
+}
+
+func TestGPUFasterOnLargeBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison")
+	}
+	// On a large GEMM the simulated GPU (all cores) should beat scalar CPU
+	// despite its launch overhead; this is the Figure 8 ETL-side shape.
+	const m, n, k = 256, 256, 256
+	rng := rand.New(rand.NewSource(3))
+	a := randMat(rng, m*k)
+	b := randMat(rng, k*n)
+
+	cpu := New(CPU)
+	gpu := New(GPU)
+	c1 := make([]float32, m*n)
+	c2 := make([]float32, m*n)
+
+	t0 := time.Now()
+	cpu.GEMM(m, n, k, a, b, c1)
+	cpuDur := time.Since(t0)
+
+	t0 = time.Now()
+	gpu.GEMM(m, n, k, a, b, c2)
+	gpuDur := time.Since(t0)
+
+	if gpuDur > cpuDur {
+		t.Logf("warning: GPU (%v) not faster than CPU (%v) on %dx%dx%d GEMM", gpuDur, cpuDur, m, n, k)
+	}
+}
+
+func TestBufferSizePanics(t *testing.T) {
+	dev := New(CPU)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("undersized GEMM buffers did not panic")
+		}
+	}()
+	dev.GEMM(10, 10, 10, make([]float32, 5), make([]float32, 100), make([]float32, 100))
+}
+
+func TestKindString(t *testing.T) {
+	if CPU.String() != "CPU" || AVX.String() != "AVX" || GPU.String() != "GPU" {
+		t.Fatal("Kind.String broken")
+	}
+}

@@ -1,0 +1,242 @@
+package hashidx
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/kv"
+)
+
+func newIndex(t testing.TB) (*Index, *kv.Pager) {
+	t.Helper()
+	p, err := kv.OpenPager(filepath.Join(t.TempDir(), "h.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	ix, err := Create(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, p
+}
+
+func TestEmpty(t *testing.T) {
+	ix, _ := newIndex(t)
+	if _, err := ix.Get([]byte("x")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get on empty index: %v", err)
+	}
+	if err := ix.Delete([]byte("x")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Delete on empty index: %v", err)
+	}
+	if ix.Len() != 0 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+}
+
+func TestPutGetMany(t *testing.T) {
+	ix, _ := newIndex(t)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("key-%d", i))
+		v := []byte(fmt.Sprintf("val-%d", i))
+		if err := ix.Put(k, v); err != nil {
+			t.Fatalf("Put(%d): %v", i, err)
+		}
+	}
+	if ix.Len() != n {
+		t.Fatalf("Len = %d, want %d", ix.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		v, err := ix.Get([]byte(fmt.Sprintf("key-%d", i)))
+		if err != nil || string(v) != fmt.Sprintf("val-%d", i) {
+			t.Fatalf("Get(key-%d) = %q, %v", i, v, err)
+		}
+	}
+}
+
+func TestReplace(t *testing.T) {
+	ix, _ := newIndex(t)
+	for i := 0; i < 100; i++ {
+		if err := ix.Put([]byte("same"), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ix.Len() != 1 {
+		t.Fatalf("Len = %d after 100 replaces, want 1", ix.Len())
+	}
+	v, _ := ix.Get([]byte("same"))
+	if string(v) != "v99" {
+		t.Fatalf("final value %q, want v99", v)
+	}
+}
+
+func TestReplaceGrowingValue(t *testing.T) {
+	ix, _ := newIndex(t)
+	// Fill the key's bucket so a grown replacement forces the reinsert path.
+	for i := 0; i < 2000; i++ {
+		ix.Put([]byte(fmt.Sprintf("filler-%d", i)), bytes.Repeat([]byte("x"), 100))
+	}
+	key := []byte("grow")
+	if err := ix.Put(key, []byte("small")); err != nil {
+		t.Fatal(err)
+	}
+	big := bytes.Repeat([]byte("B"), 3000)
+	if err := ix.Put(key, big); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ix.Get(key)
+	if err != nil || !bytes.Equal(got, big) {
+		t.Fatalf("grown value mismatch: len=%d err=%v", len(got), err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	ix, _ := newIndex(t)
+	for i := 0; i < 1000; i++ {
+		ix.Put([]byte(fmt.Sprintf("k%d", i)), []byte("v"))
+	}
+	for i := 0; i < 1000; i += 3 {
+		if err := ix.Delete([]byte(fmt.Sprintf("k%d", i))); err != nil {
+			t.Fatalf("Delete(k%d): %v", i, err)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		_, err := ix.Get([]byte(fmt.Sprintf("k%d", i)))
+		if i%3 == 0 && !errors.Is(err, ErrNotFound) {
+			t.Fatalf("deleted k%d still present", i)
+		}
+		if i%3 != 0 && err != nil {
+			t.Fatalf("kept k%d lost: %v", i, err)
+		}
+	}
+}
+
+func TestPersistAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "h.db")
+	p, err := kv.OpenPager(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Create(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		ix.Put([]byte(fmt.Sprintf("k%d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	meta := ix.Meta()
+	if err := ix.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, err := kv.OpenPager(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	ix2, err := Open(p2, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix2.Len() != 5000 {
+		t.Fatalf("Len after reopen = %d", ix2.Len())
+	}
+	for i := 0; i < 5000; i += 61 {
+		v, err := ix2.Get([]byte(fmt.Sprintf("k%d", i)))
+		if err != nil || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("reopen Get(k%d) = %q, %v", i, v, err)
+		}
+	}
+}
+
+func TestScanVisitsAll(t *testing.T) {
+	ix, _ := newIndex(t)
+	want := map[string]string{}
+	for i := 0; i < 3000; i++ {
+		k, v := fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i)
+		want[k] = v
+		ix.Put([]byte(k), []byte(v))
+	}
+	got := map[string]string{}
+	if err := ix.Scan(func(k, v []byte) bool {
+		got[string(k)] = string(v)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("scan visited %d entries, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("scan value for %s = %q, want %q", k, got[k], v)
+		}
+	}
+}
+
+func TestEntryTooLarge(t *testing.T) {
+	ix, _ := newIndex(t)
+	if err := ix.Put([]byte("k"), make([]byte, 5000)); err == nil {
+		t.Fatal("oversized entry accepted")
+	}
+}
+
+func TestQuickModelCheck(t *testing.T) {
+	ix, _ := newIndex(t)
+	model := map[string]string{}
+	rng := rand.New(rand.NewSource(9))
+	for op := 0; op < 30000; op++ {
+		k := fmt.Sprintf("k%d", rng.Intn(1200))
+		switch rng.Intn(4) {
+		case 0, 1, 2:
+			v := fmt.Sprintf("v%d", rng.Int63())
+			model[k] = v
+			if err := ix.Put([]byte(k), []byte(v)); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			_, had := model[k]
+			err := ix.Delete([]byte(k))
+			if had != (err == nil) {
+				t.Fatalf("Delete(%s) = %v, model had=%v", k, err, had)
+			}
+			delete(model, k)
+		}
+	}
+	if ix.Len() != len(model) {
+		t.Fatalf("Len = %d, model = %d", ix.Len(), len(model))
+	}
+	for k, v := range model {
+		got, err := ix.Get([]byte(k))
+		if err != nil || string(got) != v {
+			t.Fatalf("Get(%s) = %q, %v; want %q", k, got, err, v)
+		}
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	ix, _ := newIndex(t)
+	f := func(k, v []byte) bool {
+		if len(k) == 0 || 6+len(k)+len(v) > maxEntryBytes {
+			return true
+		}
+		if err := ix.Put(k, v); err != nil {
+			return false
+		}
+		got, err := ix.Get(k)
+		return err == nil && bytes.Equal(got, v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,167 @@
+// Package kdtree implements a KD-tree over low/mid-dimensional point data.
+// The paper's Example 2 sketches "a KD-Tree over a set of color histograms"
+// as one physical design for cross-video matching; DeepLens offers it
+// alongside the ball tree so the optimizer (and the Figure 7 ablation) can
+// compare the two as dimensionality grows.
+package kdtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Point is an indexed vector with a caller-assigned identifier.
+type Point struct {
+	Vec []float32
+	ID  uint64
+}
+
+type node struct {
+	p           Point
+	axis        int
+	left, right *node
+}
+
+// Tree is an immutable KD-tree.
+type Tree struct {
+	dim  int
+	root *node
+	size int
+}
+
+// Build constructs a balanced KD-tree (median splits) over pts.
+func Build(pts []Point) (*Tree, error) {
+	if len(pts) == 0 {
+		return &Tree{}, nil
+	}
+	dim := len(pts[0].Vec)
+	for _, p := range pts {
+		if len(p.Vec) != dim {
+			return nil, fmt.Errorf("kdtree: mixed dimensions %d and %d", dim, len(p.Vec))
+		}
+	}
+	cp := append([]Point(nil), pts...)
+	return &Tree{dim: dim, root: build(cp, 0, dim), size: len(pts)}, nil
+}
+
+func build(pts []Point, depth, dim int) *node {
+	if len(pts) == 0 {
+		return nil
+	}
+	axis := depth % dim
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Vec[axis] < pts[j].Vec[axis] })
+	mid := len(pts) / 2
+	return &node{
+		p:     pts[mid],
+		axis:  axis,
+		left:  build(pts[:mid], depth+1, dim),
+		right: build(pts[mid+1:], depth+1, dim),
+	}
+}
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return t.size }
+
+// Dim returns the dimensionality (0 when empty).
+func (t *Tree) Dim() int { return t.dim }
+
+func dist(a, b []float32) float64 {
+	var s float64
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// RangeSearch calls fn for every point within Euclidean distance eps of q.
+func (t *Tree) RangeSearch(q []float32, eps float64, fn func(Point, float64) bool) {
+	if t.root != nil {
+		rangeSearch(t.root, q, eps, fn)
+	}
+}
+
+func rangeSearch(n *node, q []float32, eps float64, fn func(Point, float64) bool) bool {
+	if n == nil {
+		return true
+	}
+	if d := dist(n.p.Vec, q); d <= eps {
+		if !fn(n.p, d) {
+			return false
+		}
+	}
+	planeDist := float64(q[n.axis]) - float64(n.p.Vec[n.axis])
+	near, far := n.left, n.right
+	if planeDist > 0 {
+		near, far = n.right, n.left
+	}
+	if !rangeSearch(near, q, eps, fn) {
+		return false
+	}
+	if math.Abs(planeDist) <= eps {
+		return rangeSearch(far, q, eps, fn)
+	}
+	return true
+}
+
+// BoxSearch calls fn for every point inside the axis-aligned box [lo, hi].
+func (t *Tree) BoxSearch(lo, hi []float32, fn func(Point) bool) {
+	if t.root != nil {
+		boxSearch(t.root, lo, hi, fn)
+	}
+}
+
+func boxSearch(n *node, lo, hi []float32, fn func(Point) bool) bool {
+	if n == nil {
+		return true
+	}
+	inside := true
+	for i := range lo {
+		if n.p.Vec[i] < lo[i] || n.p.Vec[i] > hi[i] {
+			inside = false
+			break
+		}
+	}
+	if inside && !fn(n.p) {
+		return false
+	}
+	if n.p.Vec[n.axis] >= lo[n.axis] {
+		if !boxSearch(n.left, lo, hi, fn) {
+			return false
+		}
+	}
+	if n.p.Vec[n.axis] <= hi[n.axis] {
+		return boxSearch(n.right, lo, hi, fn)
+	}
+	return true
+}
+
+// NN returns the nearest neighbor of q and its distance; ok is false when
+// the tree is empty.
+func (t *Tree) NN(q []float32) (best Point, bestDist float64, ok bool) {
+	if t.root == nil {
+		return Point{}, 0, false
+	}
+	bestDist = math.Inf(1)
+	nn(t.root, q, &best, &bestDist)
+	return best, bestDist, true
+}
+
+func nn(n *node, q []float32, best *Point, bestDist *float64) {
+	if n == nil {
+		return
+	}
+	if d := dist(n.p.Vec, q); d < *bestDist {
+		*best, *bestDist = n.p, d
+	}
+	planeDist := float64(q[n.axis]) - float64(n.p.Vec[n.axis])
+	near, far := n.left, n.right
+	if planeDist > 0 {
+		near, far = n.right, n.left
+	}
+	nn(near, q, best, bestDist)
+	if math.Abs(planeDist) < *bestDist {
+		nn(far, q, best, bestDist)
+	}
+}

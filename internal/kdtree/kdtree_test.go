@@ -1,0 +1,142 @@
+package kdtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func randPoints(rng *rand.Rand, n, dim int) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		v := make([]float32, dim)
+		for d := range v {
+			v[d] = float32(rng.NormFloat64())
+		}
+		pts[i] = Point{Vec: v, ID: uint64(i)}
+	}
+	return pts
+}
+
+func TestEmpty(t *testing.T) {
+	tr, err := Build(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 {
+		t.Fatal("non-empty")
+	}
+	if _, _, ok := tr.NN([]float32{0}); ok {
+		t.Fatal("NN on empty tree reported ok")
+	}
+}
+
+func TestMixedDims(t *testing.T) {
+	if _, err := Build([]Point{{Vec: []float32{1}}, {Vec: []float32{1, 2}}}); err == nil {
+		t.Fatal("mixed dims accepted")
+	}
+}
+
+func TestRangeMatchesBrute(t *testing.T) {
+	for _, dim := range []int{2, 3, 8} {
+		rng := rand.New(rand.NewSource(int64(dim) * 7))
+		pts := randPoints(rng, 2000, dim)
+		tr, _ := Build(pts)
+		for trial := 0; trial < 50; trial++ {
+			q := make([]float32, dim)
+			for d := range q {
+				q[d] = float32(rng.NormFloat64())
+			}
+			eps := 0.3 + rng.Float64()
+			var want, got []uint64
+			for _, p := range pts {
+				if dist(p.Vec, q) <= eps {
+					want = append(want, p.ID)
+				}
+			}
+			tr.RangeSearch(q, eps, func(p Point, _ float64) bool {
+				got = append(got, p.ID)
+				return true
+			})
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+			if len(want) != len(got) {
+				t.Fatalf("dim %d trial %d: %d results, want %d", dim, trial, len(got), len(want))
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("dim %d trial %d: mismatch at %d", dim, trial, i)
+				}
+			}
+		}
+	}
+}
+
+func TestNNMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	pts := randPoints(rng, 3000, 4)
+	tr, _ := Build(pts)
+	for trial := 0; trial < 100; trial++ {
+		q := make([]float32, 4)
+		for d := range q {
+			q[d] = float32(rng.NormFloat64())
+		}
+		_, gotDist, ok := tr.NN(q)
+		if !ok {
+			t.Fatal("NN not ok")
+		}
+		best := math.Inf(1)
+		for _, p := range pts {
+			if d := dist(p.Vec, q); d < best {
+				best = d
+			}
+		}
+		if math.Abs(gotDist-best) > 1e-9 {
+			t.Fatalf("trial %d: NN dist %g, want %g", trial, gotDist, best)
+		}
+	}
+}
+
+func TestBoxSearchMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	pts := randPoints(rng, 2000, 3)
+	tr, _ := Build(pts)
+	for trial := 0; trial < 50; trial++ {
+		lo := make([]float32, 3)
+		hi := make([]float32, 3)
+		for d := range lo {
+			a := float32(rng.NormFloat64())
+			b := a + float32(rng.Float64()*2)
+			lo[d], hi[d] = a, b
+		}
+		var want, got int
+		for _, p := range pts {
+			inside := true
+			for d := range lo {
+				if p.Vec[d] < lo[d] || p.Vec[d] > hi[d] {
+					inside = false
+					break
+				}
+			}
+			if inside {
+				want++
+			}
+		}
+		tr.BoxSearch(lo, hi, func(Point) bool { got++; return true })
+		if want != got {
+			t.Fatalf("trial %d: box search %d, want %d", trial, got, want)
+		}
+	}
+}
+
+func TestSelfNN(t *testing.T) {
+	pts := randPoints(rand.New(rand.NewSource(8)), 500, 5)
+	tr, _ := Build(pts)
+	for _, p := range pts {
+		_, d, ok := tr.NN(p.Vec)
+		if !ok || d > 1e-9 {
+			t.Fatalf("self NN for %d: dist %g ok=%v", p.ID, d, ok)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package kv
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentBucketAccess exercises the store's locking: concurrent
+// writers on separate buckets plus readers on a shared bucket.
+func TestConcurrentBucketAccess(t *testing.T) {
+	s, err := Open(filepath.Join(t.TempDir(), "c.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	shared, _ := s.Bucket("shared")
+	for i := 0; i < 100; i++ {
+		shared.Put(U64Key(uint64(i)), []byte("v"))
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	// Writers: one bucket each.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			b, err := s.Bucket(fmt.Sprintf("writer-%d", w))
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i := 0; i < 300; i++ {
+				if err := b.Put(U64Key(uint64(i)), []byte(fmt.Sprintf("w%d-%d", w, i))); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	// Readers on the shared bucket.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				if _, err := shared.Get(U64Key(uint64(i % 100))); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// All writer data landed.
+	for w := 0; w < 4; w++ {
+		b, _ := s.Bucket(fmt.Sprintf("writer-%d", w))
+		n, err := b.Len()
+		if err != nil || n != 300 {
+			t.Fatalf("writer-%d len = %d, %v", w, n, err)
+		}
+	}
+}
+
+// TestConcurrentPagerAlloc checks the pager's allocation path under
+// parallel load.
+func TestConcurrentPagerAlloc(t *testing.T) {
+	p, err := OpenPager(filepath.Join(t.TempDir(), "p.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	var mu sync.Mutex
+	seen := map[uint64]bool{}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id, err := p.Alloc()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				if seen[id] {
+					t.Errorf("page %d allocated twice", id)
+				}
+				seen[id] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != 1600 {
+		t.Fatalf("allocated %d unique pages, want 1600", len(seen))
+	}
+}

@@ -1,0 +1,260 @@
+package kv
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func openTemp(t testing.TB) *Store {
+	t.Helper()
+	s, err := Open(filepath.Join(t.TempDir(), "s.db"))
+	if err != nil {
+		t.Fatalf("open store: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestPagerAllocFree(t *testing.T) {
+	p, err := OpenPager(filepath.Join(t.TempDir(), "p.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	a, _ := p.Alloc()
+	b, _ := p.Alloc()
+	if a == 0 || b == 0 || a == b {
+		t.Fatalf("alloc returned %d, %d", a, b)
+	}
+	if err := p.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := p.Alloc()
+	if c != a {
+		t.Fatalf("freed page %d not reused (got %d)", a, c)
+	}
+}
+
+func TestPagerReadBadPage(t *testing.T) {
+	p, err := OpenPager(filepath.Join(t.TempDir(), "p.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if _, err := p.Read(999); !errors.Is(err, ErrBadPage) {
+		t.Fatalf("Read(999) err = %v, want ErrBadPage", err)
+	}
+	if _, err := p.Read(0); !errors.Is(err, ErrBadPage) {
+		t.Fatalf("Read(0) err = %v, want ErrBadPage (meta page is private)", err)
+	}
+}
+
+func TestPagerPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.db")
+	p, err := OpenPager(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := p.Alloc()
+	want := make([]byte, PageSize)
+	for i := range want {
+		want[i] = byte(i % 251)
+	}
+	if err := p.Write(id, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := OpenPager(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	got, err := p2.Read(id)
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("page content lost across reopen (err=%v)", err)
+	}
+}
+
+func TestPagerNotAStoreFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "junk.db")
+	if err := writeJunk(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenPager(path); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("OpenPager(junk) err = %v, want ErrBadMagic", err)
+	}
+}
+
+func writeJunk(path string) error {
+	buf := make([]byte, PageSize)
+	for i := range buf {
+		buf[i] = 0xAB
+	}
+	return os.WriteFile(path, buf, 0o644)
+}
+
+func TestOverflowRoundTrip(t *testing.T) {
+	p, err := OpenPager(filepath.Join(t.TempDir(), "p.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	for _, n := range []int{0, 1, overflowCap, overflowCap + 1, 3*overflowCap + 17, 1 << 20} {
+		val := make([]byte, n)
+		rand.New(rand.NewSource(int64(n))).Read(val)
+		head, err := p.WriteOverflow(val)
+		if err != nil {
+			t.Fatalf("WriteOverflow(%d): %v", n, err)
+		}
+		got, err := p.ReadOverflow(head, n)
+		if err != nil || !bytes.Equal(got, val) {
+			t.Fatalf("ReadOverflow(%d) mismatch (err=%v)", n, err)
+		}
+		if err := p.FreeOverflow(head); err != nil {
+			t.Fatalf("FreeOverflow(%d): %v", n, err)
+		}
+	}
+}
+
+func TestBucketBasic(t *testing.T) {
+	s := openTemp(t)
+	b, err := s.Bucket("frames")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put([]byte("a"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := b.Get([]byte("a"))
+	if err != nil || string(v) != "1" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+	if _, err := b.Get([]byte("zz")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing key err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestBucketIsolation(t *testing.T) {
+	s := openTemp(t)
+	b1, _ := s.Bucket("one")
+	b2, _ := s.Bucket("two")
+	b1.Put([]byte("k"), []byte("from-one"))
+	b2.Put([]byte("k"), []byte("from-two"))
+	v1, _ := b1.Get([]byte("k"))
+	v2, _ := b2.Get([]byte("k"))
+	if string(v1) != "from-one" || string(v2) != "from-two" {
+		t.Fatalf("buckets not isolated: %q / %q", v1, v2)
+	}
+}
+
+func TestStoreReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.db")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := s.Bucket("payloads")
+	for i := 0; i < 2000; i++ {
+		if err := b.Put(U64Key(uint64(i)), []byte(fmt.Sprintf("payload-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	ok, err := s2.HasBucket("payloads")
+	if err != nil || !ok {
+		t.Fatalf("HasBucket after reopen = %v, %v", ok, err)
+	}
+	b2, _ := s2.Bucket("payloads")
+	for i := 0; i < 2000; i += 37 {
+		v, err := b2.Get(U64Key(uint64(i)))
+		if err != nil || string(v) != fmt.Sprintf("payload-%d", i) {
+			t.Fatalf("reopen Get(%d) = %q, %v", i, v, err)
+		}
+	}
+	names, err := s2.Buckets()
+	if err != nil || len(names) != 1 || names[0] != "payloads" {
+		t.Fatalf("Buckets = %v, %v", names, err)
+	}
+}
+
+func TestBucketScanOrderedByU64Key(t *testing.T) {
+	s := openTemp(t)
+	b, _ := s.Bucket("ordered")
+	perm := rand.New(rand.NewSource(3)).Perm(500)
+	for _, i := range perm {
+		b.Put(U64Key(uint64(i)), nil)
+	}
+	var got []uint64
+	b.Scan(nil, nil, func(k, _ []byte) bool {
+		got = append(got, ParseU64Key(k))
+		return true
+	})
+	if len(got) != 500 {
+		t.Fatalf("scan count = %d", len(got))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatal("U64Key scan not in numeric order")
+	}
+}
+
+func TestBucketRangeScanPushdown(t *testing.T) {
+	s := openTemp(t)
+	b, _ := s.Bucket("frames")
+	for i := 0; i < 1000; i++ {
+		b.Put(U64Key(uint64(i)), []byte{1})
+	}
+	n := 0
+	b.Scan(U64Key(250), U64Key(260), func(_, _ []byte) bool { n++; return true })
+	if n != 10 {
+		t.Fatalf("range scan visited %d entries, want 10", n)
+	}
+}
+
+func TestU64KeyRoundTripQuick(t *testing.T) {
+	f := func(v uint64) bool { return ParseU64Key(U64Key(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestU64KeyOrderPreserving(t *testing.T) {
+	f := func(a, b uint64) bool {
+		return (a < b) == (bytes.Compare(U64Key(a), U64Key(b)) < 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClosedStoreErrors(t *testing.T) {
+	s, err := Open(filepath.Join(t.TempDir(), "s.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := s.Bucket("b")
+	b.Put([]byte("k"), []byte("v"))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put([]byte("k2"), []byte("v")); err == nil {
+		t.Fatal("Put on closed store succeeded")
+	}
+}

@@ -1,0 +1,177 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/tensor"
+)
+
+func TestConvShapeAndIdentityKernel(t *testing.T) {
+	// 1x1 identity kernel must reproduce the input channel.
+	c := &Conv2D{OutC: 1, InC: 1, KH: 1, KW: 1, Stride: 1, Pad: 0,
+		W: []float32{1}, B: []float32{0}}
+	x := tensor.NewF32(1, 4, 5)
+	for i := range x.F32s {
+		x.F32s[i] = float32(i)
+	}
+	y := c.Forward(exec.New(exec.CPU), x)
+	if y.Shape[0] != 1 || y.Shape[1] != 4 || y.Shape[2] != 5 {
+		t.Fatalf("shape %v", y.Shape)
+	}
+	for i := range x.F32s {
+		if y.F32s[i] != x.F32s[i] {
+			t.Fatalf("identity conv mismatch at %d", i)
+		}
+	}
+}
+
+func TestConvKnownValue(t *testing.T) {
+	// 3x3 box filter over a constant image: interior outputs = 9.
+	w := make([]float32, 9)
+	for i := range w {
+		w[i] = 1
+	}
+	c := &Conv2D{OutC: 1, InC: 1, KH: 3, KW: 3, Stride: 1, Pad: 1, W: w, B: []float32{0}}
+	x := tensor.NewF32(1, 5, 5)
+	for i := range x.F32s {
+		x.F32s[i] = 1
+	}
+	y := c.Forward(exec.New(exec.CPU), x)
+	if got := y.AtF32(0, 2, 2); got != 9 {
+		t.Fatalf("interior = %g, want 9", got)
+	}
+	if got := y.AtF32(0, 0, 0); got != 4 { // corner sees 2x2 ones
+		t.Fatalf("corner = %g, want 4", got)
+	}
+}
+
+func TestConvStridePad(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := NewConv2D(4, 3, 3, 3, 2, 1, rng)
+	shape, err := c.OutShape([]int{3, 8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shape[0] != 4 || shape[1] != 4 || shape[2] != 4 {
+		t.Fatalf("OutShape = %v", shape)
+	}
+	x := tensor.NewF32(3, 8, 8)
+	y := c.Forward(exec.New(exec.CPU), x)
+	if y.Shape[1] != 4 || y.Shape[2] != 4 {
+		t.Fatalf("forward shape %v", y.Shape)
+	}
+}
+
+func TestConvRejectsWrongChannels(t *testing.T) {
+	c := NewConv2D(2, 3, 3, 3, 1, 1, rand.New(rand.NewSource(1)))
+	if _, err := c.OutShape([]int{1, 8, 8}); err == nil {
+		t.Fatal("wrong channel count accepted")
+	}
+}
+
+func TestReLU(t *testing.T) {
+	x := tensor.FromF32([]float32{-1, 0, 2.5}, 3)
+	y := ReLU{}.Forward(exec.New(exec.CPU), x)
+	want := []float32{0, 0, 2.5}
+	for i := range want {
+		if y.F32s[i] != want[i] {
+			t.Fatalf("relu[%d] = %g", i, y.F32s[i])
+		}
+	}
+}
+
+func TestMaxPool(t *testing.T) {
+	x := tensor.FromF32([]float32{
+		1, 2, 5, 6,
+		3, 4, 7, 8,
+		9, 1, 2, 3,
+		1, 1, 4, 0,
+	}, 1, 4, 4)
+	y := MaxPool2{}.Forward(exec.New(exec.CPU), x)
+	want := []float32{4, 8, 9, 4}
+	for i := range want {
+		if y.F32s[i] != want[i] {
+			t.Fatalf("pool[%d] = %g, want %g", i, y.F32s[i], want[i])
+		}
+	}
+}
+
+func TestGlobalAvgPool(t *testing.T) {
+	x := tensor.FromF32([]float32{1, 2, 3, 4, 10, 20, 30, 40}, 2, 2, 2)
+	y := GlobalAvgPool{}.Forward(exec.New(exec.CPU), x)
+	if y.F32s[0] != 2.5 || y.F32s[1] != 25 {
+		t.Fatalf("gap = %v", y.F32s)
+	}
+}
+
+func TestDense(t *testing.T) {
+	d := &Dense{In: 2, Out: 2, W: []float32{1, 2, 3, 4}, B: []float32{0.5, -0.5}}
+	x := tensor.FromF32([]float32{1, 1}, 2)
+	y := d.Forward(exec.New(exec.CPU), x)
+	if y.F32s[0] != 4.5 || y.F32s[1] != 5.5 {
+		t.Fatalf("dense = %v", y.F32s)
+	}
+}
+
+func TestBackboneDeterministicAndDeviceAgnostic(t *testing.T) {
+	net1 := NewBackbone(32, 7)
+	net2 := NewBackbone(32, 7)
+	pix := make([]uint8, 32*32*3)
+	rand.New(rand.NewSource(5)).Read(pix)
+	x := ImageToCHW(pix, 32, 32)
+
+	cpuOut := net1.Forward(exec.New(exec.CPU), x)
+	sameSeed := net2.Forward(exec.New(exec.CPU), x)
+	avxOut := net1.Forward(exec.New(exec.AVX), x)
+
+	if len(cpuOut.F32s) != 32 {
+		t.Fatalf("backbone output dim %d", len(cpuOut.F32s))
+	}
+	for i := range cpuOut.F32s {
+		if cpuOut.F32s[i] != sameSeed.F32s[i] {
+			t.Fatal("same seed, different output")
+		}
+		if math.Abs(float64(cpuOut.F32s[i]-avxOut.F32s[i])) > 1e-4 {
+			t.Fatalf("CPU/AVX divergence at %d: %g vs %g", i, cpuOut.F32s[i], avxOut.F32s[i])
+		}
+	}
+
+	other := NewBackbone(32, 8).Forward(exec.New(exec.CPU), x)
+	diff := false
+	for i := range cpuOut.F32s {
+		if cpuOut.F32s[i] != other.F32s[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical outputs")
+	}
+}
+
+func TestNetworkOutShapeValidation(t *testing.T) {
+	net := NewBackbone(16, 1)
+	if _, err := net.OutShape([]int{3, 32, 32}); err != nil {
+		t.Fatalf("valid input rejected: %v", err)
+	}
+	if _, err := net.OutShape([]int{1, 32, 32}); err == nil {
+		t.Fatal("wrong channels accepted")
+	}
+	if _, err := net.OutShape([]int{3, 2, 2}); err == nil {
+		t.Fatal("too-small input accepted")
+	}
+}
+
+func TestImageToCHW(t *testing.T) {
+	pix := []uint8{255, 0, 0, 0, 255, 0} // two pixels: red, green (1x2? w=2,h=1)
+	x := ImageToCHW(pix, 2, 1)
+	if x.AtF32(0, 0, 0) != 1 || x.AtF32(1, 0, 1) != 1 {
+		t.Fatalf("CHW conversion wrong: %v", x.F32s)
+	}
+	if x.AtF32(0, 0, 1) != 0 || x.AtF32(2, 0, 0) != 0 {
+		t.Fatal("CHW zeros wrong")
+	}
+}

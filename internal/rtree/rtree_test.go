@@ -1,0 +1,252 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func randRect(rng *rand.Rand, dim int, extent float64) Rect {
+	min := make([]float64, dim)
+	max := make([]float64, dim)
+	for d := 0; d < dim; d++ {
+		a := rng.Float64() * 1000
+		b := a + rng.Float64()*extent
+		min[d], max[d] = a, b
+	}
+	return Rect{Min: min, Max: max}
+}
+
+// bruteIntersect is the reference implementation.
+func bruteIntersect(entries []Entry, q Rect) []uint64 {
+	var ids []uint64
+	for _, e := range entries {
+		if e.Rect.Intersects(q) {
+			ids = append(ids, e.ID)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func bruteContained(entries []Entry, q Rect) []uint64 {
+	var ids []uint64
+	for _, e := range entries {
+		if q.Contains(e.Rect) {
+			ids = append(ids, e.ID)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func collectIntersect(t *Tree, q Rect) []uint64 {
+	var ids []uint64
+	t.SearchIntersect(q, func(e Entry) bool { ids = append(ids, e.ID); return true })
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func collectContained(t *Tree, q Rect) []uint64 {
+	var ids []uint64
+	t.SearchContained(q, func(e Entry) bool { ids = append(ids, e.ID); return true })
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func equalIDs(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(2)
+	if tr.Len() != 0 || tr.Height() != 0 {
+		t.Fatalf("empty tree Len=%d Height=%d", tr.Len(), tr.Height())
+	}
+	tr.SearchIntersect(BBox2D(0, 0, 10, 10), func(Entry) bool {
+		t.Fatal("callback on empty tree")
+		return true
+	})
+}
+
+func TestInsertDimMismatch(t *testing.T) {
+	tr := New(2)
+	r, _ := NewRect([]float64{0, 0, 0}, []float64{1, 1, 1})
+	if err := tr.Insert(r, 1); err == nil {
+		t.Fatal("3-d rect accepted by 2-d tree")
+	}
+}
+
+func TestNewRectValidation(t *testing.T) {
+	if _, err := NewRect([]float64{1}, []float64{0}); err == nil {
+		t.Fatal("inverted rect accepted")
+	}
+	if _, err := NewRect(nil, nil); err == nil {
+		t.Fatal("empty rect accepted")
+	}
+	if _, err := NewRect([]float64{0}, []float64{1, 2}); err == nil {
+		t.Fatal("mismatched dims accepted")
+	}
+}
+
+func TestIntersectMatchesBrute2D(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tr := New(2)
+	var entries []Entry
+	for i := 0; i < 2000; i++ {
+		r := randRect(rng, 2, 30)
+		entries = append(entries, Entry{Rect: r, ID: uint64(i)})
+		if err := tr.Insert(r, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for trial := 0; trial < 100; trial++ {
+		q := randRect(rng, 2, 120)
+		want := bruteIntersect(entries, q)
+		got := collectIntersect(tr, q)
+		if !equalIDs(got, want) {
+			t.Fatalf("trial %d: intersect %d ids, want %d", trial, len(got), len(want))
+		}
+	}
+}
+
+func TestContainedMatchesBrute2D(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	tr := New(2)
+	var entries []Entry
+	for i := 0; i < 1500; i++ {
+		r := randRect(rng, 2, 20)
+		entries = append(entries, Entry{Rect: r, ID: uint64(i)})
+		tr.Insert(r, uint64(i))
+	}
+	for trial := 0; trial < 100; trial++ {
+		q := randRect(rng, 2, 300)
+		if !equalIDs(collectContained(tr, q), bruteContained(entries, q)) {
+			t.Fatalf("trial %d: containment mismatch", trial)
+		}
+	}
+}
+
+func TestHigherDimensions(t *testing.T) {
+	for _, dim := range []int{3, 4, 8} {
+		rng := rand.New(rand.NewSource(int64(dim)))
+		tr := New(dim)
+		var entries []Entry
+		for i := 0; i < 500; i++ {
+			r := randRect(rng, dim, 50)
+			entries = append(entries, Entry{Rect: r, ID: uint64(i)})
+			tr.Insert(r, uint64(i))
+		}
+		for trial := 0; trial < 30; trial++ {
+			q := randRect(rng, dim, 200)
+			if !equalIDs(collectIntersect(tr, q), bruteIntersect(entries, q)) {
+				t.Fatalf("dim %d trial %d: intersect mismatch", dim, trial)
+			}
+		}
+	}
+}
+
+func TestBulkLoadMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	var entries []Entry
+	for i := 0; i < 5000; i++ {
+		entries = append(entries, Entry{Rect: randRect(rng, 2, 25), ID: uint64(i)})
+	}
+	tr := BulkLoad(2, entries)
+	if tr.Len() != len(entries) {
+		t.Fatalf("BulkLoad Len = %d, want %d", tr.Len(), len(entries))
+	}
+	for trial := 0; trial < 100; trial++ {
+		q := randRect(rng, 2, 100)
+		if !equalIDs(collectIntersect(tr, q), bruteIntersect(entries, q)) {
+			t.Fatalf("trial %d: bulk-load intersect mismatch", trial)
+		}
+	}
+}
+
+func TestBulkLoadEmptyAndTiny(t *testing.T) {
+	if tr := BulkLoad(2, nil); tr.Len() != 0 {
+		t.Fatal("empty bulk load")
+	}
+	one := []Entry{{Rect: BBox2D(1, 1, 2, 2), ID: 42}}
+	tr := BulkLoad(2, one)
+	got := collectIntersect(tr, BBox2D(0, 0, 3, 3))
+	if len(got) != 1 || got[0] != 42 {
+		t.Fatalf("single-entry bulk load: got %v", got)
+	}
+}
+
+func TestEarlyStop(t *testing.T) {
+	tr := New(2)
+	for i := 0; i < 100; i++ {
+		tr.Insert(BBox2D(0, 0, 1, 1), uint64(i))
+	}
+	n := 0
+	tr.SearchIntersect(BBox2D(0, 0, 2, 2), func(Entry) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Fatalf("early stop visited %d, want 5", n)
+	}
+}
+
+func TestDuplicateRects(t *testing.T) {
+	tr := New(2)
+	r := BBox2D(10, 10, 20, 20)
+	for i := 0; i < 200; i++ {
+		tr.Insert(r, uint64(i))
+	}
+	got := collectIntersect(tr, r)
+	if len(got) != 200 {
+		t.Fatalf("duplicate rects: found %d of 200", len(got))
+	}
+}
+
+// Property: every inserted entry is findable by a query equal to its rect.
+func TestQuickSelfQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	tr := New(3)
+	var entries []Entry
+	f := func(seed int64) bool {
+		r := randRect(rand.New(rand.NewSource(seed)), 3, 40)
+		id := uint64(len(entries))
+		entries = append(entries, Entry{Rect: r, ID: id})
+		if err := tr.Insert(r, id); err != nil {
+			return false
+		}
+		found := false
+		tr.SearchIntersect(r, func(e Entry) bool {
+			if e.ID == id {
+				found = true
+				return false
+			}
+			return true
+		})
+		return found
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeightGrows(t *testing.T) {
+	tr := New(2)
+	rng := rand.New(rand.NewSource(29))
+	for i := 0; i < 2000; i++ {
+		tr.Insert(randRect(rng, 2, 5), uint64(i))
+	}
+	if h := tr.Height(); h < 2 {
+		t.Fatalf("height %d after 2000 inserts, want >= 2", h)
+	}
+}

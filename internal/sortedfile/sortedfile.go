@@ -1,0 +1,204 @@
+// Package sortedfile implements the sorted-record file DeepLens uses as the
+// clustering structure of the Frame File: records sorted by a uint64 key
+// (frame number or wall-clock time), supporting binary-search point and
+// range lookups. It is the cheapest "index" in Figure 6's construction-cost
+// comparison and what enables temporal filter pushdown in Figure 3.
+//
+// File layout: a sparse in-memory offset table over an append-ordered data
+// region. Records must be appended in non-decreasing key order; Build sorts
+// a batch first.
+package sortedfile
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+var (
+	// ErrOutOfOrder is returned by Append when keys regress.
+	ErrOutOfOrder = errors.New("sortedfile: keys must be appended in non-decreasing order")
+	// ErrNotFound is returned by Get when no record carries the key.
+	ErrNotFound = errors.New("sortedfile: key not found")
+	errCorrupt  = errors.New("sortedfile: corrupt record")
+)
+
+const magic = 0x534F4652 // "SOFR"
+
+// Writer appends key-ordered records to a sorted file.
+type Writer struct {
+	f       *os.File
+	lastKey uint64
+	n       int
+	started bool
+}
+
+// Create starts a new sorted file at path, truncating any existing file.
+func Create(path string) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:], magic)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Writer{f: f}, nil
+}
+
+// Append writes one record; key must be >= all previously appended keys.
+func (w *Writer) Append(key uint64, val []byte) error {
+	if w.started && key < w.lastKey {
+		return fmt.Errorf("%w: %d after %d", ErrOutOfOrder, key, w.lastKey)
+	}
+	w.started = true
+	w.lastKey = key
+	var hdr [12]byte
+	binary.LittleEndian.PutUint64(hdr[0:], key)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(val)))
+	if _, err := w.f.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.f.Write(val); err != nil {
+		return err
+	}
+	w.n++
+	return nil
+}
+
+// Close finalizes the header (record count) and closes the file.
+func (w *Writer) Close() error {
+	var cnt [8]byte
+	binary.LittleEndian.PutUint64(cnt[:], uint64(w.n))
+	if _, err := w.f.WriteAt(cnt[:], 4); err != nil {
+		w.f.Close()
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// Record is one key/value entry.
+type Record struct {
+	Key uint64
+	Val []byte
+}
+
+// Build creates a sorted file from an unordered batch (sorted stably by key
+// first, preserving input order among equal keys).
+func Build(path string, recs []Record) error {
+	idx := make([]int, len(recs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return recs[idx[a]].Key < recs[idx[b]].Key })
+	w, err := Create(path)
+	if err != nil {
+		return err
+	}
+	for _, i := range idx {
+		if err := w.Append(recs[i].Key, recs[i].Val); err != nil {
+			w.Close()
+			return err
+		}
+	}
+	return w.Close()
+}
+
+// File is a read handle over a sorted file. Opening scans the record
+// headers once to build a sparse in-memory key/offset table.
+type File struct {
+	f    *os.File
+	keys []uint64
+	offs []int64
+	lens []int
+}
+
+// Open opens a sorted file for reading.
+func Open(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	var hdr [16]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		f.Close()
+		return nil, errCorrupt
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != magic {
+		f.Close()
+		return nil, errCorrupt
+	}
+	n := int(binary.LittleEndian.Uint64(hdr[4:]))
+	sf := &File{f: f, keys: make([]uint64, 0, n), offs: make([]int64, 0, n), lens: make([]int, 0, n)}
+	off := int64(16)
+	var rh [12]byte
+	for i := 0; i < n; i++ {
+		if _, err := f.ReadAt(rh[:], off); err != nil {
+			f.Close()
+			return nil, errCorrupt
+		}
+		key := binary.LittleEndian.Uint64(rh[0:])
+		vl := int(binary.LittleEndian.Uint32(rh[8:]))
+		sf.keys = append(sf.keys, key)
+		sf.offs = append(sf.offs, off+12)
+		sf.lens = append(sf.lens, vl)
+		off += 12 + int64(vl)
+	}
+	return sf, nil
+}
+
+// Close releases the file handle.
+func (sf *File) Close() error { return sf.f.Close() }
+
+// Len returns the record count.
+func (sf *File) Len() int { return len(sf.keys) }
+
+func (sf *File) read(i int) (Record, error) {
+	val := make([]byte, sf.lens[i])
+	if _, err := sf.f.ReadAt(val, sf.offs[i]); err != nil {
+		return Record{}, err
+	}
+	return Record{Key: sf.keys[i], Val: val}, nil
+}
+
+// Get returns the first record with the given key.
+func (sf *File) Get(key uint64) (Record, error) {
+	i := sort.Search(len(sf.keys), func(i int) bool { return sf.keys[i] >= key })
+	if i == len(sf.keys) || sf.keys[i] != key {
+		return Record{}, ErrNotFound
+	}
+	return sf.read(i)
+}
+
+// Range calls fn for records with key in [lo, hi) in key order; returning
+// false stops iteration. This is the temporal filter pushdown path.
+func (sf *File) Range(lo, hi uint64, fn func(Record) bool) error {
+	i := sort.Search(len(sf.keys), func(i int) bool { return sf.keys[i] >= lo })
+	for ; i < len(sf.keys) && sf.keys[i] < hi; i++ {
+		rec, err := sf.read(i)
+		if err != nil {
+			return err
+		}
+		if !fn(rec) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Scan iterates every record in key order.
+func (sf *File) Scan(fn func(Record) bool) error {
+	if len(sf.keys) == 0 {
+		return nil
+	}
+	return sf.Range(sf.keys[0], sf.keys[len(sf.keys)-1]+1, fn)
+}

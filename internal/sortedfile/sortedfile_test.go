@@ -1,0 +1,180 @@
+package sortedfile
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestAppendOrderEnforced(t *testing.T) {
+	w, err := Create(filepath.Join(t.TempDir(), "f.sf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Append(10, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(10, nil); err != nil {
+		t.Fatalf("equal key rejected: %v", err)
+	}
+	if err := w.Append(9, nil); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("regressing key: err = %v", err)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.sf")
+	w, _ := Create(path)
+	for i := 0; i < 1000; i++ {
+		if err := w.Append(uint64(i*2), []byte(fmt.Sprintf("frame-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if f.Len() != 1000 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+	rec, err := f.Get(500)
+	if err != nil || string(rec.Val) != "frame-250" {
+		t.Fatalf("Get(500) = %q, %v", rec.Val, err)
+	}
+	if _, err := f.Get(501); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get(odd) err = %v", err)
+	}
+}
+
+func TestRangePushdown(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.sf")
+	w, _ := Create(path)
+	for i := 0; i < 500; i++ {
+		w.Append(uint64(i), []byte{byte(i)})
+	}
+	w.Close()
+	f, _ := Open(path)
+	defer f.Close()
+	var keys []uint64
+	f.Range(100, 110, func(r Record) bool {
+		keys = append(keys, r.Key)
+		return true
+	})
+	if len(keys) != 10 || keys[0] != 100 || keys[9] != 109 {
+		t.Fatalf("Range(100,110) = %v", keys)
+	}
+	// Early stop.
+	n := 0
+	f.Range(0, 500, func(Record) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestBuildSortsBatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.sf")
+	rng := rand.New(rand.NewSource(1))
+	var recs []Record
+	for i := 0; i < 300; i++ {
+		recs = append(recs, Record{Key: uint64(rng.Intn(100)), Val: []byte{byte(i)}})
+	}
+	if err := Build(path, recs); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	last := uint64(0)
+	count := 0
+	f.Scan(func(r Record) bool {
+		if r.Key < last {
+			t.Fatalf("scan out of order: %d after %d", r.Key, last)
+		}
+		last = r.Key
+		count++
+		return true
+	})
+	if count != 300 {
+		t.Fatalf("scan visited %d, want 300", count)
+	}
+}
+
+func TestStableAmongEqualKeys(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.sf")
+	recs := []Record{
+		{Key: 5, Val: []byte("a")},
+		{Key: 5, Val: []byte("b")},
+		{Key: 5, Val: []byte("c")},
+		{Key: 1, Val: []byte("z")},
+	}
+	Build(path, recs)
+	f, _ := Open(path)
+	defer f.Close()
+	var got []string
+	f.Scan(func(r Record) bool { got = append(got, string(r.Val)); return true })
+	want := []string{"z", "a", "b", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scan order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.sf")
+	w, _ := Create(path)
+	w.Close()
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if f.Len() != 0 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+	if err := f.Scan(func(Record) bool { t.Fatal("callback"); return true }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk")
+	os.WriteFile(path, bytes.Repeat([]byte{0xFF}, 64), 0o644)
+	if _, err := Open(path); err == nil {
+		t.Fatal("corrupt file opened")
+	}
+	os.WriteFile(path, []byte{1, 2}, 0o644)
+	if _, err := Open(path); err == nil {
+		t.Fatal("truncated file opened")
+	}
+}
+
+func TestLargeValues(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.sf")
+	w, _ := Create(path)
+	big := bytes.Repeat([]byte("X"), 1<<20)
+	w.Append(1, big)
+	w.Append(2, []byte("small"))
+	w.Close()
+	f, _ := Open(path)
+	defer f.Close()
+	r, err := f.Get(1)
+	if err != nil || !bytes.Equal(r.Val, big) {
+		t.Fatalf("large value mismatch: %d bytes, %v", len(r.Val), err)
+	}
+	r2, _ := f.Get(2)
+	if string(r2.Val) != "small" {
+		t.Fatalf("record after large value corrupted: %q", r2.Val)
+	}
+}

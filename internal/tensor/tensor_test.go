@@ -1,0 +1,185 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndNumel(t *testing.T) {
+	u := NewU8(2, 3, 4)
+	if u.Numel() != 24 || len(u.U8s) != 24 || u.DType != U8 {
+		t.Fatalf("NewU8: %+v", u)
+	}
+	f := NewF32(5)
+	if f.Numel() != 5 || len(f.F32s) != 5 || f.DType != F32 {
+		t.Fatalf("NewF32: %+v", f)
+	}
+	if u.Rank() != 3 || f.Rank() != 1 {
+		t.Fatal("rank wrong")
+	}
+}
+
+func TestFromPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromF32 with wrong shape did not panic")
+		}
+	}()
+	FromF32(make([]float32, 5), 2, 3)
+}
+
+func TestIndexing(t *testing.T) {
+	u := NewU8(2, 3, 4)
+	u.SetU8(99, 1, 2, 3)
+	if u.AtU8(1, 2, 3) != 99 {
+		t.Fatal("set/get roundtrip")
+	}
+	if u.U8s[1*12+2*4+3] != 99 {
+		t.Fatal("row-major layout wrong")
+	}
+	f := NewF32(3, 3)
+	f.SetF32(1.5, 2, 1)
+	if f.AtF32(2, 1) != 1.5 {
+		t.Fatal("f32 set/get")
+	}
+}
+
+func TestIndexOutOfRangePanics(t *testing.T) {
+	u := NewU8(2, 2)
+	for _, idx := range [][]int{{2, 0}, {0, -1}, {0}, {0, 0, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("index %v did not panic", idx)
+				}
+			}()
+			u.AtU8(idx...)
+		}()
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := NewU8(4)
+	a.U8s[0] = 7
+	b := a.Clone()
+	b.U8s[0] = 9
+	if a.U8s[0] != 7 {
+		t.Fatal("clone shares storage")
+	}
+	if !Equal(a, a.Clone()) {
+		t.Fatal("clone not equal to source")
+	}
+}
+
+func TestConversions(t *testing.T) {
+	u := FromU8([]uint8{0, 128, 255}, 3)
+	f := u.ToF32()
+	if f.F32s[0] != 0 || f.F32s[2] != 1 {
+		t.Fatalf("ToF32: %v", f.F32s)
+	}
+	back := f.ToU8()
+	for i := range u.U8s {
+		if int(back.U8s[i])-int(u.U8s[i]) > 1 || int(u.U8s[i])-int(back.U8s[i]) > 1 {
+			t.Fatalf("round trip at %d: %d vs %d", i, u.U8s[i], back.U8s[i])
+		}
+	}
+	// Clamping.
+	over := FromF32([]float32{-1, 2}, 2).ToU8()
+	if over.U8s[0] != 0 || over.U8s[1] != 255 {
+		t.Fatalf("clamp: %v", over.U8s)
+	}
+	// Identity fast paths.
+	if f.ToF32() != f || u.ToU8() != u {
+		t.Fatal("identity conversion should return receiver")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := FromF32([]float32{1, 2}, 2)
+	b := FromF32([]float32{1, 2}, 2)
+	c := FromF32([]float32{1, 3}, 2)
+	d := FromF32([]float32{1, 2}, 1, 2)
+	if !Equal(a, b) || Equal(a, c) || Equal(a, d) {
+		t.Fatal("Equal broken")
+	}
+	if Equal(a, NewU8(2)) {
+		t.Fatal("cross-dtype equal")
+	}
+}
+
+func TestL2(t *testing.T) {
+	a := FromF32([]float32{0, 0}, 2)
+	b := FromF32([]float32{3, 4}, 2)
+	if math.Abs(L2(a, b)-5) > 1e-9 {
+		t.Fatalf("L2 = %f", L2(a, b))
+	}
+}
+
+func TestPSNR(t *testing.T) {
+	a := FromU8([]uint8{100, 100}, 2)
+	if !math.IsInf(PSNR(a, a), 1) {
+		t.Fatal("identical PSNR not +Inf")
+	}
+	b := FromU8([]uint8{110, 100}, 2)
+	p := PSNR(a, b)
+	if p < 20 || p > 40 {
+		t.Fatalf("PSNR = %f", p)
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		var tt *Tensor
+		if trial%2 == 0 {
+			tt = NewU8(1+rng.Intn(5), 1+rng.Intn(5), 3)
+			rng.Read(tt.U8s)
+		} else {
+			tt = NewF32(1 + rng.Intn(20))
+			for i := range tt.F32s {
+				tt.F32s[i] = float32(rng.NormFloat64())
+			}
+		}
+		got, err := Unmarshal(tt.Marshal())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Equal(tt, got) {
+			t.Fatalf("trial %d: round trip mismatch", trial)
+		}
+	}
+}
+
+func TestUnmarshalCorrupt(t *testing.T) {
+	good := NewU8(2, 2).Marshal()
+	cases := [][]byte{
+		nil,
+		{1},
+		{99, 0},                                 // bad dtype
+		good[:len(good)-1],                      // truncated
+		append(append([]byte(nil), good...), 0), // trailing garbage
+	}
+	for i, c := range cases {
+		if _, err := Unmarshal(c); err == nil {
+			t.Fatalf("case %d decoded", i)
+		}
+	}
+}
+
+func TestQuickMarshal(t *testing.T) {
+	f := func(data []byte, w uint8) bool {
+		width := int(w%16) + 1
+		n := (len(data) / width) * width
+		if n == 0 {
+			return true
+		}
+		tt := FromU8(data[:n], n/width, width)
+		got, err := Unmarshal(tt.Marshal())
+		return err == nil && Equal(tt, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

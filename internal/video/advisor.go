@@ -1,0 +1,195 @@
+package video
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/codec"
+	"repro/internal/kv"
+)
+
+// This file implements the paper's §3 "Future Work: Storage Advisor": a
+// component that analyzes a workload description (or SLO) and returns an
+// optimized storage scheme, playing the role classical physical-design
+// advisors play for relational data.
+
+// Workload describes how a stored video will be accessed.
+type Workload struct {
+	// Frames is the video length.
+	Frames int
+	// FrameBytes is the raw size of one frame (W*H*3).
+	FrameBytes int
+	// ScansPerDay is how often the video is read.
+	ScansPerDay float64
+	// TemporalSelectivity is the average fraction of the video a scan
+	// touches (1.0 = always full scans, 0.01 = narrow windows).
+	TemporalSelectivity float64
+	// MinAccuracy is the lowest acceptable downstream accuracy relative
+	// to RAW (1.0 = lossless required; 0.9 tolerates visible loss).
+	MinAccuracy float64
+	// StorageBudgetBytes caps the stored size; 0 = unbounded.
+	StorageBudgetBytes int64
+}
+
+// Advice is the advisor's recommendation.
+type Advice struct {
+	Format  Format
+	Quality codec.Quality
+	// ClipLen applies to FormatSegmented.
+	ClipLen uint64
+	// EstBytes and EstScanCost are the model's estimates for the choice.
+	EstBytes    int64
+	EstScanCost float64 // relative decode cost per scan (frames decoded)
+	// Rationale explains the decision for the operator.
+	Rationale string
+}
+
+// CostProfile holds the advisor's calibrated constants; defaults come from
+// the Figure 2/3 measurements on the reference container.
+type CostProfile struct {
+	// CompressionRatio maps quality to the measured DLV ratio.
+	CompressionRatio map[codec.Quality]float64
+	// IntraRatio is the measured DLJ (frame file) compression ratio.
+	IntraRatio float64
+	// AccuracyAt maps quality to measured relative downstream accuracy.
+	AccuracyAt map[codec.Quality]float64
+	// DecodeCostRatio is the per-frame decode cost of inter-coded video
+	// relative to reading a raw frame.
+	DecodeCostRatio float64
+	// RentPerGiBDay prices storage in the same frame-decode units the scan
+	// cost uses, per GiB per day; it is what makes compression worthwhile
+	// when no hard budget is set.
+	RentPerGiBDay float64
+}
+
+// DefaultCostProfile reflects the Figure 2 measurements.
+func DefaultCostProfile() CostProfile {
+	return CostProfile{
+		CompressionRatio: map[codec.Quality]float64{
+			codec.QualityHigh:   44,
+			codec.QualityMedium: 96,
+			codec.QualityLow:    255,
+		},
+		IntraRatio: 8,
+		AccuracyAt: map[codec.Quality]float64{
+			codec.QualityHigh:   0.994,
+			codec.QualityMedium: 0.978,
+			codec.QualityLow:    0.935,
+		},
+		DecodeCostRatio: 1.3,
+		RentPerGiBDay:   200,
+	}
+}
+
+// Advise picks a storage scheme for the workload: the highest-compression
+// quality meeting the accuracy floor, then the format minimizing expected
+// scan cost subject to the storage budget. Clip length for the segmented
+// format is sized to the workload's typical window.
+func Advise(w Workload, p CostProfile) (Advice, error) {
+	if w.Frames <= 0 || w.FrameBytes <= 0 {
+		return Advice{}, fmt.Errorf("video: workload needs positive Frames and FrameBytes")
+	}
+	if w.TemporalSelectivity <= 0 || w.TemporalSelectivity > 1 {
+		return Advice{}, fmt.Errorf("video: TemporalSelectivity must be in (0,1]")
+	}
+	raw := int64(w.Frames) * int64(w.FrameBytes)
+
+	// Quality: cheapest storage whose accuracy clears the floor. A floor
+	// above the best lossy accuracy forces RAW.
+	quality := codec.Quality(0)
+	lossyOK := false
+	for _, q := range []codec.Quality{codec.QualityLow, codec.QualityMedium, codec.QualityHigh} {
+		if p.AccuracyAt[q] >= w.MinAccuracy {
+			quality = q
+			lossyOK = true
+			break
+		}
+	}
+
+	type option struct {
+		format  Format
+		quality codec.Quality
+		clipLen uint64
+		bytes   int64
+		scan    float64
+	}
+	var opts []option
+
+	// RAW frame file: full pushdown, no decode, maximal storage.
+	opts = append(opts, option{
+		format: FormatRaw,
+		bytes:  raw,
+		scan:   float64(w.Frames) * w.TemporalSelectivity,
+	})
+	if lossyOK {
+		// DLJ frame file: full pushdown, intra-only compression.
+		opts = append(opts, option{
+			format: FormatDLJ, quality: quality,
+			bytes: int64(float64(raw) / p.IntraRatio),
+			scan:  float64(w.Frames) * w.TemporalSelectivity * p.DecodeCostRatio,
+		})
+		// Encoded file: best compression, whole-prefix decode per scan
+		// (expected prefix length for a uniformly placed window ~ 1/2 + s/2).
+		opts = append(opts, option{
+			format: FormatDLV, quality: quality,
+			bytes: int64(float64(raw) / p.CompressionRatio[quality]),
+			scan:  float64(w.Frames) * (0.5 + w.TemporalSelectivity/2) * p.DecodeCostRatio,
+		})
+		// Segmented file: clip length ~ half the typical window, clamped.
+		window := float64(w.Frames) * w.TemporalSelectivity
+		clip := uint64(math.Max(8, math.Min(128, window/2)))
+		// Shorter clips mean more I-frames: discount the compression ratio
+		// toward the intra ratio as clips shrink.
+		gop := float64(codec.DefaultGOP)
+		frac := math.Min(1, float64(clip)/gop)
+		ratio := p.IntraRatio + (p.CompressionRatio[quality]-p.IntraRatio)*frac
+		opts = append(opts, option{
+			format: FormatSegmented, quality: quality, clipLen: clip,
+			bytes: int64(float64(raw) / ratio),
+			scan:  (window + float64(clip)) * p.DecodeCostRatio,
+		})
+	}
+
+	best := option{bytes: -1}
+	bestCost := math.Inf(1)
+	for _, o := range opts {
+		if w.StorageBudgetBytes > 0 && o.bytes > w.StorageBudgetBytes {
+			continue
+		}
+		// Objective: daily scan cost plus storage rent.
+		cost := o.scan*w.ScansPerDay + float64(o.bytes)/(1<<30)*p.RentPerGiBDay
+		if cost < bestCost {
+			best, bestCost = o, cost
+		}
+	}
+	if best.bytes < 0 {
+		return Advice{}, fmt.Errorf("video: no format fits budget %d B at accuracy >= %.2f (RAW needs %d B)",
+			w.StorageBudgetBytes, w.MinAccuracy, raw)
+	}
+	adv := Advice{
+		Format: best.format, Quality: best.quality, ClipLen: best.clipLen,
+		EstBytes: best.bytes, EstScanCost: best.scan,
+	}
+	adv.Rationale = fmt.Sprintf(
+		"%s at quality %v: est %.1f MiB (raw %.1f MiB), est %.0f frame-decodes/scan at selectivity %.2f",
+		best.format, best.quality, float64(best.bytes)/(1<<20), float64(raw)/(1<<20),
+		best.scan, w.TemporalSelectivity)
+	return adv, nil
+}
+
+// Build constructs the advised store. bucket serves the frame-file and
+// segmented formats; filePath serves the encoded stream.
+func (a Advice) Build(bucket *kv.Bucket, filePath string) (Store, error) {
+	switch a.Format {
+	case FormatRaw:
+		return NewFrameFile(bucket, false, codec.QualityHigh), nil
+	case FormatDLJ:
+		return NewFrameFile(bucket, true, a.Quality), nil
+	case FormatDLV:
+		return NewEncodedFile(filePath, a.Quality, codec.DefaultGOP)
+	case FormatSegmented:
+		return NewSegmentedFile(bucket, a.Quality, codec.DefaultGOP, a.ClipLen), nil
+	default:
+		return nil, fmt.Errorf("video: unknown advised format %v", a.Format)
+	}
+}

@@ -1,0 +1,137 @@
+package video
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/kv"
+)
+
+func baseWorkload() Workload {
+	return Workload{
+		Frames:              35280,
+		FrameBytes:          1920 * 1080 * 3,
+		ScansPerDay:         10,
+		TemporalSelectivity: 0.05,
+		MinAccuracy:         0.97,
+	}
+}
+
+func TestAdviseLosslessRequirementForcesRaw(t *testing.T) {
+	w := baseWorkload()
+	w.MinAccuracy = 1.0
+	adv, err := Advise(w, DefaultCostProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.Format != FormatRaw {
+		t.Fatalf("lossless requirement got %v", adv.Format)
+	}
+}
+
+func TestAdviseNarrowScansPreferSeekableFormat(t *testing.T) {
+	w := baseWorkload()
+	w.TemporalSelectivity = 0.01 // very narrow windows
+	w.ScansPerDay = 100
+	adv, err := Advise(w, DefaultCostProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.Format == FormatDLV {
+		t.Fatalf("narrow frequent scans got the sequential format: %+v", adv)
+	}
+}
+
+func TestAdviseTightBudgetForcesInterCoding(t *testing.T) {
+	w := baseWorkload()
+	raw := int64(w.Frames) * int64(w.FrameBytes)
+	w.StorageBudgetBytes = raw / 20 // beyond DLJ's reach
+	adv, err := Advise(w, DefaultCostProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.Format != FormatDLV && adv.Format != FormatSegmented {
+		t.Fatalf("tight budget got %v", adv.Format)
+	}
+	if adv.EstBytes > w.StorageBudgetBytes {
+		t.Fatalf("advice exceeds budget: %d > %d", adv.EstBytes, w.StorageBudgetBytes)
+	}
+}
+
+func TestAdviseImpossibleBudget(t *testing.T) {
+	w := baseWorkload()
+	w.MinAccuracy = 1.0        // forces RAW...
+	w.StorageBudgetBytes = 1e6 // ...which cannot fit
+	if _, err := Advise(w, DefaultCostProfile()); err == nil {
+		t.Fatal("impossible constraint satisfied")
+	}
+}
+
+func TestAdviseAccuracyFloorSelectsQuality(t *testing.T) {
+	p := DefaultCostProfile()
+	w := baseWorkload()
+	w.MinAccuracy = 0.99 // only high quality clears it
+	adv, err := Advise(w, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.Format != FormatRaw && adv.Quality != codec.QualityHigh {
+		t.Fatalf("accuracy floor 0.99 got quality %v", adv.Quality)
+	}
+	w.MinAccuracy = 0.9 // everything clears it: lowest quality wins
+	adv, err = Advise(w, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.Format != FormatRaw && adv.Quality != codec.QualityLow {
+		t.Fatalf("accuracy floor 0.9 got quality %v", adv.Quality)
+	}
+}
+
+func TestAdviseRationaleAndValidation(t *testing.T) {
+	adv, err := Advise(baseWorkload(), DefaultCostProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(adv.Rationale, "MiB") {
+		t.Fatalf("rationale %q", adv.Rationale)
+	}
+	if _, err := Advise(Workload{}, DefaultCostProfile()); err == nil {
+		t.Fatal("empty workload accepted")
+	}
+	w := baseWorkload()
+	w.TemporalSelectivity = 2
+	if _, err := Advise(w, DefaultCostProfile()); err == nil {
+		t.Fatal("selectivity > 1 accepted")
+	}
+}
+
+func TestAdviceBuildRoundTrip(t *testing.T) {
+	st, err := kv.Open(filepath.Join(t.TempDir(), "a.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	dir := t.TempDir()
+	for _, format := range []Format{FormatRaw, FormatDLJ, FormatDLV, FormatSegmented} {
+		adv := Advice{Format: format, Quality: codec.QualityHigh, ClipLen: 16}
+		b, _ := st.Bucket("adv-" + format.String())
+		store, err := adv.Build(b, filepath.Join(dir, format.String()+".dlv"))
+		if err != nil {
+			t.Fatalf("%v: %v", format, err)
+		}
+		if store.Format() != format {
+			t.Fatalf("built %v, want %v", store.Format(), format)
+		}
+		if err := Ingest(store, 10, func(i uint64) *codec.Image { return genFrame(i, 32, 32) }); err != nil {
+			t.Fatalf("%v ingest: %v", format, err)
+		}
+		n := 0
+		store.Scan(0, 10, func(Frame) bool { n++; return true })
+		if n != 10 {
+			t.Fatalf("%v scan %d frames", format, n)
+		}
+	}
+}

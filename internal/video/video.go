@@ -1,0 +1,410 @@
+// Package video implements DeepLens's storage layer for video at rest
+// (paper §3.1): the Frame File (per-frame records in the embedded kv
+// store, sorted by frame number, in RAW or DLJ-compressed form), the
+// Encoded File (one sequential DLV stream), and the Segmented File (short
+// aligned DLV clips bucketed by start frame). All three expose the same
+// temporal-scan interface; what differs — and what Figures 2 and 3
+// measure — is storage footprint, decode cost, and whether a temporal
+// predicate can be pushed down.
+package video
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/codec"
+	"repro/internal/kv"
+)
+
+// Frame pairs an image with its frame number (the paper also stores wall
+// clock time; at fixed fps it is an affine function of Number and lives in
+// patch metadata).
+type Frame struct {
+	Number uint64
+	Image  *codec.Image
+}
+
+// Format selects a physical layout for a stored video.
+type Format int
+
+// Supported storage formats.
+const (
+	FormatRaw       Format = iota // Frame File, raw pixels
+	FormatDLJ                     // Frame File, intra-coded frames ("JPEG")
+	FormatDLV                     // Encoded File, sequential inter-coded stream
+	FormatSegmented               // Segmented File, aligned DLV clips
+)
+
+func (f Format) String() string {
+	switch f {
+	case FormatRaw:
+		return "frame-file-raw"
+	case FormatDLJ:
+		return "frame-file-dlj"
+	case FormatDLV:
+		return "encoded-dlv"
+	case FormatSegmented:
+		return "segmented-dlv"
+	default:
+		return fmt.Sprintf("format(%d)", int(f))
+	}
+}
+
+// Store is a stored video: append frames in order, then scan temporal
+// ranges. Scan visits frames with Number in [lo, hi) in order; fn
+// returning false stops early.
+type Store interface {
+	Format() Format
+	Append(f Frame) error
+	// Finish flushes buffered state; must be called before Scan.
+	Finish() error
+	Scan(lo, hi uint64, fn func(Frame) bool) error
+	NumFrames() uint64
+	// StorageBytes reports the persisted footprint of the video payload.
+	StorageBytes() (int64, error)
+}
+
+// ErrOutOfOrder is returned when frames are appended non-monotonically.
+var ErrOutOfOrder = errors.New("video: frames must be appended in increasing order")
+
+// marshalRaw serializes a raw frame record.
+func marshalRaw(img *codec.Image) []byte {
+	buf := make([]byte, 8+len(img.Pix))
+	binary.LittleEndian.PutUint32(buf[0:], uint32(img.W))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(img.H))
+	copy(buf[8:], img.Pix)
+	return buf
+}
+
+func unmarshalRaw(buf []byte) (*codec.Image, error) {
+	if len(buf) < 8 {
+		return nil, codec.ErrCorrupt
+	}
+	w := int(binary.LittleEndian.Uint32(buf[0:]))
+	h := int(binary.LittleEndian.Uint32(buf[4:]))
+	if w <= 0 || h <= 0 || len(buf) != 8+w*h*3 {
+		return nil, codec.ErrCorrupt
+	}
+	return &codec.Image{W: w, H: h, Pix: append([]uint8(nil), buf[8:]...)}, nil
+}
+
+// ---------------------------------------------------------- Frame File ----
+
+// FrameFile stores one record per frame in a kv bucket keyed by frame
+// number: full temporal filter pushdown, at raw (or intra-coded) size.
+type FrameFile struct {
+	b       *kv.Bucket
+	quality codec.Quality
+	intra   bool // DLJ-compress records
+	n       uint64
+	last    uint64
+	started bool
+}
+
+// NewFrameFile creates a frame file over bucket b. If intra is true,
+// records are DLJ-compressed at quality q.
+func NewFrameFile(b *kv.Bucket, intra bool, q codec.Quality) *FrameFile {
+	return &FrameFile{b: b, intra: intra, quality: q}
+}
+
+// Format implements Store.
+func (ff *FrameFile) Format() Format {
+	if ff.intra {
+		return FormatDLJ
+	}
+	return FormatRaw
+}
+
+// Append implements Store.
+func (ff *FrameFile) Append(f Frame) error {
+	if ff.started && f.Number <= ff.last {
+		return ErrOutOfOrder
+	}
+	ff.started = true
+	ff.last = f.Number
+	var rec []byte
+	if ff.intra {
+		enc, err := codec.EncodeDLJ(f.Image, ff.quality)
+		if err != nil {
+			return err
+		}
+		rec = enc
+	} else {
+		rec = marshalRaw(f.Image)
+	}
+	if err := ff.b.Put(kv.U64Key(f.Number), rec); err != nil {
+		return err
+	}
+	ff.n++
+	return nil
+}
+
+// Finish implements Store.
+func (ff *FrameFile) Finish() error { return nil }
+
+// NumFrames implements Store.
+func (ff *FrameFile) NumFrames() uint64 { return ff.n }
+
+// Scan implements Store: the bucket's ordered scan gives exact pushdown.
+func (ff *FrameFile) Scan(lo, hi uint64, fn func(Frame) bool) error {
+	var scanErr error
+	err := ff.b.Scan(kv.U64Key(lo), kv.U64Key(hi), func(k, v []byte) bool {
+		var img *codec.Image
+		var err error
+		if ff.intra {
+			img, err = codec.DecodeDLJ(v)
+		} else {
+			img, err = unmarshalRaw(v)
+		}
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		return fn(Frame{Number: kv.ParseU64Key(k), Image: img})
+	})
+	if scanErr != nil {
+		return scanErr
+	}
+	return err
+}
+
+// StorageBytes implements Store.
+func (ff *FrameFile) StorageBytes() (int64, error) {
+	var total int64
+	err := ff.b.Scan(nil, nil, func(k, v []byte) bool {
+		total += int64(len(k) + len(v))
+		return true
+	})
+	return total, err
+}
+
+// -------------------------------------------------------- Encoded File ----
+
+// EncodedFile stores the whole video as one DLV stream in a flat file.
+// Smallest footprint; scans must decode sequentially from the start, so a
+// temporal predicate cannot be pushed down.
+type EncodedFile struct {
+	path    string
+	quality codec.Quality
+	gop     int
+	f       *os.File
+	w       *codec.DLVWriter
+	n       uint64
+	first   uint64
+	started bool
+}
+
+// NewEncodedFile creates (truncates) the DLV stream at path.
+func NewEncodedFile(path string, q codec.Quality, gop int) (*EncodedFile, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &EncodedFile{path: path, quality: q, gop: gop, f: f}, nil
+}
+
+// Format implements Store.
+func (ef *EncodedFile) Format() Format { return FormatDLV }
+
+// Append implements Store. Frame numbers must be contiguous from the first
+// append (a DLV stream has no per-frame index).
+func (ef *EncodedFile) Append(fr Frame) error {
+	if !ef.started {
+		ef.first = fr.Number
+		ef.started = true
+	} else if fr.Number != ef.first+ef.n {
+		return fmt.Errorf("%w: encoded file requires contiguous frames", ErrOutOfOrder)
+	}
+	if ef.w == nil {
+		w, err := codec.NewDLVWriter(ef.f, fr.Image.W, fr.Image.H, ef.quality, ef.gop)
+		if err != nil {
+			return err
+		}
+		ef.w = w
+	}
+	if err := ef.w.WriteFrame(fr.Image); err != nil {
+		return err
+	}
+	ef.n++
+	return nil
+}
+
+// Finish implements Store.
+func (ef *EncodedFile) Finish() error {
+	if ef.w != nil {
+		if err := ef.w.Close(); err != nil {
+			return err
+		}
+	}
+	return ef.f.Sync()
+}
+
+// NumFrames implements Store.
+func (ef *EncodedFile) NumFrames() uint64 { return ef.n }
+
+// Scan implements Store. The whole prefix [0, hi) is decoded — the codec
+// is sequential — and frames below lo are discarded after decoding.
+func (ef *EncodedFile) Scan(lo, hi uint64, fn func(Frame) bool) error {
+	r, err := os.Open(ef.path)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	dec, err := codec.NewDLVReader(r)
+	if err != nil {
+		return err
+	}
+	num := ef.first
+	for num < hi {
+		img, err := dec.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if num >= lo {
+			if !fn(Frame{Number: num, Image: img}) {
+				return nil
+			}
+		}
+		num++
+	}
+	return nil
+}
+
+// StorageBytes implements Store.
+func (ef *EncodedFile) StorageBytes() (int64, error) {
+	st, err := os.Stat(ef.path)
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// ------------------------------------------------------ Segmented File ----
+
+// SegmentedFile stores aligned fixed-length DLV clips in a kv bucket keyed
+// by start frame: coarse-grained pushdown (seek to the clip containing lo)
+// plus inter-frame compression within clips. ClipLen trades the two
+// (paper §7.1 tuned it manually; the ablation bench sweeps it).
+type SegmentedFile struct {
+	b       *kv.Bucket
+	quality codec.Quality
+	gop     int
+	ClipLen uint64
+	buf     []*codec.Image
+	bufAt   uint64
+	n       uint64
+	started bool
+}
+
+// NewSegmentedFile creates a segmented store over bucket b with the given
+// clip length.
+func NewSegmentedFile(b *kv.Bucket, q codec.Quality, gop int, clipLen uint64) *SegmentedFile {
+	if clipLen == 0 {
+		clipLen = 32
+	}
+	return &SegmentedFile{b: b, quality: q, gop: gop, ClipLen: clipLen}
+}
+
+// Format implements Store.
+func (sf *SegmentedFile) Format() Format { return FormatSegmented }
+
+// Append implements Store. Frames must be contiguous from the first.
+func (sf *SegmentedFile) Append(fr Frame) error {
+	if !sf.started {
+		sf.started = true
+		sf.bufAt = fr.Number
+	} else if fr.Number != sf.bufAt+uint64(len(sf.buf)) {
+		return fmt.Errorf("%w: segmented file requires contiguous frames", ErrOutOfOrder)
+	}
+	sf.buf = append(sf.buf, fr.Image)
+	sf.n++
+	if uint64(len(sf.buf)) == sf.ClipLen {
+		return sf.flushClip()
+	}
+	return nil
+}
+
+func (sf *SegmentedFile) flushClip() error {
+	if len(sf.buf) == 0 {
+		return nil
+	}
+	enc, err := codec.EncodeDLV(sf.buf, sf.quality, sf.gop)
+	if err != nil {
+		return err
+	}
+	if err := sf.b.Put(kv.U64Key(sf.bufAt), enc); err != nil {
+		return err
+	}
+	sf.bufAt += uint64(len(sf.buf))
+	sf.buf = sf.buf[:0]
+	return nil
+}
+
+// Finish implements Store: flushes the trailing partial clip.
+func (sf *SegmentedFile) Finish() error { return sf.flushClip() }
+
+// NumFrames implements Store.
+func (sf *SegmentedFile) NumFrames() uint64 { return sf.n }
+
+// Scan implements Store: seeks to the clip containing lo, then decodes
+// whole clips (coarse pushdown) and filters frames inside them.
+func (sf *SegmentedFile) Scan(lo, hi uint64, fn func(Frame) bool) error {
+	if hi <= lo {
+		return nil
+	}
+	// Clips are aligned on ClipLen boundaries (ingest starts at frame 0),
+	// so the clip covering lo starts at the previous boundary.
+	var scanErr error
+	startKey := lo - (lo % sf.ClipLen)
+	err := sf.b.Scan(kv.U64Key(startKey), kv.U64Key(hi), func(k, v []byte) bool {
+		clipStart := kv.ParseU64Key(k)
+		frames, err := codec.DecodeDLV(v)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		for i, img := range frames {
+			num := clipStart + uint64(i)
+			if num < lo {
+				continue
+			}
+			if num >= hi {
+				return false
+			}
+			if !fn(Frame{Number: num, Image: img}) {
+				return false
+			}
+		}
+		return true
+	})
+	if scanErr != nil {
+		return scanErr
+	}
+	return err
+}
+
+// StorageBytes implements Store.
+func (sf *SegmentedFile) StorageBytes() (int64, error) {
+	var total int64
+	err := sf.b.Scan(nil, nil, func(k, v []byte) bool {
+		total += int64(len(k) + len(v))
+		return true
+	})
+	return total, err
+}
+
+// Ingest copies frames [0, n) produced by gen into store, calling Finish.
+func Ingest(store Store, n uint64, gen func(i uint64) *codec.Image) error {
+	for i := uint64(0); i < n; i++ {
+		if err := store.Append(Frame{Number: i, Image: gen(i)}); err != nil {
+			return err
+		}
+	}
+	return store.Finish()
+}

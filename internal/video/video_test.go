@@ -1,0 +1,245 @@
+package video
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/kv"
+)
+
+// genFrame renders a deterministic frame: gradient plus a moving block.
+func genFrame(i uint64, w, h int) *codec.Image {
+	img := codec.NewImage(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			img.Set(x, y, 0, uint8(x*3))
+			img.Set(x, y, 1, uint8(y*3))
+			img.Set(x, y, 2, 100)
+		}
+	}
+	ox := int(i*2) % (w - 8)
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			img.Set(ox+x, h/2+y, 0, 250)
+			img.Set(ox+x, h/2+y, 1, 40)
+			img.Set(ox+x, h/2+y, 2, 40)
+		}
+	}
+	return img
+}
+
+func newStoreKV(t *testing.T) *kv.Store {
+	t.Helper()
+	s, err := kv.Open(filepath.Join(t.TempDir(), "v.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// buildAll constructs every format over the same n synthetic frames.
+func buildAll(t *testing.T, n uint64) map[Format]Store {
+	t.Helper()
+	s := newStoreKV(t)
+	dir := t.TempDir()
+	stores := map[Format]Store{}
+
+	bRaw, _ := s.Bucket("raw")
+	stores[FormatRaw] = NewFrameFile(bRaw, false, codec.QualityHigh)
+	bDLJ, _ := s.Bucket("dlj")
+	stores[FormatDLJ] = NewFrameFile(bDLJ, true, codec.QualityHigh)
+	ef, err := NewEncodedFile(filepath.Join(dir, "v.dlv"), codec.QualityHigh, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores[FormatDLV] = ef
+	bSeg, _ := s.Bucket("seg")
+	stores[FormatSegmented] = NewSegmentedFile(bSeg, codec.QualityHigh, 16, 16)
+
+	for _, st := range stores {
+		if err := Ingest(st, n, func(i uint64) *codec.Image { return genFrame(i, 64, 48) }); err != nil {
+			t.Fatalf("%v ingest: %v", st.Format(), err)
+		}
+	}
+	return stores
+}
+
+func TestAllFormatsFullScan(t *testing.T) {
+	const n = 50
+	stores := buildAll(t, n)
+	for f, st := range stores {
+		if st.NumFrames() != n {
+			t.Fatalf("%v NumFrames = %d", f, st.NumFrames())
+		}
+		var nums []uint64
+		err := st.Scan(0, n, func(fr Frame) bool {
+			nums = append(nums, fr.Number)
+			if fr.Image.W != 64 || fr.Image.H != 48 {
+				t.Fatalf("%v frame %d size %dx%d", f, fr.Number, fr.Image.W, fr.Image.H)
+			}
+			return true
+		})
+		if err != nil {
+			t.Fatalf("%v scan: %v", f, err)
+		}
+		if len(nums) != n {
+			t.Fatalf("%v scan visited %d frames", f, len(nums))
+		}
+		for i, num := range nums {
+			if num != uint64(i) {
+				t.Fatalf("%v scan order broken at %d: %d", f, i, num)
+			}
+		}
+	}
+}
+
+func TestAllFormatsRangeScan(t *testing.T) {
+	const n = 60
+	stores := buildAll(t, n)
+	for f, st := range stores {
+		var nums []uint64
+		if err := st.Scan(25, 35, func(fr Frame) bool {
+			nums = append(nums, fr.Number)
+			return true
+		}); err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		if len(nums) != 10 || nums[0] != 25 || nums[9] != 34 {
+			t.Fatalf("%v range scan = %v", f, nums)
+		}
+	}
+}
+
+func TestAllFormatsEarlyStop(t *testing.T) {
+	stores := buildAll(t, 40)
+	for f, st := range stores {
+		count := 0
+		st.Scan(0, 40, func(Frame) bool { count++; return count < 5 })
+		if count != 5 {
+			t.Fatalf("%v early stop visited %d", f, count)
+		}
+	}
+}
+
+func TestLossyFormatsStayFaithful(t *testing.T) {
+	stores := buildAll(t, 30)
+	for f, st := range stores {
+		st.Scan(10, 11, func(fr Frame) bool {
+			orig := genFrame(fr.Number, 64, 48)
+			mse := codec.MSE(orig, fr.Image)
+			limit := 0.0
+			if f != FormatRaw {
+				limit = 60 // lossy formats allowed moderate error at High quality
+			}
+			if mse > limit {
+				t.Fatalf("%v frame MSE %.1f over %v", f, mse, limit)
+			}
+			return true
+		})
+	}
+}
+
+func TestStorageOrdering(t *testing.T) {
+	// RAW must be biggest; the inter-coded formats must beat the intra one
+	// on mostly-static content; DLV whole-stream <= segmented (more
+	// I-frames in segments).
+	stores := buildAll(t, 64)
+	size := map[Format]int64{}
+	for f, st := range stores {
+		b, err := st.StorageBytes()
+		if err != nil {
+			t.Fatalf("%v StorageBytes: %v", f, err)
+		}
+		if b <= 0 {
+			t.Fatalf("%v StorageBytes = %d", f, b)
+		}
+		size[f] = b
+	}
+	if !(size[FormatRaw] > size[FormatDLJ] && size[FormatDLJ] > size[FormatDLV]) {
+		t.Fatalf("size ordering violated: %v", size)
+	}
+	if size[FormatSegmented] < size[FormatDLV] {
+		t.Fatalf("segmented (%d) smaller than whole-stream DLV (%d)", size[FormatSegmented], size[FormatDLV])
+	}
+	if ratio := float64(size[FormatRaw]) / float64(size[FormatDLV]); ratio < 10 {
+		t.Fatalf("DLV compression ratio %.1fx below 10x", ratio)
+	}
+}
+
+func TestOutOfOrderAppendRejected(t *testing.T) {
+	s := newStoreKV(t)
+	b, _ := s.Bucket("ff")
+	ff := NewFrameFile(b, false, codec.QualityHigh)
+	img := genFrame(0, 32, 32)
+	if err := ff.Append(Frame{Number: 5, Image: img}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ff.Append(Frame{Number: 5, Image: img}); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("duplicate append err = %v", err)
+	}
+	if err := ff.Append(Frame{Number: 3, Image: img}); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("regressing append err = %v", err)
+	}
+
+	ef, _ := NewEncodedFile(filepath.Join(t.TempDir(), "e.dlv"), codec.QualityHigh, 8)
+	ef.Append(Frame{Number: 0, Image: img})
+	if err := ef.Append(Frame{Number: 2, Image: img}); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("gap append err = %v", err)
+	}
+}
+
+func TestSegmentedPartialTailClip(t *testing.T) {
+	s := newStoreKV(t)
+	b, _ := s.Bucket("seg")
+	sf := NewSegmentedFile(b, codec.QualityHigh, 8, 16)
+	// 20 frames: one full clip + one partial (4 frames).
+	if err := Ingest(sf, 20, func(i uint64) *codec.Image { return genFrame(i, 32, 32) }); err != nil {
+		t.Fatal(err)
+	}
+	var count int
+	sf.Scan(0, 20, func(Frame) bool { count++; return true })
+	if count != 20 {
+		t.Fatalf("scan visited %d of 20 (tail clip lost?)", count)
+	}
+	// Range landing inside the tail clip.
+	count = 0
+	sf.Scan(17, 20, func(Frame) bool { count++; return true })
+	if count != 3 {
+		t.Fatalf("tail range visited %d, want 3", count)
+	}
+}
+
+func TestFrameFilePersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "v.db")
+	s, err := kv.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := s.Bucket("frames")
+	ff := NewFrameFile(b, true, codec.QualityMedium)
+	if err := Ingest(ff, 10, func(i uint64) *codec.Image { return genFrame(i, 32, 32) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := kv.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	b2, _ := s2.Bucket("frames")
+	ff2 := NewFrameFile(b2, true, codec.QualityMedium)
+	count := 0
+	if err := ff2.Scan(0, 10, func(Frame) bool { count++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 10 {
+		t.Fatalf("reopen scan visited %d", count)
+	}
+}

@@ -1,0 +1,290 @@
+package vision
+
+import (
+	"sort"
+
+	"repro/internal/codec"
+)
+
+// OCRWord is one recognized token with its bounding box and mean per-glyph
+// match score in [0,1].
+type OCRWord struct {
+	Text           string
+	X1, Y1, X2, Y2 int
+	Score          float64
+}
+
+// OCR is the text-recognition model: ink segmentation (dark-on-light or
+// bright-on-dark) followed by per-component template matching against the
+// same 5x7 font the simulator renders with. Like the detector, it reads
+// decoded pixels, so compression artifacts cost it accuracy.
+type OCR struct {
+	// MinScore is the per-glyph acceptance threshold.
+	MinScore float64
+	// Bright selects bright-ink segmentation (jersey numbers) instead of
+	// dark-ink (documents).
+	Bright bool
+}
+
+// NewDocumentOCR recognizes dark text on light backgrounds.
+func NewDocumentOCR() *OCR { return &OCR{MinScore: 0.65} }
+
+// NewJerseyOCR recognizes bright digits on colored torsos.
+func NewJerseyOCR() *OCR { return &OCR{MinScore: 0.6, Bright: true} }
+
+func luminance(r, g, b int) int { return (r*299 + g*587 + b*114) / 1000 }
+
+// ink reports whether the pixel at (x,y) is ink under the model's polarity.
+func (o *OCR) ink(img *codec.Image, x, y int) bool {
+	l := luminance(int(img.At(x, y, 0)), int(img.At(x, y, 1)), int(img.At(x, y, 2)))
+	if o.Bright {
+		return l >= 190
+	}
+	return l < 100
+}
+
+type glyphBox struct {
+	x1, y1, x2, y2 int
+	pixels         []int // linear indexes of ink
+}
+
+// segments extracts 8-connected ink components.
+func (o *OCR) segments(img *codec.Image) []glyphBox {
+	w, h := img.W, img.H
+	ink := make([]bool, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			ink[y*w+x] = o.ink(img, x, y)
+		}
+	}
+	visited := make([]bool, w*h)
+	var out []glyphBox
+	var stack []int
+	for s := 0; s < w*h; s++ {
+		if visited[s] || !ink[s] {
+			continue
+		}
+		stack = stack[:0]
+		stack = append(stack, s)
+		visited[s] = true
+		gb := glyphBox{x1: w, y1: h, x2: -1, y2: -1}
+		for len(stack) > 0 {
+			p := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			gb.pixels = append(gb.pixels, p)
+			px, py := p%w, p/w
+			if px < gb.x1 {
+				gb.x1 = px
+			}
+			if px > gb.x2 {
+				gb.x2 = px
+			}
+			if py < gb.y1 {
+				gb.y1 = py
+			}
+			if py > gb.y2 {
+				gb.y2 = py
+			}
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					nx, ny := px+dx, py+dy
+					if nx < 0 || nx >= w || ny < 0 || ny >= h {
+						continue
+					}
+					np := ny*w + nx
+					if !visited[np] && ink[np] {
+						visited[np] = true
+						stack = append(stack, np)
+					}
+				}
+			}
+		}
+		gb.x2++
+		gb.y2++
+		if len(gb.pixels) >= 4 && gb.y2-gb.y1 >= 4 {
+			out = append(out, gb)
+		}
+	}
+	return out
+}
+
+// glyphTight caches each glyph's tight ink bounds within the 5x7 cell, so
+// templates align with the tight bounding boxes segmentation produces
+// (narrow glyphs like '1' occupy only part of the cell).
+var glyphTight = func() map[byte][4]int {
+	out := make(map[byte][4]int, len(glyphs))
+	for c := range glyphs {
+		x1, y1, x2, y2 := GlyphW, GlyphH, 0, 0
+		for y := 0; y < GlyphH; y++ {
+			for x := 0; x < GlyphW; x++ {
+				if glyphPixel(c, x, y) {
+					if x < x1 {
+						x1 = x
+					}
+					if x+1 > x2 {
+						x2 = x + 1
+					}
+					if y < y1 {
+						y1 = y
+					}
+					if y+1 > y2 {
+						y2 = y + 1
+					}
+				}
+			}
+		}
+		out[c] = [4]int{x1, y1, x2, y2}
+	}
+	return out
+}()
+
+// matchGlyph scores component gb against character c by mapping c's tight
+// template bounds onto the component's tight bbox; returns cell agreement
+// in [0,1].
+func matchGlyph(gb glyphBox, c byte, w int) float64 {
+	bw := gb.x2 - gb.x1
+	bh := gb.y2 - gb.y1
+	tight := glyphTight[c]
+	tx1, ty1, tx2, ty2 := tight[0], tight[1], tight[2], tight[3]
+	tw, th := tx2-tx1, ty2-ty1
+	if tw <= 0 || th <= 0 {
+		return 0
+	}
+	inkSet := make(map[int]bool, len(gb.pixels))
+	for _, p := range gb.pixels {
+		inkSet[p] = true
+	}
+	agree, total := 0, 0
+	for gy := ty1; gy < ty2; gy++ {
+		for gx := tx1; gx < tx2; gx++ {
+			want := glyphPixel(c, gx, gy)
+			// Map tight template cell to component box region.
+			x1 := gb.x1 + (gx-tx1)*bw/tw
+			x2 := gb.x1 + (gx-tx1+1)*bw/tw
+			y1 := gb.y1 + (gy-ty1)*bh/th
+			y2 := gb.y1 + (gy-ty1+1)*bh/th
+			if x2 <= x1 {
+				x2 = x1 + 1
+			}
+			if y2 <= y1 {
+				y2 = y1 + 1
+			}
+			// Cell is "on" when most of its pixels are ink.
+			on := 0
+			n := 0
+			for y := y1; y < y2; y++ {
+				for x := x1; x < x2; x++ {
+					n++
+					if inkSet[y*w+x] {
+						on++
+					}
+				}
+			}
+			got := on*2 >= n
+			total++
+			if got == want {
+				agree++
+			}
+		}
+	}
+	return float64(agree) / float64(total)
+}
+
+// Recognize finds text in img: components are classified independently,
+// then grouped into words by row and horizontal adjacency.
+func (o *OCR) Recognize(img *codec.Image) []OCRWord {
+	segs := o.segments(img)
+	var chars []ocrChar
+	for _, gb := range segs {
+		bestC := byte(0)
+		bestS := 0.0
+		for _, c := range GlyphSet() {
+			if s := matchGlyph(gb, c, img.W); s > bestS {
+				bestS, bestC = s, c
+			}
+		}
+		if bestS >= o.MinScore {
+			chars = append(chars, ocrChar{c: bestC, score: bestS, gb: gb})
+		}
+	}
+	if len(chars) == 0 {
+		return nil
+	}
+	// Group into rows by vertical overlap, then sort by x and split words
+	// on gaps wider than one glyph width.
+	sort.Slice(chars, func(i, j int) bool {
+		if chars[i].gb.y1 != chars[j].gb.y1 {
+			return chars[i].gb.y1 < chars[j].gb.y1
+		}
+		return chars[i].gb.x1 < chars[j].gb.x1
+	})
+	var rows [][]ocrChar
+	for _, c := range chars {
+		placed := false
+		for ri := range rows {
+			r0 := rows[ri][0]
+			if overlap1D(c.gb.y1, c.gb.y2, r0.gb.y1, r0.gb.y2) > 0.5 {
+				rows[ri] = append(rows[ri], c)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			rows = append(rows, []ocrChar{c})
+		}
+	}
+	var words []OCRWord
+	for _, row := range rows {
+		sort.Slice(row, func(i, j int) bool { return row[i].gb.x1 < row[j].gb.x1 })
+		start := 0
+		for i := 1; i <= len(row); i++ {
+			glyphW := row[i-1].gb.x2 - row[i-1].gb.x1
+			if i == len(row) || row[i].gb.x1-row[i-1].gb.x2 > glyphW+2 {
+				words = append(words, assembleWord(row[start:i]))
+				start = i
+			}
+		}
+	}
+	return words
+}
+
+func overlap1D(a1, a2, b1, b2 int) float64 {
+	lo, hi := max(a1, b1), min(a2, b2)
+	if hi <= lo {
+		return 0
+	}
+	span := min(a2-a1, b2-b1)
+	if span <= 0 {
+		return 0
+	}
+	return float64(hi-lo) / float64(span)
+}
+
+// ocrChar is one classified ink component.
+type ocrChar struct {
+	c     byte
+	score float64
+	gb    glyphBox
+}
+
+func assembleWord(row []ocrChar) OCRWord {
+	w := OCRWord{X1: row[0].gb.x1, Y1: row[0].gb.y1, X2: row[0].gb.x2, Y2: row[0].gb.y2}
+	buf := make([]byte, 0, len(row))
+	var s float64
+	for _, c := range row {
+		buf = append(buf, c.c)
+		s += c.score
+		if c.gb.x2 > w.X2 {
+			w.X2 = c.gb.x2
+		}
+		if c.gb.y1 < w.Y1 {
+			w.Y1 = c.gb.y1
+		}
+		if c.gb.y2 > w.Y2 {
+			w.Y2 = c.gb.y2
+		}
+	}
+	w.Text = string(buf)
+	w.Score = s / float64(len(row))
+	return w
+}

@@ -1,0 +1,485 @@
+// Package vision supplies DeepLens's computer-vision substrate: a
+// synthetic scene simulator with ground truth, a pixel-domain object
+// detector (the SSD stand-in), an OCR model, a monocular depth head, and
+// patch featurizers. The models operate on real decoded pixels, so storage
+// and encoding decisions genuinely change their accuracy — the coupling
+// the paper's Figure 2 and Table 1 measure.
+package vision
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/codec"
+)
+
+// Class labels the detector's closed world (the paper's type system tracks
+// exactly such label domains).
+type Class int
+
+// Detectable object classes.
+const (
+	ClassUnknown Class = iota
+	ClassCar
+	ClassPedestrian
+	ClassPlayer
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassCar:
+		return "car"
+	case ClassPedestrian:
+		return "pedestrian"
+	case ClassPlayer:
+		return "player"
+	default:
+		return "unknown"
+	}
+}
+
+// ClassNames lists the label domain in stable order.
+func ClassNames() []string { return []string{"car", "pedestrian", "player"} }
+
+// classProto is the canonical body color per class; object identities
+// perturb it. The detector keys on channel dominance, so families stay
+// separable even after lossy encoding at reasonable quality.
+func classProto(c Class) [3]uint8 {
+	switch c {
+	case ClassCar:
+		return [3]uint8{215, 55, 55}
+	case ClassPedestrian:
+		return [3]uint8{55, 55, 215}
+	case ClassPlayer:
+		return [3]uint8{55, 195, 55}
+	default:
+		return [3]uint8{128, 128, 128}
+	}
+}
+
+// Object is a simulated scene actor with a linear-plus-sway trajectory in
+// world coordinates (x across the scene, z = distance from camera).
+type Object struct {
+	ID     uint64
+	Class  Class
+	Color  [3]uint8 // identity base color
+	Stripe [3]uint8 // identity texture color
+	Jersey string   // rendered on players (digits)
+
+	// World-space extent (arbitrary units; projected by Scene.Focal).
+	WorldW, WorldH float64
+
+	// Trajectory: world x and depth z at frame t.
+	X0, VX   float64
+	Z0, VZ   float64
+	SwayAmp  float64
+	SwayFreq float64
+
+	// Frame range during which the object is in the scene.
+	Appear, Vanish int
+}
+
+// PosAt returns world x and depth z at frame t.
+func (o *Object) PosAt(t int) (x, z float64) {
+	ft := float64(t - o.Appear)
+	x = o.X0 + o.VX*ft + o.SwayAmp*math.Sin(o.SwayFreq*ft)
+	z = o.Z0 + o.VZ*ft
+	if z < 1 {
+		z = 1
+	}
+	return x, z
+}
+
+// GT is per-frame ground truth for one rendered object.
+type GT struct {
+	ID         uint64
+	Class      Class
+	X1, Y1     int
+	X2, Y2     int // exclusive
+	Depth      float64
+	Visibility float64 // fraction of the object's pixels not occluded
+	Jersey     string
+}
+
+// Scene is a camera view over a set of objects with a static background.
+type Scene struct {
+	W, H       int
+	Horizon    int     // image y of the vanishing line
+	Focal      float64 // projection constant
+	Background *codec.Image
+	Objects    []*Object
+}
+
+// NewTrafficBackground renders a static road scene: low-saturation asphalt
+// gradient with lane markings, far from every object color family.
+func NewTrafficBackground(w, h, horizon int) *codec.Image {
+	img := codec.NewImage(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			var r, g, b int
+			if y < horizon { // sky band
+				r, g, b = 168, 176, 186
+			} else {
+				shade := 95 + (y-horizon)*40/max(1, h-horizon)
+				r, g, b = shade, shade, shade+6
+			}
+			img.Set(x, y, 0, uint8(r))
+			img.Set(x, y, 1, uint8(g))
+			img.Set(x, y, 2, uint8(b))
+		}
+	}
+	// Dashed lane markings.
+	for lane := 1; lane <= 3; lane++ {
+		lx := w * lane / 4
+		for y := horizon; y < h; y += 6 {
+			for dy := 0; dy < 3 && y+dy < h; dy++ {
+				img.Set(lx, y+dy, 0, 210)
+				img.Set(lx, y+dy, 1, 210)
+				img.Set(lx, y+dy, 2, 200)
+			}
+		}
+	}
+	return img
+}
+
+// NewFieldBackground renders a football field: tan turf with white yard
+// lines (kept away from the player-green family).
+func NewFieldBackground(w, h, horizon int) *codec.Image {
+	img := codec.NewImage(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if y < horizon {
+				img.Set(x, y, 0, 172)
+				img.Set(x, y, 1, 178)
+				img.Set(x, y, 2, 188)
+				continue
+			}
+			shade := (y - horizon) * 30 / max(1, h-horizon)
+			img.Set(x, y, 0, uint8(150+shade))
+			img.Set(x, y, 1, uint8(125+shade))
+			img.Set(x, y, 2, uint8(95+shade))
+		}
+	}
+	for line := 0; line < 6; line++ {
+		ly := horizon + (h-horizon)*line/6
+		for x := 0; x < w; x++ {
+			img.Set(x, ly, 0, 235)
+			img.Set(x, ly, 1, 235)
+			img.Set(x, ly, 2, 230)
+		}
+	}
+	return img
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// NewObject builds an object of the given class with an identity-specific
+// color signature drawn from rng.
+func NewObject(id uint64, class Class, rng *rand.Rand) *Object {
+	proto := classProto(class)
+	var col, stripe [3]uint8
+	for c := 0; c < 3; c++ {
+		jitter := rng.Intn(51) - 25
+		v := int(proto[c]) + jitter
+		if proto[c] > 128 { // dominant channel: keep dominant
+			if v < 170 {
+				v = 170
+			}
+			if v > 255 {
+				v = 255
+			}
+		} else {
+			if v < 20 {
+				v = 20
+			}
+			if v > 110 {
+				v = 110
+			}
+		}
+		col[c] = uint8(v)
+		// Stripe: shifted shade inside the same family.
+		sv := v - 40
+		if proto[c] > 128 {
+			sv = v - 55
+		}
+		if sv < 10 {
+			sv = 10
+		}
+		stripe[c] = uint8(sv)
+	}
+	o := &Object{ID: id, Class: class, Color: col, Stripe: stripe}
+	switch class {
+	case ClassCar:
+		o.WorldW, o.WorldH = 4.4, 1.6
+	case ClassPedestrian:
+		o.WorldW, o.WorldH = 0.6, 1.75
+	case ClassPlayer:
+		o.WorldW, o.WorldH = 0.8, 1.9
+	}
+	return o
+}
+
+// project maps world (x, z) and extent to image-space bbox.
+func (s *Scene) project(o *Object, t int) (x1, y1, x2, y2 int, z float64) {
+	wx, wz := o.PosAt(t)
+	scale := s.Focal / wz
+	pw := o.WorldW * scale
+	ph := o.WorldH * scale
+	cx := wx * float64(s.W) / 100
+	footY := float64(s.Horizon) + s.Focal*3/wz
+	x1 = int(cx - pw/2)
+	x2 = int(cx + pw/2)
+	y2 = int(footY)
+	y1 = int(footY - ph)
+	return x1, y1, x2, y2, wz
+}
+
+// Render draws frame t and returns the image plus ground truth for every
+// object whose bbox intersects the frame. Occlusion is resolved by depth
+// (far objects drawn first); Visibility reports the unoccluded fraction.
+func (s *Scene) Render(t int) (*codec.Image, []GT) {
+	img := s.Background.Clone()
+	type drawn struct {
+		obj            *Object
+		x1, y1, x2, y2 int
+		z              float64
+		attempted      int
+		order          int
+	}
+	var active []*drawn
+	for _, o := range s.Objects {
+		if t < o.Appear || t >= o.Vanish {
+			continue
+		}
+		x1, y1, x2, y2, z := s.project(o, t)
+		if x2 <= 0 || x1 >= s.W || y2 <= 0 || y1 >= s.H || x2 <= x1 || y2 <= y1 {
+			continue
+		}
+		active = append(active, &drawn{obj: o, x1: x1, y1: y1, x2: x2, y2: y2, z: z})
+	}
+	// Far-to-near painter's order.
+	for i := range active {
+		for j := i + 1; j < len(active); j++ {
+			if active[j].z > active[i].z {
+				active[i], active[j] = active[j], active[i]
+			}
+		}
+	}
+	idbuf := make([]int32, s.W*s.H)
+	for i := range idbuf {
+		idbuf[i] = -1
+	}
+	for i, d := range active {
+		d.order = i
+		d.attempted = s.drawObject(img, idbuf, int32(i), d.obj, d.x1, d.y1, d.x2, d.y2)
+	}
+	visible := make([]int, len(active))
+	for _, id := range idbuf {
+		if id >= 0 {
+			visible[id]++
+		}
+	}
+	gts := make([]GT, 0, len(active))
+	for _, d := range active {
+		vis := 0.0
+		if d.attempted > 0 {
+			vis = float64(visible[d.order]) / float64(d.attempted)
+		}
+		gts = append(gts, GT{
+			ID: d.obj.ID, Class: d.obj.Class,
+			X1: clampInt(d.x1, 0, s.W), Y1: clampInt(d.y1, 0, s.H),
+			X2: clampInt(d.x2, 0, s.W), Y2: clampInt(d.y2, 0, s.H),
+			Depth: d.z, Visibility: vis, Jersey: d.obj.Jersey,
+		})
+	}
+	return img, gts
+}
+
+// GroundTruth computes per-object truth for frame t without rendering
+// pixels. Visibility is approximated geometrically: the fraction of the
+// object's bbox not covered by the union of nearer objects' bboxes
+// (sampled on a grid). Cheaper than Render when only labels are needed.
+func (s *Scene) GroundTruth(t int) []GT {
+	type act struct {
+		o              *Object
+		x1, y1, x2, y2 int
+		z              float64
+	}
+	var active []act
+	for _, o := range s.Objects {
+		if t < o.Appear || t >= o.Vanish {
+			continue
+		}
+		x1, y1, x2, y2, z := s.project(o, t)
+		if x2 <= 0 || x1 >= s.W || y2 <= 0 || y1 >= s.H || x2 <= x1 || y2 <= y1 {
+			continue
+		}
+		active = append(active, act{o, x1, y1, x2, y2, z})
+	}
+	gts := make([]GT, 0, len(active))
+	for i, a := range active {
+		covered, total := 0, 0
+		for y := a.y1; y < a.y2; y++ {
+			if y < 0 || y >= s.H {
+				continue
+			}
+			for x := a.x1; x < a.x2; x++ {
+				if x < 0 || x >= s.W {
+					continue
+				}
+				total++
+				for j, b := range active {
+					if j == i || b.z >= a.z {
+						continue
+					}
+					if x >= b.x1 && x < b.x2 && y >= b.y1 && y < b.y2 {
+						covered++
+						break
+					}
+				}
+			}
+		}
+		vis := 0.0
+		if total > 0 {
+			vis = 1 - float64(covered)/float64(total)
+		}
+		gts = append(gts, GT{
+			ID: a.o.ID, Class: a.o.Class,
+			X1: clampInt(a.x1, 0, s.W), Y1: clampInt(a.y1, 0, s.H),
+			X2: clampInt(a.x2, 0, s.W), Y2: clampInt(a.y2, 0, s.H),
+			Depth: a.z, Visibility: vis, Jersey: a.o.Jersey,
+		})
+	}
+	return gts
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// drawObject paints o's body into img, stamping idbuf, and returns the
+// number of in-frame pixels attempted.
+func (s *Scene) drawObject(img *codec.Image, idbuf []int32, id int32, o *Object, x1, y1, x2, y2 int) int {
+	w := x2 - x1
+	h := y2 - y1
+	attempted := 0
+	put := func(x, y int, c [3]uint8) {
+		if x < 0 || x >= s.W || y < 0 || y >= s.H {
+			return
+		}
+		attempted++
+		idbuf[y*s.W+x] = id
+		img.Set(x, y, 0, c[0])
+		img.Set(x, y, 1, c[1])
+		img.Set(x, y, 2, c[2])
+	}
+	switch o.Class {
+	case ClassCar:
+		// Body with cabin notch and dark wheels.
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				// Cabin: upper quarter only in the middle half.
+				if y < h/4 && (x < w/4 || x >= w*3/4) {
+					continue
+				}
+				col := o.Color
+				if y%4 == 3 { // identity texture stripe
+					col = o.Stripe
+				}
+				put(x1+x, y1+y, col)
+			}
+		}
+		wheel := [3]uint8{25, 25, 25}
+		wr := max(1, h/5)
+		for dy := 0; dy < wr; dy++ {
+			for dx := 0; dx < wr*2; dx++ {
+				put(x1+w/6+dx, y2-1-dy, wheel)
+				put(x1+w*5/6-2*wr+dx, y2-1-dy, wheel)
+			}
+		}
+	case ClassPedestrian, ClassPlayer:
+		// Head (top 1/5, skin tone), torso (identity color, striped), legs.
+		head := [3]uint8{205, 170, 140}
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				switch {
+				case y < h/5: // head: centered, narrower
+					if x >= w/4 && x < w*3/4 {
+						put(x1+x, y1+y, head)
+					}
+				case y < h*3/5: // torso
+					col := o.Color
+					if y%3 == 2 {
+						col = o.Stripe
+					}
+					put(x1+x, y1+y, col)
+				default: // legs: two columns
+					if x < w/3 || x >= w*2/3 {
+						col := o.Stripe
+						put(x1+x, y1+y, col)
+					}
+				}
+			}
+		}
+		// Jersey number on players, white on the torso.
+		if o.Class == ClassPlayer && o.Jersey != "" {
+			scale := w / (GlyphW*len(o.Jersey) + 2)
+			if scale >= 1 {
+				tw := GlyphW * scale * len(o.Jersey)
+				tx := x1 + (w-tw)/2
+				ty := y1 + h/5 + 1
+				white := [3]uint8{250, 250, 250}
+				for ci := 0; ci < len(o.Jersey); ci++ {
+					drawGlyphFn(o.Jersey[ci], tx+ci*GlyphW*scale, ty, scale, white, put)
+				}
+			}
+		}
+	default:
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				put(x1+x, y1+y, o.Color)
+			}
+		}
+	}
+	return attempted
+}
+
+// drawGlyphFn rasterizes glyph c at (x, y) with integer scale via put.
+func drawGlyphFn(c byte, x, y, scale int, col [3]uint8, put func(int, int, [3]uint8)) {
+	for gy := 0; gy < GlyphH; gy++ {
+		for gx := 0; gx < GlyphW; gx++ {
+			if !glyphPixel(c, gx, gy) {
+				continue
+			}
+			for sy := 0; sy < scale; sy++ {
+				for sx := 0; sx < scale; sx++ {
+					put(x+gx*scale+sx, y+gy*scale+sy, col)
+				}
+			}
+		}
+	}
+}
+
+// DrawString renders s at (x, y) with the given scale and color directly
+// into img (used by the PC document generator).
+func DrawString(img *codec.Image, text string, x, y, scale int, col [3]uint8) {
+	put := func(px, py int, c [3]uint8) {
+		img.Set(px, py, 0, c[0])
+		img.Set(px, py, 1, c[1])
+		img.Set(px, py, 2, c[2])
+	}
+	for i := 0; i < len(text); i++ {
+		drawGlyphFn(text[i], x+i*(GlyphW+1)*scale, y, scale, col, put)
+	}
+}

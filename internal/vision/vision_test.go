@@ -1,0 +1,446 @@
+package vision
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/exec"
+)
+
+// testScene builds a small traffic scene with nCars cars and nPeds
+// pedestrians on deterministic trajectories.
+func testScene(w, h, nCars, nPeds int, seed int64) *Scene {
+	rng := rand.New(rand.NewSource(seed))
+	horizon := h / 4
+	sc := &Scene{W: w, H: h, Horizon: horizon, Focal: float64(h) / 3,
+		Background: NewTrafficBackground(w, h, horizon)}
+	id := uint64(1)
+	for i := 0; i < nCars; i++ {
+		o := NewObject(id, ClassCar, rng)
+		o.X0 = rng.Float64() * 80
+		o.VX = 0.3 + rng.Float64()*0.5
+		o.Z0 = 4 + rng.Float64()*6
+		o.Appear, o.Vanish = 0, 1<<30
+		sc.Objects = append(sc.Objects, o)
+		id++
+	}
+	for i := 0; i < nPeds; i++ {
+		o := NewObject(id, ClassPedestrian, rng)
+		o.X0 = 10 + rng.Float64()*70
+		o.VX = 0.1 + rng.Float64()*0.2
+		o.Z0 = 3 + rng.Float64()*4
+		o.SwayAmp = 0.5
+		o.SwayFreq = 0.2
+		o.Appear, o.Vanish = 0, 1<<30
+		sc.Objects = append(sc.Objects, o)
+		id++
+	}
+	return sc
+}
+
+func TestSceneRenderGroundTruth(t *testing.T) {
+	sc := testScene(192, 108, 3, 3, 1)
+	img, gts := sc.Render(0)
+	if err := img.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(gts) == 0 {
+		t.Fatal("no ground truth objects in frame")
+	}
+	for _, gt := range gts {
+		if gt.X2 <= gt.X1 || gt.Y2 <= gt.Y1 {
+			t.Fatalf("degenerate GT box %+v", gt)
+		}
+		if gt.Visibility < 0 || gt.Visibility > 1 {
+			t.Fatalf("visibility %f out of range", gt.Visibility)
+		}
+		if gt.Depth <= 0 {
+			t.Fatalf("non-positive depth %f", gt.Depth)
+		}
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	a, _ := testScene(96, 64, 2, 2, 5).Render(3)
+	b, _ := testScene(96, 64, 2, 2, 5).Render(3)
+	if codec.MSE(a, b) != 0 {
+		t.Fatal("same scene+frame rendered differently")
+	}
+}
+
+// matchRate computes detection recall and precision against ground truth
+// with IoU >= 0.3 and matching class, counting GT with visibility >= minVis.
+func matchRate(dets []Detection, gts []GT, minVis float64) (recall, precision float64) {
+	gtUsed := make([]bool, len(gts))
+	tp := 0
+	for _, d := range dets {
+		for gi, gt := range gts {
+			if gtUsed[gi] || gt.Class != d.Class || gt.Visibility < minVis {
+				continue
+			}
+			if IoU(d.X1, d.Y1, d.X2, d.Y2, gt.X1, gt.Y1, gt.X2, gt.Y2) >= 0.3 {
+				gtUsed[gi] = true
+				tp++
+				break
+			}
+		}
+	}
+	nGT := 0
+	for _, gt := range gts {
+		if gt.Visibility >= minVis {
+			nGT++
+		}
+	}
+	if nGT == 0 {
+		recall = 1
+	} else {
+		recall = float64(tp) / float64(nGT)
+	}
+	if len(dets) == 0 {
+		precision = 1
+	} else {
+		precision = float64(tp) / float64(len(dets))
+	}
+	return recall, precision
+}
+
+func TestDetectorOnCleanFrames(t *testing.T) {
+	sc := testScene(192, 108, 4, 4, 2)
+	det := NewDetector(exec.New(exec.CPU), 42)
+	var sumR, sumP float64
+	const frames = 5
+	for f := 0; f < frames; f++ {
+		img, gts := sc.Render(f * 10)
+		dets := det.Detect(img)
+		r, p := matchRate(dets, gts, 0.6)
+		sumR += r
+		sumP += p
+	}
+	if sumR/frames < 0.8 {
+		t.Fatalf("clean-frame recall %.2f below 0.8", sumR/frames)
+	}
+	if sumP/frames < 0.8 {
+		t.Fatalf("clean-frame precision %.2f below 0.8", sumP/frames)
+	}
+}
+
+func TestDetectorDegradesWithLossyEncoding(t *testing.T) {
+	sc := testScene(192, 108, 4, 5, 3)
+	det := NewDetector(exec.New(exec.CPU), 42)
+	qualities := []codec.Quality{codec.QualityHigh, codec.QualityLow}
+	recalls := make([]float64, len(qualities))
+	const frames = 4
+	for qi, q := range qualities {
+		var sum float64
+		for f := 0; f < frames; f++ {
+			img, gts := sc.Render(f * 7)
+			enc, err := codec.EncodeDLJ(img, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dec, err := codec.DecodeDLJ(enc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, _ := matchRate(det.Detect(dec), gts, 0.6)
+			sum += r
+		}
+		recalls[qi] = sum / frames
+	}
+	if recalls[0] < 0.7 {
+		t.Fatalf("high-quality recall %.2f below 0.7", recalls[0])
+	}
+	if recalls[1] > recalls[0]+1e-9 {
+		t.Fatalf("low quality (%.2f) not worse than high (%.2f)", recalls[1], recalls[0])
+	}
+}
+
+func TestOCRDocumentRoundTrip(t *testing.T) {
+	img := codec.NewImage(200, 80)
+	for i := range img.Pix {
+		img.Pix[i] = 245 // light page
+	}
+	DrawString(img, "HELLO", 10, 10, 2, [3]uint8{20, 20, 20})
+	DrawString(img, "WORLD42", 10, 40, 2, [3]uint8{20, 20, 20})
+	words := NewDocumentOCR().Recognize(img)
+	got := map[string]bool{}
+	for _, w := range words {
+		got[w.Text] = true
+	}
+	if !got["HELLO"] || !got["WORLD42"] {
+		t.Fatalf("OCR missed words; got %v", words)
+	}
+}
+
+func TestOCRScales(t *testing.T) {
+	for _, scale := range []int{1, 2, 3} {
+		img := codec.NewImage(150, 40)
+		for i := range img.Pix {
+			img.Pix[i] = 250
+		}
+		DrawString(img, "TEST9", 5, 5, scale, [3]uint8{10, 10, 10})
+		words := NewDocumentOCR().Recognize(img)
+		found := false
+		for _, w := range words {
+			if w.Text == "TEST9" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("scale %d: OCR got %v, want TEST9", scale, words)
+		}
+	}
+}
+
+func TestJerseyOCROnRenderedPlayer(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	horizon := 20
+	sc := &Scene{W: 160, H: 120, Horizon: horizon, Focal: 60,
+		Background: NewFieldBackground(160, 120, horizon)}
+	o := NewObject(1, ClassPlayer, rng)
+	o.Jersey = "7"
+	o.X0, o.Z0 = 50, 2.0 // close to camera: big and legible
+	o.Appear, o.Vanish = 0, 100
+	sc.Objects = append(sc.Objects, o)
+	img, gts := sc.Render(0)
+	if len(gts) != 1 {
+		t.Fatalf("gts = %d", len(gts))
+	}
+	patch := img.Crop(gts[0].X1, gts[0].Y1, gts[0].X2, gts[0].Y2)
+	words := NewJerseyOCR().Recognize(patch)
+	found := false
+	for _, w := range words {
+		if w.Text == "7" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("jersey OCR got %v, want 7 (patch %dx%d)", words, patch.W, patch.H)
+	}
+}
+
+func TestDepthModelAccuracy(t *testing.T) {
+	sc := testScene(192, 108, 0, 6, 4)
+	dm := NewDepthModel(exec.New(exec.CPU), sc.Horizon, sc.Focal, 42)
+	img, gts := sc.Render(0)
+	for _, gt := range gts {
+		if gt.Visibility < 0.9 {
+			continue
+		}
+		patch := img.Crop(gt.X1, gt.Y1, gt.X2, gt.Y2)
+		pred := dm.Predict(patch, gt.X1, gt.Y1, gt.X2, gt.Y2)
+		relErr := math.Abs(pred-gt.Depth) / gt.Depth
+		if relErr > 0.25 {
+			t.Fatalf("depth rel error %.2f for GT depth %.2f (pred %.2f)", relErr, gt.Depth, pred)
+		}
+	}
+}
+
+func TestDepthOrderingMostlyPreserved(t *testing.T) {
+	sc := testScene(192, 108, 0, 8, 6)
+	dm := NewDepthModel(exec.New(exec.CPU), sc.Horizon, sc.Focal, 42)
+	img, gts := sc.Render(0)
+	type dp struct{ gt, pred float64 }
+	var ds []dp
+	for _, gt := range gts {
+		if gt.Visibility < 0.9 {
+			continue
+		}
+		patch := img.Crop(gt.X1, gt.Y1, gt.X2, gt.Y2)
+		ds = append(ds, dp{gt.Depth, dm.Predict(patch, gt.X1, gt.Y1, gt.X2, gt.Y2)})
+	}
+	if len(ds) < 3 {
+		t.Skip("not enough visible objects")
+	}
+	agree, total := 0, 0
+	for i := range ds {
+		for j := i + 1; j < len(ds); j++ {
+			if math.Abs(ds[i].gt-ds[j].gt) < 0.5 {
+				continue // too close to call
+			}
+			total++
+			if (ds[i].gt < ds[j].gt) == (ds[i].pred < ds[j].pred) {
+				agree++
+			}
+		}
+	}
+	if total > 0 && float64(agree)/float64(total) < 0.8 {
+		t.Fatalf("depth ordering agreement %d/%d below 80%%", agree, total)
+	}
+}
+
+func TestHistogramIdentitySeparation(t *testing.T) {
+	// Same object rendered at two times should have closer histograms than
+	// two different identities.
+	rng := rand.New(rand.NewSource(12))
+	horizon := 25
+	sc := &Scene{W: 192, H: 108, Horizon: horizon, Focal: 36,
+		Background: NewTrafficBackground(192, 108, horizon)}
+	a := NewObject(1, ClassCar, rng)
+	a.X0, a.Z0, a.VX = 20, 4, 0.5
+	a.Appear, a.Vanish = 0, 1000
+	b := NewObject(2, ClassCar, rng)
+	b.X0, b.Z0, b.VX = 70, 4, 0.5
+	b.Appear, b.Vanish = 0, 1000
+	sc.Objects = []*Object{a, b}
+
+	crop := func(t0 int, id uint64) *codec.Image {
+		img, gts := sc.Render(t0)
+		for _, gt := range gts {
+			if gt.ID == id {
+				return img.Crop(gt.X1, gt.Y1, gt.X2, gt.Y2)
+			}
+		}
+		return nil
+	}
+	a0, a1 := crop(0, 1), crop(8, 1)
+	b0 := crop(0, 2)
+	if a0 == nil || a1 == nil || b0 == nil {
+		t.Fatal("objects not all visible")
+	}
+	ha0, ha1, hb0 := ColorHistogram(a0), ColorHistogram(a1), ColorHistogram(b0)
+	same := l2(ha0, ha1)
+	diff := l2(ha0, hb0)
+	if same >= diff {
+		t.Fatalf("same-identity distance %.3f >= cross-identity %.3f", same, diff)
+	}
+}
+
+func l2(a, b []float32) float64 {
+	var s float64
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+func TestEmbedderProperties(t *testing.T) {
+	e := NewEmbedder(exec.New(exec.CPU), 42)
+	img := codec.NewImage(20, 30)
+	for i := range img.Pix {
+		img.Pix[i] = uint8(i % 251)
+	}
+	v1 := e.Embed(img)
+	v2 := e.Embed(img)
+	if len(v1) != e.Dim() {
+		t.Fatalf("dim %d, want %d", len(v1), e.Dim())
+	}
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatal("embedding not deterministic")
+		}
+	}
+	var norm float64
+	for _, v := range v1 {
+		norm += float64(v) * float64(v)
+	}
+	if math.Abs(norm-1) > 1e-3 {
+		t.Fatalf("embedding norm %f != 1", norm)
+	}
+}
+
+func TestIoU(t *testing.T) {
+	if got := IoU(0, 0, 10, 10, 0, 0, 10, 10); got != 1 {
+		t.Fatalf("identical IoU = %f", got)
+	}
+	if got := IoU(0, 0, 10, 10, 20, 20, 30, 30); got != 0 {
+		t.Fatalf("disjoint IoU = %f", got)
+	}
+	if got := IoU(0, 0, 10, 10, 5, 0, 15, 10); math.Abs(got-1.0/3) > 1e-9 {
+		t.Fatalf("half-overlap IoU = %f", got)
+	}
+}
+
+func TestGlyphTable(t *testing.T) {
+	if len(GlyphSet()) != 36 {
+		t.Fatalf("glyph set size %d, want 36", len(GlyphSet()))
+	}
+	// Distinctness: no two glyphs identical.
+	set := GlyphSet()
+	for i := 0; i < len(set); i++ {
+		for j := i + 1; j < len(set); j++ {
+			same := true
+			for y := 0; y < GlyphH && same; y++ {
+				for x := 0; x < GlyphW; x++ {
+					if glyphPixel(set[i], x, y) != glyphPixel(set[j], x, y) {
+						same = false
+						break
+					}
+				}
+			}
+			if same {
+				t.Fatalf("glyphs %c and %c identical", set[i], set[j])
+			}
+		}
+	}
+}
+
+func TestResize(t *testing.T) {
+	img := codec.NewImage(10, 10)
+	img.Set(0, 0, 0, 255)
+	out := Resize(img, 20, 20)
+	if out.W != 20 || out.H != 20 {
+		t.Fatalf("resize %dx%d", out.W, out.H)
+	}
+	if out.At(0, 0, 0) != 255 || out.At(1, 1, 0) != 255 {
+		t.Fatal("nearest-neighbour upscale wrong")
+	}
+	if same := Resize(img, 10, 10); same != img {
+		t.Fatal("no-op resize should return the input")
+	}
+}
+
+// TestOCRDegradesWithLossyEncoding: recognition accuracy must fall (or at
+// worst hold) as encoding quality drops — the OCR facet of Figure 2's
+// storage/accuracy coupling.
+func TestOCRDegradesWithLossyEncoding(t *testing.T) {
+	img := codec.NewImage(220, 100)
+	for i := range img.Pix {
+		img.Pix[i] = 246
+	}
+	words := []string{"INVOICE", "TOTAL", "LEDGER", "BUDGET42", "XQJZ"}
+	for i, w := range words {
+		DrawString(img, w, 6, 6+i*18, 2, [3]uint8{18, 18, 18})
+	}
+	ocr := NewDocumentOCR()
+	score := func(dec *codec.Image) int {
+		got := map[string]bool{}
+		for _, w := range ocr.Recognize(dec) {
+			got[w.Text] = true
+		}
+		n := 0
+		for _, w := range words {
+			if got[w] {
+				n++
+			}
+		}
+		return n
+	}
+	clean := score(img)
+	if clean < len(words)-1 {
+		t.Fatalf("clean OCR recovered %d/%d", clean, len(words))
+	}
+	qualities := []codec.Quality{codec.QualityHigh, codec.QualityMedium, codec.QualityLow}
+	prev := clean
+	for _, q := range qualities {
+		enc, err := codec.EncodeDLJ(img, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := codec.DecodeDLJ(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := score(dec)
+		if n > prev {
+			t.Fatalf("quality %v recovered %d words, more than better quality (%d)", q, n, prev)
+		}
+		prev = n
+	}
+	if prev == clean {
+		t.Logf("note: OCR fully robust down to quality low at this scale (%d/%d)", prev, clean)
+	}
+}
