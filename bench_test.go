@@ -10,11 +10,13 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/balltree"
@@ -27,6 +29,7 @@ import (
 	"repro/internal/hashidx"
 	"repro/internal/kv"
 	"repro/internal/rtree"
+	"repro/internal/service"
 	"repro/internal/vision"
 )
 
@@ -193,6 +196,64 @@ func BenchmarkAblationSegment(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := bench.AblationSegment(cfg, []uint64{8, 32, 128}, 16); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServiceParallelQueries measures serving throughput at 1/4/16
+// workers with cold vs. warm caches over a mixed query workload
+// (indexed filter, scan filter, similarity join). Cold bypasses the
+// result cache (every request executes a plan); warm serves fingerprint
+// hits — the cross-query reuse the serving subsystem exists for.
+func BenchmarkServiceParallelQueries(b *testing.B) {
+	e := sharedEnv(b)
+	str := func(s string) *string { return &s }
+	workload := []service.Request{
+		{Collection: bench.ColTrafficDets,
+			Filter: &service.FilterSpec{Field: "label", Str: str("pedestrian"), UseIndex: true}},
+		{Collection: bench.ColTrafficDets,
+			Filter: &service.FilterSpec{Field: "label", Str: str("car")}},
+		{Collection: bench.ColPCImages,
+			SimJoin: &service.SimJoinSpec{Field: "ghist", Eps: 0.066, UseIndex: true}},
+	}
+	for _, workers := range []int{1, 4, 16} {
+		for _, mode := range []string{"cold", "warm"} {
+			b.Run(fmt.Sprintf("workers=%d/%s", workers, mode), func(b *testing.B) {
+				svc, err := service.New(e.DB, service.Config{
+					Workers:    workers,
+					QueueDepth: 1024, // absorb the bench harness's parallelism
+					ModelSeed:  bench.ModelSeed,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer svc.Close()
+				ctx := context.Background()
+				reqs := make([]service.Request, len(workload))
+				copy(reqs, workload)
+				if mode == "cold" {
+					for i := range reqs {
+						reqs[i].NoCache = true
+					}
+				} else {
+					for _, r := range reqs { // prime the result cache
+						if _, err := svc.Query(ctx, r); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				var next atomic.Int64
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					for pb.Next() {
+						req := reqs[int(next.Add(1))%len(reqs)]
+						if _, err := svc.Query(ctx, req); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				})
+			})
 		}
 	}
 }

@@ -1,0 +1,258 @@
+// deeplens-serve runs the DeepLens query service: it ingests (or reuses)
+// a benchmark database, registers the TrafficCam frame source for
+// inference sweeps, and serves the HTTP JSON API.
+//
+//	deeplens-serve -addr :8080 -workers 8 -frames 240
+//
+// With -loadgen N it instead drives the in-process service with N
+// concurrent closed-loop clients over a mixed query workload, in a cold
+// phase (flushed caches) and a warm phase, and prints the throughput and
+// cache table — the serving analog of the paper's query benchmarks.
+//
+//	deeplens-serve -loadgen 16 -loadgen-requests 400
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/codec"
+	"repro/internal/dataset"
+	"repro/internal/exec"
+	"repro/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func parseDevice(s string) (exec.Kind, error) {
+	switch strings.ToLower(s) {
+	case "cpu":
+		return exec.CPU, nil
+	case "avx":
+		return exec.AVX, nil
+	case "gpu":
+		return exec.GPU, nil
+	default:
+		return 0, fmt.Errorf("unknown device %q (want cpu, avx or gpu)", s)
+	}
+}
+
+// trafficSource adapts the deterministic TrafficCam generator to the
+// service's FrameSource.
+type trafficSource struct{ tr *dataset.Traffic }
+
+func (t trafficSource) Frames() int { return t.tr.Frames }
+func (t trafficSource) Render(i int) (*codec.Image, error) {
+	img, _ := t.tr.Render(i)
+	return img, nil
+}
+
+func run() error {
+	var (
+		addr       = flag.String("addr", ":8080", "HTTP listen address")
+		dir        = flag.String("dir", "", "data directory (default: a fresh temp dir)")
+		workers    = flag.Int("workers", 8, "executor pool size")
+		queue      = flag.Int("queue", 64, "admission queue depth")
+		device     = flag.String("device", "cpu", "execution backend: cpu, avx or gpu")
+		cacheMB    = flag.Int("cache-mb", 32, "result cache budget (MiB)")
+		udfCacheMB = flag.Int("udf-cache-mb", 128, "UDF materialization cache budget (MiB)")
+		ttl        = flag.Duration("ttl", 5*time.Minute, "result cache TTL (0 = never expire)")
+
+		frames  = flag.Int("frames", 240, "TrafficCam frames to ingest")
+		pcImgs  = flag.Int("pc-images", 120, "PC corpus images to ingest")
+		clips   = flag.Int("clips", 2, "football clips to ingest")
+		clipLen = flag.Int("clip-len", 30, "football clip length")
+
+		loadgen     = flag.Int("loadgen", 0, "run N concurrent load-generator clients instead of serving")
+		loadgenReqs = flag.Int("loadgen-requests", 400, "total requests per load-generator phase")
+	)
+	flag.Parse()
+
+	kind, err := parseDevice(*device)
+	if err != nil {
+		return err
+	}
+	if *dir == "" {
+		d, err := os.MkdirTemp("", "deeplens-serve")
+		if err != nil {
+			return err
+		}
+		*dir = d
+	} else if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return err
+	}
+
+	cfg := dataset.Default()
+	cfg.TrafficFrames = *frames
+	cfg.PCImages = *pcImgs
+	cfg.FootballClips = *clips
+	cfg.FootballClipLen = *clipLen
+
+	log.Printf("ingesting into %s (reused if already materialized)...", *dir)
+	start := time.Now()
+	env, err := bench.NewEnv(*dir, cfg, exec.New(kind))
+	if err != nil {
+		return err
+	}
+	defer env.Close()
+	log.Printf("catalog ready in %v: collections %v", time.Since(start).Round(time.Millisecond), env.DB.Collections())
+
+	svc, err := service.New(env.DB, service.Config{
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		Device:           kind,
+		ResultCacheBytes: int64(*cacheMB) << 20,
+		ResultTTL:        *ttl,
+		UDFCacheBytes:    int64(*udfCacheMB) << 20,
+		ModelSeed:        bench.ModelSeed,
+	})
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+	svc.RegisterSource("trafficcam", trafficSource{env.Traffic})
+
+	if *loadgen > 0 {
+		return runLoadgen(svc, *loadgen, *loadgenReqs, *frames)
+	}
+
+	log.Printf("serving on %s (%d workers, queue %d, %s devices)", *addr, *workers, *queue, kind)
+	return http.ListenAndServe(*addr, svc.Handler())
+}
+
+// workload returns the mixed request set the load generator cycles
+// through: indexed and scan filters, similarity joins with and without a
+// prebuilt index, identity dedup, and a memoizable inference sweep.
+func workload(frames int) []service.Request {
+	str := func(s string) *string { return &s }
+	sweep := frames / 4
+	if sweep < 1 {
+		sweep = 1
+	}
+	return []service.Request{
+		{Collection: bench.ColTrafficDets,
+			Filter: &service.FilterSpec{Field: "label", Str: str("pedestrian"), UseIndex: true}},
+		{Collection: bench.ColTrafficDets,
+			Filter: &service.FilterSpec{Field: "label", Str: str("car")}},
+		{Collection: bench.ColTrafficDets,
+			Filter:   &service.FilterSpec{Field: "label", Str: str("pedestrian")},
+			SimJoin:  &service.SimJoinSpec{Field: "emb", Eps: 0.15, MinCluster: 2},
+			Distinct: true},
+		{Collection: bench.ColPCImages,
+			SimJoin: &service.SimJoinSpec{Field: "ghist", Eps: 0.066, UseIndex: true}},
+		{Collection: bench.ColPCWords,
+			Filter:  &service.FilterSpec{Field: "text", Str: str("query")},
+			OrderBy: "frameno", Limit: 1},
+		{Infer: &service.InferSpec{Source: "trafficcam", From: 0, To: sweep,
+			UDF: "detect", Label: "car"}},
+	}
+}
+
+type phaseResult struct {
+	name     string
+	total    time.Duration
+	lats     []time.Duration
+	ok       int
+	rejected int
+}
+
+func (p *phaseResult) qps() float64 {
+	if p.total <= 0 {
+		return 0
+	}
+	return float64(p.ok) / p.total.Seconds()
+}
+
+func (p *phaseResult) pct(q float64) time.Duration {
+	if len(p.lats) == 0 {
+		return 0
+	}
+	sort.Slice(p.lats, func(i, j int) bool { return p.lats[i] < p.lats[j] })
+	i := int(q * float64(len(p.lats)-1))
+	return p.lats[i]
+}
+
+func runPhase(svc *service.Service, name string, clients, total int, reqs []service.Request) phaseResult {
+	var (
+		mu  sync.Mutex
+		res = phaseResult{name: name}
+		wg  sync.WaitGroup
+		seq = make(chan int)
+	)
+	start := time.Now()
+	go func() {
+		for i := 0; i < total; i++ {
+			seq <- i
+		}
+		close(seq)
+	}()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range seq {
+				req := reqs[i%len(reqs)]
+				t0 := time.Now()
+				_, err := svc.Query(context.Background(), req)
+				lat := time.Since(t0)
+				mu.Lock()
+				switch err {
+				case nil:
+					res.ok++
+					res.lats = append(res.lats, lat)
+				case service.ErrOverloaded:
+					res.rejected++
+				default:
+					log.Printf("loadgen: %v", err)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	res.total = time.Since(start)
+	return res
+}
+
+func runLoadgen(svc *service.Service, clients, total, frames int) error {
+	reqs := workload(frames)
+	log.Printf("load generator: %d clients, %d requests per phase, %d query shapes",
+		clients, total, len(reqs))
+
+	svc.FlushCaches()
+	cold := runPhase(svc, "cold", clients, total, reqs)
+	warm := runPhase(svc, "warm", clients, total, reqs)
+
+	st := svc.Stats()
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "phase\treqs\tok\trejected\tQPS\tp50\tp95")
+	for _, p := range []phaseResult{cold, warm} {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%.0f\t%v\t%v\n",
+			p.name, total, p.ok, p.rejected, p.qps(),
+			p.pct(0.50).Round(time.Microsecond), p.pct(0.95).Round(time.Microsecond))
+	}
+	w.Flush()
+	fmt.Printf("\nwarm/cold speedup: %.1fx\n", warm.qps()/cold.qps())
+	fmt.Printf("result cache: %d hits / %d misses (%.0f%% hit rate), %d entries, %d KiB\n",
+		st.ResultCache.Hits, st.ResultCache.Misses, 100*st.ResultHitRate,
+		st.ResultCache.Entries, st.ResultCache.Bytes>>10)
+	fmt.Printf("udf cache: %d hits / %d misses, %d entries, %d KiB\n",
+		st.UDFCache.Hits, st.UDFCache.Misses, st.UDFCache.Entries, st.UDFCache.Bytes>>10)
+	fmt.Printf("pool: %d workers on %s, peak in-flight %d, coalesced %d, device kernels %d\n",
+		st.Workers, st.Device, st.PeakInFlight, st.Coalesced, st.DeviceKernels)
+	return nil
+}

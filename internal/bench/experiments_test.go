@@ -98,14 +98,21 @@ func TestFig4And5Shapes(t *testing.T) {
 		}
 		return best(false) / best(true)
 	}
-	if sp := minSpeedup(e.Q4); sp < 1.2 {
-		t.Fatalf("q4 speedup %.1fx below 1.2x", sp)
-	}
-	if sp := minSpeedup(e.Q1); sp < 1.2 {
-		t.Fatalf("q1 speedup %.1fx below 1.2x", sp)
-	}
-	if sp := minSpeedup(e.Q3); sp < 1.2 {
-		t.Fatalf("q3 speedup %.1fx below 1.2x", sp)
+	if raceEnabled {
+		t.Log("race detector: running plans for correctness, skipping wall-clock speedup assertions")
+		if _, err := e.Q4(true); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		if sp := minSpeedup(e.Q4); sp < 1.2 {
+			t.Fatalf("q4 speedup %.1fx below 1.2x", sp)
+		}
+		if sp := minSpeedup(e.Q1); sp < 1.2 {
+			t.Fatalf("q1 speedup %.1fx below 1.2x", sp)
+		}
+		if sp := minSpeedup(e.Q3); sp < 1.2 {
+			t.Fatalf("q3 speedup %.1fx below 1.2x", sp)
+		}
 	}
 
 	rows5, err := Fig5Pipeline(e)
@@ -144,8 +151,9 @@ func TestFig6Shape(t *testing.T) {
 	}
 	// Paper shape: R-tree construction is far slower than the B+ tree
 	// (ratio grows with n; 1.5x is the conservative floor at this size
-	// that holds under parallel-suite load).
-	if times["rtree"][4000] < 1.5*times["btree"][4000] {
+	// that holds under parallel-suite load). The race detector distorts
+	// the two structures' costs non-uniformly, so skip the ratio there.
+	if !raceEnabled && times["rtree"][4000] < 1.5*times["btree"][4000] {
 		t.Fatalf("rtree (%.4fs) not clearly slower than btree (%.4fs)",
 			times["rtree"][4000], times["btree"][4000])
 	}

@@ -1,0 +1,9 @@
+//go:build !race
+
+package bench
+
+// raceEnabled reports whether the race detector instruments this build.
+// Wall-clock shape assertions (relative plan speedups) are skipped under
+// the detector: its per-access instrumentation slows code paths
+// non-uniformly, so measured ratios no longer reflect the figures.
+const raceEnabled = false

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/exec"
 	"repro/internal/kv"
@@ -13,12 +14,19 @@ import (
 // DB is a DeepLens database: a page file holding materialized patch
 // collections, persistent indexes, lineage state, and the catalog, plus
 // the execution device query operators run on.
+//
+// The catalog is safe for concurrent use: readers (Collection, Device,
+// HasIndex, snapshot scans) take a shared lock while writers (create,
+// drop, device swap) take it exclusively, so a serving layer can run many
+// queries in parallel with occasional catalog mutations.
 type DB struct {
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	store *kv.Store
 	dev   exec.Device
 
-	nextID   uint64
+	nextID  uint64
+	nextVer atomic.Uint64 // collection-version counter (cache invalidation)
+
 	sys      *kv.Bucket // catalog + counters
 	patchLoc *kv.Bucket // patch id -> collection name (global lineage resolution)
 	cols     map[string]*Collection
@@ -52,6 +60,9 @@ func Open(path string, dev exec.Device) (*DB, error) {
 	if v, err := sys.Get([]byte("nextid")); err == nil {
 		db.nextID = kv.ParseU64Key(v)
 	}
+	if v, err := sys.Get([]byte("nextver")); err == nil {
+		db.nextVer.Store(kv.ParseU64Key(v))
+	}
 	// Load collection descriptors.
 	if err := sys.Scan([]byte("col."), []byte("col/"), func(k, v []byte) bool {
 		var d colDesc
@@ -67,10 +78,23 @@ func Open(path string, dev exec.Device) (*DB, error) {
 }
 
 // Device returns the execution device the engine runs kernels on.
-func (db *DB) Device() exec.Device { return db.dev }
+func (db *DB) Device() exec.Device {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.dev
+}
 
 // SetDevice swaps the execution device (the optimizer's placement choice).
-func (db *DB) SetDevice(dev exec.Device) { db.dev = dev }
+func (db *DB) SetDevice(dev exec.Device) {
+	db.mu.Lock()
+	db.dev = dev
+	db.mu.Unlock()
+}
+
+// nextVersion allocates a database-wide monotonic collection version.
+// Versions never repeat, even across drop/re-create of the same name, so
+// a (name, version) pair is a stable cache-key component.
+func (db *DB) nextVersion() uint64 { return db.nextVer.Add(1) }
 
 // Store exposes the underlying kv store (for persistent indexes).
 func (db *DB) Store() *kv.Store { return db.store }
@@ -89,6 +113,10 @@ func (db *DB) Close() error {
 func (db *DB) Flush() error {
 	db.mu.Lock()
 	if err := db.sys.Put([]byte("nextid"), kv.U64Key(db.nextID)); err != nil {
+		db.mu.Unlock()
+		return err
+	}
+	if err := db.sys.Put([]byte("nextver"), kv.U64Key(db.nextVer.Load())); err != nil {
 		db.mu.Unlock()
 		return err
 	}
@@ -115,9 +143,10 @@ func (db *DB) NewPatchID() PatchID {
 }
 
 type colDesc struct {
-	Name   string `json:"name"`
-	Schema Schema `json:"schema"`
-	Count  int    `json:"count"`
+	Name    string `json:"name"`
+	Schema  Schema `json:"schema"`
+	Count   int    `json:"count"`
+	Version uint64 `json:"version,omitempty"`
 }
 
 // CreateCollection registers a new (empty) materialized collection.
@@ -134,7 +163,7 @@ func (db *DB) CreateCollection(name string, schema Schema) (*Collection, error) 
 	if err != nil {
 		return nil, err
 	}
-	c := &Collection{db: db, name: name, schema: schema, bucket: b}
+	c := &Collection{db: db, name: name, schema: schema, bucket: b, version: db.nextVersion()}
 	if err := c.saveDesc(); err != nil {
 		return nil, err
 	}
@@ -144,9 +173,15 @@ func (db *DB) CreateCollection(name string, schema Schema) (*Collection, error) 
 
 // Collection opens an existing collection by name.
 func (db *DB) Collection(name string) (*Collection, error) {
+	db.mu.RLock()
+	if c, ok := db.cols[name]; ok && c != nil {
+		db.mu.RUnlock()
+		return c, nil
+	}
+	db.mu.RUnlock()
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if c, ok := db.cols[name]; ok && c != nil {
+	if c, ok := db.cols[name]; ok && c != nil { // raced another opener
 		return c, nil
 	}
 	v, err := db.sys.Get([]byte("col." + name))
@@ -161,20 +196,86 @@ func (db *DB) Collection(name string) (*Collection, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Collection{db: db, name: name, schema: d.Schema, bucket: b, count: d.Count}
+	c := &Collection{db: db, name: name, schema: d.Schema, bucket: b, count: d.Count, version: d.Version}
+	if c.version == 0 {
+		c.version = db.nextVersion() // pre-versioning database file
+	}
 	db.cols[name] = c
 	return c, nil
 }
 
 // Collections lists materialized collection names.
 func (db *DB) Collections() []string {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	names := make([]string, 0, len(db.cols))
 	for n := range db.cols {
 		names = append(names, n)
 	}
 	return names
+}
+
+// DropCollection removes a collection: its patches, lineage entries,
+// catalog descriptor, and any index descriptors. A later collection with
+// the same name gets a fresh version, so plan fingerprints keyed on
+// (name, version) can never alias stale cached results after re-ingest.
+func (db *DB) DropCollection(name string) error {
+	// The descriptor must disappear while the catalog lock is held:
+	// otherwise a concurrent Collection(name) between the map delete and
+	// the descriptor delete would re-open the half-dropped collection
+	// and resurrect it into db.cols.
+	db.mu.Lock()
+	c := db.cols[name]
+	_, descErr := db.sys.Get([]byte("col." + name))
+	if c == nil && descErr != nil {
+		db.mu.Unlock()
+		return fmt.Errorf("%w: collection %q", ErrNotFound, name)
+	}
+	delete(db.cols, name)
+	delete(db.indexes, name)
+	if descErr == nil {
+		if err := db.sys.Delete([]byte("col." + name)); err != nil {
+			db.mu.Unlock()
+			return err
+		}
+	}
+	db.mu.Unlock()
+	b, err := db.store.Bucket("col." + name)
+	if err != nil {
+		return err
+	}
+	var keys [][]byte
+	if err := b.Scan(nil, nil, func(k, _ []byte) bool {
+		keys = append(keys, append([]byte(nil), k...))
+		return true
+	}); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		if err := b.Delete(k); err != nil {
+			return err
+		}
+		// Lineage entries may already point elsewhere; missing is fine.
+		if err := db.patchLoc.Delete(k); err != nil && !errors.Is(err, kv.ErrNotFound) {
+			return err
+		}
+	}
+	// Index descriptors for this collection.
+	var idxKeys [][]byte
+	prefix := []byte("idx." + name + ".")
+	end := []byte("idx." + name + "/")
+	if err := db.sys.Scan(prefix, end, func(k, _ []byte) bool {
+		idxKeys = append(idxKeys, append([]byte(nil), k...))
+		return true
+	}); err != nil {
+		return err
+	}
+	for _, k := range idxKeys {
+		if err := db.sys.Delete(k); err != nil && !errors.Is(err, kv.ErrNotFound) {
+			return err
+		}
+	}
+	return nil
 }
 
 // Materialize drains it into a new collection (paper §4.1 Materialize).
@@ -237,16 +338,21 @@ func (db *DB) Backtrace(p *Patch) ([]*Patch, error) {
 
 // Collection is a named materialized set of patches persisted in one kv
 // bucket, with an in-memory cache for repeated scans.
+//
+// Concurrent readers and writers are safe: Snapshot returns a stable view
+// (appends never mutate a handed-out snapshot's visible prefix) together
+// with the version it reflects.
 type Collection struct {
 	db     *DB
 	name   string
 	schema Schema
 	bucket *kv.Bucket
-	count  int
 
-	mu    sync.Mutex
-	cache []*Patch
-	byID  map[PatchID]*Patch
+	mu      sync.Mutex
+	count   int
+	version uint64
+	cache   []*Patch
+	byID    map[PatchID]*Patch
 }
 
 // Name returns the collection name.
@@ -256,10 +362,26 @@ func (c *Collection) Name() string { return c.name }
 func (c *Collection) Schema() Schema { return c.schema }
 
 // Len returns the number of patches.
-func (c *Collection) Len() int { return c.count }
+func (c *Collection) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.count
+}
+
+// Version returns the collection's current version. It advances on every
+// write, and a re-created collection of the same name never reuses an old
+// version, so (Name, Version) canonically identifies the visible contents
+// — the dataset component of a plan fingerprint.
+func (c *Collection) Version() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.version
+}
 
 func (c *Collection) saveDesc() error {
-	d := colDesc{Name: c.name, Schema: c.schema, Count: c.count}
+	c.mu.Lock()
+	d := colDesc{Name: c.name, Schema: c.schema, Count: c.count, Version: c.version}
+	c.mu.Unlock()
 	v, err := json.Marshal(d)
 	if err != nil {
 		return err
@@ -290,6 +412,7 @@ func (c *Collection) Append(p *Patch) error {
 	}
 	c.mu.Lock()
 	c.count++
+	c.version = c.db.nextVersion()
 	if c.cache != nil {
 		c.cache = append(c.cache, p)
 		c.byID[p.ID] = p
@@ -319,10 +442,20 @@ func (c *Collection) Get(id PatchID) (*Patch, error) {
 
 // Patches returns all patches, loading and caching them on first use.
 func (c *Collection) Patches() ([]*Patch, error) {
+	ps, _, err := c.Snapshot()
+	return ps, err
+}
+
+// Snapshot atomically returns the collection's patches and the version
+// they reflect. The returned slice is immutable from the reader's point of
+// view: concurrent Appends grow the cache beyond the snapshot's length but
+// never mutate its visible prefix, so many queries can share one snapshot
+// while writers proceed (the catalog's copy-on-write read path).
+func (c *Collection) Snapshot() ([]*Patch, uint64, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.cache != nil {
-		return c.cache, nil
+		return c.cache, c.version, nil
 	}
 	var out []*Patch
 	var scanErr error
@@ -336,10 +469,10 @@ func (c *Collection) Patches() ([]*Patch, error) {
 		return true
 	})
 	if scanErr != nil {
-		return nil, scanErr
+		return nil, 0, scanErr
 	}
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	c.cache = out
 	c.byID = make(map[PatchID]*Patch, len(out))
@@ -347,7 +480,7 @@ func (c *Collection) Patches() ([]*Patch, error) {
 		c.byID[p.ID] = p
 	}
 	c.count = len(out)
-	return out, nil
+	return out, c.version, nil
 }
 
 // Scan returns an iterator over all patches.

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/exec"
+)
+
+func testSchema() Schema {
+	return Schema{
+		Data: Features(4),
+		Fields: []Field{
+			{Name: "label", Kind: KindStr},
+			{Name: "frameno", Kind: KindInt},
+		},
+	}
+}
+
+func testPatch(i int) *Patch {
+	return &Patch{
+		Ref: Ref{Source: "src", Frame: uint64(i)},
+		Meta: Metadata{
+			"label":   StrV(fmt.Sprintf("l%d", i%3)),
+			"frameno": IntV(int64(i)),
+		},
+	}
+}
+
+// TestCatalogConcurrentReadersDuringWrites exercises the catalog's shared
+// read path under live appends: snapshot scans, id gets, catalog listing
+// and device reads race a writer goroutine. Run with -race.
+func TestCatalogConcurrentReadersDuringWrites(t *testing.T) {
+	db, err := Open(filepath.Join(t.TempDir(), "c.db"), exec.New(exec.CPU))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	col, err := db.CreateCollection("live", testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := col.Append(testPatch(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := col.Patches(); err != nil { // warm the scan cache
+		t.Fatal(err)
+	}
+
+	const writes = 300
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+
+	wg.Add(1)
+	go func() { // writer: appends bump the version
+		defer wg.Done()
+		for i := 50; i < 50+writes; i++ {
+			if err := col.Append(testPatch(i)); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func() { // readers: snapshots must be stable prefixes
+			defer wg.Done()
+			var lastLen int
+			var lastVer uint64
+			for i := 0; i < 200; i++ {
+				ps, ver, err := col.Snapshot()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(ps) < lastLen {
+					errs <- fmt.Errorf("snapshot shrank: %d -> %d", lastLen, len(ps))
+					return
+				}
+				if ver < lastVer {
+					errs <- fmt.Errorf("version went backwards: %d -> %d", lastVer, ver)
+					return
+				}
+				lastLen, lastVer = len(ps), ver
+				for _, p := range ps[:min(len(ps), 10)] {
+					if _, err := col.Get(p.ID); err != nil {
+						errs <- err
+						return
+					}
+				}
+				_ = db.Collections()
+				_ = db.Device()
+				if _, err := db.Collection("live"); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := col.Len(); got != 50+writes {
+		t.Fatalf("final count = %d, want %d", got, 50+writes)
+	}
+}
+
+// TestDropCollectionVersioning verifies re-ingest semantics: dropping and
+// re-creating a collection yields a strictly newer version, and the old
+// contents are gone from both the catalog and the lineage map.
+func TestDropCollectionVersioning(t *testing.T) {
+	db, err := Open(filepath.Join(t.TempDir(), "d.db"), exec.New(exec.CPU))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	col, err := db.CreateCollection("x", testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testPatch(0)
+	if err := col.Append(p); err != nil {
+		t.Fatal(err)
+	}
+	v1 := col.Version()
+	oldID := p.ID
+	if _, err := db.BuildIndex(col, "label", IdxHash); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := db.DropCollection("x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Collection("x"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("dropped collection still opens: %v", err)
+	}
+	if _, err := db.GetPatch(oldID); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("dropped patch still resolves: %v", err)
+	}
+
+	col2, err := db.CreateCollection("x", testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 := col2.Version(); v2 <= v1 {
+		t.Fatalf("re-created collection version %d not newer than %d", v2, v1)
+	}
+	if db.HasIndex(col2, "label", IdxHash) {
+		t.Fatal("index descriptor survived the drop")
+	}
+	if got := col2.Len(); got != 0 {
+		t.Fatalf("re-created collection has %d patches, want 0", got)
+	}
+	// Dropping a collection that never existed reports ErrNotFound.
+	if err := db.DropCollection("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("DropCollection(missing) = %v, want ErrNotFound", err)
+	}
+}
+
+// TestVersionPersistsAcrossReopen checks that versions are durable: a
+// flushed database reopened from disk reports the same version, and the
+// global counter never reissues old values.
+func TestVersionPersistsAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v.db")
+	db, err := Open(path, exec.New(exec.CPU))
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := db.CreateCollection("x", testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := col.Append(testPatch(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v1 := col.Version()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(path, exec.New(exec.CPU))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	col2, err := db2.Collection("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := col2.Version(); got != v1 {
+		t.Fatalf("version after reopen = %d, want %d", got, v1)
+	}
+	if err := col2.Append(testPatch(5)); err != nil {
+		t.Fatal(err)
+	}
+	if got := col2.Version(); got <= v1 {
+		t.Fatalf("post-reopen append version %d not newer than %d", got, v1)
+	}
+}

@@ -60,6 +60,11 @@ type Index struct {
 	Field string
 	// BuildTime records construction cost (Figure 6's subject).
 	BuildTime time.Duration
+	// BuiltVersion is the collection version the index was built over.
+	// Appends bump the collection's version but never update indexes, so
+	// a reader needing index/collection agreement must compare this
+	// against Collection.Version() and rebuild on mismatch.
+	BuiltVersion uint64
 
 	bt   *btree.Tree
 	hash *hashidx.Index
@@ -70,10 +75,11 @@ type Index struct {
 }
 
 type idxDesc struct {
-	Kind  IndexKind `json:"kind"`
-	Col   string    `json:"col"`
-	Field string    `json:"field"`
-	Root  uint64    `json:"root,omitempty"` // btree root or hash meta page
+	Kind    IndexKind `json:"kind"`
+	Col     string    `json:"col"`
+	Field   string    `json:"field"`
+	Root    uint64    `json:"root,omitempty"` // btree root or hash meta page
+	Version uint64    `json:"version,omitempty"`
 }
 
 func indexKey(col, field string, kind IndexKind) string {
@@ -98,11 +104,11 @@ func vecOf(p *Patch, field string) ([]float32, bool) {
 // BuildIndex constructs an index of the given kind over field on col and
 // registers it. Rebuilding an existing (col, field, kind) replaces it.
 func (db *DB) BuildIndex(col *Collection, field string, kind IndexKind) (*Index, error) {
-	patches, err := col.Patches()
+	patches, version, err := col.Snapshot()
 	if err != nil {
 		return nil, err
 	}
-	idx := &Index{Kind: kind, Col: col.Name(), Field: field}
+	idx := &Index{Kind: kind, Col: col.Name(), Field: field, BuiltVersion: version}
 	start := time.Now()
 	switch kind {
 	case IdxBTree:
@@ -198,7 +204,7 @@ func (db *DB) BuildIndex(col *Collection, field string, kind IndexKind) (*Index,
 	idx.BuildTime = time.Since(start)
 
 	// Register.
-	d := idxDesc{Kind: kind, Col: col.Name(), Field: field}
+	d := idxDesc{Kind: kind, Col: col.Name(), Field: field, Version: version}
 	switch kind {
 	case IdxBTree:
 		d.Root = idx.bt.Root()
@@ -225,14 +231,14 @@ func (db *DB) BuildIndex(col *Collection, field string, kind IndexKind) (*Index,
 // rebuilding memory-resident ones as needed. Returns ErrNotFound when no
 // such index was ever built.
 func (db *DB) Index(col *Collection, field string, kind IndexKind) (*Index, error) {
-	db.mu.Lock()
+	db.mu.RLock()
 	if m := db.indexes[col.Name()]; m != nil {
 		if idx, ok := m[field+"/"+kind.String()]; ok {
-			db.mu.Unlock()
+			db.mu.RUnlock()
 			return idx, nil
 		}
 	}
-	db.mu.Unlock()
+	db.mu.RUnlock()
 	v, err := db.sys.Get([]byte(indexKey(col.Name(), field, kind)))
 	if err != nil {
 		return nil, fmt.Errorf("%w: index %s on %s.%s", ErrNotFound, kind, col.Name(), field)
@@ -243,7 +249,8 @@ func (db *DB) Index(col *Collection, field string, kind IndexKind) (*Index, erro
 	}
 	switch kind {
 	case IdxBTree:
-		idx := &Index{Kind: kind, Col: d.Col, Field: d.Field, bt: btree.Open(db.store.Pager(), d.Root)}
+		idx := &Index{Kind: kind, Col: d.Col, Field: d.Field, BuiltVersion: d.Version,
+			bt: btree.Open(db.store.Pager(), d.Root)}
 		db.registerMem(col.Name(), field, kind, idx)
 		return idx, nil
 	case IdxHash:
@@ -251,7 +258,7 @@ func (db *DB) Index(col *Collection, field string, kind IndexKind) (*Index, erro
 		if err != nil {
 			return nil, err
 		}
-		idx := &Index{Kind: kind, Col: d.Col, Field: d.Field, hash: h}
+		idx := &Index{Kind: kind, Col: d.Col, Field: d.Field, BuiltVersion: d.Version, hash: h}
 		db.registerMem(col.Name(), field, kind, idx)
 		return idx, nil
 	default:
@@ -262,14 +269,14 @@ func (db *DB) Index(col *Collection, field string, kind IndexKind) (*Index, erro
 
 // HasIndex reports whether an index descriptor exists without building.
 func (db *DB) HasIndex(col *Collection, field string, kind IndexKind) bool {
-	db.mu.Lock()
+	db.mu.RLock()
 	if m := db.indexes[col.Name()]; m != nil {
 		if _, ok := m[field+"/"+kind.String()]; ok {
-			db.mu.Unlock()
+			db.mu.RUnlock()
 			return true
 		}
 	}
-	db.mu.Unlock()
+	db.mu.RUnlock()
 	_, err := db.sys.Get([]byte(indexKey(col.Name(), field, kind)))
 	return err == nil
 }

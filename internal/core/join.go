@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/balltree"
+	"repro/internal/exec"
 )
 
 // Theta is an arbitrary join predicate over one patch from each side.
@@ -135,6 +136,11 @@ type SimilarityJoinOpts struct {
 	ExcludeSelf bool
 	// DedupUnordered keeps only pairs with left.ID < right.ID (self-joins).
 	DedupUnordered bool
+	// Device overrides the database's device for batched kernels. The
+	// serving layer leases one device per worker and pins joins to it, so
+	// concurrent queries never oversubscribe a simulated accelerator. Nil
+	// uses the database's device.
+	Device exec.Device
 }
 
 // SimilarityJoinNested is the baseline all-pairs implementation: for every
@@ -212,6 +218,10 @@ func SimilarityJoinBatched(db *DB, left, right []*Patch, opts SimilarityJoinOpts
 		}
 		copy(ry[i*dim:], v)
 	}
+	dev := opts.Device
+	if dev == nil {
+		dev = db.Device()
+	}
 	eps2 := float32(opts.Eps * opts.Eps)
 	var out []Tuple
 	// Block the left side to bound the distance-matrix allocation.
@@ -223,7 +233,7 @@ func SimilarityJoinBatched(db *DB, left, right []*Patch, opts SimilarityJoinOpts
 			hi = len(left)
 		}
 		m := hi - lo
-		db.dev.PairwiseSqDist(lx[lo*dim:hi*dim], ry, m, len(right), dim, dists[:m*len(right)])
+		dev.PairwiseSqDist(lx[lo*dim:hi*dim], ry, m, len(right), dim, dists[:m*len(right)])
 		for i := 0; i < m; i++ {
 			l := left[lo+i]
 			for j, r := range right {

@@ -195,6 +195,22 @@ func (cm *CostModel) PlanSimilarityJoin(nL, nR, dim int, hasIndex bool) SimJoinP
 	return best
 }
 
+// CacheAwareCost folds a result cache in front of a plan into its
+// expected cost: every request pays the cache lookup, and only the miss
+// fraction pays the plan itself. The serving layer feeds the observed
+// hit rate in, so reported plan costs reflect cross-query reuse — a plan
+// that looks expensive cold can be effectively free behind a warm cache,
+// which is the paper's materialization argument restated as a cost.
+func (cm *CostModel) CacheAwareCost(est, hitRate, lookup float64) float64 {
+	if hitRate < 0 {
+		hitRate = 0
+	}
+	if hitRate > 1 {
+		hitRate = 1
+	}
+	return lookup + (1-hitRate)*est
+}
+
 // PlaceDevice picks the device for a batched kernel of the given FLOP and
 // byte volume — the CPU/GPU balancing the paper calls the significant
 // challenge (§7.4.2).

@@ -1,0 +1,98 @@
+package exec
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Pool hands out exclusive leases over a fixed set of devices. The
+// simulated accelerators charge real wall time per kernel (the GPU
+// busy-waits its launch latency), so letting N concurrent queries share
+// one device would oversubscribe it and melt the cost model's fidelity.
+// A serving worker acquires a lease for its lifetime and pins all its
+// kernels to that device.
+type Pool struct {
+	kind Kind
+	devs []Device
+	ch   chan Device
+
+	leased atomic.Int64
+	waits  atomic.Int64 // acquisitions that found the pool empty
+}
+
+// NewPool builds a pool of n devices of the given kind (n < 1 is
+// treated as 1).
+func NewPool(kind Kind, n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	p := &Pool{kind: kind, devs: make([]Device, n), ch: make(chan Device, n)}
+	for i := 0; i < n; i++ {
+		d := New(kind)
+		p.devs[i] = d
+		p.ch <- d
+	}
+	return p
+}
+
+// Kind returns the pooled device kind.
+func (p *Pool) Kind() Kind { return p.kind }
+
+// Size returns the number of devices in the pool.
+func (p *Pool) Size() int { return len(p.devs) }
+
+// Leased returns how many devices are currently out on lease.
+func (p *Pool) Leased() int { return int(p.leased.Load()) }
+
+// Waits returns how many Acquire calls had to block for a free device —
+// the pool's oversubscription signal.
+func (p *Pool) Waits() int64 { return p.waits.Load() }
+
+// Acquire blocks until a device lease is free and returns it.
+func (p *Pool) Acquire() Device {
+	select {
+	case d := <-p.ch:
+		p.leased.Add(1)
+		return d
+	default:
+		p.waits.Add(1)
+	}
+	d := <-p.ch
+	p.leased.Add(1)
+	return d
+}
+
+// TryAcquire returns a device lease if one is free.
+func (p *Pool) TryAcquire() (Device, bool) {
+	select {
+	case d := <-p.ch:
+		p.leased.Add(1)
+		return d, true
+	default:
+		return nil, false
+	}
+}
+
+// Release returns a leased device to the pool. Releasing more devices
+// than were acquired is a caller bug and panics.
+func (p *Pool) Release(d Device) {
+	select {
+	case p.ch <- d:
+		p.leased.Add(-1)
+	default:
+		panic(fmt.Sprintf("exec: Pool.Release of un-leased %s device", d.Kind()))
+	}
+}
+
+// Stats aggregates kernel counters across every device in the pool,
+// leased or free.
+func (p *Pool) Stats() Stats {
+	var agg Stats
+	for _, d := range p.devs {
+		s := d.Stats()
+		agg.Kernels += s.Kernels
+		agg.FLOPs += s.FLOPs
+		agg.Overhead += s.Overhead
+	}
+	return agg
+}

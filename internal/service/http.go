@@ -1,0 +1,83 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"repro/internal/core"
+)
+
+// Handler returns the service's HTTP JSON API:
+//
+//	POST /query   — execute a Request (JSON body), returns a Response
+//	GET  /stats   — serving + cache + device counters
+//	GET  /healthz — liveness probe
+//
+// Admission overflow maps to 429 so load balancers can back off; unknown
+// collections/fields map to 400 (the plan-time type checking the paper
+// argues for, §4.2).
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+type httpError struct {
+	Error string `json:"error"`
+}
+
+func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, httpError{"POST a JSON request body"})
+		return
+	}
+	var req Request
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, httpError{"bad request body: " + err.Error()})
+		return
+	}
+	resp, err := s.Query(r.Context(), req)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, resp)
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, httpError{err.Error()})
+	case errors.Is(err, ErrClosed):
+		writeJSON(w, http.StatusServiceUnavailable, httpError{err.Error()})
+	case errors.Is(err, core.ErrNotFound):
+		writeJSON(w, http.StatusNotFound, httpError{err.Error()})
+	case errors.Is(err, r.Context().Err()):
+		writeJSON(w, http.StatusRequestTimeout, httpError{err.Error()})
+	default:
+		writeJSON(w, http.StatusBadRequest, httpError{err.Error()})
+	}
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.closed.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "closed"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ok",
+		"uptime_sec": s.Stats().UptimeSec,
+	})
+}

@@ -1,0 +1,230 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Request is the declarative query the service executes: a pipeline of
+// filter -> similarity self-join -> distinct-identity clustering ->
+// order/limit over one materialized collection, or an inference sweep
+// over a registered frame source. The service compiles it to a physical
+// plan through the cost-based optimizer and keys its result cache on the
+// request's canonical fingerprint.
+type Request struct {
+	// Collection names the materialized collection to query. Exactly one
+	// of Collection and Infer must be set.
+	Collection string `json:"collection,omitempty"`
+
+	Filter  *FilterSpec  `json:"filter,omitempty"`
+	SimJoin *SimJoinSpec `json:"simjoin,omitempty"`
+
+	// Distinct clusters the similarity-join pairs into identities and
+	// returns the cluster count (q4's dedup step). Requires SimJoin.
+	Distinct bool `json:"distinct,omitempty"`
+
+	// OrderBy/Desc/Limit shape row output for plain filter queries.
+	OrderBy string `json:"order_by,omitempty"`
+	Desc    bool   `json:"desc,omitempty"`
+	Limit   int    `json:"limit,omitempty"`
+
+	// Infer runs a UDF sweep over rendered frames instead of a
+	// collection query.
+	Infer *InferSpec `json:"infer,omitempty"`
+
+	// NoCache bypasses the result cache (the plan still executes and the
+	// UDF cache still applies).
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// FilterSpec is an equality selection on one metadata field. Exactly one
+// constant must be set.
+type FilterSpec struct {
+	Field string   `json:"field"`
+	Str   *string  `json:"str,omitempty"`
+	Int   *int64   `json:"int,omitempty"`
+	Float *float64 `json:"float,omitempty"`
+	// UseIndex requests the indexed access path (a hash index is built on
+	// first use). Purely physical: it never changes the result.
+	UseIndex bool `json:"use_index,omitempty"`
+}
+
+func (f *FilterSpec) value() (core.Value, error) {
+	set := 0
+	var v core.Value
+	if f.Str != nil {
+		set++
+		v = core.StrV(*f.Str)
+	}
+	if f.Int != nil {
+		set++
+		v = core.IntV(*f.Int)
+	}
+	if f.Float != nil {
+		set++
+		v = core.FloatV(*f.Float)
+	}
+	if set != 1 {
+		return core.Value{}, fmt.Errorf("service: filter on %q needs exactly one of str/int/float", f.Field)
+	}
+	return v, nil
+}
+
+// SimJoinSpec is a similarity self-join on a vector field: all pairs
+// within Eps. The optimizer picks the physical method; UseIndex
+// additionally allows probing a prebuilt ball tree when the join runs
+// over the whole collection.
+type SimJoinSpec struct {
+	Field string  `json:"field"`
+	Eps   float64 `json:"eps"`
+	// UseIndex permits the prebuilt-ball-tree method (built on first
+	// use). Only effective without a preceding filter: an index over the
+	// full collection cannot serve a filtered subset. Purely physical.
+	UseIndex bool `json:"use_index,omitempty"`
+	// MinCluster drops identity clusters smaller than this when Distinct
+	// is set (detection-noise suppression; q4 uses 2).
+	MinCluster int `json:"min_cluster,omitempty"`
+}
+
+// InferSpec sweeps a UDF over frames [From, To) of a registered frame
+// source, counting matching outputs: detections with Label (or all), OCR
+// words equal to Text (or all), or embeddings computed. Repeated sweeps
+// over overlapping ranges hit the UDF materialization cache frame by
+// frame.
+type InferSpec struct {
+	Source string `json:"source"`
+	From   int    `json:"from"`
+	To     int    `json:"to"`
+	UDF    string `json:"udf"` // "detect" | "embed" | "ocr"
+	Label  string `json:"label,omitempty"`
+	Text   string `json:"text,omitempty"`
+}
+
+// validate checks structural request sanity (schema checks happen at
+// plan time against the live catalog).
+func (r *Request) validate() error {
+	switch {
+	case r.Collection == "" && r.Infer == nil:
+		return errors.New("service: request needs a collection or an infer spec")
+	case r.Collection != "" && r.Infer != nil:
+		return errors.New("service: collection query and infer sweep are mutually exclusive")
+	}
+	if r.Infer != nil {
+		i := r.Infer
+		if i.Source == "" {
+			return errors.New("service: infer needs a source")
+		}
+		if i.To <= i.From || i.From < 0 {
+			return fmt.Errorf("service: infer frame range [%d, %d) is empty", i.From, i.To)
+		}
+		switch i.UDF {
+		case "detect", "embed", "ocr":
+		default:
+			return fmt.Errorf("service: unknown UDF %q (want detect, embed or ocr)", i.UDF)
+		}
+		return nil
+	}
+	if r.Distinct && r.SimJoin == nil {
+		return errors.New("service: distinct requires a simjoin")
+	}
+	if r.SimJoin != nil && r.SimJoin.Eps <= 0 {
+		return errors.New("service: simjoin eps must be positive")
+	}
+	if r.Filter != nil {
+		if _, err := r.Filter.value(); err != nil {
+			return err
+		}
+	}
+	if r.Limit < 0 {
+		return errors.New("service: negative limit")
+	}
+	return nil
+}
+
+// fingerprint canonicalizes the request's *logical* content plus the
+// dataset version. Physical knobs (UseIndex) are deliberately excluded:
+// all physical plans compute the same result, so they share one cache
+// entry. The returned key embeds the collection/source name in clear so
+// prefix invalidation can purge per-dataset entries.
+func (r *Request) fingerprint(version uint64, modelSeed int64) string {
+	if r.Infer != nil {
+		i := r.Infer
+		fp := core.NewFingerprinter("infer").
+			Str("source", i.Source).
+			Int("from", int64(i.From)).
+			Int("to", int64(i.To)).
+			Str("udf", i.UDF).
+			Str("label", i.Label).
+			Str("text", i.Text).
+			Int("seed", modelSeed).
+			U64(version).
+			Sum()
+		return "q:" + i.Source + ":" + string(fp)
+	}
+	f := core.NewFingerprinter("query").Col(r.Collection, version)
+	if r.Filter != nil {
+		v, _ := r.Filter.value()
+		f.Str("filter.field", r.Filter.Field).Value("filter.eq", v)
+	}
+	if r.SimJoin != nil {
+		f.Str("sim.field", r.SimJoin.Field).
+			Float("sim.eps", r.SimJoin.Eps).
+			Int("sim.mincluster", int64(r.SimJoin.MinCluster))
+	}
+	if r.Distinct {
+		f.Int("distinct", 1)
+	}
+	if r.OrderBy != "" {
+		desc := int64(0)
+		if r.Desc {
+			desc = 1
+		}
+		f.Str("order", r.OrderBy).Int("desc", desc)
+	}
+	if r.Limit > 0 {
+		f.Int("limit", int64(r.Limit))
+	}
+	return "q:" + r.Collection + ":" + string(f.Sum())
+}
+
+// Response is one query's answer plus its serving metadata.
+type Response struct {
+	// Value is the scalar answer: row count, pair count, cluster count,
+	// or matching-inference count, depending on the request shape.
+	Value int `json:"value"`
+	// Rows carries up to Limit projected result rows for plain filter
+	// queries (scalar metadata only).
+	Rows []map[string]any `json:"rows,omitempty"`
+
+	Plan        string `json:"plan"`
+	Fingerprint string `json:"fingerprint"`
+	CacheHit    bool   `json:"cache_hit"`
+
+	// EstCostSec is the optimizer's cold estimate for the chosen plan;
+	// CacheAwareCostSec folds in the result cache's observed hit rate
+	// (CostModel.CacheAwareCost), so a hot plan reports near-zero.
+	EstCostSec        float64 `json:"est_cost_sec"`
+	CacheAwareCostSec float64 `json:"cache_aware_cost_sec"`
+
+	DurationMS float64 `json:"duration_ms"`
+}
+
+// sizeBytes estimates the response's cache footprint, including row
+// values (string metadata can dominate the fixed row overhead).
+func (r *Response) sizeBytes() int64 {
+	size := int64(160) + int64(len(r.Plan)) + int64(len(r.Fingerprint))
+	for _, row := range r.Rows {
+		size += 48
+		for k, v := range row {
+			size += int64(len(k)) + 16
+			if s, ok := v.(string); ok {
+				size += int64(len(s))
+			} else {
+				size += 8
+			}
+		}
+	}
+	return size
+}

@@ -1,0 +1,830 @@
+// Package service is DeepLens's concurrent query-serving subsystem: a
+// thread-safe, embeddable layer that wraps the catalog, cost-based
+// optimizer and execution devices behind a Service type. It adds what a
+// single-caller library lacks for production traffic:
+//
+//   - a bounded worker pool with an admission queue, so N concurrent
+//     callers execute plans in parallel without oversubscribing the
+//     simulated devices (each worker holds an exclusive device lease);
+//   - an LRU+TTL result cache keyed by a canonical plan fingerprint
+//     (dataset version + operator tree + parameters) with byte
+//     accounting and hit/miss/eviction metrics;
+//   - a UDF materialization cache memoizing per-frame inference outputs
+//     (detect/embed/ocr), the paper's core argument applied across
+//     queries: inference is computed once, reused forever;
+//   - in-flight request coalescing (identical cold queries run once);
+//   - cache-aware plan costing: reported costs fold in the observed hit
+//     rate via CostModel.CacheAwareCost.
+//
+// The cmd/deeplens-serve binary exposes it over HTTP JSON.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/vision"
+)
+
+// Service errors.
+var (
+	// ErrOverloaded reports admission-queue overflow: the caller should
+	// back off and retry (HTTP 429).
+	ErrOverloaded = errors.New("service: admission queue full")
+	// ErrClosed reports a query against a closed service.
+	ErrClosed = errors.New("service: closed")
+)
+
+// DefaultModelSeed fixes UDF model weights when Config.ModelSeed is zero
+// (matches the benchmark environment's seed).
+const DefaultModelSeed = 42
+
+// FrameSource renders frames for inference sweeps. Implementations must
+// be safe for concurrent use (the dataset generators render
+// deterministically from immutable scene state).
+type FrameSource interface {
+	// Frames returns the number of renderable frames.
+	Frames() int
+	// Render draws frame t.
+	Render(t int) (*codec.Image, error)
+}
+
+// Config parameterizes a Service. Zero values select sensible defaults.
+type Config struct {
+	// Workers is the executor pool size (default: min(NumCPU, 16)).
+	Workers int
+	// QueueDepth bounds the admission queue beyond the workers
+	// (default 64). A full queue rejects with ErrOverloaded.
+	QueueDepth int
+	// Device is the execution backend each worker leases (default CPU).
+	Device exec.Kind
+	// ResultCacheBytes budgets the plan-keyed result cache (default 32 MiB).
+	ResultCacheBytes int64
+	// ResultTTL expires cached results (default 5m; negative disables
+	// expiry).
+	ResultTTL time.Duration
+	// UDFCacheBytes budgets the inference materialization cache
+	// (default 128 MiB).
+	UDFCacheBytes int64
+	// ModelSeed fixes UDF weights (default DefaultModelSeed).
+	ModelSeed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+		if c.Workers > 16 {
+			c.Workers = 16
+		}
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.ResultCacheBytes <= 0 {
+		c.ResultCacheBytes = 32 << 20
+	}
+	switch {
+	case c.ResultTTL == 0:
+		c.ResultTTL = 5 * time.Minute
+	case c.ResultTTL < 0:
+		c.ResultTTL = 0 // never expire
+	}
+	if c.UDFCacheBytes <= 0 {
+		c.UDFCacheBytes = 128 << 20
+	}
+	if c.ModelSeed == 0 {
+		c.ModelSeed = DefaultModelSeed
+	}
+	return c
+}
+
+// task is one admitted query awaiting a worker.
+type task struct {
+	ctx  context.Context
+	req  *Request
+	key  string // result-cache key ("" = uncacheable)
+	resp *Response
+	err  error
+	done chan struct{}
+}
+
+// flight is an in-progress computation identical cold queries coalesce on.
+type flight struct {
+	done chan struct{}
+	resp *Response
+	err  error
+}
+
+// worker is one executor: an exclusive device lease plus memoized UDF
+// models bound to it.
+type worker struct {
+	id  int
+	dev exec.Device
+	det *vision.MemoDetector
+	emb *vision.MemoEmbedder
+	ocr *vision.MemoOCR
+}
+
+// Service is the concurrent query-serving layer over one DB.
+type Service struct {
+	db    *core.DB
+	cfg   Config
+	cost  *core.CostModel
+	start time.Time
+
+	results *Cache // plan fingerprint -> *Response
+	udfMemo *Cache // image key -> inference output
+
+	devPool *exec.Pool
+	queue   chan *task
+	quit    chan struct{}
+	wg      sync.WaitGroup
+	closed  atomic.Bool
+
+	srcMu   sync.RWMutex
+	sources map[string]FrameSource
+
+	flightMu sync.Mutex
+	inflight map[string]*flight
+
+	buildMu sync.Mutex
+	builds  map[string]*sync.Mutex // per-(col,field,kind) index-build locks
+
+	admitted, rejected, coalesced atomic.Int64
+	completed, failed             atomic.Int64
+	inFlight, peakInFlight        atomic.Int64
+}
+
+// New starts a service over db with cfg.Workers executors. Close releases
+// the pool.
+func New(db *core.DB, cfg Config) (*Service, error) {
+	if db == nil {
+		return nil, errors.New("service: nil db")
+	}
+	cfg = cfg.withDefaults()
+	s := &Service{
+		db:       db,
+		cfg:      cfg,
+		cost:     core.DefaultCostModel(),
+		start:    time.Now(),
+		results:  NewCache(cfg.ResultCacheBytes, cfg.ResultTTL),
+		udfMemo:  NewCache(cfg.UDFCacheBytes, 0),
+		devPool:  exec.NewPool(cfg.Device, cfg.Workers),
+		queue:    make(chan *task, cfg.QueueDepth),
+		quit:     make(chan struct{}),
+		sources:  make(map[string]FrameSource),
+		inflight: make(map[string]*flight),
+		builds:   make(map[string]*sync.Mutex),
+	}
+	ns := fmt.Sprintf("seed%d", cfg.ModelSeed)
+	for i := 0; i < cfg.Workers; i++ {
+		dev := s.devPool.Acquire() // held for the worker's lifetime
+		w := &worker{
+			id:  i,
+			dev: dev,
+			det: vision.NewMemoDetector(vision.NewDetector(dev, cfg.ModelSeed), ns, s.udfMemo),
+			emb: vision.NewMemoEmbedder(vision.NewEmbedder(dev, cfg.ModelSeed), ns, s.udfMemo),
+			ocr: vision.NewMemoOCR(vision.NewDocumentOCR(), "doc", s.udfMemo),
+		}
+		s.wg.Add(1)
+		go s.run(w)
+	}
+	return s, nil
+}
+
+// Close drains the pool and releases every device lease. In-flight
+// waiters receive ErrClosed.
+func (s *Service) Close() {
+	if !s.closed.CompareAndSwap(false, true) {
+		return
+	}
+	close(s.quit)
+	s.wg.Wait()
+}
+
+// RegisterSource makes a frame source available to inference sweeps
+// under the given name.
+func (s *Service) RegisterSource(name string, src FrameSource) {
+	s.srcMu.Lock()
+	s.sources[name] = src
+	s.srcMu.Unlock()
+}
+
+func (s *Service) source(name string) FrameSource {
+	s.srcMu.RLock()
+	defer s.srcMu.RUnlock()
+	return s.sources[name]
+}
+
+// InvalidateCollection eagerly drops cached results over the named
+// collection (or source). Version-keyed fingerprints already make stale
+// hits impossible after re-ingest; this reclaims the bytes immediately.
+func (s *Service) InvalidateCollection(name string) int {
+	return s.results.InvalidatePrefix("q:" + name + ":")
+}
+
+// FlushCaches empties both caches (benchmark cold starts).
+func (s *Service) FlushCaches() {
+	s.results.Flush()
+	s.udfMemo.Flush()
+}
+
+// fingerprintFor resolves the request's cache key against the live
+// catalog (collection version for queries, source identity for sweeps).
+func (s *Service) fingerprintFor(req *Request) (string, error) {
+	if req.Infer != nil {
+		return req.fingerprint(0, s.cfg.ModelSeed), nil
+	}
+	col, err := s.db.Collection(req.Collection)
+	if err != nil {
+		return "", err
+	}
+	return req.fingerprint(col.Version(), s.cfg.ModelSeed), nil
+}
+
+// Query executes one request: result-cache lookup, in-flight coalescing,
+// bounded admission, parallel execution on a leased device. It blocks
+// until the result is ready, ctx is done, or the service closes.
+func (s *Service) Query(ctx context.Context, req Request) (*Response, error) {
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	var key string
+	if !req.NoCache {
+		var err error
+		if key, err = s.fingerprintFor(&req); err != nil {
+			return nil, err
+		}
+		if v, ok := s.results.Get(key); ok {
+			return cachedResponse(v.(*Response), s), nil
+		}
+		// Coalesce identical cold queries onto one execution.
+		s.flightMu.Lock()
+		if fl, ok := s.inflight[key]; ok {
+			s.flightMu.Unlock()
+			s.coalesced.Add(1)
+			select {
+			case <-fl.done:
+				if fl.err != nil {
+					return nil, fl.err
+				}
+				return cachedResponse(fl.resp, s), nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-s.quit:
+				return nil, ErrClosed
+			}
+		}
+		fl := &flight{done: make(chan struct{})}
+		s.inflight[key] = fl
+		s.flightMu.Unlock()
+		t, err := s.enqueue(ctx, &req, key)
+		if err != nil {
+			s.finishFlight(key, fl, nil, err)
+			return nil, err
+		}
+		// The worker, not the leader's context, completes the flight: a
+		// leader that gives up must not fail coalesced waiters whose own
+		// contexts are still live.
+		go func() {
+			select {
+			case <-t.done:
+				s.finishFlight(key, fl, t.resp, t.err)
+			case <-s.quit:
+				s.finishFlight(key, fl, nil, ErrClosed)
+			}
+		}()
+		select {
+		case <-fl.done:
+			return fl.resp, fl.err
+		case <-ctx.Done():
+			return nil, ctx.Err() // the worker still completes it; result is cached
+		case <-s.quit:
+			return nil, ErrClosed
+		}
+	}
+	return s.admit(ctx, &req, "")
+}
+
+// finishFlight publishes an in-flight computation's outcome exactly once.
+func (s *Service) finishFlight(key string, fl *flight, resp *Response, err error) {
+	fl.resp, fl.err = resp, err
+	s.flightMu.Lock()
+	delete(s.inflight, key)
+	s.flightMu.Unlock()
+	close(fl.done)
+}
+
+// enqueue admits the task, rejecting with ErrOverloaded when the queue
+// is full.
+func (s *Service) enqueue(ctx context.Context, req *Request, key string) (*task, error) {
+	t := &task{ctx: ctx, req: req, key: key, done: make(chan struct{})}
+	select {
+	case s.queue <- t:
+		n := s.inFlight.Add(1)
+		for {
+			peak := s.peakInFlight.Load()
+			if n <= peak || s.peakInFlight.CompareAndSwap(peak, n) {
+				break
+			}
+		}
+		s.admitted.Add(1)
+		return t, nil
+	default:
+		s.rejected.Add(1)
+		return nil, ErrOverloaded
+	}
+}
+
+// admit enqueues the task and waits for its completion.
+func (s *Service) admit(ctx context.Context, req *Request, key string) (*Response, error) {
+	t, err := s.enqueue(ctx, req, key)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case <-t.done:
+		return t.resp, t.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-s.quit:
+		return nil, ErrClosed
+	}
+}
+
+// run is a worker's executor loop.
+func (s *Service) run(w *worker) {
+	defer s.wg.Done()
+	defer s.devPool.Release(w.dev)
+	for {
+		select {
+		case t := <-s.queue:
+			s.process(w, t)
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+func (s *Service) process(w *worker, t *task) {
+	defer s.inFlight.Add(-1)
+	// An uncacheable task whose caller already gave up has no one to
+	// deliver to and nothing to materialize — don't burn a device on it.
+	// Cacheable tasks still run: the result serves coalesced waiters and
+	// future fingerprint hits.
+	if t.key == "" && t.ctx != nil && t.ctx.Err() != nil {
+		s.failed.Add(1)
+		t.err = t.ctx.Err()
+		close(t.done)
+		return
+	}
+	start := time.Now()
+	resp, err := s.execute(w, t.req)
+	if err != nil {
+		s.failed.Add(1)
+		t.err = err
+		close(t.done)
+		return
+	}
+	resp.DurationMS = float64(time.Since(start).Microseconds()) / 1000
+	resp.Fingerprint = t.key
+	resp.CacheAwareCostSec = s.cost.CacheAwareCost(
+		resp.EstCostSec, s.results.Stats().HitRate(), cacheLookupCostSec)
+	if t.key != "" {
+		s.results.Put(t.key, resp, resp.sizeBytes())
+	}
+	s.completed.Add(1)
+	t.resp = resp
+	close(t.done)
+}
+
+// cacheLookupCostSec is the measured order-of-magnitude cost of one
+// result-cache probe (fingerprint + map + LRU bump).
+const cacheLookupCostSec = 2e-6
+
+// cachedResponse returns a caller-private copy of a cached response,
+// marked as a hit and re-costed at the current hit rate.
+func cachedResponse(r *Response, s *Service) *Response {
+	out := *r
+	out.Rows = r.Rows // shared, treated as immutable
+	out.CacheHit = true
+	out.DurationMS = 0
+	out.CacheAwareCostSec = s.cost.CacheAwareCost(
+		r.EstCostSec, s.results.Stats().HitRate(), cacheLookupCostSec)
+	return &out
+}
+
+// ---------------------------------------------------------- execution ----
+
+func (s *Service) execute(w *worker, req *Request) (*Response, error) {
+	if req.Infer != nil {
+		return s.executeInfer(w, req.Infer)
+	}
+	return s.executeQuery(w, req)
+}
+
+// executeQuery runs the filter -> simjoin -> distinct -> order/limit
+// pipeline over a collection snapshot.
+func (s *Service) executeQuery(w *worker, req *Request) (*Response, error) {
+	col, err := s.db.Collection(req.Collection)
+	if err != nil {
+		return nil, err
+	}
+	snap, _, err := col.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	resp := &Response{}
+	var plan []string
+	filtered := snap
+
+	if f := req.Filter; f != nil {
+		v, err := f.value()
+		if err != nil {
+			return nil, err
+		}
+		if err := col.Schema().ValidateFilterValue(f.Field, v); err != nil {
+			return nil, err
+		}
+		if f.UseIndex {
+			idx, err := s.ensureIndex(col, f.Field, core.IdxHash)
+			if err != nil {
+				return nil, err
+			}
+			ids, err := idx.LookupEq(v)
+			if err != nil {
+				return nil, err
+			}
+			filtered = make([]*core.Patch, 0, len(ids))
+			for _, id := range ids {
+				p, err := col.Get(id)
+				if err != nil {
+					return nil, err
+				}
+				filtered = append(filtered, p)
+			}
+			plan = append(plan, fmt.Sprintf("hash-index(%s)", f.Field))
+			resp.EstCostSec += float64(len(ids)) * s.cost.CFetch
+		} else {
+			filtered = make([]*core.Patch, 0, len(snap)/4)
+			for _, p := range snap {
+				if mv, ok := p.Meta[f.Field]; ok && mv.Equal(v) {
+					filtered = append(filtered, p)
+				}
+			}
+			plan = append(plan, fmt.Sprintf("scan-filter(%s)", f.Field))
+			resp.EstCostSec += float64(len(snap)) * scanCmpCostSec
+		}
+	}
+
+	if sj := req.SimJoin; sj != nil {
+		dim := 0
+		if fd := col.Schema().FieldNamed(sj.Field); fd != nil {
+			dim = fd.VecDim
+		}
+		if dim == 0 && len(filtered) > 0 {
+			if mv, ok := filtered[0].Meta[sj.Field]; ok {
+				dim = len(mv.V)
+			}
+		}
+		// A prebuilt index over the whole collection can only serve an
+		// unfiltered join.
+		hasIndex := sj.UseIndex && req.Filter == nil
+		if hasIndex {
+			if _, err := s.ensureIndex(col, sj.Field, core.IdxBallTree); err != nil {
+				return nil, err
+			}
+		}
+		n := len(filtered)
+		sp := s.cost.PlanSimilarityJoin(n, n, dim, hasIndex)
+		resp.EstCostSec += sp.EstCost
+		opts := core.SimilarityJoinOpts{
+			LeftField: sj.Field, RightField: sj.Field,
+			Eps: sj.Eps, DedupUnordered: true, Device: w.dev,
+		}
+		var pairs []core.Tuple
+		switch sp.Method {
+		case core.SimIndexed:
+			idx, err := s.ensureIndex(col, sj.Field, core.IdxBallTree)
+			if err != nil {
+				return nil, err
+			}
+			pairs, err = core.SimilarityJoinIndexed(s.db, filtered, col, idx, opts)
+			if err != nil {
+				return nil, err
+			}
+		case core.SimOnTheFly:
+			pairs, err = core.SimilarityJoinOnTheFly(filtered, filtered, opts)
+			if err != nil {
+				return nil, err
+			}
+		case core.SimBatched:
+			pairs, err = core.SimilarityJoinBatched(s.db, filtered, filtered, opts)
+			if err != nil {
+				return nil, err
+			}
+		default:
+			pairs, err = core.SimilarityJoinNested(filtered, filtered, opts)
+			if err != nil {
+				return nil, err
+			}
+		}
+		plan = append(plan, fmt.Sprintf("simjoin[%s@%s](%s, eps=%g)",
+			sp.Method, w.dev.Kind(), sj.Field, sj.Eps))
+		if req.Distinct {
+			resp.Value = clusterCount(filtered, pairs, sj.MinCluster)
+			plan = append(plan, fmt.Sprintf("distinct(min=%d)", sj.MinCluster))
+		} else {
+			resp.Value = len(pairs)
+		}
+		resp.Plan = joinPlan(plan)
+		return resp, nil
+	}
+
+	resp.Value = len(filtered)
+	if req.OrderBy != "" || req.Limit > 0 {
+		rows := filtered
+		if req.OrderBy != "" {
+			rows = append([]*core.Patch(nil), filtered...)
+			field, desc := req.OrderBy, req.Desc
+			sort.SliceStable(rows, func(i, j int) bool {
+				a, b := rows[i].Meta[field], rows[j].Meta[field]
+				if desc {
+					return b.Less(a)
+				}
+				return a.Less(b)
+			})
+			plan = append(plan, "order-by("+field+")")
+		}
+		limit := req.Limit
+		if limit <= 0 || limit > maxRows {
+			limit = maxRows
+		}
+		if len(rows) > limit {
+			rows = rows[:limit]
+		}
+		resp.Rows = projectRows(rows)
+		if req.Limit > 0 {
+			plan = append(plan, fmt.Sprintf("limit(%d)", req.Limit))
+		}
+	}
+	if len(plan) == 0 {
+		plan = append(plan, "scan-count")
+	}
+	resp.Plan = joinPlan(plan)
+	return resp, nil
+}
+
+// scanCmpCostSec is the estimated cost of one metadata comparison during
+// a scan filter.
+const scanCmpCostSec = 2e-8
+
+// maxRows caps projected row output per response.
+const maxRows = 100
+
+func joinPlan(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += " -> "
+		}
+		out += p
+	}
+	return out
+}
+
+// projectRows converts patches to JSON-friendly rows (scalar metadata
+// plus identity and lineage columns; vectors are elided).
+func projectRows(ps []*core.Patch) []map[string]any {
+	rows := make([]map[string]any, len(ps))
+	for i, p := range ps {
+		row := map[string]any{
+			"_id":     uint64(p.ID),
+			"_source": p.Ref.Source,
+			"_frame":  p.Ref.Frame,
+		}
+		for k, v := range p.Meta {
+			switch v.Kind {
+			case core.KindInt:
+				row[k] = v.I
+			case core.KindFloat:
+				row[k] = v.F
+			case core.KindStr:
+				row[k] = v.S
+			}
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+// clusterCount unions similarity pairs into identity clusters and counts
+// those with at least minSize members (q4's dedup; minSize <= 1 keeps
+// singletons).
+func clusterCount(ps []*core.Patch, pairs []core.Tuple, minSize int) int {
+	idx := make(map[core.PatchID]int, len(ps))
+	for i, p := range ps {
+		idx[p.ID] = i
+	}
+	parent := make([]int, len(ps))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, pr := range pairs {
+		if len(pr) != 2 {
+			continue
+		}
+		a, aok := idx[pr[0].ID]
+		b, bok := idx[pr[1].ID]
+		if !aok || !bok {
+			continue
+		}
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	sizes := make(map[int]int)
+	for i := range parent {
+		sizes[find(i)]++
+	}
+	count := 0
+	for _, n := range sizes {
+		if n >= minSize {
+			count++
+		}
+	}
+	return count
+}
+
+// estInferPerFrameSec is the rough cold cost of one frame's inference
+// (backbone GEMMs dominate; calibrated against the reference container).
+const estInferPerFrameSec = 4e-3
+
+// executeInfer sweeps a memoized UDF over rendered frames.
+func (s *Service) executeInfer(w *worker, spec *InferSpec) (*Response, error) {
+	src := s.source(spec.Source)
+	if src == nil {
+		return nil, fmt.Errorf("service: unknown frame source %q", spec.Source)
+	}
+	if spec.To > src.Frames() {
+		return nil, fmt.Errorf("service: source %q has %d frames, sweep wants [%d, %d)",
+			spec.Source, src.Frames(), spec.From, spec.To)
+	}
+	count := 0
+	for t := spec.From; t < spec.To; t++ {
+		img, err := src.Render(t)
+		if err != nil {
+			return nil, fmt.Errorf("service: render %s[%d]: %w", spec.Source, t, err)
+		}
+		switch spec.UDF {
+		case "detect":
+			for _, d := range w.det.Detect(img) {
+				if spec.Label == "" || d.Class.String() == spec.Label {
+					count++
+				}
+			}
+		case "embed":
+			w.emb.Embed(img)
+			count++
+		case "ocr":
+			for _, word := range w.ocr.Recognize(img) {
+				if spec.Text == "" || word.Text == spec.Text {
+					count++
+				}
+			}
+		}
+	}
+	frames := spec.To - spec.From
+	return &Response{
+		Value:      count,
+		Plan:       fmt.Sprintf("udf-sweep[%s@%s](%s[%d:%d))", spec.UDF, w.dev.Kind(), spec.Source, spec.From, spec.To),
+		EstCostSec: float64(frames) * estInferPerFrameSec,
+	}, nil
+}
+
+// ensureIndex returns an index that agrees with the collection's current
+// version, building or rebuilding as needed. Appends bump the version
+// but never maintain indexes incrementally, so serving a stale index
+// would silently drop the newest patches from indexed plans (and poison
+// the version-keyed result cache). Concurrent builders of the same
+// (collection, field, kind) are serialized.
+func (s *Service) ensureIndex(col *core.Collection, field string, kind core.IndexKind) (*core.Index, error) {
+	if s.db.HasIndex(col, field, kind) {
+		idx, err := s.db.Index(col, field, kind)
+		if err != nil {
+			return nil, err
+		}
+		if idx.BuiltVersion == col.Version() {
+			return idx, nil
+		}
+	}
+	key := col.Name() + "\x00" + field + "\x00" + kind.String()
+	s.buildMu.Lock()
+	mu, ok := s.builds[key]
+	if !ok {
+		mu = &sync.Mutex{}
+		s.builds[key] = mu
+	}
+	s.buildMu.Unlock()
+	mu.Lock()
+	defer mu.Unlock()
+	if s.db.HasIndex(col, field, kind) { // raced another builder
+		idx, err := s.db.Index(col, field, kind)
+		if err != nil {
+			return nil, err
+		}
+		if idx.BuiltVersion == col.Version() {
+			return idx, nil
+		}
+	}
+	return s.db.BuildIndex(col, field, kind)
+}
+
+// ------------------------------------------------------------- stats ----
+
+// Stats is the service's activity snapshot (served by /stats).
+type Stats struct {
+	UptimeSec float64 `json:"uptime_sec"`
+
+	Workers  int `json:"workers"`
+	QueueCap int `json:"queue_cap"`
+	QueueLen int `json:"queue_len"`
+	Sources  int `json:"sources"`
+
+	Admitted     int64 `json:"admitted"`
+	Rejected     int64 `json:"rejected"`
+	Coalesced    int64 `json:"coalesced"`
+	Completed    int64 `json:"completed"`
+	Failed       int64 `json:"failed"`
+	InFlight     int64 `json:"in_flight"`
+	PeakInFlight int64 `json:"peak_in_flight"`
+
+	ResultCache   CacheStats `json:"result_cache"`
+	UDFCache      CacheStats `json:"udf_cache"`
+	ResultHitRate float64    `json:"result_hit_rate"`
+
+	Device           string  `json:"device"`
+	DeviceKernels    int64   `json:"device_kernels"`
+	DeviceFLOPs      int64   `json:"device_flops"`
+	DeviceOverheadMS float64 `json:"device_overhead_ms"`
+	DeviceWaits      int64   `json:"device_waits"`
+}
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() Stats {
+	s.srcMu.RLock()
+	nsrc := len(s.sources)
+	s.srcMu.RUnlock()
+	rc := s.results.Stats()
+	ds := s.devPool.Stats()
+	return Stats{
+		UptimeSec: time.Since(s.start).Seconds(),
+		Workers:   s.cfg.Workers,
+		QueueCap:  cap(s.queue),
+		QueueLen:  len(s.queue),
+		Sources:   nsrc,
+
+		Admitted:     s.admitted.Load(),
+		Rejected:     s.rejected.Load(),
+		Coalesced:    s.coalesced.Load(),
+		Completed:    s.completed.Load(),
+		Failed:       s.failed.Load(),
+		InFlight:     s.inFlight.Load(),
+		PeakInFlight: s.peakInFlight.Load(),
+
+		ResultCache:   rc,
+		UDFCache:      s.udfMemo.Stats(),
+		ResultHitRate: rc.HitRate(),
+
+		Device:           s.devPool.Kind().String(),
+		DeviceKernels:    ds.Kernels,
+		DeviceFLOPs:      ds.FLOPs,
+		DeviceOverheadMS: float64(ds.Overhead.Microseconds()) / 1000,
+		DeviceWaits:      s.devPool.Waits(),
+	}
+}

@@ -1,0 +1,694 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/exec"
+)
+
+var (
+	envOnce sync.Once
+	testEnv *bench.Env
+	envErr  error
+)
+
+// getEnv lazily ingests one small shared benchmark environment.
+func getEnv(t *testing.T) *bench.Env {
+	t.Helper()
+	envOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "dl-service-test")
+		if err != nil {
+			envErr = err
+			return
+		}
+		cfg := dataset.Default()
+		cfg.TrafficFrames = 60
+		cfg.PCImages = 40
+		cfg.FootballClips = 1
+		cfg.FootballClipLen = 10
+		testEnv, envErr = bench.NewEnv(dir, cfg, exec.New(exec.CPU))
+	})
+	if envErr != nil {
+		t.Fatal(envErr)
+	}
+	return testEnv
+}
+
+func newService(t *testing.T, cfg Config) *Service {
+	t.Helper()
+	e := getEnv(t)
+	s, err := New(e.DB, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func strp(s string) *string { return &s }
+
+func pedCountReq() Request {
+	return Request{
+		Collection: bench.ColTrafficDets,
+		Filter:     &FilterSpec{Field: "label", Str: strp("pedestrian")},
+	}
+}
+
+func TestQueryFilterAndResultCache(t *testing.T) {
+	s := newService(t, Config{Workers: 2})
+	ctx := context.Background()
+
+	r1, err := s.Query(ctx, pedCountReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.CacheHit {
+		t.Fatal("first query reported a cache hit")
+	}
+	if r1.Value <= 0 {
+		t.Fatalf("pedestrian count = %d, want > 0", r1.Value)
+	}
+	r2, err := s.Query(ctx, pedCountReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.CacheHit {
+		t.Fatal("second identical query missed the cache")
+	}
+	if r2.Value != r1.Value {
+		t.Fatalf("cached value %d != computed %d", r2.Value, r1.Value)
+	}
+	st := s.Stats()
+	if st.ResultCache.Hits < 1 {
+		t.Fatalf("result cache hits = %d, want >= 1", st.ResultCache.Hits)
+	}
+	// Cache-aware cost shrinks as the hit rate climbs.
+	if r2.CacheAwareCostSec >= r1.EstCostSec && r1.EstCostSec > 0 {
+		t.Fatalf("cache-aware cost %g not below cold estimate %g",
+			r2.CacheAwareCostSec, r1.EstCostSec)
+	}
+}
+
+func TestQueryPhysicalPlansAgree(t *testing.T) {
+	s := newService(t, Config{Workers: 2})
+	ctx := context.Background()
+
+	scan, err := s.Query(ctx, Request{
+		Collection: bench.ColTrafficDets,
+		Filter:     &FilterSpec{Field: "label", Str: strp("car")},
+		NoCache:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexed, err := s.Query(ctx, Request{
+		Collection: bench.ColTrafficDets,
+		Filter:     &FilterSpec{Field: "label", Str: strp("car"), UseIndex: true},
+		NoCache:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scan.Value != indexed.Value {
+		t.Fatalf("scan=%d indexed=%d: physical plans disagree", scan.Value, indexed.Value)
+	}
+	if scan.Plan == indexed.Plan {
+		t.Fatalf("plans identical (%q): index path not taken", scan.Plan)
+	}
+	// Same logical query => same fingerprint regardless of physical plan.
+	a := pedCountReq()
+	b := pedCountReq()
+	b.Filter.UseIndex = true
+	fa, err := s.fingerprintFor(&a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := s.fingerprintFor(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa != fb {
+		t.Fatal("physical knob changed the logical fingerprint")
+	}
+}
+
+func TestQuerySimJoinDistinct(t *testing.T) {
+	s := newService(t, Config{Workers: 4})
+	ctx := context.Background()
+	req := Request{
+		Collection: bench.ColTrafficDets,
+		Filter:     &FilterSpec{Field: "label", Str: strp("pedestrian")},
+		SimJoin:    &SimJoinSpec{Field: "emb", Eps: 0.15, MinCluster: 2},
+		Distinct:   true,
+	}
+	r, err := s.Query(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Value <= 0 {
+		t.Fatalf("distinct pedestrians = %d, want > 0", r.Value)
+	}
+	if r.EstCostSec <= 0 {
+		t.Fatal("optimizer reported zero plan cost")
+	}
+	// The unfiltered indexed variant also runs (prebuilt ball tree path).
+	r2, err := s.Query(ctx, Request{
+		Collection: bench.ColPCImages,
+		SimJoin:    &SimJoinSpec{Field: "ghist", Eps: 0.066, UseIndex: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Value < 0 {
+		t.Fatalf("pair count = %d", r2.Value)
+	}
+}
+
+func TestQueryRowsOrderLimit(t *testing.T) {
+	s := newService(t, Config{Workers: 1})
+	r, err := s.Query(context.Background(), Request{
+		Collection: bench.ColTrafficDets,
+		Filter:     &FilterSpec{Field: "label", Str: strp("car")},
+		OrderBy:    "frameno",
+		Limit:      5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) == 0 || len(r.Rows) > 5 {
+		t.Fatalf("rows = %d, want 1..5", len(r.Rows))
+	}
+	var last int64 = -1
+	for _, row := range r.Rows {
+		fn := row["frameno"].(int64)
+		if fn < last {
+			t.Fatalf("rows out of order: %d after %d", fn, last)
+		}
+		last = fn
+	}
+}
+
+func TestQueryValidationErrors(t *testing.T) {
+	s := newService(t, Config{Workers: 1})
+	ctx := context.Background()
+	cases := []Request{
+		{},                   // no target
+		{Collection: "nope"}, // unknown collection
+		{Collection: bench.ColPCWords, // undeclared field -> plan-time type error
+			Filter: &FilterSpec{Field: "nosuch", Str: strp("x")}},
+		{Collection: bench.ColPCWords, // two constants
+			Filter: &FilterSpec{Field: "text", Str: strp("x"), Int: new(int64)}},
+		{Collection: bench.ColPCWords, Distinct: true},                                // distinct without simjoin
+		{Collection: bench.ColPCWords, SimJoin: &SimJoinSpec{Field: "x"}},             // eps <= 0
+		{Infer: &InferSpec{Source: "s", From: 3, To: 3, UDF: "detect"}},               // empty range
+		{Infer: &InferSpec{Source: "s", From: 0, To: 1, UDF: "segmentation"}},         // unknown udf
+		{Collection: "c", Infer: &InferSpec{Source: "s", From: 0, To: 1, UDF: "ocr"}}, // both
+	}
+	for i, req := range cases {
+		if _, err := s.Query(ctx, req); err == nil {
+			t.Errorf("case %d: invalid request accepted", i)
+		}
+	}
+}
+
+// trafficSource adapts the dataset generator to a FrameSource.
+type trafficSource struct{ tr *dataset.Traffic }
+
+func (t trafficSource) Frames() int { return t.tr.Frames }
+func (t trafficSource) Render(i int) (*codec.Image, error) {
+	img, _ := t.tr.Render(i)
+	return img, nil
+}
+
+func TestInferSweepUDFMemoization(t *testing.T) {
+	e := getEnv(t)
+	s := newService(t, Config{Workers: 2})
+	s.RegisterSource("trafficcam", trafficSource{e.Traffic})
+
+	req := Request{
+		Infer:   &InferSpec{Source: "trafficcam", From: 0, To: 8, UDF: "detect", Label: "car"},
+		NoCache: true, // bypass the result cache so the UDF cache does the work
+	}
+	r1, err := s.Query(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	misses := s.Stats().UDFCache.Misses
+	if misses < 8 {
+		t.Fatalf("first sweep recorded %d UDF misses, want >= 8", misses)
+	}
+	r2, err := s.Query(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Value != r1.Value {
+		t.Fatalf("memoized sweep value %d != cold value %d", r2.Value, r1.Value)
+	}
+	st := s.Stats()
+	if st.UDFCache.Hits < 8 {
+		t.Fatalf("second sweep recorded %d UDF hits, want >= 8", st.UDFCache.Hits)
+	}
+	if st.UDFCache.Misses != misses {
+		t.Fatalf("second sweep re-ran inference: misses %d -> %d", misses, st.UDFCache.Misses)
+	}
+	// An overlapping sweep reuses the shared frames.
+	r3, err := s.Query(context.Background(), Request{
+		Infer:   &InferSpec{Source: "trafficcam", From: 4, To: 12, UDF: "detect", Label: "car"},
+		NoCache: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = r3
+	if got := s.Stats().UDFCache.Misses - misses; got != 4 {
+		t.Fatalf("overlapping sweep ran %d fresh inferences, want 4", got)
+	}
+}
+
+// gateSource is a FrameSource whose renders block until released,
+// letting the test observe steady-state concurrency deterministically.
+type gateSource struct {
+	release chan struct{}
+	mu      sync.Mutex
+	cur     int
+	peak    int
+}
+
+func (g *gateSource) Frames() int { return 1 << 20 }
+
+func (g *gateSource) Render(int) (*codec.Image, error) {
+	g.mu.Lock()
+	g.cur++
+	if g.cur > g.peak {
+		g.peak = g.cur
+	}
+	g.mu.Unlock()
+	<-g.release
+	g.mu.Lock()
+	g.cur--
+	g.mu.Unlock()
+	return &codec.Image{W: 8, H: 8, Pix: make([]uint8, 8*8*3)}, nil
+}
+
+func (g *gateSource) peakConcurrency() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.peak
+}
+
+func TestConcurrentQueriesSustainSixteenInFlight(t *testing.T) {
+	s := newService(t, Config{Workers: 16, QueueDepth: 128})
+	gate := &gateSource{release: make(chan struct{})}
+	s.RegisterSource("gated", gate)
+	ctx := context.Background()
+	const callers = 48
+
+	var done sync.WaitGroup
+	errs := make(chan error, callers)
+	for i := 0; i < callers; i++ {
+		done.Add(1)
+		go func(i int) {
+			defer done.Done()
+			req := Request{
+				Infer:   &InferSpec{Source: "gated", From: i, To: i + 1, UDF: "detect"},
+				NoCache: true,
+			}
+			if _, err := s.Query(ctx, req); err != nil {
+				errs <- fmt.Errorf("caller %d: %w", i, err)
+			}
+		}(i)
+	}
+	// Wait for steady state: all 48 admitted, all 16 workers mid-query.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if gate.peakConcurrency() >= 16 && s.Stats().InFlight >= callers {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never reached steady state: executing=%d in-flight=%d",
+				gate.peakConcurrency(), s.Stats().InFlight)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate.release)
+	done.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.PeakInFlight < callers {
+		t.Fatalf("peak in-flight = %d, want >= %d", st.PeakInFlight, callers)
+	}
+	if got := gate.peakConcurrency(); got != 16 {
+		t.Fatalf("concurrent executions peaked at %d, want exactly the 16 leased workers", got)
+	}
+	if st.Completed != callers {
+		t.Fatalf("completed = %d, want %d", st.Completed, callers)
+	}
+}
+
+func TestAdmissionControlRejectsWhenSaturated(t *testing.T) {
+	s := newService(t, Config{Workers: 1, QueueDepth: 1})
+	ctx := context.Background()
+	const callers = 32
+
+	var start, done sync.WaitGroup
+	var rejected, succeeded atomic64
+	start.Add(1)
+	for i := 0; i < callers; i++ {
+		done.Add(1)
+		go func(i int) {
+			defer done.Done()
+			start.Wait()
+			req := Request{
+				Collection: bench.ColTrafficDets,
+				SimJoin:    &SimJoinSpec{Field: "emb", Eps: 0.10 + float64(i)*1e-4},
+				NoCache:    true,
+			}
+			_, err := s.Query(ctx, req)
+			switch {
+			case err == nil:
+				succeeded.add(1)
+			case errors.Is(err, ErrOverloaded):
+				rejected.add(1)
+			default:
+				t.Errorf("caller %d: %v", i, err)
+			}
+		}(i)
+	}
+	start.Done()
+	done.Wait()
+	if rejected.load() == 0 {
+		t.Fatal("saturated 1-worker/1-slot service rejected nothing")
+	}
+	if succeeded.load() == 0 {
+		t.Fatal("no query succeeded under load")
+	}
+	st := s.Stats()
+	if st.Rejected != rejected.load() {
+		t.Fatalf("stats.Rejected = %d, callers saw %d", st.Rejected, rejected.load())
+	}
+}
+
+func TestCoalescingRunsIdenticalColdQueriesOnce(t *testing.T) {
+	s := newService(t, Config{Workers: 8})
+	ctx := context.Background()
+	const callers = 8
+
+	var start, done sync.WaitGroup
+	start.Add(1)
+	values := make([]int, callers)
+	errsl := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		done.Add(1)
+		go func(i int) {
+			defer done.Done()
+			start.Wait()
+			r, err := s.Query(ctx, Request{
+				Collection: bench.ColTrafficDets,
+				SimJoin:    &SimJoinSpec{Field: "emb", Eps: 0.123},
+			})
+			if err != nil {
+				errsl[i] = err
+				return
+			}
+			values[i] = r.Value
+		}(i)
+	}
+	start.Done()
+	done.Wait()
+	for i, err := range errsl {
+		if err != nil {
+			t.Fatalf("caller %d: %v", i, err)
+		}
+	}
+	for i := 1; i < callers; i++ {
+		if values[i] != values[0] {
+			t.Fatalf("divergent results: %v", values)
+		}
+	}
+	st := s.Stats()
+	if st.Admitted != 1 {
+		t.Fatalf("admitted = %d, want 1 (coalescing failed)", st.Admitted)
+	}
+	if st.Coalesced+st.ResultCache.Hits < callers-1 {
+		t.Fatalf("coalesced=%d + hits=%d, want >= %d",
+			st.Coalesced, st.ResultCache.Hits, callers-1)
+	}
+}
+
+func TestReingestInvalidatesStaleResults(t *testing.T) {
+	e := getEnv(t)
+	s := newService(t, Config{Workers: 2})
+	ctx := context.Background()
+	const colName = "service.reingest"
+
+	schema := core.Schema{Fields: []core.Field{
+		{Name: "label", Kind: core.KindStr},
+		{Name: "frameno", Kind: core.KindInt},
+	}}
+	mkPatch := func(i int, label string) *core.Patch {
+		return &core.Patch{
+			Ref:  core.Ref{Source: "synthetic", Frame: uint64(i)},
+			Meta: core.Metadata{"label": core.StrV(label), "frameno": core.IntV(int64(i))},
+		}
+	}
+	col, err := e.DB.CreateCollection(colName, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := col.Append(mkPatch(i, "cat")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := Request{Collection: colName, Filter: &FilterSpec{Field: "label", Str: strp("cat")}}
+	r1, err := s.Query(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Value != 5 {
+		t.Fatalf("pre-reingest count = %d, want 5", r1.Value)
+	}
+
+	// Re-ingest: drop, purge cached results, re-create with fewer cats.
+	if err := e.DB.DropCollection(colName); err != nil {
+		t.Fatal(err)
+	}
+	s.InvalidateCollection(colName)
+	col2, err := e.DB.CreateCollection(colName, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := col2.Append(mkPatch(i, "cat")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r2, err := s.Query(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.CacheHit {
+		t.Fatal("post-reingest query served a stale cache hit")
+	}
+	if r2.Value != 2 {
+		t.Fatalf("post-reingest count = %d, want 2", r2.Value)
+	}
+	if r1.Fingerprint == r2.Fingerprint {
+		t.Fatal("fingerprint did not change across re-ingest")
+	}
+	if err := e.DB.DropCollection(colName); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexedPlanSeesAppendsAfterBuild(t *testing.T) {
+	e := getEnv(t)
+	s := newService(t, Config{Workers: 2})
+	ctx := context.Background()
+	const colName = "service.growing"
+
+	schema := core.Schema{Fields: []core.Field{
+		{Name: "label", Kind: core.KindStr},
+		{Name: "frameno", Kind: core.KindInt},
+	}}
+	col, err := e.DB.CreateCollection(colName, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.DB.DropCollection(colName)
+	mk := func(i int) *core.Patch {
+		return &core.Patch{
+			Ref:  core.Ref{Source: "synthetic", Frame: uint64(i)},
+			Meta: core.Metadata{"label": core.StrV("cat"), "frameno": core.IntV(int64(i))},
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if err := col.Append(mk(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := Request{Collection: colName,
+		Filter: &FilterSpec{Field: "label", Str: strp("cat"), UseIndex: true}}
+	r1, err := s.Query(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Value != 5 {
+		t.Fatalf("indexed count = %d, want 5", r1.Value)
+	}
+	// Appends after the index build must be visible to the indexed plan
+	// (the service rebuilds when Index.BuiltVersion lags the collection).
+	for i := 5; i < 8; i++ {
+		if err := col.Append(mk(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r2, err := s.Query(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.CacheHit {
+		t.Fatal("version bump did not miss the result cache")
+	}
+	if r2.Value != 8 {
+		t.Fatalf("indexed count after appends = %d, want 8 (stale index served)", r2.Value)
+	}
+	// The scan plan must agree — a poisoned cache entry would be shared.
+	scan := req
+	scan.Filter = &FilterSpec{Field: "label", Str: strp("cat")}
+	r3, err := s.Query(ctx, scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Value != 8 {
+		t.Fatalf("scan count = %d, want 8", r3.Value)
+	}
+	if !r3.CacheHit {
+		t.Fatal("logically identical scan did not share the indexed plan's cache entry")
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	e := getEnv(t)
+	s := newService(t, Config{Workers: 2})
+	s.RegisterSource("trafficcam", trafficSource{e.Traffic})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	// /healthz
+	hr, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz = %d", hr.StatusCode)
+	}
+	hr.Body.Close()
+
+	post := func(body string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/query", "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp, buf.Bytes()
+	}
+
+	// Valid query.
+	resp, body := post(`{"collection":"` + bench.ColTrafficDets + `","filter":{"field":"label","str":"pedestrian"}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/query = %d: %s", resp.StatusCode, body)
+	}
+	var qr Response
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Value <= 0 {
+		t.Fatalf("HTTP value = %d", qr.Value)
+	}
+
+	// Unknown collection -> 404.
+	resp, _ = post(`{"collection":"no.such"}`)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown collection = %d, want 404", resp.StatusCode)
+	}
+	// Malformed body -> 400.
+	resp, _ = post(`{"collection":`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body = %d, want 400", resp.StatusCode)
+	}
+	// Unknown field (typo'd request) -> 400.
+	resp, _ = post(`{"colection":"x"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown request field = %d, want 400", resp.StatusCode)
+	}
+	// GET /query -> 405.
+	gr, err := http.Get(srv.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr.Body.Close()
+	if gr.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /query = %d, want 405", gr.StatusCode)
+	}
+
+	// /stats reflects the traffic above.
+	sr, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(sr.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Completed < 1 {
+		t.Fatalf("stats completed = %d, want >= 1", st.Completed)
+	}
+	if st.Workers != 2 {
+		t.Fatalf("stats workers = %d, want 2", st.Workers)
+	}
+}
+
+func TestClosedServiceRefuses(t *testing.T) {
+	e := getEnv(t)
+	s, err := New(e.DB, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s.Close() // idempotent
+	if _, err := s.Query(context.Background(), pedCountReq()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("query on closed service = %v, want ErrClosed", err)
+	}
+}
+
+// atomic64 is a tiny test counter (avoids importing sync/atomic with a
+// name collision in the service package's tests).
+type atomic64 struct {
+	mu sync.Mutex
+	v  int64
+}
+
+func (a *atomic64) add(d int64) { a.mu.Lock(); a.v += d; a.mu.Unlock() }
+func (a *atomic64) load() int64 { a.mu.Lock(); defer a.mu.Unlock(); return a.v }

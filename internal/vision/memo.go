@@ -1,0 +1,127 @@
+package vision
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/codec"
+)
+
+// This file makes the inference UDFs memoizable. The paper's central
+// systems argument is that ML inference dominates visual analytics cost
+// and its outputs should be materialized and reused rather than
+// recomputed per query. The wrappers here key each model's output on the
+// exact input pixels plus a model namespace, storing through a pluggable
+// cache so the serving layer can bound memory and count hits.
+
+// MemoCache is the store memoized UDFs read and write through. The
+// serving layer provides an LRU+TTL implementation with byte accounting;
+// tests can use a plain map. Implementations must be safe for concurrent
+// use. Cached values are shared across callers and must not be mutated.
+type MemoCache interface {
+	// Get returns the value cached under key, if present.
+	Get(key string) (any, bool)
+	// Put stores val under key; bytes is the caller's size estimate for
+	// the cache's memory accounting.
+	Put(key string, val any, bytes int64)
+}
+
+// ImageKey fingerprints an image's exact pixel contents (FNV-1a over
+// dimensions and pixels). Two frames with identical pixels — the same
+// frame decoded twice, or re-rendered deterministically — share a key, so
+// inference over them is computed once.
+func ImageKey(img *codec.Image) string {
+	h := fnv.New64a()
+	var dims [16]byte
+	binary.LittleEndian.PutUint64(dims[:8], uint64(img.W))
+	binary.LittleEndian.PutUint64(dims[8:], uint64(img.H))
+	h.Write(dims[:])
+	h.Write(img.Pix)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// MemoDetector memoizes Detector.Detect per input image. The namespace
+// distinguishes models (weights seed, thresholds); the wrapped detector
+// itself is not shared-state-safe across goroutines only if its device
+// is, so serving workers each wrap their own detector around one shared
+// cache.
+type MemoDetector struct {
+	det   *Detector
+	cache MemoCache
+	ns    string
+}
+
+// NewMemoDetector wraps det with memoization under the given model
+// namespace.
+func NewMemoDetector(det *Detector, ns string, cache MemoCache) *MemoDetector {
+	return &MemoDetector{det: det, cache: cache, ns: ns}
+}
+
+// Detect returns the cached proposals for img, running the model on miss.
+// The returned slice is shared with the cache: callers must not mutate it.
+func (m *MemoDetector) Detect(img *codec.Image) []Detection {
+	key := "udf:detect:" + m.ns + ":" + ImageKey(img)
+	if v, ok := m.cache.Get(key); ok {
+		return v.([]Detection)
+	}
+	dets := m.det.Detect(img)
+	m.cache.Put(key, dets, int64(len(dets))*48+64)
+	return dets
+}
+
+// MemoEmbedder memoizes Embedder.Embed per input image.
+type MemoEmbedder struct {
+	emb   *Embedder
+	cache MemoCache
+	ns    string
+}
+
+// NewMemoEmbedder wraps emb with memoization under the given model
+// namespace.
+func NewMemoEmbedder(emb *Embedder, ns string, cache MemoCache) *MemoEmbedder {
+	return &MemoEmbedder{emb: emb, cache: cache, ns: ns}
+}
+
+// Dim returns the embedding dimensionality.
+func (m *MemoEmbedder) Dim() int { return m.emb.Dim() }
+
+// Embed returns the cached embedding for img, running the model on miss.
+// The returned vector is shared with the cache: callers must not mutate it.
+func (m *MemoEmbedder) Embed(img *codec.Image) []float32 {
+	key := "udf:embed:" + m.ns + ":" + ImageKey(img)
+	if v, ok := m.cache.Get(key); ok {
+		return v.([]float32)
+	}
+	vec := m.emb.Embed(img)
+	m.cache.Put(key, vec, int64(len(vec))*4+64)
+	return vec
+}
+
+// MemoOCR memoizes OCR.Recognize per input image.
+type MemoOCR struct {
+	ocr   *OCR
+	cache MemoCache
+	ns    string
+}
+
+// NewMemoOCR wraps ocr with memoization under the given model namespace.
+func NewMemoOCR(ocr *OCR, ns string, cache MemoCache) *MemoOCR {
+	return &MemoOCR{ocr: ocr, cache: cache, ns: ns}
+}
+
+// Recognize returns the cached words for img, running OCR on miss. The
+// returned slice is shared with the cache: callers must not mutate it.
+func (m *MemoOCR) Recognize(img *codec.Image) []OCRWord {
+	key := "udf:ocr:" + m.ns + ":" + ImageKey(img)
+	if v, ok := m.cache.Get(key); ok {
+		return v.([]OCRWord)
+	}
+	words := m.ocr.Recognize(img)
+	size := int64(64)
+	for _, w := range words {
+		size += int64(len(w.Text)) + 48
+	}
+	m.cache.Put(key, words, size)
+	return words
+}
