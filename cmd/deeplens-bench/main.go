@@ -23,6 +23,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"text/tabwriter"
 
 	"repro/internal/bench"
@@ -31,10 +33,18 @@ import (
 )
 
 func main() {
+	os.Exit(realMain())
+}
+
+// realMain returns the process exit code so deferred cleanup (flushing
+// an in-progress CPU profile) runs even on experiment errors.
+func realMain() int {
 	scale := flag.String("scale", "default", "dataset scale: default | paper | tiny")
 	trafficFrames := flag.Int("traffic-frames", 0, "override TrafficCam frame count")
 	pcImages := flag.Int("pc-images", 0, "override PC corpus size")
 	seed := flag.Int64("seed", 1, "generator seed")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile after the experiment run to this file")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: deeplens-bench [flags] <experiment>\n\nexperiments: fig2 fig3 fig4 fig5 fig6 fig7 fig8 table1 ablation-lsh ablation-segment ablation-buildside ablation-kdtree all\n\nflags:\n")
 		flag.PrintDefaults()
@@ -67,11 +77,40 @@ func main() {
 		cfg.PCImages = *pcImages
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	fmt.Printf("# deeplens-bench: %s\n", dataset.Describe(cfg))
 	if err := run(flag.Arg(0), cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
+		return 1
 	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return 1
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the profile shows retained allocations
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return 1
+		}
+	}
+	return 0
 }
 
 func run(experiment string, cfg dataset.Config) error {

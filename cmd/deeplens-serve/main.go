@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"sort"
 	"strings"
@@ -68,6 +69,9 @@ func run() error {
 		workers    = flag.Int("workers", 8, "executor pool size")
 		queue      = flag.Int("queue", 64, "admission queue depth")
 		device     = flag.String("device", "cpu", "execution backend: cpu, avx or gpu")
+		devices    = flag.Int("devices", 0, "physical devices backing the pool (0 = one per worker; fewer shares devices through the kernel batcher)")
+		batchMax   = flag.Int("batch-max", 0, "kernel batcher: flush at this many kernels (0 = default)")
+		batchWin   = flag.Duration("batch-window", 0, "kernel batcher: partial-batch flush deadline (0 = default)")
 		cacheMB    = flag.Int("cache-mb", 32, "result cache budget (MiB)")
 		udfCacheMB = flag.Int("udf-cache-mb", 128, "UDF materialization cache budget (MiB)")
 		ttl        = flag.Duration("ttl", 5*time.Minute, "result cache TTL (0 = never expire)")
@@ -77,8 +81,9 @@ func run() error {
 		clips   = flag.Int("clips", 2, "football clips to ingest")
 		clipLen = flag.Int("clip-len", 30, "football clip length")
 
-		loadgen     = flag.Int("loadgen", 0, "run N concurrent load-generator clients instead of serving")
-		loadgenReqs = flag.Int("loadgen-requests", 400, "total requests per load-generator phase")
+		loadgen         = flag.Int("loadgen", 0, "run N concurrent load-generator clients instead of serving")
+		loadgenReqs     = flag.Int("loadgen-requests", 400, "total requests per load-generator phase")
+		loadgenDistinct = flag.Bool("loadgen-distinct", false, "jitter every request's parameters (defeats the result cache and coalescing) to exercise the compute path — the workload where cross-request kernel fusion shows")
 	)
 	flag.Parse()
 
@@ -115,6 +120,9 @@ func run() error {
 		Workers:          *workers,
 		QueueDepth:       *queue,
 		Device:           kind,
+		Devices:          *devices,
+		BatchMaxKernels:  *batchMax,
+		BatchWindow:      *batchWin,
 		ResultCacheBytes: int64(*cacheMB) << 20,
 		ResultTTL:        *ttl,
 		UDFCacheBytes:    int64(*udfCacheMB) << 20,
@@ -127,11 +135,22 @@ func run() error {
 	svc.RegisterSource("trafficcam", trafficSource{env.Traffic})
 
 	if *loadgen > 0 {
-		return runLoadgen(svc, *loadgen, *loadgenReqs, *frames)
+		return runLoadgen(svc, *loadgen, *loadgenReqs, *frames, *loadgenDistinct)
 	}
 
-	log.Printf("serving on %s (%d workers, queue %d, %s devices)", *addr, *workers, *queue, kind)
-	return http.ListenAndServe(*addr, svc.Handler())
+	// The service API plus Go's profiling handlers (heap, goroutine,
+	// 30-second CPU profiles) for diagnosing serving hot paths in place.
+	mux := http.NewServeMux()
+	mux.Handle("/", svc.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	log.Printf("serving on %s (%d workers on %d %s devices, queue %d, pprof at /debug/pprof/)",
+		*addr, *workers, svc.Stats().Devices, kind, *queue)
+	return http.ListenAndServe(*addr, mux)
 }
 
 // workload returns the mixed request set the load generator cycles
@@ -186,7 +205,32 @@ func (p *phaseResult) pct(q float64) time.Duration {
 	return p.lats[i]
 }
 
-func runPhase(svc *service.Service, name string, clients, total int, reqs []service.Request) phaseResult {
+// distinctReq perturbs request i so no two requests share a fingerprint:
+// simjoin thresholds get a result-preserving jitter and inference sweeps
+// rotate their frame window. NoCache keeps the result cache out of the
+// way; the UDF materialization cache still works (the paper's argument),
+// so the remaining per-request cost is device kernels — the regime the
+// cross-request batcher optimizes.
+func distinctReq(req service.Request, i, frames int) service.Request {
+	req.NoCache = true
+	if req.SimJoin != nil {
+		sj := *req.SimJoin
+		sj.Eps += float64(i%997) * 1e-9
+		req.SimJoin = &sj
+	}
+	if req.Infer != nil {
+		in := *req.Infer
+		span := in.To - in.From
+		if frames > span {
+			in.From = i % (frames - span)
+			in.To = in.From + span
+		}
+		req.Infer = &in
+	}
+	return req
+}
+
+func runPhase(svc *service.Service, name string, clients, total int, reqs []service.Request, distinct bool, frames int) phaseResult {
 	var (
 		mu  sync.Mutex
 		res = phaseResult{name: name}
@@ -206,6 +250,9 @@ func runPhase(svc *service.Service, name string, clients, total int, reqs []serv
 			defer wg.Done()
 			for i := range seq {
 				req := reqs[i%len(reqs)]
+				if distinct {
+					req = distinctReq(req, i, frames)
+				}
 				t0 := time.Now()
 				_, err := svc.Query(context.Background(), req)
 				lat := time.Since(t0)
@@ -228,14 +275,18 @@ func runPhase(svc *service.Service, name string, clients, total int, reqs []serv
 	return res
 }
 
-func runLoadgen(svc *service.Service, clients, total, frames int) error {
+func runLoadgen(svc *service.Service, clients, total, frames int, distinct bool) error {
 	reqs := workload(frames)
-	log.Printf("load generator: %d clients, %d requests per phase, %d query shapes",
-		clients, total, len(reqs))
+	mode := "repeating"
+	if distinct {
+		mode = "distinct (no result-cache reuse)"
+	}
+	log.Printf("load generator: %d clients, %d requests per phase, %d query shapes, %s",
+		clients, total, len(reqs), mode)
 
 	svc.FlushCaches()
-	cold := runPhase(svc, "cold", clients, total, reqs)
-	warm := runPhase(svc, "warm", clients, total, reqs)
+	cold := runPhase(svc, "cold", clients, total, reqs, distinct, frames)
+	warm := runPhase(svc, "warm", clients, total, reqs, distinct, frames)
 
 	st := svc.Stats()
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
@@ -252,7 +303,10 @@ func runLoadgen(svc *service.Service, clients, total, frames int) error {
 		st.ResultCache.Entries, st.ResultCache.Bytes>>10)
 	fmt.Printf("udf cache: %d hits / %d misses, %d entries, %d KiB\n",
 		st.UDFCache.Hits, st.UDFCache.Misses, st.UDFCache.Entries, st.UDFCache.Bytes>>10)
-	fmt.Printf("pool: %d workers on %s, peak in-flight %d, coalesced %d, device kernels %d\n",
-		st.Workers, st.Device, st.PeakInFlight, st.Coalesced, st.DeviceKernels)
+	fmt.Printf("pool: %d workers on %d %s devices, peak in-flight %d, coalesced %d\n",
+		st.Workers, st.Devices, st.Device, st.PeakInFlight, st.Coalesced)
+	fmt.Printf("kernels: %d executed in %d launches (fusion %.2fx, %d size / %d deadline flushes), overhead %.1f ms\n",
+		st.DeviceKernels, st.DeviceLaunches, st.FusionFactor,
+		st.Batcher.FlushSize, st.Batcher.FlushDeadline, st.DeviceOverheadMS)
 	return nil
 }

@@ -1,0 +1,254 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// This file benchmarks the cross-request kernel batcher (§7.4.2's
+// launch-overhead amortization applied across concurrent queries) and
+// records the amortization curve to BENCH_kernel_batching.json — the
+// perf baseline CI uploads as an artifact.
+
+// kbPoint is one measured point on the amortization curve.
+type kbPoint struct {
+	Op                  string  `json:"op"`
+	Submitters          int     `json:"submitters"`
+	Fused               bool    `json:"fused"`
+	Kernels             int64   `json:"kernels"`
+	Launches            int64   `json:"launches"`
+	FusionFactor        float64 `json:"fusion_factor"`
+	NsPerKernel         float64 `json:"ns_per_kernel"`
+	OverheadNsPerKernel float64 `json:"overhead_ns_per_kernel"`
+}
+
+type kbBaseline struct {
+	Description string    `json:"description"`
+	GoMaxProcs  int       `json:"gomaxprocs"`
+	LaunchUS    float64   `json:"gpu_launch_latency_us"`
+	Curve       []kbPoint `json:"curve"`
+	NNAllocs    *kbAllocs `json:"nn_forward_allocs,omitempty"`
+}
+
+type kbAllocs struct {
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	Note        string  `json:"note"`
+}
+
+var (
+	kbMu       sync.Mutex
+	kbSnapshot kbBaseline
+)
+
+// kbRecord upserts a curve point: the harness re-invokes sub-benchmarks
+// with growing b.N (warm-up runs included), and only the final, largest
+// measurement per configuration belongs in the baseline.
+func kbRecord(p kbPoint) {
+	kbMu.Lock()
+	defer kbMu.Unlock()
+	for i, q := range kbSnapshot.Curve {
+		if q.Op == p.Op && q.Submitters == p.Submitters && q.Fused == p.Fused {
+			kbSnapshot.Curve[i] = p
+			return
+		}
+	}
+	kbSnapshot.Curve = append(kbSnapshot.Curve, p)
+}
+
+// kbWrite persists the snapshot next to the package (the committed
+// BENCH_kernel_batching.json baseline; CI regenerates and uploads it).
+func kbWrite(b *testing.B) {
+	kbMu.Lock()
+	defer kbMu.Unlock()
+	if len(kbSnapshot.Curve) == 0 {
+		return
+	}
+	kbSnapshot.Description = "fused vs unfused GPU kernel launches, N concurrent submitters of small GEMMs"
+	kbSnapshot.GoMaxProcs = runtime.GOMAXPROCS(0)
+	kbSnapshot.LaunchUS = float64(exec.DefaultGPUProfile().LaunchLatency.Microseconds())
+	data, err := json.MarshalIndent(kbSnapshot, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_kernel_batching.json", append(data, '\n'), 0o644); err != nil {
+		b.Logf("baseline not written: %v", err)
+	}
+}
+
+// BenchmarkBatchedKernels measures per-kernel latency for N concurrent
+// submitters of small GEMMs against one simulated GPU, unfused (every
+// kernel pays its own launch, launches serialized as on a real stream)
+// vs fused through the Batcher (one launch per batch). The fused rows
+// beat the unfused rows from 2 submitters up, and the gap widens with
+// concurrency — the amortization curve.
+func BenchmarkBatchedKernels(b *testing.B) {
+	// Small per-query kernels: launch latency dominates compute, the
+	// regime where the paper reports GPUs losing to vectorized CPUs.
+	const m, n, k = 8, 32, 32
+	for _, submitters := range []int{1, 2, 4, 8, 16} {
+		for _, fused := range []bool{false, true} {
+			name := fmt.Sprintf("op=gemm/submitters=%d/fused=%t", submitters, fused)
+			b.Run(name, func(b *testing.B) {
+				dev := exec.NewGPU(exec.DefaultGPUProfile())
+				cfg := exec.BatcherConfig{MaxBatch: 1}
+				if fused {
+					cfg = exec.BatcherConfig{MaxBatch: submitters, Window: 200 * time.Microsecond}
+				}
+				bat := exec.NewBatcher(dev, cfg)
+				rng := rand.New(rand.NewSource(7))
+				as := make([][]float32, submitters)
+				bs := make([][]float32, submitters)
+				cs := make([][]float32, submitters)
+				for g := 0; g < submitters; g++ {
+					as[g] = randVec(rng, m*k)
+					bs[g] = randVec(rng, k*n)
+					cs[g] = make([]float32, m*n)
+				}
+				b.ResetTimer()
+				start := time.Now()
+				var wg sync.WaitGroup
+				for g := 0; g < submitters; g++ {
+					wg.Add(1)
+					go func(g int) {
+						defer wg.Done()
+						for i := 0; i < b.N; i++ {
+							bat.GEMM(m, n, k, as[g], bs[g], cs[g])
+						}
+					}(g)
+				}
+				wg.Wait()
+				elapsed := time.Since(start)
+				b.StopTimer()
+
+				st := dev.Stats()
+				bst := bat.BatcherStats()
+				perKernel := float64(elapsed.Nanoseconds()) / float64(st.Kernels)
+				b.ReportMetric(perKernel, "ns/kernel")
+				b.ReportMetric(bst.FusionFactor(), "kernels/launch")
+				b.ReportMetric(float64(st.Overhead.Nanoseconds())/float64(st.Kernels), "overhead-ns/kernel")
+				kbRecord(kbPoint{
+					Op:                  "gemm",
+					Submitters:          submitters,
+					Fused:               fused,
+					Kernels:             st.Kernels,
+					Launches:            st.Launches,
+					FusionFactor:        bst.FusionFactor(),
+					NsPerKernel:         perKernel,
+					OverheadNsPerKernel: float64(st.Overhead.Nanoseconds()) / float64(st.Kernels),
+				})
+			})
+		}
+	}
+	kbWrite(b)
+}
+
+func randVec(rng *rand.Rand, n int) []float32 {
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = float32(rng.NormFloat64())
+	}
+	return v
+}
+
+// BenchmarkNNForwardBatchAllocs tracks the allocation profile of the
+// pooled inference hot path (backbone ForwardBatch over 8 32x32 inputs
+// on CPU). Pre-pooling baseline on the reference container: 229
+// allocs/op, ~741 KB/op. With the sync.Pool scratch + tensor-header
+// reuse: ~90 allocs/op, ~2.6 KB/op — the im2col/GEMM matrices and every
+// intermediate activation recycle instead of churning the GC.
+func BenchmarkNNForwardBatchAllocs(b *testing.B) {
+	net := nn.NewBackbone(64, 42)
+	dev := exec.New(exec.CPU)
+	xs := make([]*tensor.Tensor, 8)
+	for i := range xs {
+		pix := make([]uint8, 32*32*3)
+		rand.New(rand.NewSource(int64(i))).Read(pix)
+		xs[i] = nn.ImageToCHW(pix, 32, 32)
+	}
+	step := func() {
+		outs := net.ForwardBatch(dev, xs)
+		nn.ReleaseTensors(outs)
+	}
+	step() // warm the pools
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step()
+	}
+	b.StopTimer()
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	const probes = 20
+	for i := 0; i < probes; i++ {
+		step()
+	}
+	runtime.ReadMemStats(&after)
+	kbMu.Lock()
+	kbSnapshot.NNAllocs = &kbAllocs{
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / probes,
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / probes,
+		Note:        "backbone ForwardBatch, 8x 32x32 CPU; pre-pooling baseline: 229 allocs/op, ~741 KB/op",
+	}
+	kbMu.Unlock()
+	kbWrite(b) // refresh the baseline with the alloc snapshot included
+}
+
+// TestBatchedServiceKernelsMatchUnbatched cross-checks the batcher at
+// the query level: the same similarity join produces identical pairs on
+// a bare device and through a shared fused batcher.
+func TestBatchedServiceKernelsMatchUnbatched(t *testing.T) {
+	e := newTestEnv(t)
+	col, err := e.DB.Collection(ColTrafficDets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	patches, _, err := col.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(patches) > 400 {
+		patches = patches[:400]
+	}
+	run := func(dev exec.Device) int {
+		pairs, err := core.SimilarityJoinBatched(e.DB, patches, patches, core.SimilarityJoinOpts{
+			LeftField: "emb", RightField: "emb",
+			Eps: 0.15, DedupUnordered: true, Device: dev,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(pairs)
+	}
+	plain := run(exec.NewGPU(exec.GPUProfile{LaunchLatency: time.Microsecond, BytesPerSecond: 1e12}))
+	bat := exec.NewBatcher(
+		exec.NewGPU(exec.GPUProfile{LaunchLatency: time.Microsecond, BytesPerSecond: 1e12}),
+		exec.BatcherConfig{MaxBatch: 4, Window: time.Millisecond})
+	var fusedPairs [4]int
+	var wg sync.WaitGroup
+	for i := range fusedPairs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fusedPairs[i] = run(bat)
+		}(i)
+	}
+	wg.Wait()
+	for i, got := range fusedPairs {
+		if got != plain {
+			t.Fatalf("submitter %d: fused join found %d pairs, unfused %d", i, got, plain)
+		}
+	}
+}

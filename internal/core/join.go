@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/balltree"
 	"repro/internal/exec"
+	"repro/internal/tensor"
 )
 
 // Theta is an arbitrary join predicate over one patch from each side.
@@ -196,7 +197,12 @@ func SimilarityJoinBatched(db *DB, left, right []*Patch, opts SimilarityJoinOpts
 		return nil, err
 	}
 	dim := len(lv0)
-	lx := make([]float32, len(left)*dim)
+	// The three staging matrices (stacked left vectors, stacked right
+	// vectors, per-block distance tile) are identical across calls at
+	// steady state; draw them from the scratch pool instead of allocating
+	// per join so concurrent serving stays allocation-steady.
+	lx := tensor.GetScratch(len(left) * dim)
+	defer tensor.PutScratch(lx)
 	for i, p := range left {
 		v, err := VecField(p, opts.LeftField)
 		if err != nil {
@@ -207,7 +213,8 @@ func SimilarityJoinBatched(db *DB, left, right []*Patch, opts SimilarityJoinOpts
 		}
 		copy(lx[i*dim:], v)
 	}
-	ry := make([]float32, len(right)*dim)
+	ry := tensor.GetScratch(len(right) * dim)
+	defer tensor.PutScratch(ry)
 	for i, p := range right {
 		v, err := VecField(p, opts.RightField)
 		if err != nil {
@@ -224,9 +231,15 @@ func SimilarityJoinBatched(db *DB, left, right []*Patch, opts SimilarityJoinOpts
 	}
 	eps2 := float32(opts.Eps * opts.Eps)
 	var out []Tuple
-	// Block the left side to bound the distance-matrix allocation.
+	// Block the left side to bound the distance-matrix size; one pooled
+	// tile is reused across every block (and across calls).
 	const block = 256
-	dists := make([]float32, block*len(right))
+	n := block
+	if len(left) < n {
+		n = len(left)
+	}
+	dists := tensor.GetScratch(n * len(right))
+	defer tensor.PutScratch(dists)
 	for lo := 0; lo < len(left); lo += block {
 		hi := lo + block
 		if hi > len(left) {

@@ -1,0 +1,275 @@
+// Cross-request kernel batching. The paper's §7.4.2 finding is that GPU
+// execution loses to vectorized CPU on small batches because the fixed
+// per-kernel launch and transfer overhead dominates. Within one query the
+// nn layers already fuse their per-frame GEMMs; the Batcher extends the
+// same amortization *across* concurrent queries: independent callers
+// submit kernels to a shared scheduler that stacks compatible submissions
+// and executes them as one fused launch, paying one simulated launch
+// latency for N requests. The trade is classic accelerator micro-batching:
+// a bounded queuing delay (the flush window) buys an up-to-MaxBatch-fold
+// reduction in fixed launch cost.
+package exec
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// fusedDevice is the backend contract the Batcher needs: uncharged kernel
+// bodies plus a fused launch that charges once for a whole batch. Only the
+// simulated GPU implements it; for CPU/AVX devices fusion buys nothing
+// (they have no launch overhead), so the Batcher passes through.
+type fusedDevice interface {
+	Device
+	launchFused(nbytes int, kernels []func())
+	gemmKernel(m, n, k int, a, b, c []float32)
+	pairwiseKernel(x, y []float32, lenX, lenY, dim int, out []float32)
+}
+
+// BatcherConfig tunes the flush policy. Zero values select defaults.
+type BatcherConfig struct {
+	// MaxBatch flushes a shape-compatible batch as soon as it holds this
+	// many kernels (default 8). MaxBatch 1 disables fusion: every kernel
+	// launches immediately (but launches still serialize on the device,
+	// like streams on a real GPU).
+	MaxBatch int
+	// Window is the deadline for a partial batch: the oldest queued kernel
+	// waits at most this long before its batch launches (default 50µs,
+	// ~1.7 launch latencies under the default GPU profile).
+	Window time.Duration
+}
+
+func (c BatcherConfig) withDefaults() BatcherConfig {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.Window <= 0 {
+		c.Window = 50 * time.Microsecond
+	}
+	return c
+}
+
+// batchKey groups shape-compatible kernels: fused GEMMs must share (k, n)
+// (they stack along m), fused pairwise distances must share the vector
+// dimension (they stack along the left rows).
+type batchKey struct {
+	op     uint8 // 0 = GEMM, 1 = PairwiseSqDist
+	d1, d2 int   // GEMM: k, n; pairwise: dim, 0
+}
+
+// fusedReq is one queued kernel: its compute body, its transfer bytes,
+// and the channel its submitter blocks on.
+type fusedReq struct {
+	run   func()
+	bytes int
+	done  chan struct{}
+}
+
+// pendingBatch accumulates shape-compatible kernels until a flush.
+type pendingBatch struct {
+	reqs  []fusedReq
+	timer *time.Timer
+}
+
+// Batcher is a kernel-coalescing scheduler over one Device. It implements
+// Device, so any code written against a Device (nn networks, similarity
+// joins, vision models) routes through it unchanged. Concurrent
+// submissions of shape-compatible kernels are stacked into one fused
+// launch per flush window; incompatible kernels batch independently.
+// Safe for concurrent use by any number of submitters.
+type Batcher struct {
+	dev Device
+	fd  fusedDevice // nil: pass-through (CPU/AVX)
+	cfg BatcherConfig
+
+	mu      sync.Mutex
+	pending map[batchKey]*pendingBatch
+
+	// launchMu serializes fused launches, preserving the cost model's
+	// fidelity when many workers share one simulated device: a real GPU
+	// serializes kernel launches on a stream, and overlapping two
+	// busy-wait charges would under-count wall time.
+	launchMu sync.Mutex
+
+	submitted     atomic.Int64
+	fusedKernels  atomic.Int64
+	launches      atomic.Int64
+	flushSize     atomic.Int64
+	flushDeadline atomic.Int64
+	passThrough   atomic.Int64
+	maxFusion     atomic.Int64
+}
+
+// NewBatcher wraps dev in a kernel-coalescing scheduler. For devices
+// without launch overhead (CPU, AVX) every call passes straight through.
+func NewBatcher(dev Device, cfg BatcherConfig) *Batcher {
+	b := &Batcher{dev: dev, cfg: cfg.withDefaults(), pending: make(map[batchKey]*pendingBatch)}
+	if fd, ok := dev.(fusedDevice); ok {
+		b.fd = fd
+	}
+	return b
+}
+
+// Kind reports the underlying device kind.
+func (b *Batcher) Kind() Kind { return b.dev.Kind() }
+
+// Stats reports the underlying device's counters (fusion shows up as
+// Launches < Kernels and a sub-linear Overhead).
+func (b *Batcher) Stats() Stats { return b.dev.Stats() }
+
+// Device returns the wrapped device.
+func (b *Batcher) Device() Device { return b.dev }
+
+// GEMM submits C += A·B and blocks until the (possibly fused) launch that
+// includes it completes. See Device.GEMM for the shape contract.
+func (b *Batcher) GEMM(m, n, k int, a, bm, c []float32) {
+	if b.fd == nil {
+		b.passThrough.Add(1)
+		b.dev.GEMM(m, n, k, a, bm, c)
+		return
+	}
+	checkGEMM(m, n, k, a, bm, c) // fail in the submitter's goroutine
+	b.submit(batchKey{op: 0, d1: k, d2: n}, fusedReq{
+		run:   func() { b.fd.gemmKernel(m, n, k, a, bm, c) },
+		bytes: gemmBytes(m, n, k),
+		done:  make(chan struct{}),
+	})
+}
+
+// PairwiseSqDist submits a distance-matrix kernel and blocks until its
+// launch completes. See Device.PairwiseSqDist for the shape contract.
+func (b *Batcher) PairwiseSqDist(x, y []float32, lenX, lenY, dim int, out []float32) {
+	if b.fd == nil {
+		b.passThrough.Add(1)
+		b.dev.PairwiseSqDist(x, y, lenX, lenY, dim, out)
+		return
+	}
+	checkPairwise(x, y, lenX, lenY, dim, out)
+	b.submit(batchKey{op: 1, d1: dim}, fusedReq{
+		run:   func() { b.fd.pairwiseKernel(x, y, lenX, lenY, dim, out) },
+		bytes: pairwiseBytes(lenX, lenY, dim),
+		done:  make(chan struct{}),
+	})
+}
+
+// submit queues req under key and blocks until its batch has launched.
+// The batch flushes when it reaches MaxBatch kernels (flushed by the
+// submitter that filled it) or when the Window deadline set by its first
+// kernel fires (flushed by the timer goroutine).
+func (b *Batcher) submit(key batchKey, req fusedReq) {
+	b.submitted.Add(1)
+	b.mu.Lock()
+	pb, ok := b.pending[key]
+	if !ok {
+		pb = &pendingBatch{}
+		b.pending[key] = pb
+		if b.cfg.MaxBatch > 1 {
+			pb.timer = time.AfterFunc(b.cfg.Window, func() { b.flushDeadlined(key, pb) })
+		}
+	}
+	pb.reqs = append(pb.reqs, req)
+	full := len(pb.reqs) >= b.cfg.MaxBatch
+	if full {
+		delete(b.pending, key)
+		if pb.timer != nil {
+			pb.timer.Stop()
+		}
+	}
+	b.mu.Unlock()
+	if full {
+		// Single-kernel "batches" (MaxBatch 1, the eager unfused mode) are
+		// not size flushes: counting them would make flush_size read as
+		// batching activity when no fusion is happening.
+		if len(pb.reqs) > 1 {
+			b.flushSize.Add(1)
+		}
+		b.launch(pb)
+		return
+	}
+	<-req.done
+}
+
+// flushDeadlined launches pb if it is still pending (a size flush may
+// have raced the timer and already taken it).
+func (b *Batcher) flushDeadlined(key batchKey, pb *pendingBatch) {
+	b.mu.Lock()
+	if b.pending[key] != pb {
+		b.mu.Unlock()
+		return
+	}
+	delete(b.pending, key)
+	b.mu.Unlock()
+	b.flushDeadline.Add(1)
+	b.launch(pb)
+}
+
+// launch executes pb as one fused device launch and releases its waiters.
+func (b *Batcher) launch(pb *pendingBatch) {
+	total := 0
+	fns := make([]func(), len(pb.reqs))
+	for i, r := range pb.reqs {
+		total += r.bytes
+		fns[i] = r.run
+	}
+	b.launchMu.Lock()
+	b.fd.launchFused(total, fns)
+	b.launchMu.Unlock()
+	b.launches.Add(1)
+	b.fusedKernels.Add(int64(len(fns)))
+	for {
+		cur := b.maxFusion.Load()
+		if int64(len(fns)) <= cur || b.maxFusion.CompareAndSwap(cur, int64(len(fns))) {
+			break
+		}
+	}
+	for _, r := range pb.reqs {
+		close(r.done)
+	}
+}
+
+// BatcherStats is the scheduler's cumulative activity record.
+type BatcherStats struct {
+	Submitted     int64 `json:"submitted"`      // kernels submitted for fusion
+	FusedKernels  int64 `json:"fused_kernels"`  // kernels executed via fused launches
+	Launches      int64 `json:"launches"`       // fused launches issued
+	FlushSize     int64 `json:"flush_size"`     // multi-kernel batches flushed by reaching MaxBatch
+	FlushDeadline int64 `json:"flush_deadline"` // batches flushed by the Window deadline
+	PassThrough   int64 `json:"pass_through"`   // kernels bypassing fusion (CPU/AVX)
+	MaxFusion     int64 `json:"max_fusion"`     // largest batch launched
+}
+
+// FusionFactor is the mean kernels-per-launch — the launch-overhead
+// amortization achieved (1.0 = no fusion).
+func (s BatcherStats) FusionFactor() float64 {
+	if s.Launches == 0 {
+		return 0
+	}
+	return float64(s.FusedKernels) / float64(s.Launches)
+}
+
+// Add accumulates o into s (aggregating across a fleet of batchers).
+func (s *BatcherStats) Add(o BatcherStats) {
+	s.Submitted += o.Submitted
+	s.FusedKernels += o.FusedKernels
+	s.Launches += o.Launches
+	s.FlushSize += o.FlushSize
+	s.FlushDeadline += o.FlushDeadline
+	s.PassThrough += o.PassThrough
+	if o.MaxFusion > s.MaxFusion {
+		s.MaxFusion = o.MaxFusion
+	}
+}
+
+// BatcherStats snapshots the scheduler counters.
+func (b *Batcher) BatcherStats() BatcherStats {
+	return BatcherStats{
+		Submitted:     b.submitted.Load(),
+		FusedKernels:  b.fusedKernels.Load(),
+		Launches:      b.launches.Load(),
+		FlushSize:     b.flushSize.Load(),
+		FlushDeadline: b.flushDeadline.Load(),
+		PassThrough:   b.passThrough.Load(),
+		MaxFusion:     b.maxFusion.Load(),
+	}
+}

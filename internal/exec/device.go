@@ -61,7 +61,8 @@ type Device interface {
 
 // Stats is a device's cumulative activity record.
 type Stats struct {
-	Kernels  int64         // kernel launches
+	Kernels  int64         // logical kernels executed
+	Launches int64         // physical launches charged (== Kernels unless fused by a Batcher)
 	FLOPs    int64         // floating-point operations issued (approximate)
 	Overhead time.Duration // simulated launch + transfer time (GPU only)
 }
@@ -102,7 +103,8 @@ type cpuDevice struct {
 func (d *cpuDevice) Kind() Kind { return CPU }
 
 func (d *cpuDevice) Stats() Stats {
-	return Stats{Kernels: atomic.LoadInt64(&d.kernels), FLOPs: atomic.LoadInt64(&d.flops)}
+	k := atomic.LoadInt64(&d.kernels)
+	return Stats{Kernels: k, Launches: k, FLOPs: atomic.LoadInt64(&d.flops)}
 }
 
 func (d *cpuDevice) GEMM(m, n, k int, a, b, c []float32) {
@@ -147,7 +149,8 @@ type avxDevice struct {
 func (d *avxDevice) Kind() Kind { return AVX }
 
 func (d *avxDevice) Stats() Stats {
-	return Stats{Kernels: atomic.LoadInt64(&d.kernels), FLOPs: atomic.LoadInt64(&d.flops)}
+	k := atomic.LoadInt64(&d.kernels)
+	return Stats{Kernels: k, Launches: k, FLOPs: atomic.LoadInt64(&d.flops)}
 }
 
 // parallelRows splits [0,m) across the worker pool.
@@ -275,6 +278,7 @@ type gpuDevice struct {
 	profile  GPUProfile
 	workers  int
 	kernels  int64
+	launches int64
 	flops    int64
 	overhead int64 // nanoseconds
 }
@@ -284,6 +288,7 @@ func (d *gpuDevice) Kind() Kind { return GPU }
 func (d *gpuDevice) Stats() Stats {
 	return Stats{
 		Kernels:  atomic.LoadInt64(&d.kernels),
+		Launches: atomic.LoadInt64(&d.launches),
 		FLOPs:    atomic.LoadInt64(&d.flops),
 		Overhead: time.Duration(atomic.LoadInt64(&d.overhead)),
 	}
@@ -340,10 +345,20 @@ func (d *gpuDevice) parallelRows(m int, fn func(lo, hi int)) {
 }
 
 func (d *gpuDevice) GEMM(m, n, k int, a, b, c []float32) {
+	atomic.AddInt64(&d.launches, 1)
+	d.charge(gemmBytes(m, n, k))
+	d.gemmKernel(m, n, k, a, b, c)
+}
+
+// gemmKernel is the GEMM compute body: identical math and parallel split
+// as GEMM, but without the launch/transfer charge, so a fused launch can
+// run many of these under one charge. Results are bit-identical to the
+// unfused path: every output element is accumulated by exactly one
+// goroutine in the same inner-product order regardless of the split.
+func (d *gpuDevice) gemmKernel(m, n, k int, a, b, c []float32) {
 	checkGEMM(m, n, k, a, b, c)
 	atomic.AddInt64(&d.kernels, 1)
 	atomic.AddInt64(&d.flops, 2*int64(m)*int64(n)*int64(k))
-	d.charge(4 * (m*k + k*n + m*n))
 	if m >= d.workers {
 		d.parallelRows(m, func(lo, hi int) {
 			gemmRowsUnrolled(lo, hi, n, k, a, b, c)
@@ -376,14 +391,50 @@ func gemmColsUnrolled(m, lo, hi, n, k int, a, b, c []float32) {
 }
 
 func (d *gpuDevice) PairwiseSqDist(x, y []float32, lenX, lenY, dim int, out []float32) {
+	atomic.AddInt64(&d.launches, 1)
+	d.charge(pairwiseBytes(lenX, lenY, dim))
+	d.pairwiseKernel(x, y, lenX, lenY, dim, out)
+}
+
+// pairwiseKernel is the PairwiseSqDist compute body without the launch
+// charge (see gemmKernel).
+func (d *gpuDevice) pairwiseKernel(x, y []float32, lenX, lenY, dim int, out []float32) {
 	checkPairwise(x, y, lenX, lenY, dim, out)
 	atomic.AddInt64(&d.kernels, 1)
 	atomic.AddInt64(&d.flops, 3*int64(lenX)*int64(lenY)*int64(dim))
-	d.charge(4 * (lenX*dim + lenY*dim + lenX*lenY))
 	d.parallelRows(lenX, func(lo, hi int) {
 		pairwiseRows(lo, hi, x, y, lenY, dim, out)
 	})
 }
+
+// launchFused implements fusedDevice: one launch-latency and one transfer
+// charge for the combined byte traffic of every queued kernel, then all
+// kernel bodies run concurrently (each still fans out over the device's
+// internal workers). This is the §7.4.2 amortization: N small kernels pay
+// the fixed launch cost once instead of N times.
+func (d *gpuDevice) launchFused(nbytes int, kernels []func()) {
+	atomic.AddInt64(&d.launches, 1)
+	d.charge(nbytes)
+	if len(kernels) == 1 {
+		kernels[0]()
+		return
+	}
+	var wg sync.WaitGroup
+	for _, fn := range kernels {
+		wg.Add(1)
+		go func(fn func()) {
+			defer wg.Done()
+			fn()
+		}(fn)
+	}
+	wg.Wait()
+}
+
+// gemmBytes / pairwiseBytes are the host<->device transfer sizes a kernel
+// charges (float32 inputs + outputs).
+func gemmBytes(m, n, k int) int { return 4 * (m*k + k*n + m*n) }
+
+func pairwiseBytes(lenX, lenY, dim int) int { return 4 * (lenX*dim + lenY*dim + lenX*lenY) }
 
 // -------------------------------------------------------------- checks ----
 

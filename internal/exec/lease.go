@@ -17,7 +17,6 @@ type Pool struct {
 	ch   chan Device
 
 	leased atomic.Int64
-	waits  atomic.Int64 // acquisitions that found the pool empty
 }
 
 // NewPool builds a pool of n devices of the given kind (n < 1 is
@@ -44,19 +43,8 @@ func (p *Pool) Size() int { return len(p.devs) }
 // Leased returns how many devices are currently out on lease.
 func (p *Pool) Leased() int { return int(p.leased.Load()) }
 
-// Waits returns how many Acquire calls had to block for a free device —
-// the pool's oversubscription signal.
-func (p *Pool) Waits() int64 { return p.waits.Load() }
-
 // Acquire blocks until a device lease is free and returns it.
 func (p *Pool) Acquire() Device {
-	select {
-	case d := <-p.ch:
-		p.leased.Add(1)
-		return d
-	default:
-		p.waits.Add(1)
-	}
 	d := <-p.ch
 	p.leased.Add(1)
 	return d
@@ -91,6 +79,7 @@ func (p *Pool) Stats() Stats {
 	for _, d := range p.devs {
 		s := d.Stats()
 		agg.Kernels += s.Kernels
+		agg.Launches += s.Launches
 		agg.FLOPs += s.FLOPs
 		agg.Overhead += s.Overhead
 	}

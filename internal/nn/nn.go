@@ -46,18 +46,43 @@ func (n *Network) Forward(dev exec.Device, x *tensor.Tensor) *tensor.Tensor {
 }
 
 // ForwardBatch runs equal-shaped inputs through all layers, fusing each
-// batch-capable layer into one device kernel.
+// batch-capable layer into one device kernel. The caller's slice and its
+// input tensors are left untouched; intermediate activations are recycled
+// through the tensor pool as soon as the next layer has consumed them.
+// The returned output tensors are pool-backed: callers that drop them may
+// hand them back with tensor.PutF32 (ReleaseTensors) but never have to.
 func (n *Network) ForwardBatch(dev exec.Device, xs []*tensor.Tensor) []*tensor.Tensor {
+	owned := false // xs are intermediates this call allocated
 	for _, l := range n.Layers {
+		var next []*tensor.Tensor
 		if bl, ok := l.(BatchLayer); ok {
-			xs = bl.ForwardBatch(dev, xs)
-			continue
+			next = bl.ForwardBatch(dev, xs)
+		} else {
+			next = make([]*tensor.Tensor, len(xs))
+			for i := range xs {
+				next[i] = l.Forward(dev, xs[i])
+			}
 		}
-		for i := range xs {
-			xs[i] = l.Forward(dev, xs[i])
+		if owned {
+			for i := range xs {
+				if i >= len(next) || next[i] != xs[i] {
+					tensor.PutF32(xs[i])
+				}
+			}
 		}
+		xs = next
+		owned = true
 	}
 	return xs
+}
+
+// ReleaseTensors recycles pool-backed tensors a caller is done with (e.g.
+// backbone activations after their features have been copied out). The
+// tensors must not be used afterwards.
+func ReleaseTensors(ts []*tensor.Tensor) {
+	for _, t := range ts {
+		tensor.PutF32(t)
+	}
 }
 
 // OutShape propagates a shape through the stack.
@@ -160,15 +185,20 @@ func (c *Conv2D) ForwardBatch(dev exec.Device, xs []*tensor.Tensor) []*tensor.Te
 	k := c.InC * c.KH * c.KW
 	per := oh * ow
 	n := per * len(xs)
-	cols := make([]float32, k*n)
+	// Pooled scratch: the im2col matrix and the GEMM result are the two
+	// dominant ETL allocations; under serving load they recycle across
+	// every frame. GetScratch zeroes, which im2col's padding and the
+	// accumulating GEMM both rely on.
+	cols := tensor.GetScratch(k * n)
 	for i, x := range xs {
 		c.im2col(x, cols, n, i*per, oh, ow)
 	}
-	big := make([]float32, c.OutC*n)
+	big := tensor.GetScratch(c.OutC * n)
 	dev.GEMM(c.OutC, n, k, c.W, cols, big)
+	tensor.PutScratch(cols)
 	outs := make([]*tensor.Tensor, len(xs))
 	for i := range xs {
-		out := tensor.NewF32(shape...)
+		out := tensor.GetF32(shape...)
 		for oc := 0; oc < c.OutC; oc++ {
 			bias := c.B[oc]
 			src := big[oc*n+i*per : oc*n+(i+1)*per]
@@ -179,6 +209,7 @@ func (c *Conv2D) ForwardBatch(dev exec.Device, xs []*tensor.Tensor) []*tensor.Te
 		}
 		outs[i] = out
 	}
+	tensor.PutScratch(big)
 	return outs
 }
 
@@ -195,7 +226,7 @@ func (ReLU) OutShape(in []int) ([]int, error) { return in, nil }
 
 // Forward implements Layer.
 func (ReLU) Forward(_ exec.Device, x *tensor.Tensor) *tensor.Tensor {
-	out := tensor.NewF32(x.Shape...)
+	out := tensor.GetF32(x.Shape...)
 	for i, v := range x.F32s {
 		if v > 0 {
 			out.F32s[i] = v
@@ -227,7 +258,7 @@ func (MaxPool2) OutShape(in []int) ([]int, error) {
 func (MaxPool2) Forward(_ exec.Device, x *tensor.Tensor) *tensor.Tensor {
 	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
 	oh, ow := h/2, w/2
-	out := tensor.NewF32(c, oh, ow)
+	out := tensor.GetF32(c, oh, ow)
 	for ch := 0; ch < c; ch++ {
 		for oy := 0; oy < oh; oy++ {
 			for ox := 0; ox < ow; ox++ {
@@ -268,7 +299,7 @@ func (GlobalAvgPool) OutShape(in []int) ([]int, error) {
 // Forward implements Layer.
 func (GlobalAvgPool) Forward(_ exec.Device, x *tensor.Tensor) *tensor.Tensor {
 	c, hw := x.Shape[0], x.Shape[1]*x.Shape[2]
-	out := tensor.NewF32(c)
+	out := tensor.GetF32(c)
 	for ch := 0; ch < c; ch++ {
 		var s float32
 		for _, v := range x.F32s[ch*hw : (ch+1)*hw] {
@@ -312,7 +343,7 @@ func (d *Dense) OutShape(in []int) ([]int, error) {
 
 // Forward implements Layer.
 func (d *Dense) Forward(dev exec.Device, x *tensor.Tensor) *tensor.Tensor {
-	out := tensor.NewF32(d.Out)
+	out := tensor.GetF32(d.Out)
 	dev.GEMM(1, d.Out, d.In, x.F32s, d.W, out.F32s)
 	for i := range out.F32s {
 		out.F32s[i] += d.B[i]
@@ -344,7 +375,7 @@ func NewBackbone(dim int, seed int64) *Network {
 // ImageToCHW converts an interleaved RGB uint8 raster to a CHW float32
 // tensor in [0,1].
 func ImageToCHW(pix []uint8, w, h int) *tensor.Tensor {
-	out := tensor.NewF32(3, h, w)
+	out := tensor.GetF32(3, h, w)
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {
 			base := (y*w + x) * 3

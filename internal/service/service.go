@@ -5,7 +5,11 @@
 //
 //   - a bounded worker pool with an admission queue, so N concurrent
 //     callers execute plans in parallel without oversubscribing the
-//     simulated devices (each worker holds an exclusive device lease);
+//     simulated devices (workers hold device leases; with Config.Devices
+//     below Workers, several workers share one device through a
+//     kernel-coalescing exec.Batcher that fuses concurrent queries'
+//     kernels into one launch, amortizing GPU launch overhead across
+//     requests);
 //   - an LRU+TTL result cache keyed by a canonical plan fingerprint
 //     (dataset version + operator tree + parameters) with byte
 //     accounting and hit/miss/eviction metrics;
@@ -67,6 +71,19 @@ type Config struct {
 	QueueDepth int
 	// Device is the execution backend each worker leases (default CPU).
 	Device exec.Kind
+	// Devices sets how many physical devices back the worker pool
+	// (default: one per worker, exclusive leases). Setting Devices below
+	// Workers shares each device among Workers/Devices workers through a
+	// kernel-coalescing exec.Batcher, which fuses concurrent queries'
+	// GEMM/pairwise kernels into one launch per flush window — the
+	// cross-request analog of within-query batching, amortizing the
+	// simulated GPU's launch overhead. Fusion buys nothing on CPU/AVX
+	// (the batcher passes through).
+	Devices int
+	// BatchMaxKernels and BatchWindow tune the per-device batcher's flush
+	// policy (zero values pick exec.BatcherConfig defaults).
+	BatchMaxKernels int
+	BatchWindow     time.Duration
 	// ResultCacheBytes budgets the plan-keyed result cache (default 32 MiB).
 	ResultCacheBytes int64
 	// ResultTTL expires cached results (default 5m; negative disables
@@ -88,6 +105,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 64
+	}
+	if c.Devices <= 0 || c.Devices > c.Workers {
+		c.Devices = c.Workers
 	}
 	if c.ResultCacheBytes <= 0 {
 		c.ResultCacheBytes = 32 << 20
@@ -124,11 +144,11 @@ type flight struct {
 	err  error
 }
 
-// worker is one executor: an exclusive device lease plus memoized UDF
-// models bound to it.
+// worker is one executor: a (possibly shared, batcher-fronted) device
+// plus memoized UDF models bound to it.
 type worker struct {
 	id  int
-	dev exec.Device
+	dev exec.Device // an *exec.Batcher over the leased device
 	det *vision.MemoDetector
 	emb *vision.MemoEmbedder
 	ocr *vision.MemoOCR
@@ -144,11 +164,12 @@ type Service struct {
 	results *Cache // plan fingerprint -> *Response
 	udfMemo *Cache // image key -> inference output
 
-	devPool *exec.Pool
-	queue   chan *task
-	quit    chan struct{}
-	wg      sync.WaitGroup
-	closed  atomic.Bool
+	devPool  *exec.Pool
+	batchers []*exec.Batcher // one kernel scheduler per leased device
+	queue    chan *task
+	quit     chan struct{}
+	wg       sync.WaitGroup
+	closed   atomic.Bool
 
 	srcMu   sync.RWMutex
 	sources map[string]FrameSource
@@ -178,16 +199,39 @@ func New(db *core.DB, cfg Config) (*Service, error) {
 		start:    time.Now(),
 		results:  NewCache(cfg.ResultCacheBytes, cfg.ResultTTL),
 		udfMemo:  NewCache(cfg.UDFCacheBytes, 0),
-		devPool:  exec.NewPool(cfg.Device, cfg.Workers),
+		devPool:  exec.NewPool(cfg.Device, cfg.Devices),
 		queue:    make(chan *task, cfg.QueueDepth),
 		quit:     make(chan struct{}),
 		sources:  make(map[string]FrameSource),
 		inflight: make(map[string]*flight),
 		builds:   make(map[string]*sync.Mutex),
 	}
+	// Lease every device for the service's lifetime and front each with a
+	// kernel batcher. Workers are assigned round-robin: with Devices ==
+	// Workers this degenerates to PR-1's exclusive leases (a batch of one
+	// submitter); with fewer devices, co-resident workers' kernels fuse.
+	s.batchers = make([]*exec.Batcher, cfg.Devices)
+	for i := range s.batchers {
+		bcfg := exec.BatcherConfig{MaxBatch: cfg.BatchMaxKernels, Window: cfg.BatchWindow}
+		if bcfg.MaxBatch == 0 {
+			// A blocked submitter holds at most one pending kernel, so a
+			// batch can never exceed the workers sharing this device:
+			// default MaxBatch to exactly that count (round-robin gives
+			// device i one extra worker when i < Workers%Devices), so
+			// flush-on-size fires as soon as every co-worker's kernel has
+			// arrived instead of waiting out the window. With one worker
+			// per device that is an eager MaxBatch of 1 — PR-1's
+			// exclusive-lease behavior.
+			bcfg.MaxBatch = cfg.Workers / cfg.Devices
+			if i < cfg.Workers%cfg.Devices {
+				bcfg.MaxBatch++
+			}
+		}
+		s.batchers[i] = exec.NewBatcher(s.devPool.Acquire(), bcfg)
+	}
 	ns := fmt.Sprintf("seed%d", cfg.ModelSeed)
 	for i := 0; i < cfg.Workers; i++ {
-		dev := s.devPool.Acquire() // held for the worker's lifetime
+		dev := s.batchers[i%cfg.Devices]
 		w := &worker{
 			id:  i,
 			dev: dev,
@@ -209,6 +253,9 @@ func (s *Service) Close() {
 	}
 	close(s.quit)
 	s.wg.Wait()
+	for _, b := range s.batchers {
+		s.devPool.Release(b.Device())
+	}
 }
 
 // RegisterSource makes a frame source available to inference sweeps
@@ -368,10 +415,10 @@ func (s *Service) admit(ctx context.Context, req *Request, key string) (*Respons
 	}
 }
 
-// run is a worker's executor loop.
+// run is a worker's executor loop. The worker's device is a shared
+// batcher; its lease is released by Close, not here.
 func (s *Service) run(w *worker) {
 	defer s.wg.Done()
-	defer s.devPool.Release(w.dev)
 	for {
 		select {
 		case t := <-s.queue:
@@ -789,10 +836,16 @@ type Stats struct {
 	ResultHitRate float64    `json:"result_hit_rate"`
 
 	Device           string  `json:"device"`
+	Devices          int     `json:"devices"`
 	DeviceKernels    int64   `json:"device_kernels"`
+	DeviceLaunches   int64   `json:"device_launches"`
 	DeviceFLOPs      int64   `json:"device_flops"`
 	DeviceOverheadMS float64 `json:"device_overhead_ms"`
-	DeviceWaits      int64   `json:"device_waits"`
+
+	// Batcher is the aggregate kernel-coalescing record across every
+	// device's scheduler; FusionFactor is its mean kernels-per-launch.
+	Batcher      exec.BatcherStats `json:"batcher"`
+	FusionFactor float64           `json:"fusion_factor"`
 }
 
 // Stats snapshots the service counters.
@@ -802,6 +855,10 @@ func (s *Service) Stats() Stats {
 	s.srcMu.RUnlock()
 	rc := s.results.Stats()
 	ds := s.devPool.Stats()
+	var bs exec.BatcherStats
+	for _, b := range s.batchers {
+		bs.Add(b.BatcherStats())
+	}
 	return Stats{
 		UptimeSec: time.Since(s.start).Seconds(),
 		Workers:   s.cfg.Workers,
@@ -822,9 +879,16 @@ func (s *Service) Stats() Stats {
 		ResultHitRate: rc.HitRate(),
 
 		Device:           s.devPool.Kind().String(),
+		Devices:          s.cfg.Devices,
 		DeviceKernels:    ds.Kernels,
+		DeviceLaunches:   ds.Launches,
 		DeviceFLOPs:      ds.FLOPs,
 		DeviceOverheadMS: float64(ds.Overhead.Microseconds()) / 1000,
-		DeviceWaits:      s.devPool.Waits(),
+		// Device contention no longer shows up as pool waits (leases are
+		// held for the service lifetime); it shows up in Batcher flush
+		// counters and launch serialization instead.
+
+		Batcher:      bs,
+		FusionFactor: bs.FusionFactor(),
 	}
 }

@@ -670,6 +670,66 @@ func TestHTTPEndpoints(t *testing.T) {
 	}
 }
 
+// TestSharedDeviceBatcherFusesAcrossWorkers: with fewer devices than
+// workers, concurrent queries' kernels route through the shared
+// exec.Batcher and (given a generous flush window) fuse into common
+// launches. Counts stay correct; /stats exposes the fusion record.
+func TestSharedDeviceBatcherFusesAcrossWorkers(t *testing.T) {
+	e := getEnv(t)
+	s := newService(t, Config{
+		Workers:         4,
+		Devices:         1,
+		Device:          exec.GPU,
+		BatchMaxKernels: 4,
+		BatchWindow:     5 * time.Millisecond,
+	})
+	s.RegisterSource("trafficcam", trafficSource{e.Traffic})
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Distinct frame ranges: no result-cache hits, no coalescing,
+			// no shared UDF-memo entries — every worker computes.
+			r, err := s.Query(context.Background(), Request{
+				Infer:   &InferSpec{Source: "trafficcam", From: i * 8, To: i*8 + 8, UDF: "embed"},
+				NoCache: true,
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if r.Value != 8 {
+				errs <- fmt.Errorf("worker %d embedded %d frames, want 8", i, r.Value)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Devices != 1 {
+		t.Fatalf("devices = %d, want 1", st.Devices)
+	}
+	if st.Batcher.Submitted == 0 || st.Batcher.FusedKernels != st.Batcher.Submitted {
+		t.Fatalf("batcher did not carry the kernels: %+v", st.Batcher)
+	}
+	if st.Batcher.MaxFusion < 2 {
+		t.Fatalf("no cross-worker fusion observed: %+v", st.Batcher)
+	}
+	if st.DeviceLaunches >= st.DeviceKernels {
+		t.Fatalf("launches %d not amortized below kernels %d",
+			st.DeviceLaunches, st.DeviceKernels)
+	}
+	if st.FusionFactor <= 1 {
+		t.Fatalf("fusion factor %.2f, want > 1", st.FusionFactor)
+	}
+}
+
 func TestClosedServiceRefuses(t *testing.T) {
 	e := getEnv(t)
 	s, err := New(e.DB, Config{Workers: 1})

@@ -1,0 +1,84 @@
+package tensor
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Scratch pooling for the inference hot path. Per-frame forward passes
+// allocate identical im2col/result buffers thousands of times per second
+// under serving load; recycling them through size-classed sync.Pools
+// removes that steady-state GC pressure. Buffers are zeroed on Get, so a
+// pooled buffer behaves exactly like a fresh make([]float32, n).
+
+// maxPoolClass caps pooling at 2^24 floats (64 MiB) per buffer; larger
+// requests fall back to plain allocation.
+const maxPoolClass = 24
+
+var scratchPools [maxPoolClass + 1]sync.Pool
+
+// sizeClass returns the smallest c with 1<<c >= n.
+func sizeClass(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// GetScratch returns a zeroed float32 buffer of length n, reusing a
+// pooled allocation when one is available.
+func GetScratch(n int) []float32 {
+	if n <= 0 {
+		return nil
+	}
+	c := sizeClass(n)
+	if c > maxPoolClass {
+		return make([]float32, n)
+	}
+	if v := scratchPools[c].Get(); v != nil {
+		s := v.([]float32)[:n]
+		clear(s)
+		return s
+	}
+	return make([]float32, n, 1<<c)
+}
+
+// PutScratch recycles a buffer previously obtained from GetScratch (or
+// any float32 slice the caller owns outright). The caller must not use s
+// after. Buffers land in the largest class their capacity fully covers,
+// so a later GetScratch never reslices past capacity.
+func PutScratch(s []float32) {
+	c := bits.Len(uint(cap(s))) - 1 // largest c with 1<<c <= cap
+	if c < 0 || c > maxPoolClass {
+		return
+	}
+	scratchPools[c].Put(s[:cap(s)])
+}
+
+var tensorPool = sync.Pool{New: func() any { return new(Tensor) }}
+
+// GetF32 allocates a zeroed F32 tensor whose header and backing buffer
+// both come from pools. Pair with PutF32 when the tensor's lifetime is
+// known (intermediate activations); tensors that escape are simply
+// collected and their header never re-enters the pool.
+func GetF32(shape ...int) *Tensor {
+	t := tensorPool.Get().(*Tensor)
+	t.Shape = append(t.Shape[:0], shape...)
+	t.DType = F32
+	t.U8s = nil
+	t.F32s = GetScratch(Numel(shape))
+	return t
+}
+
+// PutF32 recycles t's buffer and header. The caller must own t outright
+// and drop every reference: the same struct is handed back by a later
+// GetF32. A double put of a still-released tensor is a safe no-op (the
+// nil F32s gates it). Safe on nil and non-F32 tensors.
+func PutF32(t *Tensor) {
+	if t == nil || t.DType != F32 || t.F32s == nil {
+		return
+	}
+	PutScratch(t.F32s)
+	t.F32s = nil
+	tensorPool.Put(t)
+}

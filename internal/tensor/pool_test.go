@@ -1,0 +1,86 @@
+package tensor
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestScratchZeroedAndSized(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 64, 100, 1 << 12, (1 << 12) + 1} {
+		s := GetScratch(n)
+		if len(s) != n {
+			t.Fatalf("GetScratch(%d) len = %d", n, len(s))
+		}
+		for i := range s {
+			if s[i] != 0 {
+				t.Fatalf("GetScratch(%d)[%d] = %g, want 0", n, i, s[i])
+			}
+		}
+		for i := range s {
+			s[i] = 1 // dirty it
+		}
+		PutScratch(s)
+	}
+	// A recycled dirty buffer must come back zeroed.
+	s := GetScratch(100)
+	for i := range s {
+		if s[i] != 0 {
+			t.Fatalf("recycled buffer not zeroed at %d", i)
+		}
+	}
+}
+
+func TestScratchClassNeverOverReslices(t *testing.T) {
+	// A buffer put back with a non-power-of-two capacity must only serve
+	// requests its capacity covers.
+	odd := make([]float32, 100) // cap 100: lands in class 6 (64)
+	PutScratch(odd)
+	for i := 0; i < 4; i++ {
+		s := GetScratch(64) // class 6: may reuse odd; needs cap >= 64
+		if len(s) != 64 {
+			t.Fatalf("len = %d", len(s))
+		}
+		PutScratch(s)
+	}
+}
+
+func TestGetPutF32(t *testing.T) {
+	a := GetF32(2, 3)
+	if a.DType != F32 || a.Numel() != 6 || len(a.F32s) != 6 {
+		t.Fatalf("GetF32 tensor %+v", a)
+	}
+	a.F32s[0] = 42
+	PutF32(a)
+	if a.F32s != nil {
+		t.Fatal("PutF32 did not poison the tensor")
+	}
+	PutF32(a)   // double-put is a no-op
+	PutF32(nil) // nil-safe
+	b := GetF32(2, 3)
+	if b.F32s[0] != 0 {
+		t.Fatal("recycled tensor not zeroed")
+	}
+}
+
+func TestScratchConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				n := 1 + (g*37+i*11)%5000
+				s := GetScratch(n)
+				for j := range s {
+					if s[j] != 0 {
+						t.Errorf("dirty scratch at %d", j)
+						return
+					}
+				}
+				s[0] = float32(g)
+				PutScratch(s)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

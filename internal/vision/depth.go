@@ -75,5 +75,7 @@ func (m *DepthModel) PredictBatch(patches []*codec.Image, boxes [][4]int) []floa
 		frac := (float64(h.Sum32()%2048)/1024 - 1) * m.NoiseFrac // in [-NoiseFrac, +NoiseFrac)
 		out[i] = z * (1 + frac)
 	}
+	nn.ReleaseTensors(feats) // noise term extracted; recycle activations
+	nn.ReleaseTensors(ins)
 	return out
 }

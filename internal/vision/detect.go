@@ -90,7 +90,11 @@ func (d *Detector) burnBackbone(img *codec.Image) {
 			tiles = append(tiles, nn.ImageToCHW(pad.Pix, pad.W, pad.H))
 		}
 	}
-	d.net.ForwardBatch(d.dev, tiles)
+	feats := d.net.ForwardBatch(d.dev, tiles)
+	// The activations gate nothing downstream: recycle them and the tile
+	// tensors so per-frame detection is allocation-steady under load.
+	nn.ReleaseTensors(feats)
+	nn.ReleaseTensors(tiles)
 }
 
 // components extracts per-class connected components (4-connectivity) and

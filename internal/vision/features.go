@@ -204,6 +204,8 @@ func (e *Embedder) EmbedBatch(patches []*codec.Image) [][]float32 {
 	for i := range patches {
 		out[i] = e.assemble(feats[i], patches[i])
 	}
+	nn.ReleaseTensors(feats) // assemble copied what it needed
+	nn.ReleaseTensors(ins)
 	return out
 }
 
