@@ -1,0 +1,71 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/shardbench"
+)
+
+// runShardScaling measures the scatter-gather scan-heavy query through
+// the full serving path at 1..8 shards (the same workload
+// BenchmarkShardScaling snapshots for CI — shared via
+// internal/shardbench) and writes the curve to BENCH_shard_scaling.json
+// in the working directory. On a host with spare cores the scatter wave
+// parallelizes the per-shard scans; on a single core the curve shows
+// the fan-out overhead instead (the gomaxprocs field records which
+// regime was measured).
+func runShardScaling() error {
+	const iters = 50
+	req := shardbench.ScanRequest()
+	ctx := context.Background()
+
+	var points []shardbench.Point
+	for _, n := range []int{1, 2, 4, 8} {
+		dir, err := os.MkdirTemp("", "deeplens-shardscale")
+		if err != nil {
+			return err
+		}
+		svc, cleanup, err := shardbench.NewService(dir, n, shardbench.DefaultRows)
+		if err != nil {
+			return err
+		}
+		if _, err := svc.Query(ctx, req); err != nil { // warm snapshot caches
+			cleanup()
+			return err
+		}
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := svc.Query(ctx, req); err != nil {
+				cleanup()
+				return err
+			}
+		}
+		elapsed := time.Since(start)
+		st := svc.Stats()
+		cleanup()
+		os.RemoveAll(dir)
+		points = append(points, shardbench.Point{
+			Shards:             n,
+			NsPerQuery:         float64(elapsed.Nanoseconds()) / iters,
+			ScatterTasksPerQry: float64(st.ScatterTasks) / float64(st.ScatterQueries),
+			MergeMSTotal:       st.MergeTimeMS,
+		})
+	}
+	if err := shardbench.WriteJSON("BENCH_shard_scaling.json", shardbench.DefaultRows, points); err != nil {
+		return err
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "shards\tns/query\tspeedup vs 1\ttasks/query\tmerge ms")
+	for _, p := range points {
+		fmt.Fprintf(w, "%d\t%.0f\t%.2fx\t%.0f\t%.3f\n",
+			p.Shards, p.NsPerQuery, p.SpeedupVs1, p.ScatterTasksPerQry, p.MergeMSTotal)
+	}
+	w.Flush()
+	fmt.Println("\nwrote BENCH_shard_scaling.json")
+	return nil
+}

@@ -14,12 +14,14 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -66,6 +68,7 @@ func run() error {
 	var (
 		addr       = flag.String("addr", ":8080", "HTTP listen address")
 		dir        = flag.String("dir", "", "data directory (default: a fresh temp dir)")
+		shards     = flag.Int("shards", 1, "partition collections across N DB shards (shard subdirectories under -dir; queries run scatter-gather)")
 		workers    = flag.Int("workers", 8, "executor pool size")
 		queue      = flag.Int("queue", 64, "admission queue depth")
 		device     = flag.String("device", "cpu", "execution backend: cpu, avx or gpu")
@@ -107,16 +110,7 @@ func run() error {
 	cfg.FootballClips = *clips
 	cfg.FootballClipLen = *clipLen
 
-	log.Printf("ingesting into %s (reused if already materialized)...", *dir)
-	start := time.Now()
-	env, err := bench.NewEnv(*dir, cfg, exec.New(kind))
-	if err != nil {
-		return err
-	}
-	defer env.Close()
-	log.Printf("catalog ready in %v: collections %v", time.Since(start).Round(time.Millisecond), env.DB.Collections())
-
-	svc, err := service.New(env.DB, service.Config{
+	svcCfg := service.Config{
 		Workers:          *workers,
 		QueueDepth:       *queue,
 		Device:           kind,
@@ -127,7 +121,38 @@ func run() error {
 		ResultTTL:        *ttl,
 		UDFCacheBytes:    int64(*udfCacheMB) << 20,
 		ModelSeed:        bench.ModelSeed,
-	})
+	}
+
+	useSharded, err := checkDirLayout(*dir, *shards)
+	if err != nil {
+		return err
+	}
+
+	var (
+		env *bench.Env
+		svc *service.Service
+	)
+	start := time.Now()
+	if useSharded {
+		log.Printf("ingesting into %s across %d shards (reused if already materialized)...", *dir, *shards)
+		env, err = bench.NewShardedEnv(*dir, cfg, *shards, exec.New(kind))
+		if err != nil {
+			return err
+		}
+		defer env.Close()
+		log.Printf("sharded catalog ready in %v: collections %v across %d shards",
+			time.Since(start).Round(time.Millisecond), env.Shards.Collections(), env.Shards.NumShards())
+		svc, err = service.NewSharded(env.Shards, svcCfg)
+	} else {
+		log.Printf("ingesting into %s (reused if already materialized)...", *dir)
+		env, err = bench.NewEnv(*dir, cfg, exec.New(kind))
+		if err != nil {
+			return err
+		}
+		defer env.Close()
+		log.Printf("catalog ready in %v: collections %v", time.Since(start).Round(time.Millisecond), env.DB.Collections())
+		svc, err = service.New(env.DB, svcCfg)
+	}
 	if err != nil {
 		return err
 	}
@@ -151,6 +176,38 @@ func run() error {
 	log.Printf("serving on %s (%d workers on %d %s devices, queue %d, pprof at /debug/pprof/)",
 		*addr, *workers, svc.Stats().Devices, kind, *queue)
 	return http.ListenAndServe(*addr, mux)
+}
+
+// checkDirLayout reconciles the -shards flag with the -dir's on-disk
+// layout and reports whether the sharded path should be used.
+// core.OpenSharded already rejects a sharded directory reopened at a
+// different count; the cases it cannot see are sharded vs unsharded
+// transitions, which would otherwise silently re-ingest a second
+// database alongside the existing one.
+func checkDirLayout(dir string, shards int) (useSharded bool, err error) {
+	raw, readErr := os.ReadFile(filepath.Join(dir, "SHARDS.json"))
+	if readErr == nil {
+		var m struct {
+			Shards int `json:"shards"`
+		}
+		if err := json.Unmarshal(raw, &m); err != nil {
+			// Route into the sharded opener, whose corruption diagnosis
+			// names the file; guessing a count here would mislead.
+			return true, nil
+		}
+		if shards <= 1 && m.Shards != 1 {
+			return false, fmt.Errorf("%s holds a sharded database (%d shards): pass -shards %d, or re-ingest into a fresh -dir",
+				dir, m.Shards, m.Shards)
+		}
+		return true, nil // existing sharded layout (OpenSharded re-validates the count)
+	}
+	if shards > 1 {
+		if _, err := os.Stat(filepath.Join(dir, "deeplens.db")); err == nil {
+			return false, fmt.Errorf("%s holds an unsharded database: drop -shards, or re-ingest into a fresh -dir", dir)
+		}
+		return true, nil
+	}
+	return false, nil
 }
 
 // workload returns the mixed request set the load generator cycles
@@ -203,6 +260,17 @@ func (p *phaseResult) pct(q float64) time.Duration {
 	sort.Slice(p.lats, func(i, j int) bool { return p.lats[i] < p.lats[j] })
 	i := int(q * float64(len(p.lats)-1))
 	return p.lats[i]
+}
+
+func (p *phaseResult) mean() time.Duration {
+	if len(p.lats) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, l := range p.lats {
+		sum += l
+	}
+	return sum / time.Duration(len(p.lats))
 }
 
 // distinctReq perturbs request i so no two requests share a fingerprint:
@@ -290,11 +358,13 @@ func runLoadgen(svc *service.Service, clients, total, frames int, distinct bool)
 
 	st := svc.Stats()
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "phase\treqs\tok\trejected\tQPS\tp50\tp95")
+	fmt.Fprintln(w, "phase\treqs\tok\trejected\tQPS\tmean\tp50\tp95\tp99")
 	for _, p := range []phaseResult{cold, warm} {
-		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%.0f\t%v\t%v\n",
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%.0f\t%v\t%v\t%v\t%v\n",
 			p.name, total, p.ok, p.rejected, p.qps(),
-			p.pct(0.50).Round(time.Microsecond), p.pct(0.95).Round(time.Microsecond))
+			p.mean().Round(time.Microsecond),
+			p.pct(0.50).Round(time.Microsecond), p.pct(0.95).Round(time.Microsecond),
+			p.pct(0.99).Round(time.Microsecond))
 	}
 	w.Flush()
 	fmt.Printf("\nwarm/cold speedup: %.1fx\n", warm.qps()/cold.qps())
@@ -305,8 +375,16 @@ func runLoadgen(svc *service.Service, clients, total, frames int, distinct bool)
 		st.UDFCache.Hits, st.UDFCache.Misses, st.UDFCache.Entries, st.UDFCache.Bytes>>10)
 	fmt.Printf("pool: %d workers on %d %s devices, peak in-flight %d, coalesced %d\n",
 		st.Workers, st.Devices, st.Device, st.PeakInFlight, st.Coalesced)
-	fmt.Printf("kernels: %d executed in %d launches (fusion %.2fx, %d size / %d deadline flushes), overhead %.1f ms\n",
-		st.DeviceKernels, st.DeviceLaunches, st.FusionFactor,
-		st.Batcher.FlushSize, st.Batcher.FlushDeadline, st.DeviceOverheadMS)
+	fmt.Printf("kernels: %d executed in %d launches (%d size / %d deadline / %d idle flushes), overhead %.1f ms\n",
+		st.DeviceKernels, st.DeviceLaunches,
+		st.Batcher.FlushSize, st.Batcher.FlushDeadline, st.Batcher.FlushIdle, st.DeviceOverheadMS)
+	if st.Shards > 1 {
+		fmt.Printf("shards: %d, %d scatter queries fanned into %d tasks, merge %.2f ms total\n",
+			st.Shards, st.ScatterQueries, st.ScatterTasks, st.MergeTimeMS)
+		for _, si := range st.ShardInfo {
+			fmt.Printf("  shard %d: %d rows, %d versions\n", si.Shard, si.Rows, si.Versions)
+		}
+	}
+	fmt.Printf("fusion factor: %.2fx\n", st.FusionFactor)
 	return nil
 }

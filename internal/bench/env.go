@@ -22,7 +22,11 @@ import (
 type Env struct {
 	Cfg dataset.Config
 	DB  *core.DB
-	Dir string
+	// Shards is set instead of DB when the environment was ingested into
+	// a horizontally partitioned database (NewShardedEnv): the same ETL
+	// pipelines run, but every patch routes to its hash-designated shard.
+	Shards *core.Sharded
+	Dir    string
 
 	Traffic  *dataset.Traffic
 	Football *dataset.Football
@@ -64,8 +68,44 @@ func NewEnvAt(dbPath, dir string, cfg dataset.Config, dev exec.Device) (*Env, er
 	if err != nil {
 		return nil, err
 	}
+	e := newEnvModels(cfg, dir, dev)
+	e.DB = db
+	if _, err := db.Collection(ColTrafficDets); err == nil {
+		return e, nil // already ingested: reuse materialized collections
+	}
+	if err := e.runETL(dbTarget{db}); err != nil {
+		db.Close()
+		return nil, err
+	}
+	return e, nil
+}
+
+// NewShardedEnv generates datasets and runs the full ETL into an
+// n-shard partitioned database rooted at dir (shard subdirectories
+// dir/shard-NNN). A prior sharded ingest is reused; a prior ingest with
+// a different shard count fails with core.ErrShardMismatch.
+func NewShardedEnv(dir string, cfg dataset.Config, n int, dev exec.Device) (*Env, error) {
+	sdb, err := core.OpenSharded(dir, n, dev)
+	if err != nil {
+		return nil, err
+	}
+	e := newEnvModels(cfg, dir, dev)
+	e.Shards = sdb
+	if _, err := sdb.Collection(ColTrafficDets); err == nil {
+		return e, nil // already ingested: reuse materialized shards
+	}
+	if err := e.runETL(shardTarget{sdb}); err != nil {
+		sdb.Close()
+		return nil, err
+	}
+	return e, nil
+}
+
+// newEnvModels builds the dataset generators and UDF models shared by
+// every environment flavor.
+func newEnvModels(cfg dataset.Config, dir string, dev exec.Device) *Env {
 	e := &Env{
-		Cfg: cfg, DB: db, Dir: dir,
+		Cfg: cfg, Dir: dir,
 		Traffic:   dataset.NewTraffic(cfg),
 		Football:  dataset.NewFootball(cfg),
 		PC:        dataset.NewPC(cfg),
@@ -76,18 +116,50 @@ func NewEnvAt(dbPath, dir string, cfg dataset.Config, dev exec.Device) (*Env, er
 		ETLTime:   map[string]time.Duration{},
 	}
 	e.Depth = vision.NewDepthModel(dev, e.Traffic.Scene.Horizon, e.Traffic.Scene.Focal, ModelSeed)
-	if _, err := db.Collection(ColTrafficDets); err == nil {
-		return e, nil // already ingested: reuse materialized collections
-	}
-	if err := e.runETL(); err != nil {
-		db.Close()
-		return nil, err
-	}
-	return e, nil
+	return e
 }
 
 // Close releases the environment.
-func (e *Env) Close() error { return e.DB.Close() }
+func (e *Env) Close() error {
+	if e.Shards != nil {
+		return e.Shards.Close()
+	}
+	return e.DB.Close()
+}
+
+// ingestTarget abstracts where the ETL materializes: one DB or a
+// sharded set (patches routed to their home shards).
+type ingestTarget interface {
+	materialize(name string, schema core.Schema, it core.Iterator) error
+	create(name string, schema core.Schema) (patchAppender, error)
+	flush() error
+}
+
+// patchAppender is the slice of the collection API the ETL needs
+// (satisfied by *core.Collection and *core.ShardedCollection).
+type patchAppender interface{ Append(*core.Patch) error }
+
+type dbTarget struct{ db *core.DB }
+
+func (t dbTarget) materialize(name string, schema core.Schema, it core.Iterator) error {
+	_, err := t.db.Materialize(name, schema, it)
+	return err
+}
+func (t dbTarget) create(name string, schema core.Schema) (patchAppender, error) {
+	return t.db.CreateCollection(name, schema)
+}
+func (t dbTarget) flush() error { return t.db.Flush() }
+
+type shardTarget struct{ s *core.Sharded }
+
+func (t shardTarget) materialize(name string, schema core.Schema, it core.Iterator) error {
+	_, err := t.s.Materialize(name, schema, it)
+	return err
+}
+func (t shardTarget) create(name string, schema core.Schema) (patchAppender, error) {
+	return t.s.CreateCollection(name, schema)
+}
+func (t shardTarget) flush() error { return t.s.Flush() }
 
 // trafficFrames iterates rendered TrafficCam frames as whole-frame patches.
 func (e *Env) trafficFrames() core.Iterator {
@@ -115,8 +187,9 @@ func framePatch(source string, frame uint64, img *codec.Image) *core.Patch {
 	}
 }
 
-// runETL executes every pipeline and materializes the outputs.
-func (e *Env) runETL() error {
+// runETL executes every pipeline and materializes the outputs into
+// the given target (a single DB or a sharded set).
+func (e *Env) runETL(tg ingestTarget) error {
 	// TrafficCam: detect -> embed -> depth (pedestrian geometry).
 	start := time.Now()
 	dets := core.DetectGenerator(e.Det, e.trafficFrames())
@@ -127,7 +200,7 @@ func (e *Env) runETL() error {
 		WithField(core.Field{Name: "depth", Kind: core.KindFloat})
 	dets = core.DropData(dets)
 	dets = ensureDepth(dets)
-	if _, err := e.DB.Materialize(ColTrafficDets, trafficSchema, dets); err != nil {
+	if err := tg.materialize(ColTrafficDets, trafficSchema, dets); err != nil {
 		return fmt.Errorf("traffic ETL: %w", err)
 	}
 	e.ETLTime[ColTrafficDets] = time.Since(start)
@@ -152,12 +225,12 @@ func (e *Env) runETL() error {
 			{Name: "emb", Kind: core.KindVec, VecDim: e.Emb.Dim()},
 		},
 	}
-	if _, err := e.DB.Materialize(ColPCImages, pcSchema, pcIt); err != nil {
+	if err := tg.materialize(ColPCImages, pcSchema, pcIt); err != nil {
 		return fmt.Errorf("pc images ETL: %w", err)
 	}
 	words := core.OCRGenerator(e.DocOCR, core.FromImages("pc", imgs))
 	words = core.DropData(words)
-	if _, err := e.DB.Materialize(ColPCWords, core.OCRSchema(), words); err != nil {
+	if err := tg.materialize(ColPCWords, core.OCRSchema(), words); err != nil {
 		return fmt.Errorf("pc words ETL: %w", err)
 	}
 	e.ETLTime[ColPCImages] = time.Since(start)
@@ -167,11 +240,11 @@ func (e *Env) runETL() error {
 	start = time.Now()
 	fbSchema := core.DetectionSchema().
 		WithField(core.Field{Name: "clip", Kind: core.KindInt})
-	fbDets, err := e.DB.CreateCollection(ColFBDets, fbSchema)
+	fbDets, err := tg.create(ColFBDets, fbSchema)
 	if err != nil {
 		return err
 	}
-	fbWords, err := e.DB.CreateCollection(ColFBWords,
+	fbWords, err := tg.create(ColFBWords,
 		core.OCRSchema().WithField(core.Field{Name: "clip", Kind: core.KindInt}))
 	if err != nil {
 		return err
@@ -214,7 +287,7 @@ func (e *Env) runETL() error {
 		}
 	}
 	e.ETLTime[ColFBDets] = time.Since(start)
-	return e.DB.Flush()
+	return tg.flush()
 }
 
 // ensureDepth fills a zero depth for non-pedestrian detections whose bbox

@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/shardbench"
+)
+
+// This file benchmarks scatter-gather shard scaling: the same scan-heavy
+// query against the same rows partitioned across 1..8 shards, measured
+// through the full serving path (admission, scatter wave, gather). The
+// workload and JSON encoding are shared with the `deeplens-bench
+// shard-scaling` subcommand via internal/shardbench; the curve is
+// recorded to BENCH_shard_scaling.json — the perf baseline CI uploads
+// alongside the kernel-batching snapshot.
+
+var (
+	ssMu    sync.Mutex
+	ssCurve []shardbench.Point
+)
+
+// ssRecord upserts a curve point (the harness re-invokes sub-benchmarks
+// with growing b.N; the final measurement per shard count wins).
+func ssRecord(p shardbench.Point) {
+	ssMu.Lock()
+	defer ssMu.Unlock()
+	for i, q := range ssCurve {
+		if q.Shards == p.Shards {
+			ssCurve[i] = p
+			return
+		}
+	}
+	ssCurve = append(ssCurve, p)
+}
+
+func ssService(tb testing.TB, n, rows int) *service.Service {
+	tb.Helper()
+	svc, cleanup, err := shardbench.NewService(tb.TempDir(), n, rows)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(cleanup)
+	return svc
+}
+
+// BenchmarkShardScaling measures the scan-heavy query through the full
+// serving path at 1, 2, 4 and 8 shards. With spare cores the scatter
+// wave runs the per-shard scans in parallel, so N=4 beats N=1 on wall
+// clock; the shape assertion is skipped under the race detector (its
+// instrumentation skews ratios) and on a single-core host (nothing to
+// parallelize onto).
+func BenchmarkShardScaling(b *testing.B) {
+	const rows = shardbench.DefaultRows
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			svc := ssService(b, n, rows)
+			req := shardbench.ScanRequest()
+			ctx := context.Background()
+			if _, err := svc.Query(ctx, req); err != nil { // warm the snapshot caches
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				if _, err := svc.Query(ctx, req); err != nil {
+					b.Fatal(err)
+				}
+			}
+			elapsed := time.Since(start)
+			b.StopTimer()
+			st := svc.Stats()
+			perQuery := float64(elapsed.Nanoseconds()) / float64(b.N)
+			b.ReportMetric(perQuery, "ns/query")
+			ssRecord(shardbench.Point{
+				Shards:             n,
+				NsPerQuery:         perQuery,
+				ScatterTasksPerQry: float64(st.ScatterTasks) / float64(st.ScatterQueries),
+				MergeMSTotal:       st.MergeTimeMS,
+			})
+		})
+	}
+	ssMu.Lock()
+	if len(ssCurve) > 0 {
+		if err := shardbench.WriteJSON("BENCH_shard_scaling.json", rows, ssCurve); err != nil {
+			b.Logf("baseline not written: %v", err)
+		}
+	}
+	ssMu.Unlock()
+
+	// Shape assertion on dedicated fixed-iteration measurements (min of
+	// 30), independent of the harness's b.N choice.
+	if raceEnabled {
+		b.Log("race detector on: skipping shard-scaling shape assertion")
+		return
+	}
+	if runtime.GOMAXPROCS(0) < 2 || runtime.NumCPU() < 2 {
+		b.Log("single-core host: skipping shard-scaling shape assertion (scatter wave has no spare cores)")
+		return
+	}
+	svc1 := ssService(b, 1, rows)
+	svc4 := ssService(b, 4, rows)
+	ssWarm(b, svc1)
+	ssWarm(b, svc4)
+	w1 := ssMinWall(b, svc1, 30)
+	w4 := ssMinWall(b, svc4, 30)
+	b.Logf("scan-heavy wall per query: 1 shard %v, 4 shards %v", w1, w4)
+	if w4 >= w1 {
+		b.Errorf("scatter-gather at 4 shards (%v) did not beat 1 shard (%v) on the scan-heavy workload", w4, w1)
+	}
+}
+
+func ssWarm(tb testing.TB, svc *service.Service) { ssMinWall(tb, svc, 3) }
+
+func ssMinWall(tb testing.TB, svc *service.Service, iters int) time.Duration {
+	tb.Helper()
+	d, err := shardbench.MinWall(svc, iters)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return d
+}
+
+// TestShardScalingCountsInvariant guards the benchmark's correctness
+// side: the scan-heavy query returns the same count at every shard
+// fan-out (the merge is pure concatenation of disjoint partitions).
+func TestShardScalingCountsInvariant(t *testing.T) {
+	const rows = 400
+	want := -1
+	for _, n := range []int{1, 3, 5} {
+		svc := ssService(t, n, rows)
+		r, err := svc.Query(context.Background(), shardbench.ScanRequest())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == -1 {
+			want = r.Value
+		} else if r.Value != want {
+			t.Fatalf("scan count at %d shards = %d, want %d", n, r.Value, want)
+		}
+	}
+	if want != rows/4 {
+		t.Fatalf("scan count = %d, want %d", want, rows/4)
+	}
+}

@@ -1,0 +1,430 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/exec"
+)
+
+// This file implements horizontal partitioning: a Sharded database fans
+// the storage entry points (CreateCollection, Append, Materialize) out
+// across N independent DB instances — one kv store and directory each —
+// behind a combined catalog view. Patches route to shards by a
+// deterministic hash of their PatchID, so placement is stable across
+// restarts and reshard-free reopens; the serving layer scatters query
+// fragments across the shards and merges at the gather stage.
+//
+// With one shard the layer is a pass-through: IDs, versions and
+// per-collection contents are byte-identical to an unsharded DB fed the
+// same operations (the N=1 equivalence the service tests pin down).
+
+// shardMetaFile persists the shard count at the root of a sharded
+// directory so a reopen with a different -shards value fails loudly
+// instead of silently splitting collections across disjoint layouts.
+const shardMetaFile = "SHARDS.json"
+
+type shardMeta struct {
+	Shards int `json:"shards"`
+}
+
+// ErrShardMismatch reports a sharded directory reopened with a different
+// shard count than it was created with.
+var ErrShardMismatch = errors.New("core: shard count mismatch")
+
+// Sharded is a horizontally partitioned database: N independent DB
+// instances (shard subdirectories) behind one combined catalog. All
+// writes must go through the Sharded layer (or a ShardedCollection),
+// which allocates globally unique patch ids and routes each patch to
+// its home shard.
+type Sharded struct {
+	dir    string
+	shards []*DB
+
+	mu   sync.RWMutex
+	cols map[string]*ShardedCollection
+}
+
+// OpenSharded opens (or creates) a sharded database of n shards rooted
+// at dir, each shard an independent DB at dir/shard-NNN/deeplens.db on
+// the given device. n < 1 is treated as 1. Reopening an existing
+// sharded directory with a different n fails with ErrShardMismatch:
+// patches were hash-placed for the original count, and a different
+// modulus would scatter every collection across the wrong shards.
+func OpenSharded(dir string, n int, dev exec.Device) (*Sharded, error) {
+	if n < 1 {
+		n = 1
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	metaPath := filepath.Join(dir, shardMetaFile)
+	haveMeta := false
+	raw, readErr := os.ReadFile(metaPath)
+	switch {
+	case readErr == nil:
+		var m shardMeta
+		if err := json.Unmarshal(raw, &m); err != nil {
+			return nil, fmt.Errorf("core: corrupt %s: %w", shardMetaFile, err)
+		}
+		if m.Shards != n {
+			return nil, fmt.Errorf("%w: directory %s holds %d shards, requested %d (reshard by re-ingesting)",
+				ErrShardMismatch, dir, m.Shards, n)
+		}
+		haveMeta = true
+	case errors.Is(readErr, fs.ErrNotExist):
+		// Fresh directory: the meta file is written after every shard opens.
+	default:
+		// An unreadable meta file must not be mistaken for a fresh
+		// directory: overwriting it would re-hash existing data under the
+		// wrong modulus.
+		return nil, fmt.Errorf("core: read %s: %w", shardMetaFile, readErr)
+	}
+	s := &Sharded{dir: dir, shards: make([]*DB, n), cols: make(map[string]*ShardedCollection)}
+	for i := 0; i < n; i++ {
+		sub := filepath.Join(dir, fmt.Sprintf("shard-%03d", i))
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			s.closeOpened()
+			return nil, err
+		}
+		db, err := Open(filepath.Join(sub, "deeplens.db"), dev)
+		if err != nil {
+			s.closeOpened()
+			return nil, fmt.Errorf("core: open shard %d: %w", i, err)
+		}
+		s.shards[i] = db
+	}
+	// Persist the shard count only once every shard opened: a failed
+	// first open must not strand a meta file that blocks a retry at a
+	// different count.
+	if !haveMeta {
+		raw, _ := json.Marshal(shardMeta{Shards: n})
+		if err := os.WriteFile(metaPath, append(raw, '\n'), 0o644); err != nil {
+			s.closeOpened()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// WrapSharded presents already-open DB instances as one sharded database
+// (tests and embedders that manage shard storage themselves). Closing
+// the wrapper closes the shards.
+func WrapSharded(shards ...*DB) *Sharded {
+	return &Sharded{shards: shards, cols: make(map[string]*ShardedCollection)}
+}
+
+func (s *Sharded) closeOpened() {
+	for _, db := range s.shards {
+		if db != nil {
+			db.Close()
+		}
+	}
+}
+
+// NumShards returns the shard count.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// Shard returns shard i's underlying DB (shard-local index builds and
+// read-only introspection; writes must go through the Sharded layer).
+func (s *Sharded) Shard(i int) *DB { return s.shards[i] }
+
+// shardHash is a splitmix64 finalizer: sequential patch ids spread
+// uniformly across shards, and placement is a pure function of the id.
+func shardHash(id PatchID) uint64 {
+	x := uint64(id) + 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// ShardFor returns the home shard of a patch id — the deterministic
+// partitioner every write and point lookup routes through.
+func (s *Sharded) ShardFor(id PatchID) int {
+	return int(shardHash(id) % uint64(len(s.shards)))
+}
+
+// NewPatchID allocates a database-wide unique patch id. Shard 0 is the
+// designated allocator, so ids never collide across shards and a
+// one-shard database allocates exactly the sequence an unsharded DB
+// would.
+func (s *Sharded) NewPatchID() PatchID { return s.shards[0].NewPatchID() }
+
+// Close flushes and closes every shard, returning the first error.
+func (s *Sharded) Close() error {
+	var first error
+	for _, db := range s.shards {
+		if err := db.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Flush persists all dirty state on every shard.
+func (s *Sharded) Flush() error {
+	for i, db := range s.shards {
+		if err := db.Flush(); err != nil {
+			return fmt.Errorf("core: flush shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// CreateCollection registers a new collection on every shard. On partial
+// failure the already-created shard-local collections are dropped, so a
+// collection either exists everywhere or nowhere.
+func (s *Sharded) CreateCollection(name string, schema Schema) (*ShardedCollection, error) {
+	cols := make([]*Collection, len(s.shards))
+	for i, db := range s.shards {
+		c, err := db.CreateCollection(name, schema)
+		if err != nil {
+			for j := 0; j < i; j++ {
+				s.shards[j].DropCollection(name)
+			}
+			return nil, fmt.Errorf("core: create %q on shard %d: %w", name, i, err)
+		}
+		cols[i] = c
+	}
+	sc := &ShardedCollection{s: s, name: name, schema: schema, cols: cols}
+	s.mu.Lock()
+	s.cols[name] = sc
+	s.mu.Unlock()
+	return sc, nil
+}
+
+// Collection opens an existing collection's combined view by name.
+func (s *Sharded) Collection(name string) (*ShardedCollection, error) {
+	s.mu.RLock()
+	sc, ok := s.cols[name]
+	s.mu.RUnlock()
+	if ok {
+		return sc, nil
+	}
+	cols := make([]*Collection, len(s.shards))
+	for i, db := range s.shards {
+		c, err := db.Collection(name)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = c
+	}
+	sc = &ShardedCollection{s: s, name: name, schema: cols[0].Schema(), cols: cols}
+	s.mu.Lock()
+	if cached, ok := s.cols[name]; ok { // raced another opener
+		sc = cached
+	} else {
+		s.cols[name] = sc
+	}
+	s.mu.Unlock()
+	return sc, nil
+}
+
+// Collections lists collection names (the combined catalog; every shard
+// holds the same set, shard 0 is authoritative).
+func (s *Sharded) Collections() []string { return s.shards[0].Collections() }
+
+// DropCollection removes the collection from every shard.
+func (s *Sharded) DropCollection(name string) error {
+	s.mu.Lock()
+	delete(s.cols, name)
+	s.mu.Unlock()
+	var first error
+	for i, db := range s.shards {
+		if err := db.DropCollection(name); err != nil && first == nil {
+			first = fmt.Errorf("core: drop %q on shard %d: %w", name, i, err)
+		}
+	}
+	return first
+}
+
+// Materialize drains an iterator into a new sharded collection, routing
+// every patch to its home shard (the sharded analog of DB.Materialize).
+func (s *Sharded) Materialize(name string, schema Schema, it Iterator) (*ShardedCollection, error) {
+	sc, err := s.CreateCollection(name, schema)
+	if err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	for {
+		t, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		for _, p := range t {
+			if err := sc.Append(p); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, c := range sc.cols {
+		if err := c.saveDesc(); err != nil {
+			return nil, err
+		}
+	}
+	return sc, nil
+}
+
+// GetPatch resolves a patch id via its home shard's lineage table.
+func (s *Sharded) GetPatch(id PatchID) (*Patch, error) {
+	return s.shards[s.ShardFor(id)].GetPatch(id)
+}
+
+// Backtrace follows a patch's lineage chain across shards (parents were
+// routed by their own ids, so each hop resolves on its home shard).
+func (s *Sharded) Backtrace(p *Patch) ([]*Patch, error) {
+	var chain []*Patch
+	cur := p
+	for cur.Ref.Parent != 0 {
+		parent, err := s.GetPatch(cur.Ref.Parent)
+		if err != nil {
+			return chain, err
+		}
+		chain = append(chain, parent)
+		cur = parent
+	}
+	return chain, nil
+}
+
+// ShardInfo is one shard's storage snapshot (served by /stats).
+type ShardInfo struct {
+	Shard int `json:"shard"`
+	// Rows is the total patch count across the shard's collections.
+	Rows int `json:"rows"`
+	// Versions is the shard's version-counter high-water mark: how many
+	// writes this shard has absorbed since creation.
+	Versions uint64 `json:"versions"`
+}
+
+// ShardInfos snapshots per-shard row counts and version counters.
+func (s *Sharded) ShardInfos() []ShardInfo {
+	infos := make([]ShardInfo, len(s.shards))
+	names := s.Collections()
+	for i, db := range s.shards {
+		info := ShardInfo{Shard: i, Versions: db.nextVer.Load()}
+		for _, name := range names {
+			if c, err := db.Collection(name); err == nil {
+				info.Rows += c.Len()
+			}
+		}
+		infos[i] = info
+	}
+	return infos
+}
+
+// ShardedCollection is the combined view of one collection's N
+// shard-local partitions.
+type ShardedCollection struct {
+	s      *Sharded
+	name   string
+	schema Schema
+	cols   []*Collection
+}
+
+// Name returns the collection name.
+func (c *ShardedCollection) Name() string { return c.name }
+
+// Schema returns the collection's schema.
+func (c *ShardedCollection) Schema() Schema { return c.schema }
+
+// Shards returns the partition count.
+func (c *ShardedCollection) Shards() int { return len(c.cols) }
+
+// Shard returns partition i's shard-local collection.
+func (c *ShardedCollection) Shard(i int) *Collection { return c.cols[i] }
+
+// Len sums the partitions' patch counts.
+func (c *ShardedCollection) Len() int {
+	n := 0
+	for _, col := range c.cols {
+		n += col.Len()
+	}
+	return n
+}
+
+// Append ids the patch (shard 0 allocates) and routes it to its home
+// shard. A single-shard append is exactly an unsharded Append.
+func (c *ShardedCollection) Append(p *Patch) error {
+	if p.ID == 0 {
+		p.ID = c.s.NewPatchID()
+	}
+	return c.cols[c.s.ShardFor(p.ID)].Append(p)
+}
+
+// Get routes a point lookup to the patch's home shard.
+func (c *ShardedCollection) Get(id PatchID) (*Patch, error) {
+	return c.cols[c.s.ShardFor(id)].Get(id)
+}
+
+// Version folds the partitions' versions into one composite identity for
+// plan fingerprinting: any single-shard write changes its shard's
+// version and therefore the composite, so version-keyed caches
+// invalidate exactly as in the unsharded case. With one shard the
+// composite IS the shard version (fingerprints match an unsharded DB
+// fed the same operations); with more it is an FNV-1a fold of the
+// ordered shard versions.
+func (c *ShardedCollection) Version() uint64 {
+	if len(c.cols) == 1 {
+		return c.cols[0].Version()
+	}
+	return compositeVersion(c.ShardVersions())
+}
+
+// ShardVersions returns each partition's current version, in shard order.
+func (c *ShardedCollection) ShardVersions() []uint64 {
+	vs := make([]uint64, len(c.cols))
+	for i, col := range c.cols {
+		vs[i] = col.Version()
+	}
+	return vs
+}
+
+// compositeVersion folds ordered shard versions into one uint64
+// (FNV-1a over the 8-byte big-endian encodings).
+func compositeVersion(vs []uint64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, v := range vs {
+		for shift := 56; shift >= 0; shift -= 8 {
+			h ^= (v >> uint(shift)) & 0xff
+			h *= prime64
+		}
+	}
+	return h
+}
+
+// Snapshot atomically snapshots every partition and returns the per-shard
+// patch slices together with the composite version they reflect. Each
+// part carries the same stable-prefix guarantee as Collection.Snapshot;
+// the composite is computed from the versions the per-shard snapshots
+// actually returned, so it identifies exactly the visible contents.
+func (c *ShardedCollection) Snapshot() ([][]*Patch, uint64, error) {
+	parts := make([][]*Patch, len(c.cols))
+	vs := make([]uint64, len(c.cols))
+	for i, col := range c.cols {
+		ps, v, err := col.Snapshot()
+		if err != nil {
+			return nil, 0, fmt.Errorf("core: snapshot shard %d of %q: %w", i, c.name, err)
+		}
+		parts[i] = ps
+		vs[i] = v
+	}
+	if len(vs) == 1 {
+		return parts, vs[0], nil
+	}
+	return parts, compositeVersion(vs), nil
+}

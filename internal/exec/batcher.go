@@ -85,6 +85,24 @@ type Batcher struct {
 
 	mu      sync.Mutex
 	pending map[batchKey]*pendingBatch
+	// queuedKernels counts kernels sitting in pending batches (guarded by
+	// mu). Every blocked submitter holds exactly one queued kernel, so
+	// queuedKernels >= inFlight means no registered submitter is still
+	// mid-query: nothing new can join a batch and waiting out the Window
+	// deadline would be pure added latency.
+	queuedKernels int
+
+	// inFlight counts registered submitters currently mid-query (see
+	// BeginSubmitter). Zero means no one registers, which disables the
+	// idle flush and preserves the pure size/deadline policy.
+	inFlight atomic.Int64
+
+	// idleProbe, when set, vetoes the idle flush while more submitters
+	// are imminent (e.g. a serving layer's admission queue is non-empty:
+	// those tasks will register as submitters the moment a worker picks
+	// them up, so a partial batch may still grow). Must be set before
+	// the batcher is shared between goroutines.
+	idleProbe func() bool
 
 	// launchMu serializes fused launches, preserving the cost model's
 	// fidelity when many workers share one simulated device: a real GPU
@@ -97,6 +115,7 @@ type Batcher struct {
 	launches      atomic.Int64
 	flushSize     atomic.Int64
 	flushDeadline atomic.Int64
+	flushIdle     atomic.Int64
 	passThrough   atomic.Int64
 	maxFusion     atomic.Int64
 }
@@ -120,6 +139,35 @@ func (b *Batcher) Stats() Stats { return b.dev.Stats() }
 
 // Device returns the wrapped device.
 func (b *Batcher) Device() Device { return b.dev }
+
+// SetIdleProbe installs a check consulted before an idle flush: return
+// false while more submitters are imminent (a non-empty admission
+// queue), true when the registered submitters are all there is. Install
+// before the batcher is shared between goroutines; a nil probe (the
+// default) means the in-flight count alone decides.
+func (b *Batcher) SetIdleProbe(probe func() bool) { b.idleProbe = probe }
+
+// BeginSubmitter registers a submitter that is mid-query on this device
+// (it may submit kernels until the matching EndSubmitter). The count
+// drives the adaptive flush: when every registered submitter is already
+// blocked inside the batcher, a partial batch cannot grow, so it
+// launches immediately instead of waiting out the Window deadline — a
+// lightly-loaded service stops paying the deadline per launch. Callers
+// that never register keep the pure size/deadline policy.
+func (b *Batcher) BeginSubmitter() { b.inFlight.Add(1) }
+
+// EndSubmitter unregisters a BeginSubmitter registration.
+func (b *Batcher) EndSubmitter() {
+	if n := b.inFlight.Add(-1); n < 0 {
+		panic("exec: Batcher.EndSubmitter without BeginSubmitter")
+	}
+	// A submitter leaving can strand a partial batch whose remaining
+	// waiters are all blocked (they were waiting for this one): re-check.
+	b.mu.Lock()
+	idle := b.idleBatchesLocked()
+	b.mu.Unlock()
+	b.launchIdle(idle)
+}
 
 // GEMM submits C += A·B and blocks until the (possibly fused) launch that
 // includes it completes. See Device.GEMM for the shape contract.
@@ -169,12 +217,18 @@ func (b *Batcher) submit(key batchKey, req fusedReq) {
 		}
 	}
 	pb.reqs = append(pb.reqs, req)
+	b.queuedKernels++
 	full := len(pb.reqs) >= b.cfg.MaxBatch
 	if full {
-		delete(b.pending, key)
-		if pb.timer != nil {
-			pb.timer.Stop()
-		}
+		b.takeLocked(key, pb)
+	}
+	// Adaptive flush: if every registered mid-query submitter is now
+	// blocked in this batcher (each holds exactly one queued kernel), no
+	// pending batch can grow — launch them all now rather than letting
+	// the Window deadline add latency to an already-quiet device.
+	var idle []*pendingBatch
+	if !full {
+		idle = b.idleBatchesLocked()
 	}
 	b.mu.Unlock()
 	if full {
@@ -187,7 +241,48 @@ func (b *Batcher) submit(key batchKey, req fusedReq) {
 		b.launch(pb)
 		return
 	}
+	if idle != nil {
+		b.launchIdle(idle)
+	}
 	<-req.done
+}
+
+// takeLocked removes pb from the pending map, stops its deadline timer
+// and releases its kernels' queue accounting. Callers hold b.mu.
+func (b *Batcher) takeLocked(key batchKey, pb *pendingBatch) {
+	delete(b.pending, key)
+	if pb.timer != nil {
+		pb.timer.Stop()
+	}
+	b.queuedKernels -= len(pb.reqs)
+}
+
+// idleBatchesLocked drains every pending batch when all registered
+// submitters are blocked in the batcher (the queue cannot grow). Returns
+// nil when submitter tracking is off (inFlight 0) or someone is still
+// mid-query. Callers hold b.mu.
+func (b *Batcher) idleBatchesLocked() []*pendingBatch {
+	inf := b.inFlight.Load()
+	if inf <= 0 || int64(b.queuedKernels) < inf || len(b.pending) == 0 {
+		return nil
+	}
+	if b.idleProbe != nil && !b.idleProbe() {
+		return nil // more submitters are imminent: let the batch grow
+	}
+	out := make([]*pendingBatch, 0, len(b.pending))
+	for key, pb := range b.pending {
+		b.takeLocked(key, pb)
+		out = append(out, pb)
+	}
+	return out
+}
+
+// launchIdle launches batches drained by the adaptive idle flush.
+func (b *Batcher) launchIdle(batches []*pendingBatch) {
+	for _, pb := range batches {
+		b.flushIdle.Add(1)
+		b.launch(pb)
+	}
 }
 
 // flushDeadlined launches pb if it is still pending (a size flush may
@@ -198,7 +293,7 @@ func (b *Batcher) flushDeadlined(key batchKey, pb *pendingBatch) {
 		b.mu.Unlock()
 		return
 	}
-	delete(b.pending, key)
+	b.takeLocked(key, pb)
 	b.mu.Unlock()
 	b.flushDeadline.Add(1)
 	b.launch(pb)
@@ -235,6 +330,7 @@ type BatcherStats struct {
 	Launches      int64 `json:"launches"`       // fused launches issued
 	FlushSize     int64 `json:"flush_size"`     // multi-kernel batches flushed by reaching MaxBatch
 	FlushDeadline int64 `json:"flush_deadline"` // batches flushed by the Window deadline
+	FlushIdle     int64 `json:"flush_idle"`     // batches flushed because every active submitter was already blocked
 	PassThrough   int64 `json:"pass_through"`   // kernels bypassing fusion (CPU/AVX)
 	MaxFusion     int64 `json:"max_fusion"`     // largest batch launched
 }
@@ -255,6 +351,7 @@ func (s *BatcherStats) Add(o BatcherStats) {
 	s.Launches += o.Launches
 	s.FlushSize += o.FlushSize
 	s.FlushDeadline += o.FlushDeadline
+	s.FlushIdle += o.FlushIdle
 	s.PassThrough += o.PassThrough
 	if o.MaxFusion > s.MaxFusion {
 		s.MaxFusion = o.MaxFusion
@@ -269,6 +366,7 @@ func (b *Batcher) BatcherStats() BatcherStats {
 		Launches:      b.launches.Load(),
 		FlushSize:     b.flushSize.Load(),
 		FlushDeadline: b.flushDeadline.Load(),
+		FlushIdle:     b.flushIdle.Load(),
 		PassThrough:   b.passThrough.Load(),
 		MaxFusion:     b.maxFusion.Load(),
 	}

@@ -279,3 +279,108 @@ func TestBatcherConcurrentSubmitRace(t *testing.T) {
 		t.Fatalf("executed %d of %d submitted kernels", st.FusedKernels, st.Submitted)
 	}
 }
+
+// TestBatcherIdleFlushLoneSubmitter: with submitter tracking on, a lone
+// registered submitter never waits out the Window deadline — its kernel
+// launches immediately because the queue provably cannot grow.
+func TestBatcherIdleFlushLoneSubmitter(t *testing.T) {
+	bat := NewBatcher(freeGPU(), BatcherConfig{MaxBatch: 8, Window: time.Hour})
+	bat.BeginSubmitter()
+	defer bat.EndSubmitter()
+	start := time.Now()
+	c := make([]float32, 4)
+	bat.GEMM(2, 2, 2, []float32{1, 0, 0, 1}, []float32{1, 2, 3, 4}, c)
+	if el := time.Since(start); el > 10*time.Second {
+		t.Fatalf("lone submitter waited %v (deadline path taken despite idle device)", el)
+	}
+	st := bat.BatcherStats()
+	if st.FlushIdle != 1 || st.Launches != 1 || st.FlushDeadline != 0 {
+		t.Fatalf("stats after idle flush: %+v", st)
+	}
+	if c[0] != 1 || c[1] != 2 || c[2] != 3 || c[3] != 4 {
+		t.Fatalf("idle-flushed GEMM result wrong: %v", c)
+	}
+}
+
+// TestBatcherIdleFlushWaitsForMidQuerySubmitter: while a second
+// registered submitter is still mid-query, a partial batch holds (it
+// might still fuse); once every registered submitter is blocked in the
+// batcher, the batch launches without the deadline.
+func TestBatcherIdleFlushWaitsForMidQuerySubmitter(t *testing.T) {
+	bat := NewBatcher(freeGPU(), BatcherConfig{MaxBatch: 8, Window: time.Hour})
+	bat.BeginSubmitter() // submitter A
+	bat.BeginSubmitter() // submitter B
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c := make([]float32, 4)
+		bat.GEMM(2, 2, 2, []float32{1, 0, 0, 1}, []float32{1, 2, 3, 4}, c) // A blocks
+	}()
+	// A alone must not flush: B is registered and still mid-query.
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case <-done:
+		t.Fatal("batch flushed while another registered submitter was mid-query")
+	default:
+	}
+	// B submits: now both submitters are blocked, the batch fuses and
+	// launches immediately (size flush at 2 kernels would need MaxBatch;
+	// here the idle rule fires).
+	c := make([]float32, 4)
+	bat.GEMM(2, 2, 2, []float32{1, 0, 0, 1}, []float32{1, 2, 3, 4}, c)
+	<-done
+	st := bat.BatcherStats()
+	if st.FusedKernels != 2 || st.Launches != 1 {
+		t.Fatalf("expected one fused launch of 2 kernels, got %+v", st)
+	}
+	if st.FlushIdle != 1 {
+		t.Fatalf("idle flush not recorded: %+v", st)
+	}
+	bat.EndSubmitter()
+	bat.EndSubmitter()
+}
+
+// TestBatcherIdleFlushOnSubmitterExit: a registered submitter that
+// finishes without submitting releases batches whose waiters were
+// blocked on it.
+func TestBatcherIdleFlushOnSubmitterExit(t *testing.T) {
+	bat := NewBatcher(freeGPU(), BatcherConfig{MaxBatch: 8, Window: time.Hour})
+	bat.BeginSubmitter() // A: will submit
+	bat.BeginSubmitter() // B: never submits
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c := make([]float32, 4)
+		bat.GEMM(2, 2, 2, []float32{1, 0, 0, 1}, []float32{1, 2, 3, 4}, c)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case <-done:
+		t.Fatal("batch flushed while B was still registered")
+	default:
+	}
+	bat.EndSubmitter() // B exits without submitting: A's batch must release
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("batch not flushed after last co-submitter exited")
+	}
+	if st := bat.BatcherStats(); st.FlushIdle != 1 {
+		t.Fatalf("idle flush not recorded: %+v", st)
+	}
+	bat.EndSubmitter()
+}
+
+// TestBatcherUntrackedSubmittersKeepDeadlinePolicy: without
+// BeginSubmitter registrations the idle rule stays off.
+func TestBatcherUntrackedSubmittersKeepDeadlinePolicy(t *testing.T) {
+	bat := NewBatcher(freeGPU(), BatcherConfig{MaxBatch: 8, Window: 5 * time.Millisecond})
+	c := make([]float32, 4)
+	bat.GEMM(2, 2, 2, []float32{1, 0, 0, 1}, []float32{1, 2, 3, 4}, c)
+	st := bat.BatcherStats()
+	if st.FlushIdle != 0 || st.FlushDeadline != 1 {
+		t.Fatalf("untracked submitter: %+v (want pure deadline flush)", st)
+	}
+}

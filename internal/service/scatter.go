@@ -1,0 +1,525 @@
+package service
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+)
+
+// Scatter-gather execution over a sharded backend. The plan is made
+// once; its fragment runs on every shard in parallel, each shard pinned
+// to its own batcher-fronted device (so concurrent fragments' kernels
+// fuse exactly like concurrent requests'); the partial results merge at
+// the service layer:
+//
+//   - filters/projections: per-shard counts sum, row sets concatenate in
+//     shard order;
+//   - ordered top-k: each shard sorts and trims its own rows, the
+//     service runs a k-way heap merge over the sorted streams;
+//   - similarity joins: one local self-join task per shard plus one
+//     cross task per shard pair (left rows from shard i probe shard j),
+//     pair lists concatenate;
+//   - cluster/distinct queries: pairs from every task re-cluster at the
+//     gather stage (union-find over the concatenated fragments).
+//
+// With one shard the fragment IS the whole plan and the merge is the
+// identity, so results (values, rows, plan strings, cost estimates) are
+// byte-identical to the unsharded execution path — the equivalence the
+// golden tests in shard_test.go pin down.
+
+// shardFragment is one shard's partial result after the filter stage.
+type shardFragment struct {
+	filtered []*core.Patch
+	rows     []*core.Patch // sorted/trimmed projection input (order/limit)
+	planOps  []string
+	cost     float64
+}
+
+// shardDev returns the batcher-fronted device scatter task t is pinned
+// to. Shard-local task i maps to device i%Devices, so a shard's kernels
+// always land on the same scheduler; cross tasks continue round-robin.
+func (s *Service) shardDev(t int) *exec.Batcher {
+	return s.batchers[t%len(s.batchers)]
+}
+
+// scatterWave runs n independent scatter tasks concurrently and returns
+// the first error. A single task runs inline (the N=1 path adds no
+// goroutine overhead).
+func (s *Service) scatterWave(n int, fn func(t int) error) error {
+	s.scatterTasks.Add(int64(n))
+	if n == 1 {
+		return fn(0)
+	}
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first error
+	)
+	for t := 0; t < n; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			if err := fn(t); err != nil {
+				mu.Lock()
+				if first == nil {
+					first = err
+				}
+				mu.Unlock()
+			}
+		}(t)
+	}
+	wg.Wait()
+	return first
+}
+
+// executeScatter runs the filter -> simjoin -> distinct -> order/limit
+// pipeline as plan-once, scatter-everywhere, merge-at-the-top.
+func (s *Service) executeScatter(req *Request) (*Response, error) {
+	scol, err := s.shards.Collection(req.Collection)
+	if err != nil {
+		return nil, err
+	}
+	parts, _, err := scol.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	nsh := len(parts)
+	s.scatterQueries.Add(1)
+
+	// Plan once: resolve and type-check the filter constant against the
+	// schema before fanning anything out.
+	var fval core.Value
+	if f := req.Filter; f != nil {
+		fval, err = f.value()
+		if err != nil {
+			return nil, err
+		}
+		if err := scol.Schema().ValidateFilterValue(f.Field, fval); err != nil {
+			return nil, err
+		}
+	}
+
+	// Effective row limit (mirrors the unsharded path: requests cap at
+	// maxRows, zero means "rows only if order/limit was asked for").
+	limit := req.Limit
+	if limit <= 0 || limit > maxRows {
+		limit = maxRows
+	}
+	wantRows := req.OrderBy != "" || req.Limit > 0
+
+	// ---- scatter: per-shard filter (+ local sort/trim) fragments ----
+	frags := make([]*shardFragment, nsh)
+	err = s.scatterWave(nsh, func(i int) error {
+		frag, err := s.filterFragment(req, fval, scol, i, parts[i])
+		if err != nil {
+			return err
+		}
+		if req.SimJoin == nil && wantRows {
+			frag.rows = frag.filtered
+			if req.OrderBy != "" {
+				frag.rows = sortRows(frag.filtered, req.OrderBy, req.Desc)
+			}
+			if len(frag.rows) > limit {
+				frag.rows = frag.rows[:limit]
+			}
+		}
+		frags[i] = frag
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	if req.SimJoin != nil {
+		return s.simJoinScatter(req, scol, frags)
+	}
+
+	// ---- gather: sum counts, merge rows ----
+	mergeStart := time.Now()
+	resp := &Response{}
+	total := 0
+	for _, frag := range frags {
+		total += len(frag.filtered)
+		resp.EstCostSec += frag.cost
+	}
+	resp.Value = total
+
+	planOps := append([]string(nil), frags[0].planOps...)
+	if wantRows {
+		var merged []*core.Patch
+		if req.OrderBy != "" {
+			merged = mergeSortedRows(frags, req.OrderBy, req.Desc, limit)
+			planOps = append(planOps, "order-by("+req.OrderBy+")")
+		} else {
+			for _, frag := range frags {
+				merged = append(merged, frag.rows...)
+				if len(merged) >= limit {
+					merged = merged[:limit]
+					break
+				}
+			}
+		}
+		resp.Rows = projectRows(merged)
+		if req.Limit > 0 {
+			planOps = append(planOps, fmt.Sprintf("limit(%d)", req.Limit))
+		}
+	}
+	if len(planOps) == 0 {
+		planOps = append(planOps, "scan-count")
+	}
+	resp.Plan = s.scatterPlan(nsh, 0, planOps, gatherLabel(req))
+	s.mergeNS.Add(time.Since(mergeStart).Nanoseconds())
+	return resp, nil
+}
+
+// gatherLabel names the merge strategy for plain (non-join) queries.
+func gatherLabel(req *Request) string {
+	switch {
+	case req.OrderBy != "":
+		return "gather-merge"
+	case req.Limit > 0:
+		return "gather-concat"
+	default:
+		return "gather-count"
+	}
+}
+
+// scatterPlan renders the physical plan string. One shard reproduces
+// the unsharded plan byte for byte (the N=1 contract); more shards wrap
+// the fragment pipeline in a scatter[N(+C)] -> gather decoration, C
+// being the cross-shard join task count.
+func (s *Service) scatterPlan(nsh, cross int, fragOps []string, gather string) string {
+	if nsh == 1 {
+		return joinPlan(fragOps)
+	}
+	fan := fmt.Sprintf("%d", nsh)
+	if cross > 0 {
+		fan = fmt.Sprintf("%d+%d", nsh, cross)
+	}
+	return fmt.Sprintf("scatter[%s](%s) -> %s", fan, joinPlan(fragOps), gather)
+}
+
+// filterFragment runs the filter stage of the plan on shard i's
+// snapshot, using the shard-local hash index when the plan asks for it.
+func (s *Service) filterFragment(req *Request, fval core.Value, scol *core.ShardedCollection, i int, snap []*core.Patch) (*shardFragment, error) {
+	frag := &shardFragment{filtered: snap}
+	f := req.Filter
+	if f == nil {
+		return frag, nil
+	}
+	col := scol.Shard(i)
+	if f.UseIndex {
+		idx, err := s.ensureIndexOn(s.shards.Shard(i), shardScope(i), col, f.Field, core.IdxHash)
+		if err != nil {
+			return nil, err
+		}
+		ids, err := idx.LookupEq(fval)
+		if err != nil {
+			return nil, err
+		}
+		filtered := make([]*core.Patch, 0, len(ids))
+		for _, id := range ids {
+			p, err := col.Get(id)
+			if err != nil {
+				return nil, err
+			}
+			filtered = append(filtered, p)
+		}
+		frag.filtered = filtered
+		frag.planOps = append(frag.planOps, fmt.Sprintf("hash-index(%s)", f.Field))
+		frag.cost += float64(len(ids)) * s.cost.CFetch
+	} else {
+		filtered := make([]*core.Patch, 0, len(snap)/4)
+		for _, p := range snap {
+			if mv, ok := p.Meta[f.Field]; ok && mv.Equal(fval) {
+				filtered = append(filtered, p)
+			}
+		}
+		frag.filtered = filtered
+		frag.planOps = append(frag.planOps, fmt.Sprintf("scan-filter(%s)", f.Field))
+		frag.cost += float64(len(snap)) * scanCmpCostSec
+	}
+	return frag, nil
+}
+
+// shardScope disambiguates per-shard index-build locks.
+func shardScope(i int) string { return fmt.Sprintf("shard%d", i) }
+
+// joinTask is one unit of the similarity-join scatter wave: a shard's
+// local self-join, or the cross join between a pair of shards.
+type joinTask struct {
+	left, right int // shard indexes; left == right is a local self-join
+	pairs       []core.Tuple
+	cost        float64
+	label       string
+}
+
+// simJoinScatter executes the similarity-join stage: every shard
+// self-joins its own fragment and every shard pair cross-joins (left
+// fragment against right fragment), all tasks in parallel on their
+// pinned devices; pair lists concatenate at the gather stage, and
+// distinct queries re-cluster over the union.
+func (s *Service) simJoinScatter(req *Request, scol *core.ShardedCollection, frags []*shardFragment) (*Response, error) {
+	sj := req.SimJoin
+	nsh := len(frags)
+
+	// Vector dimensionality, from the schema or the first surviving row.
+	dim := 0
+	if fd := scol.Schema().FieldNamed(sj.Field); fd != nil {
+		dim = fd.VecDim
+	}
+	if dim == 0 {
+		for _, frag := range frags {
+			if len(frag.filtered) > 0 {
+				if mv, ok := frag.filtered[0].Meta[sj.Field]; ok {
+					dim = len(mv.V)
+				}
+				break
+			}
+		}
+	}
+	// A prebuilt (shard-local) index can only serve an unfiltered join.
+	hasIndex := sj.UseIndex && req.Filter == nil
+
+	// Task list: nsh local self-joins, then one cross task per non-empty
+	// shard pair.
+	tasks := make([]*joinTask, 0, nsh+nsh*(nsh-1)/2)
+	for i := 0; i < nsh; i++ {
+		tasks = append(tasks, &joinTask{left: i, right: i})
+	}
+	cross := 0
+	for i := 0; i < nsh; i++ {
+		for j := i + 1; j < nsh; j++ {
+			if len(frags[i].filtered) == 0 || len(frags[j].filtered) == 0 {
+				continue // an empty side can contribute no cross pairs
+			}
+			tasks = append(tasks, &joinTask{left: i, right: j})
+			cross++
+		}
+	}
+
+	err := s.scatterWave(len(tasks), func(t int) error {
+		task := tasks[t]
+		dev := s.shardDev(t)
+		// Join tasks submit kernels: register with the device's batcher so
+		// its adaptive flush knows a submitter is mid-query (default flush
+		// policy only — an explicit BatchWindow is honored strictly).
+		if s.adaptive {
+			dev.BeginSubmitter()
+			defer dev.EndSubmitter()
+		}
+		if task.left == task.right {
+			return s.runLocalJoin(task, sj, frags[task.left].filtered, scol, dim, hasIndex, dev)
+		}
+		return s.runCrossJoin(task, sj, frags[task.left].filtered, frags[task.right].filtered, scol, dim, hasIndex, dev)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// ---- gather: concatenate pairs, re-cluster for distinct ----
+	mergeStart := time.Now()
+	resp := &Response{}
+	var pairs []core.Tuple
+	label := ""
+	for _, frag := range frags {
+		resp.EstCostSec += frag.cost
+	}
+	for _, task := range tasks {
+		pairs = append(pairs, task.pairs...)
+		resp.EstCostSec += task.cost
+		if label == "" && task.label != "" {
+			label = task.label
+		}
+	}
+
+	planOps := append([]string(nil), frags[0].planOps...)
+	planOps = append(planOps, label)
+	gather := "gather-pairs"
+	if req.Distinct {
+		var all []*core.Patch
+		for _, frag := range frags {
+			all = append(all, frag.filtered...)
+		}
+		resp.Value = clusterCount(all, pairs, sj.MinCluster)
+		planOps = append(planOps, fmt.Sprintf("distinct(min=%d)", sj.MinCluster))
+		gather = fmt.Sprintf("gather-cluster(min=%d)", sj.MinCluster)
+	} else {
+		resp.Value = len(pairs)
+	}
+	resp.Plan = s.scatterPlan(nsh, cross, planOps, gather)
+	s.mergeNS.Add(time.Since(mergeStart).Nanoseconds())
+	return resp, nil
+}
+
+// runLocalJoin is shard i's self-join over its own fragment — exactly
+// the unsharded similarity join, shard-local index and all.
+func (s *Service) runLocalJoin(task *joinTask, sj *SimJoinSpec, filtered []*core.Patch, scol *core.ShardedCollection, dim int, hasIndex bool, dev *exec.Batcher) error {
+	i := task.left
+	db, col := s.shards.Shard(i), scol.Shard(i)
+	if hasIndex {
+		if _, err := s.ensureIndexOn(db, shardScope(i), col, sj.Field, core.IdxBallTree); err != nil {
+			return err
+		}
+	}
+	n := len(filtered)
+	sp := s.cost.PlanSimilarityJoin(n, n, dim, hasIndex)
+	task.cost = sp.EstCost
+	opts := core.SimilarityJoinOpts{
+		LeftField: sj.Field, RightField: sj.Field,
+		Eps: sj.Eps, DedupUnordered: true, Device: dev,
+	}
+	var pairs []core.Tuple
+	var err error
+	switch sp.Method {
+	case core.SimIndexed:
+		idx, ierr := s.ensureIndexOn(db, shardScope(i), col, sj.Field, core.IdxBallTree)
+		if ierr != nil {
+			return ierr
+		}
+		pairs, err = core.SimilarityJoinIndexed(db, filtered, col, idx, opts)
+	case core.SimOnTheFly:
+		pairs, err = core.SimilarityJoinOnTheFly(filtered, filtered, opts)
+	case core.SimBatched:
+		pairs, err = core.SimilarityJoinBatched(db, filtered, filtered, opts)
+	default:
+		pairs, err = core.SimilarityJoinNested(filtered, filtered, opts)
+	}
+	if err != nil {
+		return err
+	}
+	task.pairs = pairs
+	task.label = fmt.Sprintf("simjoin[%s@%s](%s, eps=%g)", sp.Method, dev.Kind(), sj.Field, sj.Eps)
+	return nil
+}
+
+// runCrossJoin joins shard i's fragment against shard j's. The two row
+// sets are disjoint (every patch has one home shard), so no dedup is
+// needed: each qualifying cross-shard pair materializes exactly once,
+// which together with the deduped local self-joins reproduces the
+// unsharded DedupUnordered pair set.
+func (s *Service) runCrossJoin(task *joinTask, sj *SimJoinSpec, left, right []*core.Patch, scol *core.ShardedCollection, dim int, hasIndex bool, dev *exec.Batcher) error {
+	j := task.right
+	dbR, colR := s.shards.Shard(j), scol.Shard(j)
+	sp := s.cost.PlanSimilarityJoin(len(left), len(right), dim, hasIndex)
+	task.cost = sp.EstCost
+	opts := core.SimilarityJoinOpts{
+		LeftField: sj.Field, RightField: sj.Field,
+		Eps: sj.Eps, Device: dev,
+	}
+	var pairs []core.Tuple
+	var err error
+	switch sp.Method {
+	case core.SimIndexed:
+		idx, ierr := s.ensureIndexOn(dbR, shardScope(j), colR, sj.Field, core.IdxBallTree)
+		if ierr != nil {
+			return ierr
+		}
+		pairs, err = core.SimilarityJoinIndexed(dbR, left, colR, idx, opts)
+	case core.SimOnTheFly:
+		pairs, err = core.SimilarityJoinOnTheFly(left, right, opts)
+	case core.SimBatched:
+		pairs, err = core.SimilarityJoinBatched(dbR, left, right, opts)
+	default:
+		pairs, err = core.SimilarityJoinNested(left, right, opts)
+	}
+	if err != nil {
+		return err
+	}
+	task.pairs = pairs
+	return nil
+}
+
+// sortRows returns a stably sorted copy of ps by the metadata field —
+// the same comparator the unsharded path uses, applied shard-locally so
+// the gather stage can stream-merge.
+func sortRows(ps []*core.Patch, field string, desc bool) []*core.Patch {
+	rows := append([]*core.Patch(nil), ps...)
+	sort.SliceStable(rows, func(i, j int) bool {
+		a, b := rows[i].Meta[field], rows[j].Meta[field]
+		if desc {
+			return b.Less(a)
+		}
+		return a.Less(b)
+	})
+	return rows
+}
+
+// rowStream is one shard's sorted, trimmed row list being consumed by
+// the k-way merge.
+type rowStream struct {
+	shard int
+	rows  []*core.Patch
+	pos   int
+}
+
+// rowHeap orders streams by their head row (ties resolve in shard
+// order, mirroring the stable concatenate-then-sort the unsharded path
+// would produce).
+type rowHeap struct {
+	streams []*rowStream
+	field   string
+	desc    bool
+}
+
+func (h *rowHeap) Len() int { return len(h.streams) }
+func (h *rowHeap) Less(i, j int) bool {
+	a := h.streams[i].rows[h.streams[i].pos].Meta[h.field]
+	b := h.streams[j].rows[h.streams[j].pos].Meta[h.field]
+	if h.desc {
+		if b.Less(a) {
+			return true
+		}
+		if a.Less(b) {
+			return false
+		}
+	} else {
+		if a.Less(b) {
+			return true
+		}
+		if b.Less(a) {
+			return false
+		}
+	}
+	return h.streams[i].shard < h.streams[j].shard
+}
+func (h *rowHeap) Swap(i, j int) { h.streams[i], h.streams[j] = h.streams[j], h.streams[i] }
+func (h *rowHeap) Push(x any)    { h.streams = append(h.streams, x.(*rowStream)) }
+func (h *rowHeap) Pop() any {
+	old := h.streams
+	n := len(old)
+	x := old[n-1]
+	h.streams = old[:n-1]
+	return x
+}
+
+// mergeSortedRows k-way heap-merges the shards' sorted row fragments
+// into the global top-limit rows. Each shard trimmed its fragment to
+// the limit already, so the merge touches at most nsh*limit rows no
+// matter how large the collection is.
+func mergeSortedRows(frags []*shardFragment, field string, desc bool, limit int) []*core.Patch {
+	h := &rowHeap{field: field, desc: desc}
+	for i, frag := range frags {
+		if len(frag.rows) > 0 {
+			h.streams = append(h.streams, &rowStream{shard: i, rows: frag.rows})
+		}
+	}
+	heap.Init(h)
+	out := make([]*core.Patch, 0, limit)
+	for h.Len() > 0 && len(out) < limit {
+		st := h.streams[0]
+		out = append(out, st.rows[st.pos])
+		st.pos++
+		if st.pos < len(st.rows) {
+			heap.Fix(h, 0)
+		} else {
+			heap.Pop(h)
+		}
+	}
+	return out
+}

@@ -18,7 +18,13 @@
 //     queries: inference is computed once, reused forever;
 //   - in-flight request coalescing (identical cold queries run once);
 //   - cache-aware plan costing: reported costs fold in the observed hit
-//     rate via CostModel.CacheAwareCost.
+//     rate via CostModel.CacheAwareCost;
+//   - scatter-gather execution over a horizontally partitioned backend
+//     (NewSharded over core.Sharded): the plan is made once, its
+//     fragment runs on every shard in parallel on shard-pinned batcher
+//     devices, and partial results merge at the service layer — counts
+//     sum, ordered top-k rows k-way heap-merge, similarity joins fan
+//     out one task per shard pair and re-cluster at the gather stage.
 //
 // The cmd/deeplens-serve binary exposes it over HTTP JSON.
 package service
@@ -28,7 +34,6 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -81,7 +86,12 @@ type Config struct {
 	// (the batcher passes through).
 	Devices int
 	// BatchMaxKernels and BatchWindow tune the per-device batcher's flush
-	// policy (zero values pick exec.BatcherConfig defaults).
+	// policy (zero values pick exec.BatcherConfig defaults). With the
+	// default window the service runs the batcher's adaptive flush:
+	// partial batches launch as soon as every mid-query submitter is
+	// blocked and the admission queue is empty, so a lightly-loaded
+	// service never pays the deadline wait. An explicit BatchWindow is
+	// honored strictly (pure size/deadline policy).
 	BatchMaxKernels int
 	BatchWindow     time.Duration
 	// ResultCacheBytes budgets the plan-keyed result cache (default 32 MiB).
@@ -96,7 +106,11 @@ type Config struct {
 	ModelSeed int64
 }
 
-func (c Config) withDefaults() Config {
+// withDefaults resolves zero values. shards is the backing partition
+// count (1 for an unsharded DB): it raises the device ceiling, since a
+// scattered query runs up to one kernel-submitting fragment per shard
+// per worker.
+func (c Config) withDefaults(shards int) Config {
 	if c.Workers <= 0 {
 		c.Workers = runtime.NumCPU()
 		if c.Workers > 16 {
@@ -106,8 +120,12 @@ func (c Config) withDefaults() Config {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 64
 	}
-	if c.Devices <= 0 || c.Devices > c.Workers {
+	maxDevices := c.Workers * shards
+	if c.Devices <= 0 {
 		c.Devices = c.Workers
+	}
+	if c.Devices > maxDevices {
+		c.Devices = maxDevices
 	}
 	if c.ResultCacheBytes <= 0 {
 		c.ResultCacheBytes = 32 << 20
@@ -148,18 +166,21 @@ type flight struct {
 // plus memoized UDF models bound to it.
 type worker struct {
 	id  int
-	dev exec.Device // an *exec.Batcher over the leased device
+	dev *exec.Batcher // kernel scheduler over the leased device
 	det *vision.MemoDetector
 	emb *vision.MemoEmbedder
 	ocr *vision.MemoOCR
 }
 
-// Service is the concurrent query-serving layer over one DB.
+// Service is the concurrent query-serving layer over one DB or a
+// sharded set of DBs (scatter-gather execution; see NewSharded).
 type Service struct {
-	db    *core.DB
-	cfg   Config
-	cost  *core.CostModel
-	start time.Time
+	db       *core.DB      // unsharded backend (nil when sharded)
+	shards   *core.Sharded // sharded backend (nil when unsharded)
+	cfg      Config
+	cost     *core.CostModel
+	start    time.Time
+	adaptive bool // default flush window: track submitters for idle flush
 
 	results *Cache // plan fingerprint -> *Response
 	udfMemo *Cache // image key -> inference output
@@ -183,6 +204,17 @@ type Service struct {
 	admitted, rejected, coalesced atomic.Int64
 	completed, failed             atomic.Int64
 	inFlight, peakInFlight        atomic.Int64
+
+	// statsMu makes (queue depth, in-flight count) observable as one
+	// consistent pair: enqueue/dequeue update the in-flight counter while
+	// holding it, and Stats reads both under it. Without this, /stats
+	// could report a task as neither queued nor in flight (or both).
+	statsMu sync.Mutex
+
+	// Scatter-gather counters (sharded backend only).
+	scatterQueries atomic.Int64 // queries executed via scatter-gather
+	scatterTasks   atomic.Int64 // fragments fanned out (filter + join tasks)
+	mergeNS        atomic.Int64 // cumulative gather/merge wall time
 }
 
 // New starts a service over db with cfg.Workers executors. Close releases
@@ -191,10 +223,36 @@ func New(db *core.DB, cfg Config) (*Service, error) {
 	if db == nil {
 		return nil, errors.New("service: nil db")
 	}
-	cfg = cfg.withDefaults()
+	return buildService(db, nil, cfg)
+}
+
+// NewSharded starts a service over a horizontally partitioned database.
+// Collection queries execute scatter-gather: the plan is made once, its
+// fragment runs on every shard in parallel — each shard pinned to its
+// own batcher-fronted device, so sharding composes with cross-request
+// kernel fusion — and the partial results merge at the service layer
+// (concatenation for filters, a k-way heap merge for ordered top-k,
+// re-clustering for distinct, pairwise cross-shard tasks for similarity
+// joins). With one shard, execution is byte-identical to New over the
+// same data.
+func NewSharded(sdb *core.Sharded, cfg Config) (*Service, error) {
+	if sdb == nil || sdb.NumShards() < 1 {
+		return nil, errors.New("service: nil or empty sharded db")
+	}
+	return buildService(nil, sdb, cfg)
+}
+
+func buildService(db *core.DB, sdb *core.Sharded, cfg Config) (*Service, error) {
+	nshards := 1
+	if sdb != nil {
+		nshards = sdb.NumShards()
+	}
+	cfg = cfg.withDefaults(nshards)
 	s := &Service{
 		db:       db,
+		shards:   sdb,
 		cfg:      cfg,
+		adaptive: cfg.BatchWindow == 0,
 		cost:     core.DefaultCostModel(),
 		start:    time.Now(),
 		results:  NewCache(cfg.ResultCacheBytes, cfg.ResultTTL),
@@ -215,19 +273,40 @@ func New(db *core.DB, cfg Config) (*Service, error) {
 		bcfg := exec.BatcherConfig{MaxBatch: cfg.BatchMaxKernels, Window: cfg.BatchWindow}
 		if bcfg.MaxBatch == 0 {
 			// A blocked submitter holds at most one pending kernel, so a
-			// batch can never exceed the workers sharing this device:
+			// batch can never exceed the submitters sharing this device:
 			// default MaxBatch to exactly that count (round-robin gives
 			// device i one extra worker when i < Workers%Devices), so
 			// flush-on-size fires as soon as every co-worker's kernel has
 			// arrived instead of waiting out the window. With one worker
 			// per device that is an eager MaxBatch of 1 — PR-1's
-			// exclusive-lease behavior.
-			bcfg.MaxBatch = cfg.Workers / cfg.Devices
-			if i < cfg.Workers%cfg.Devices {
-				bcfg.MaxBatch++
+			// exclusive-lease behavior. Under scatter-gather each worker
+			// fans out up to nshards kernel-submitting fragments, so the
+			// per-device submitter bound scales by the shard count (capped:
+			// the adaptive idle flush releases partial batches early, but
+			// MaxBatch still bounds worst-case queuing delay).
+			if nshards > 1 {
+				// Sharded: total concurrent kernel-submitting fragments are
+				// bounded by Workers*shards, spread round-robin over the
+				// devices (Devices may exceed Workers here).
+				bcfg.MaxBatch = (cfg.Workers*nshards + cfg.Devices - 1) / cfg.Devices
+				if bcfg.MaxBatch > 16 {
+					bcfg.MaxBatch = 16
+				}
+			} else {
+				bcfg.MaxBatch = cfg.Workers / cfg.Devices
+				if i < cfg.Workers%cfg.Devices {
+					bcfg.MaxBatch++
+				}
+			}
+			if bcfg.MaxBatch < 1 {
+				bcfg.MaxBatch = 1
 			}
 		}
 		s.batchers[i] = exec.NewBatcher(s.devPool.Acquire(), bcfg)
+		// Admitted-but-unclaimed tasks become submitters the moment a
+		// worker dequeues them: hold partial batches while the queue is
+		// non-empty so imminent kernels can still fuse.
+		s.batchers[i].SetIdleProbe(func() bool { return len(s.queue) == 0 })
 	}
 	ns := fmt.Sprintf("seed%d", cfg.ModelSeed)
 	for i := 0; i < cfg.Workers; i++ {
@@ -290,6 +369,15 @@ func (s *Service) FlushCaches() {
 func (s *Service) fingerprintFor(req *Request) (string, error) {
 	if req.Infer != nil {
 		return req.fingerprint(0, s.cfg.ModelSeed), nil
+	}
+	if s.shards != nil {
+		scol, err := s.shards.Collection(req.Collection)
+		if err != nil {
+			return "", err
+		}
+		// The composite version folds every shard's version, so a write
+		// to a single shard invalidates exactly like an unsharded append.
+		return req.fingerprint(scol.Version(), s.cfg.ModelSeed), nil
 	}
 	col, err := s.db.Collection(req.Collection)
 	if err != nil {
@@ -382,9 +470,14 @@ func (s *Service) finishFlight(key string, fl *flight, resp *Response, err error
 // is full.
 func (s *Service) enqueue(ctx context.Context, req *Request, key string) (*task, error) {
 	t := &task{ctx: ctx, req: req, key: key, done: make(chan struct{})}
+	// The queue send and the in-flight increment happen under statsMu so
+	// Stats observes them as one event (a task is never visible in the
+	// queue without being counted in flight, or vice versa).
+	s.statsMu.Lock()
 	select {
 	case s.queue <- t:
 		n := s.inFlight.Add(1)
+		s.statsMu.Unlock()
 		for {
 			peak := s.peakInFlight.Load()
 			if n <= peak || s.peakInFlight.CompareAndSwap(peak, n) {
@@ -394,6 +487,7 @@ func (s *Service) enqueue(ctx context.Context, req *Request, key string) (*task,
 		s.admitted.Add(1)
 		return t, nil
 	default:
+		s.statsMu.Unlock()
 		s.rejected.Add(1)
 		return nil, ErrOverloaded
 	}
@@ -430,7 +524,11 @@ func (s *Service) run(w *worker) {
 }
 
 func (s *Service) process(w *worker, t *task) {
-	defer s.inFlight.Add(-1)
+	defer func() {
+		s.statsMu.Lock()
+		s.inFlight.Add(-1)
+		s.statsMu.Unlock()
+	}()
 	// An uncacheable task whose caller already gave up has no one to
 	// deliver to and nothing to materialize — don't burn a device on it.
 	// Cacheable tasks still run: the result serves coalesced waiters and
@@ -481,7 +579,22 @@ func cachedResponse(r *Response, s *Service) *Response {
 
 func (s *Service) execute(w *worker, req *Request) (*Response, error) {
 	if req.Infer != nil {
+		// The sweep may submit kernels for the whole request: register as
+		// a mid-query submitter so the batcher's idle flush knows when the
+		// device has gone quiet (adaptive policy only — an explicit
+		// BatchWindow is honored strictly).
+		if s.adaptive {
+			w.dev.BeginSubmitter()
+			defer w.dev.EndSubmitter()
+		}
 		return s.executeInfer(w, req.Infer)
+	}
+	if s.shards != nil {
+		return s.executeScatter(req)
+	}
+	if s.adaptive {
+		w.dev.BeginSubmitter()
+		defer w.dev.EndSubmitter()
 	}
 	return s.executeQuery(w, req)
 }
@@ -608,16 +721,8 @@ func (s *Service) executeQuery(w *worker, req *Request) (*Response, error) {
 	if req.OrderBy != "" || req.Limit > 0 {
 		rows := filtered
 		if req.OrderBy != "" {
-			rows = append([]*core.Patch(nil), filtered...)
-			field, desc := req.OrderBy, req.Desc
-			sort.SliceStable(rows, func(i, j int) bool {
-				a, b := rows[i].Meta[field], rows[j].Meta[field]
-				if desc {
-					return b.Less(a)
-				}
-				return a.Less(b)
-			})
-			plan = append(plan, "order-by("+field+")")
+			rows = sortRows(filtered, req.OrderBy, req.Desc)
+			plan = append(plan, "order-by("+req.OrderBy+")")
 		}
 		limit := req.Limit
 		if limit <= 0 || limit > maxRows {
@@ -775,14 +880,22 @@ func (s *Service) executeInfer(w *worker, spec *InferSpec) (*Response, error) {
 }
 
 // ensureIndex returns an index that agrees with the collection's current
-// version, building or rebuilding as needed. Appends bump the version
-// but never maintain indexes incrementally, so serving a stale index
-// would silently drop the newest patches from indexed plans (and poison
-// the version-keyed result cache). Concurrent builders of the same
-// (collection, field, kind) are serialized.
+// version, building or rebuilding as needed (unsharded backend).
 func (s *Service) ensureIndex(col *core.Collection, field string, kind core.IndexKind) (*core.Index, error) {
-	if s.db.HasIndex(col, field, kind) {
-		idx, err := s.db.Index(col, field, kind)
+	return s.ensureIndexOn(s.db, "", col, field, kind)
+}
+
+// ensureIndexOn is ensureIndex against an explicit DB — the shard-local
+// form: every shard builds and serves its own indexes over its own
+// partition (scope disambiguates same-named collections across shards in
+// the build-lock table). Appends bump the version but never maintain
+// indexes incrementally, so serving a stale index would silently drop
+// the newest patches from indexed plans (and poison the version-keyed
+// result cache). Concurrent builders of the same (scope, collection,
+// field, kind) are serialized.
+func (s *Service) ensureIndexOn(db *core.DB, scope string, col *core.Collection, field string, kind core.IndexKind) (*core.Index, error) {
+	if db.HasIndex(col, field, kind) {
+		idx, err := db.Index(col, field, kind)
 		if err != nil {
 			return nil, err
 		}
@@ -790,7 +903,7 @@ func (s *Service) ensureIndex(col *core.Collection, field string, kind core.Inde
 			return idx, nil
 		}
 	}
-	key := col.Name() + "\x00" + field + "\x00" + kind.String()
+	key := scope + "\x00" + col.Name() + "\x00" + field + "\x00" + kind.String()
 	s.buildMu.Lock()
 	mu, ok := s.builds[key]
 	if !ok {
@@ -800,8 +913,8 @@ func (s *Service) ensureIndex(col *core.Collection, field string, kind core.Inde
 	s.buildMu.Unlock()
 	mu.Lock()
 	defer mu.Unlock()
-	if s.db.HasIndex(col, field, kind) { // raced another builder
-		idx, err := s.db.Index(col, field, kind)
+	if db.HasIndex(col, field, kind) { // raced another builder
+		idx, err := db.Index(col, field, kind)
 		if err != nil {
 			return nil, err
 		}
@@ -809,7 +922,7 @@ func (s *Service) ensureIndex(col *core.Collection, field string, kind core.Inde
 			return idx, nil
 		}
 	}
-	return s.db.BuildIndex(col, field, kind)
+	return db.BuildIndex(col, field, kind)
 }
 
 // ------------------------------------------------------------- stats ----
@@ -820,8 +933,12 @@ type Stats struct {
 
 	Workers  int `json:"workers"`
 	QueueCap int `json:"queue_cap"`
-	QueueLen int `json:"queue_len"`
-	Sources  int `json:"sources"`
+	// QueueDepth is the admitted-but-unclaimed task count, snapshotted
+	// under the same lock as the in-flight counter so the pair is
+	// consistent. QueueLen mirrors it for backward compatibility.
+	QueueDepth int `json:"queue_depth"`
+	QueueLen   int `json:"queue_len"`
+	Sources    int `json:"sources"`
 
 	Admitted     int64 `json:"admitted"`
 	Rejected     int64 `json:"rejected"`
@@ -846,6 +963,16 @@ type Stats struct {
 	// device's scheduler; FusionFactor is its mean kernels-per-launch.
 	Batcher      exec.BatcherStats `json:"batcher"`
 	FusionFactor float64           `json:"fusion_factor"`
+
+	// Sharding: partition count, per-shard storage snapshots, and the
+	// scatter-gather activity record. ScatterTasks is the cumulative
+	// fan-out (filter fragments + local and cross-shard join tasks);
+	// MergeTimeMS is the cumulative wall time spent in the gather stage.
+	Shards         int              `json:"shards"`
+	ShardInfo      []core.ShardInfo `json:"shard_info,omitempty"`
+	ScatterQueries int64            `json:"scatter_queries"`
+	ScatterTasks   int64            `json:"scatter_tasks"`
+	MergeTimeMS    float64          `json:"merge_time_ms"`
 }
 
 // Stats snapshots the service counters.
@@ -859,19 +986,30 @@ func (s *Service) Stats() Stats {
 	for _, b := range s.batchers {
 		bs.Add(b.BatcherStats())
 	}
+	s.statsMu.Lock()
+	queueDepth := len(s.queue)
+	inFlight := s.inFlight.Load()
+	s.statsMu.Unlock()
+	nshards := 1
+	var shardInfo []core.ShardInfo
+	if s.shards != nil {
+		nshards = s.shards.NumShards()
+		shardInfo = s.shards.ShardInfos()
+	}
 	return Stats{
-		UptimeSec: time.Since(s.start).Seconds(),
-		Workers:   s.cfg.Workers,
-		QueueCap:  cap(s.queue),
-		QueueLen:  len(s.queue),
-		Sources:   nsrc,
+		UptimeSec:  time.Since(s.start).Seconds(),
+		Workers:    s.cfg.Workers,
+		QueueCap:   cap(s.queue),
+		QueueDepth: queueDepth,
+		QueueLen:   queueDepth,
+		Sources:    nsrc,
 
 		Admitted:     s.admitted.Load(),
 		Rejected:     s.rejected.Load(),
 		Coalesced:    s.coalesced.Load(),
 		Completed:    s.completed.Load(),
 		Failed:       s.failed.Load(),
-		InFlight:     s.inFlight.Load(),
+		InFlight:     inFlight,
 		PeakInFlight: s.peakInFlight.Load(),
 
 		ResultCache:   rc,
@@ -890,5 +1028,11 @@ func (s *Service) Stats() Stats {
 
 		Batcher:      bs,
 		FusionFactor: bs.FusionFactor(),
+
+		Shards:         nshards,
+		ShardInfo:      shardInfo,
+		ScatterQueries: s.scatterQueries.Load(),
+		ScatterTasks:   s.scatterTasks.Load(),
+		MergeTimeMS:    float64(s.mergeNS.Load()) / 1e6,
 	}
 }

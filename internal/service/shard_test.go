@@ -1,0 +1,406 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+)
+
+// Scatter-gather tests: the sharded execution path against synthetic
+// collections built directly through the storage layer (no ETL), so the
+// matrix runs in milliseconds and the N=1 golden comparison can pin
+// byte-identical behavior against the unsharded path.
+
+const shardTestCol = "synth.dets"
+
+func synthSchema() core.Schema {
+	return core.Schema{
+		Data: core.Pixels(0, 0),
+		Fields: []core.Field{
+			{Name: "label", Kind: core.KindStr},
+			{Name: "score", Kind: core.KindFloat},
+			{Name: "rank", Kind: core.KindInt},
+			{Name: "emb", Kind: core.KindVec, VecDim: 8},
+		},
+	}
+}
+
+// synthPatch generates row i deterministically: clustered embeddings
+// (i%7 picks the cluster center; members sit within 0.1 of it) so
+// similarity joins produce pairs, and low-cardinality score/rank fields
+// so order-by queries tie heavily across shards.
+func synthPatch(i int) *core.Patch {
+	emb := make([]float32, 8)
+	cluster := i % 7
+	for d := range emb {
+		emb[d] = float32(cluster*10) + float32((i/7)%3)*0.03
+	}
+	return &core.Patch{
+		Ref: core.Ref{Source: "synth", Frame: uint64(i)},
+		Meta: core.Metadata{
+			"label": core.StrV([]string{"car", "pedestrian", "bus"}[i%3]),
+			"score": core.FloatV(float64(i % 4)),
+			"rank":  core.IntV(int64(i % 6)),
+			"emb":   core.VecV(emb),
+		},
+	}
+}
+
+func fillSynth(t *testing.T, appendFn func(*core.Patch) error, rows int) {
+	t.Helper()
+	for i := 0; i < rows; i++ {
+		if err := appendFn(synthPatch(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// synthUnsharded builds a plain DB + service over `rows` synthetic rows.
+func synthUnsharded(t *testing.T, rows int, cfg Config) (*core.DB, *Service) {
+	t.Helper()
+	db, err := core.Open(filepath.Join(t.TempDir(), "plain.db"), exec.New(exec.CPU))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	col, err := db.CreateCollection(shardTestCol, synthSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillSynth(t, col.Append, rows)
+	s, err := New(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return db, s
+}
+
+// synthSharded builds an n-shard Sharded + service over the same rows.
+func synthSharded(t *testing.T, n, rows int, cfg Config) (*core.Sharded, *Service) {
+	t.Helper()
+	sdb, err := core.OpenSharded(filepath.Join(t.TempDir(), "sharded"), n, exec.New(exec.CPU))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sdb.Close() })
+	sc, err := sdb.CreateCollection(shardTestCol, synthSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillSynth(t, sc.Append, rows)
+	s, err := NewSharded(sdb, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return sdb, s
+}
+
+// queryMatrix is the full shape matrix the golden comparison runs:
+// counts, indexed and scan filters, ordered and unordered projections
+// with ties, empty results, similarity joins (scan, indexed, filtered)
+// and distinct clustering.
+func queryMatrix() []Request {
+	str := func(s string) *string { return &s }
+	return []Request{
+		{Collection: shardTestCol},
+		{Collection: shardTestCol, Filter: &FilterSpec{Field: "label", Str: str("car")}},
+		{Collection: shardTestCol, Filter: &FilterSpec{Field: "label", Str: str("pedestrian"), UseIndex: true}},
+		{Collection: shardTestCol, Filter: &FilterSpec{Field: "label", Str: str("tricycle")}}, // empty result
+		{Collection: shardTestCol, Filter: &FilterSpec{Field: "score", Float: fp(2)}},
+		{Collection: shardTestCol, Limit: 7},
+		{Collection: shardTestCol, OrderBy: "score", Limit: 5},
+		{Collection: shardTestCol, OrderBy: "rank", Desc: true, Limit: 9},
+		{Collection: shardTestCol, Filter: &FilterSpec{Field: "label", Str: str("bus")}, OrderBy: "rank", Limit: 4},
+		{Collection: shardTestCol, OrderBy: "score"}, // order without explicit limit (maxRows cap)
+		{Collection: shardTestCol, SimJoin: &SimJoinSpec{Field: "emb", Eps: 0.2}},
+		{Collection: shardTestCol, SimJoin: &SimJoinSpec{Field: "emb", Eps: 0.2, UseIndex: true}},
+		{Collection: shardTestCol, Filter: &FilterSpec{Field: "label", Str: str("car")},
+			SimJoin: &SimJoinSpec{Field: "emb", Eps: 0.2}},
+		{Collection: shardTestCol, SimJoin: &SimJoinSpec{Field: "emb", Eps: 0.2, MinCluster: 2}, Distinct: true},
+		{Collection: shardTestCol, Filter: &FilterSpec{Field: "label", Str: str("pedestrian"), UseIndex: true},
+			SimJoin: &SimJoinSpec{Field: "emb", Eps: 0.25, MinCluster: 1}, Distinct: true},
+	}
+}
+
+func fp(f float64) *float64 { return &f }
+
+// goldenKey reduces a response to the bytes that must match between the
+// unsharded path and sharded N=1: answer, rows, plan, fingerprint and
+// cost estimate (serving metadata like durations naturally differs).
+func goldenKey(t *testing.T, r *Response) string {
+	t.Helper()
+	b, err := json.Marshal(map[string]any{
+		"value": r.Value,
+		"rows":  r.Rows,
+		"plan":  r.Plan,
+		"fp":    r.Fingerprint,
+		"cost":  r.EstCostSec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestShardedN1GoldenEquivalence: a one-shard sharded service must be
+// byte-identical to the unsharded path on the full query matrix —
+// values, rows, plan strings, fingerprints and cost estimates.
+func TestShardedN1GoldenEquivalence(t *testing.T) {
+	const rows = 240
+	cfg := Config{Workers: 2}
+	_, plain := synthUnsharded(t, rows, cfg)
+	_, sharded := synthSharded(t, 1, rows, cfg)
+	ctx := context.Background()
+	for qi, req := range queryMatrix() {
+		pr, err := plain.Query(ctx, req)
+		if err != nil {
+			t.Fatalf("query %d unsharded: %v", qi, err)
+		}
+		sr, err := sharded.Query(ctx, req)
+		if err != nil {
+			t.Fatalf("query %d sharded N=1: %v", qi, err)
+		}
+		if pg, sg := goldenKey(t, pr), goldenKey(t, sr); pg != sg {
+			t.Errorf("query %d diverges:\n  unsharded: %s\n  sharded-1: %s", qi, pg, sg)
+		}
+	}
+}
+
+// TestScatterGatherValueEquivalence: counts, pair counts and cluster
+// counts are shard-count invariant (row order may differ, answers may
+// not) — checked at N=2..5 against the unsharded reference.
+func TestScatterGatherValueEquivalence(t *testing.T) {
+	const rows = 240
+	cfg := Config{Workers: 2}
+	_, plain := synthUnsharded(t, rows, cfg)
+	ctx := context.Background()
+	want := make([]int, 0, len(queryMatrix()))
+	for qi, req := range queryMatrix() {
+		r, err := plain.Query(ctx, req)
+		if err != nil {
+			t.Fatalf("query %d unsharded: %v", qi, err)
+		}
+		want = append(want, r.Value)
+	}
+	for _, n := range []int{2, 3, 5} {
+		_, sharded := synthSharded(t, n, rows, cfg)
+		for qi, req := range queryMatrix() {
+			r, err := sharded.Query(ctx, req)
+			if err != nil {
+				t.Fatalf("query %d sharded N=%d: %v", qi, n, err)
+			}
+			if r.Value != want[qi] {
+				t.Errorf("query %d: sharded N=%d value %d, unsharded %d (plan %s)",
+					qi, n, r.Value, want[qi], r.Plan)
+			}
+		}
+	}
+}
+
+// TestScatterTopKTiesAcrossShards: the k-way heap merge must produce
+// globally sorted rows under heavy cross-shard ties, deterministically.
+func TestScatterTopKTiesAcrossShards(t *testing.T) {
+	const rows = 200
+	_, svc := synthSharded(t, 4, rows, Config{Workers: 2})
+	ctx := context.Background()
+	req := Request{Collection: shardTestCol, OrderBy: "score", Limit: 20, NoCache: true}
+	first, err := svc.Query(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Rows) != 20 {
+		t.Fatalf("top-k returned %d rows, want 20", len(first.Rows))
+	}
+	// Globally sorted: the merged scores are the 20 smallest, ascending.
+	var all []float64
+	for i := 0; i < rows; i++ {
+		all = append(all, float64(i%4))
+	}
+	sort.Float64s(all)
+	for i, row := range first.Rows {
+		got := row["score"].(float64)
+		if got != all[i] {
+			t.Fatalf("row %d score %g, want %g (merge not globally sorted)", i, got, all[i])
+		}
+	}
+	// Deterministic under ties: reruns yield the identical row sequence.
+	for run := 0; run < 3; run++ {
+		again, err := svc.Query(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(first.Rows, again.Rows) {
+			t.Fatalf("tie-broken merge order not deterministic (run %d)", run)
+		}
+	}
+}
+
+// TestScatterEmptyShard: shard counts far above the row count leave
+// shards empty; every merge (count, rows, pairs, clusters) must cope.
+func TestScatterEmptyShard(t *testing.T) {
+	_, svc := synthSharded(t, 6, 5, Config{Workers: 2})
+	ctx := context.Background()
+	str := func(s string) *string { return &s }
+	for qi, req := range []Request{
+		{Collection: shardTestCol},
+		{Collection: shardTestCol, Filter: &FilterSpec{Field: "label", Str: str("car")}},
+		{Collection: shardTestCol, OrderBy: "score", Limit: 10},
+		{Collection: shardTestCol, SimJoin: &SimJoinSpec{Field: "emb", Eps: 0.2}},
+		{Collection: shardTestCol, SimJoin: &SimJoinSpec{Field: "emb", Eps: 0.2, MinCluster: 1}, Distinct: true},
+	} {
+		if _, err := svc.Query(ctx, req); err != nil {
+			t.Fatalf("query %d over sparse shards: %v", qi, err)
+		}
+	}
+	// Fully empty collection: zero rows everywhere.
+	sdb2, svc2 := synthSharded(t, 4, 0, Config{Workers: 1})
+	if got := mustQuery(t, svc2, Request{Collection: shardTestCol}).Value; got != 0 {
+		t.Fatalf("empty sharded collection count = %d", got)
+	}
+	if got := mustQuery(t, svc2, Request{Collection: shardTestCol,
+		SimJoin: &SimJoinSpec{Field: "emb", Eps: 0.5}}).Value; got != 0 {
+		t.Fatalf("empty sharded simjoin pairs = %d", got)
+	}
+	_ = sdb2
+}
+
+func mustQuery(t *testing.T, s *Service, req Request) *Response {
+	t.Helper()
+	r, err := s.Query(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestScatterPlanDecoration: multi-shard plans surface the fan-out and
+// gather stages; single-shard plans stay bare (the N=1 contract).
+func TestScatterPlanDecoration(t *testing.T) {
+	_, svc := synthSharded(t, 4, 120, Config{Workers: 2})
+	r := mustQuery(t, svc, Request{Collection: shardTestCol, SimJoin: &SimJoinSpec{Field: "emb", Eps: 0.2}})
+	if want := "scatter[4+"; len(r.Plan) < len(want) || r.Plan[:len(want)] != want {
+		t.Fatalf("sharded simjoin plan %q does not surface cross-shard fan-out", r.Plan)
+	}
+	st := svc.Stats()
+	if st.Shards != 4 || len(st.ShardInfo) != 4 {
+		t.Fatalf("stats shards = %d / %d infos", st.Shards, len(st.ShardInfo))
+	}
+	rowsTotal := 0
+	for _, si := range st.ShardInfo {
+		rowsTotal += si.Rows
+	}
+	if rowsTotal != 120 {
+		t.Fatalf("per-shard row counts sum to %d, want 120", rowsTotal)
+	}
+	if st.ScatterQueries < 1 || st.ScatterTasks < 4 {
+		t.Fatalf("scatter counters not recorded: %+v", st)
+	}
+}
+
+// TestScatterAppendInvalidatesComposite: an append that lands on a
+// single shard must invalidate version-keyed cached results exactly
+// like an unsharded append.
+func TestScatterAppendInvalidatesComposite(t *testing.T) {
+	sdb, svc := synthSharded(t, 3, 90, Config{Workers: 1})
+	ctx := context.Background()
+	req := Request{Collection: shardTestCol}
+	r1, err := svc.Query(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := svc.Query(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.CacheHit || r2.Value != 90 {
+		t.Fatalf("second query not served from cache: hit=%v value=%d", r2.CacheHit, r2.Value)
+	}
+	sc, err := sdb.Collection(shardTestCol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Append(synthPatch(90)); err != nil {
+		t.Fatal(err)
+	}
+	r3, err := svc.Query(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.CacheHit {
+		t.Fatal("stale cache hit after single-shard append (composite version did not move)")
+	}
+	if r3.Value != 91 {
+		t.Fatalf("post-append count = %d, want 91", r3.Value)
+	}
+	if r3.Fingerprint == r1.Fingerprint {
+		t.Fatal("fingerprint unchanged after append")
+	}
+}
+
+// TestScatterConcurrentAppendsHammer: scattered queries race appends
+// across every shard; run under -race this doubles as the memory-model
+// check for per-shard snapshots feeding parallel fragments.
+func TestScatterConcurrentAppendsHammer(t *testing.T) {
+	sdb, svc := synthSharded(t, 3, 60, Config{Workers: 4})
+	sc, err := sdb.Collection(shardTestCol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	const appends = 120
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < appends; i++ {
+			if err := sc.Append(synthPatch(60 + i)); err != nil {
+				panic(fmt.Sprintf("append during scatter: %v", err))
+			}
+		}
+	}()
+	str := func(s string) *string { return &s }
+	reqs := []Request{
+		{Collection: shardTestCol, NoCache: true},
+		{Collection: shardTestCol, Filter: &FilterSpec{Field: "label", Str: str("car")}, NoCache: true},
+		{Collection: shardTestCol, OrderBy: "score", Limit: 8, NoCache: true},
+		{Collection: shardTestCol, SimJoin: &SimJoinSpec{Field: "emb", Eps: 0.2}, NoCache: true},
+		{Collection: shardTestCol, Filter: &FilterSpec{Field: "rank", Int: ip(2)}, OrderBy: "rank", Limit: 3, NoCache: true},
+	}
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				req := reqs[(c+i)%len(reqs)]
+				if _, err := svc.Query(ctx, req); err != nil {
+					panic(fmt.Sprintf("scattered query during appends: %v", err))
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	// Quiesced: the final count reflects every append.
+	r := mustQuery(t, svc, Request{Collection: shardTestCol, NoCache: true})
+	if r.Value != 60+appends {
+		t.Fatalf("post-hammer count = %d, want %d", r.Value, 60+appends)
+	}
+}
+
+func ip(i int64) *int64 { return &i }
+
+// TestShardedServiceRejectsNil guards the constructor contract.
+func TestShardedServiceRejectsNil(t *testing.T) {
+	if _, err := NewSharded(nil, Config{}); err == nil {
+		t.Fatal("NewSharded(nil) succeeded")
+	}
+}

@@ -1,0 +1,152 @@
+// Package shardbench is the shared fixture for the shard-scaling
+// experiment: one synthetic scan-heavy workload, service construction
+// and baseline-JSON encoding used by both BenchmarkShardScaling
+// (internal/bench, the CI-uploaded snapshot) and the `deeplens-bench
+// shard-scaling` subcommand, so the two surfaces cannot drift apart.
+//
+// It lives outside internal/bench because that package's own in-package
+// tests are imported by internal/service's tests; importing service
+// from internal/bench's non-test files would close an import cycle.
+package shardbench
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/service"
+)
+
+// Col is the synthetic collection the sweep scans.
+const Col = "scale.dets"
+
+// DefaultRows is the ingested row count: large enough that the
+// unindexed scan dominates per-query serving overhead.
+const DefaultRows = 6000
+
+// Schema declares the synthetic detection metadata.
+func Schema() core.Schema {
+	return core.Schema{
+		Data: core.Pixels(0, 0),
+		Fields: []core.Field{
+			{Name: "label", Kind: core.KindStr},
+			{Name: "score", Kind: core.KindFloat},
+			{Name: "rank", Kind: core.KindInt},
+		},
+	}
+}
+
+// Patch generates row i deterministically (label cycles over four
+// values, so the scan filter matches a quarter of every partition).
+func Patch(i int) *core.Patch {
+	return &core.Patch{
+		Ref: core.Ref{Source: "scale", Frame: uint64(i)},
+		Meta: core.Metadata{
+			"label": core.StrV([]string{"car", "pedestrian", "bus", "truck"}[i%4]),
+			"score": core.FloatV(float64(i%100) / 100),
+			"rank":  core.IntV(int64(i % 17)),
+		},
+	}
+}
+
+// NewService ingests rows synthetic rows into an n-shard database under
+// dir and starts a sharded service over it (one worker: the measured
+// parallelism is the scatter wave inside a single query, not
+// inter-query concurrency). The returned cleanup closes both.
+func NewService(dir string, n, rows int) (*service.Service, func(), error) {
+	sdb, err := core.OpenSharded(dir, n, exec.New(exec.CPU))
+	if err != nil {
+		return nil, nil, err
+	}
+	sc, err := sdb.CreateCollection(Col, Schema())
+	if err != nil {
+		sdb.Close()
+		return nil, nil, err
+	}
+	for i := 0; i < rows; i++ {
+		if err := sc.Append(Patch(i)); err != nil {
+			sdb.Close()
+			return nil, nil, err
+		}
+	}
+	svc, err := service.NewSharded(sdb, service.Config{Workers: 1, QueueDepth: 8})
+	if err != nil {
+		sdb.Close()
+		return nil, nil, err
+	}
+	return svc, func() { svc.Close(); sdb.Close() }, nil
+}
+
+// ScanRequest is the scan-heavy workload: an unindexed, uncacheable
+// filter that touches every row of every partition.
+func ScanRequest() service.Request {
+	car := "car"
+	return service.Request{
+		Collection: Col,
+		Filter:     &service.FilterSpec{Field: "label", Str: &car},
+		NoCache:    true,
+	}
+}
+
+// Point is one measured point of the shard-scaling curve.
+type Point struct {
+	Shards             int     `json:"shards"`
+	NsPerQuery         float64 `json:"ns_per_query"`
+	SpeedupVs1         float64 `json:"speedup_vs_1"`
+	ScatterTasksPerQry float64 `json:"scatter_tasks_per_query"`
+	MergeMSTotal       float64 `json:"merge_time_ms_total"`
+}
+
+// MinWall runs iters queries and returns the fastest wall time —
+// robust against scheduler noise for shape assertions.
+func MinWall(svc *service.Service, iters int) (time.Duration, error) {
+	req := ScanRequest()
+	ctx := context.Background()
+	best := time.Duration(1<<62 - 1)
+	for i := 0; i < iters; i++ {
+		t0 := time.Now()
+		if _, err := svc.Query(ctx, req); err != nil {
+			return 0, err
+		}
+		if el := time.Since(t0); el < best {
+			best = el
+		}
+	}
+	return best, nil
+}
+
+// WriteJSON fills in speedups relative to the 1-shard point and writes
+// the baseline snapshot (the artifact CI uploads).
+func WriteJSON(path string, rows int, curve []Point) error {
+	var base float64
+	for _, p := range curve {
+		if p.Shards == 1 {
+			base = p.NsPerQuery
+		}
+	}
+	for i := range curve {
+		if base > 0 {
+			curve[i].SpeedupVs1 = base / curve[i].NsPerQuery
+		}
+	}
+	out := struct {
+		Description string  `json:"description"`
+		GoMaxProcs  int     `json:"gomaxprocs"`
+		Rows        int     `json:"rows"`
+		Curve       []Point `json:"curve"`
+	}{
+		Description: "scatter-gather scan-heavy query latency vs shard count, single client, full serving path",
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Rows:        rows,
+		Curve:       curve,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
