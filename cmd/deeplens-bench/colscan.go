@@ -1,0 +1,75 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+)
+
+// runColumnarScan measures the columnar scan engine against the
+// row-at-a-time iterator path on the selective-filter and top-k
+// workloads (the same fixture BenchmarkColumnarScan snapshots for CI —
+// shared via internal/bench's colscan fixture) and writes the curve to
+// BENCH_columnar_scan.json in the working directory.
+func runColumnarScan() error {
+	const iters = 20
+	dir, err := os.MkdirTemp("", "deeplens-colscan")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	db, col, err := bench.NewColScanCollection(dir, bench.ColScanRows)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+
+	// Warm both paths (snapshot cache + column projection) so the
+	// measurement isolates scan execution.
+	if _, err := bench.ColScanFilterColumnar(db, col); err != nil {
+		return err
+	}
+	points := []bench.ColScanPoint{{Workload: "selective-filter"}, {Workload: "top-k"}}
+	if points[0].IteratorNS, err = bench.MinWallNS(iters, func() error {
+		_, err := bench.ColScanFilterIter(db, col)
+		return err
+	}); err != nil {
+		return err
+	}
+	if points[0].ColumnarNS, err = bench.MinWallNS(iters, func() error {
+		_, err := bench.ColScanFilterColumnar(db, col)
+		return err
+	}); err != nil {
+		return err
+	}
+	if points[1].IteratorNS, err = bench.MinWallNS(iters, func() error {
+		_, err := bench.ColScanTopKIter(col)
+		return err
+	}); err != nil {
+		return err
+	}
+	if points[1].ColumnarNS, err = bench.MinWallNS(iters, func() error {
+		_, err := bench.ColScanTopKColumnar(col)
+		return err
+	}); err != nil {
+		return err
+	}
+	if err := bench.WriteColScanJSON("BENCH_columnar_scan.json", bench.ColScanRows, points); err != nil {
+		return err
+	}
+
+	fmt.Printf("\n## Columnar scan engine vs iterator path (%d rows, %.1f%% selective, block %d)\n",
+		bench.ColScanRows, 100.0/bench.ColScanLabels, core.ColumnBlockSize)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "workload\titerator\tcolumnar\tspeedup")
+	for _, p := range points {
+		fmt.Fprintf(w, "%s\t%.0f ns\t%.0f ns\t%.1fx\n",
+			p.Workload, p.IteratorNS, p.ColumnarNS, p.IteratorNS/p.ColumnarNS)
+	}
+	w.Flush()
+	fmt.Println("\nwrote BENCH_columnar_scan.json")
+	return nil
+}

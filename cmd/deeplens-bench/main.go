@@ -14,6 +14,7 @@
 //	deeplens-bench ablation-segment   segmented-file clip-length sweep
 //	deeplens-bench ablation-buildside similarity-join build-side choice
 //	deeplens-bench shard-scaling      scatter-gather latency vs shard count
+//	deeplens-bench columnar-scan      columnar scan engine vs iterator path
 //	deeplens-bench all                everything above
 //
 // Flags scale the datasets; -scale=paper restores paper-scale frame and
@@ -47,7 +48,7 @@ func realMain() int {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile after the experiment run to this file")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: deeplens-bench [flags] <experiment>\n\nexperiments: fig2 fig3 fig4 fig5 fig6 fig7 fig8 table1 ablation-lsh ablation-segment ablation-buildside ablation-kdtree shard-scaling all\n\nflags:\n")
+		fmt.Fprintf(os.Stderr, "usage: deeplens-bench [flags] <experiment>\n\nexperiments: fig2 fig3 fig4 fig5 fig6 fig7 fig8 table1 ablation-lsh ablation-segment ablation-buildside ablation-kdtree shard-scaling columnar-scan all\n\nflags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -142,6 +143,8 @@ func run(experiment string, cfg dataset.Config) error {
 		return runAblationKDTree()
 	case "shard-scaling":
 		return runShardScaling()
+	case "columnar-scan":
+		return runColumnarScan()
 	case "all":
 		if err := runFig2(cfg); err != nil {
 			return err

@@ -1,0 +1,176 @@
+package bench
+
+// Shared fixture for the columnar-scan experiment: one synthetic
+// metadata-heavy collection, the selective-filter and top-k workloads,
+// min-wall measurement and baseline-JSON encoding, used by both
+// BenchmarkColumnarScan (the CI-uploaded snapshot) and the
+// `deeplens-bench columnar-scan` subcommand so the two surfaces cannot
+// drift apart.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+)
+
+// ColScanRows is the default ingested row count: comfortably past the
+// 10k mark where the per-patch iterator overhead dominates scan time.
+const ColScanRows = 12000
+
+// ColScanLabels is the label cardinality; a single-label equality
+// predicate passes 1/16 ≈ 6% of rows (the "selective" regime).
+const ColScanLabels = 16
+
+// ColScanTopK is the top-k workload's limit.
+const ColScanTopK = 10
+
+// ColScanCol names the synthetic collection.
+const ColScanCol = "colscan.dets"
+
+// ColScanSchema declares the scanned metadata fields.
+func ColScanSchema() core.Schema {
+	return core.Schema{
+		Data: core.Pixels(0, 0),
+		Fields: []core.Field{
+			{Name: "label", Kind: core.KindStr},
+			{Name: "score", Kind: core.KindFloat},
+			{Name: "rank", Kind: core.KindInt},
+		},
+	}
+}
+
+// ColScanPatch generates row i deterministically.
+func ColScanPatch(i int) *core.Patch {
+	return &core.Patch{
+		Ref: core.Ref{Source: "colscan", Frame: uint64(i)},
+		Meta: core.Metadata{
+			"label": core.StrV(fmt.Sprintf("cls%02d", i%ColScanLabels)),
+			"score": core.FloatV(float64((i*7919)%104729) / 104729),
+			"rank":  core.IntV(int64(i % 1009)),
+		},
+	}
+}
+
+// ColScanTarget is the selective predicate's constant (≈6% of rows).
+func ColScanTarget() core.Value { return core.StrV("cls03") }
+
+// NewColScanCollection ingests rows synthetic rows under dir and warms
+// the snapshot cache (both paths scan memory-resident patches; the
+// experiment isolates scan execution, not storage I/O).
+func NewColScanCollection(dir string, rows int) (*core.DB, *core.Collection, error) {
+	db, err := core.Open(filepath.Join(dir, "colscan.db"), exec.New(exec.CPU))
+	if err != nil {
+		return nil, nil, err
+	}
+	col, err := db.CreateCollection(ColScanCol, ColScanSchema())
+	if err != nil {
+		db.Close()
+		return nil, nil, err
+	}
+	for i := 0; i < rows; i++ {
+		if err := col.Append(ColScanPatch(i)); err != nil {
+			db.Close()
+			return nil, nil, err
+		}
+	}
+	if _, _, err := col.Snapshot(); err != nil {
+		db.Close()
+		return nil, nil, err
+	}
+	return db, col, nil
+}
+
+// ColScanFilterIter runs the selective filter through the row-at-a-time
+// iterator path and returns the match count.
+func ColScanFilterIter(db *core.DB, col *core.Collection) (int, error) {
+	out, err := db.ExecuteFilter(col, "label", ColScanTarget(), core.FilterScan)
+	return len(out), err
+}
+
+// ColScanFilterColumnar runs the same filter through the columnar scan.
+func ColScanFilterColumnar(db *core.DB, col *core.Collection) (int, error) {
+	out, err := db.ExecuteFilter(col, "label", ColScanTarget(), core.FilterColumnScan)
+	return len(out), err
+}
+
+// ColScanTopKIter runs the top-k workload the pre-columnar way: full
+// materializing sort, then trim.
+func ColScanTopKIter(col *core.Collection) (int, error) {
+	it := core.Limit(core.OrderBy(col.Scan(), "score", true), ColScanTopK)
+	ts, err := core.Drain(it)
+	return len(ts), err
+}
+
+// ColScanTopKColumnar runs the top-k workload over the column store.
+func ColScanTopKColumnar(col *core.Collection) (int, error) {
+	cs, err := col.Columns()
+	if err != nil {
+		return 0, err
+	}
+	top, ok := cs.TopK(nil, "score", false, ColScanTopK)
+	if !ok {
+		return 0, fmt.Errorf("bench: score field lost its column")
+	}
+	return len(cs.Materialize(top)), nil
+}
+
+// MinWallNS returns the fastest of iters runs of fn in nanoseconds —
+// robust against scheduler noise, like the shard-scaling fixture.
+func MinWallNS(iters int, fn func() error) (float64, error) {
+	best := time.Duration(1<<62 - 1)
+	for i := 0; i < iters; i++ {
+		t0 := time.Now()
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		if el := time.Since(t0); el < best {
+			best = el
+		}
+	}
+	return float64(best.Nanoseconds()), nil
+}
+
+// ColScanPoint is one measured workload of the columnar-scan curve.
+type ColScanPoint struct {
+	Workload   string  `json:"workload"` // "selective-filter" | "top-k"
+	IteratorNS float64 `json:"iterator_ns"`
+	ColumnarNS float64 `json:"columnar_ns"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// WriteColScanJSON fills in speedups and writes the baseline snapshot
+// (the artifact CI uploads alongside the kernel-batching and
+// shard-scaling curves).
+func WriteColScanJSON(path string, rows int, points []ColScanPoint) error {
+	for i := range points {
+		if points[i].ColumnarNS > 0 {
+			points[i].Speedup = points[i].IteratorNS / points[i].ColumnarNS
+		}
+	}
+	out := struct {
+		Description string         `json:"description"`
+		GoMaxProcs  int            `json:"gomaxprocs"`
+		Rows        int            `json:"rows"`
+		Selectivity float64        `json:"selectivity"`
+		BlockSize   int            `json:"block_size"`
+		Workloads   []ColScanPoint `json:"workloads"`
+	}{
+		Description: "columnar scan engine vs row-at-a-time iterator: selective equality filter and top-k over patch metadata, warm snapshot",
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Rows:        rows,
+		Selectivity: 1.0 / ColScanLabels,
+		BlockSize:   core.ColumnBlockSize,
+		Workloads:   points,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -358,8 +358,7 @@ func (e *Env) Q5(target string, useIndex bool) (QueryResult, error) {
 	}
 	start := time.Now()
 	it := core.Select(words.Scan(), core.FieldEq("text", core.StrV(target)))
-	it = core.OrderBy(it, "frameno", true)
-	it = core.Limit(it, 1)
+	it = core.TopK(it, "frameno", true, 1) // order-by + limit fused: bounded heap, no full sort
 	ts, err := core.Drain(it)
 	if err != nil {
 		return QueryResult{}, err

@@ -353,6 +353,16 @@ type Collection struct {
 	version uint64
 	cache   []*Patch
 	byID    map[PatchID]*Patch
+
+	// loadMu serializes cold-start cache loads so concurrent first
+	// readers run one bucket scan, not N, while c.mu stays free for
+	// appends and cache-hit readers (see Snapshot).
+	loadMu sync.Mutex
+
+	// colMu guards the columnar projection of the current snapshot
+	// (built lazily by Columns, invalidated by version movement).
+	colMu    sync.Mutex
+	colStore *ColumnStore
 }
 
 // Name returns the collection name.
@@ -404,20 +414,25 @@ func (c *Collection) Append(p *Patch) error {
 	if err := c.schema.ValidatePatch(p); err != nil {
 		return fmt.Errorf("collection %q: %w", c.name, err)
 	}
+	// The storage write and the count/version/cache update commit as one
+	// critical section: a cold Snapshot load that observed this patch's
+	// bucket write is guaranteed to also observe the version bump, so its
+	// raced-load version check can never install a cache that this append
+	// would then double-insert into.
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if err := c.bucket.Put(kv.U64Key(uint64(p.ID)), p.Marshal()); err != nil {
 		return err
 	}
 	if err := c.db.patchLoc.Put(kv.U64Key(uint64(p.ID)), []byte(c.name)); err != nil {
 		return err
 	}
-	c.mu.Lock()
 	c.count++
 	c.version = c.db.nextVersion()
 	if c.cache != nil {
 		c.cache = append(c.cache, p)
 		c.byID[p.ID] = p
 	}
-	c.mu.Unlock()
 	return nil
 }
 
@@ -453,10 +468,68 @@ func (c *Collection) Patches() ([]*Patch, error) {
 // while writers proceed (the catalog's copy-on-write read path).
 func (c *Collection) Snapshot() ([]*Patch, uint64, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.cache != nil {
-		return c.cache, c.version, nil
+		ps, ver := c.cache, c.version
+		c.mu.Unlock()
+		return ps, ver, nil
 	}
+	c.mu.Unlock()
+
+	// Cold start: the first touch after open or InvalidateCache used to
+	// unmarshal the entire bucket while holding c.mu, stalling every
+	// reader (and all appends) behind one load. Instead, serialize
+	// loaders on loadMu, scan the bucket with c.mu free, and install
+	// double-checked: if the collection version moved during the unlocked
+	// scan (appends commit their bucket write and version bump atomically
+	// under c.mu), the scan may hold a torn prefix — retry, falling back
+	// to a fully locked scan under sustained write pressure.
+	c.loadMu.Lock()
+	defer c.loadMu.Unlock()
+	const coldLoadRetries = 3
+	for attempt := 0; ; attempt++ {
+		c.mu.Lock()
+		if c.cache != nil { // populated while we waited on loadMu
+			ps, ver := c.cache, c.version
+			c.mu.Unlock()
+			return ps, ver, nil
+		}
+		verBefore := c.version
+		if attempt >= coldLoadRetries {
+			// Appends keep landing: scan while holding c.mu, which now
+			// excludes them entirely (Append's storage write is inside
+			// the same critical section).
+			out, byID, err := c.loadLocked()
+			if err != nil {
+				c.mu.Unlock()
+				return nil, 0, err
+			}
+			c.installLocked(out, byID)
+			ps, ver := c.cache, c.version
+			c.mu.Unlock()
+			return ps, ver, nil
+		}
+		c.mu.Unlock()
+
+		out, byID, err := c.loadLocked() // bucket has its own lock
+		if err != nil {
+			return nil, 0, err
+		}
+
+		c.mu.Lock()
+		if c.version == verBefore {
+			c.installLocked(out, byID)
+			ps, ver := c.cache, c.version
+			c.mu.Unlock()
+			return ps, ver, nil
+		}
+		c.mu.Unlock() // a write raced the scan: reload at the new version
+	}
+}
+
+// loadLocked scans the backing bucket into a fresh cache slice. Despite
+// the name it only requires the bucket's own lock; callers optionally
+// hold c.mu to exclude concurrent appends.
+func (c *Collection) loadLocked() ([]*Patch, map[PatchID]*Patch, error) {
 	var out []*Patch
 	var scanErr error
 	err := c.bucket.Scan(nil, nil, func(_, v []byte) bool {
@@ -469,18 +542,23 @@ func (c *Collection) Snapshot() ([]*Patch, uint64, error) {
 		return true
 	})
 	if scanErr != nil {
-		return nil, 0, scanErr
+		return nil, nil, scanErr
 	}
 	if err != nil {
-		return nil, 0, err
+		return nil, nil, err
 	}
-	c.cache = out
-	c.byID = make(map[PatchID]*Patch, len(out))
+	byID := make(map[PatchID]*Patch, len(out))
 	for _, p := range out {
-		c.byID[p.ID] = p
+		byID[p.ID] = p
 	}
+	return out, byID, nil
+}
+
+// installLocked publishes a loaded cache. Callers hold c.mu.
+func (c *Collection) installLocked(out []*Patch, byID map[PatchID]*Patch) {
+	c.cache = out
+	c.byID = byID
 	c.count = len(out)
-	return out, c.version, nil
 }
 
 // Scan returns an iterator over all patches.
@@ -498,4 +576,31 @@ func (c *Collection) InvalidateCache() {
 	c.cache = nil
 	c.byID = nil
 	c.mu.Unlock()
+	c.colMu.Lock()
+	c.colStore = nil
+	c.colMu.Unlock()
+}
+
+// Columns returns the columnar projection of the collection's current
+// snapshot, building it lazily and rebuilding whenever the version has
+// moved — the same version-keyed invalidation the serving layer's result
+// cache uses, so appends can never serve a stale column. The returned
+// store is immutable and safe to share across queries.
+func (c *Collection) Columns() (*ColumnStore, error) {
+	ps, ver, err := c.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	c.colMu.Lock()
+	defer c.colMu.Unlock()
+	if c.colStore != nil && c.colStore.version == ver {
+		return c.colStore, nil
+	}
+	cs := NewColumnStore(ps, ver)
+	// Cache only forward: a reader whose snapshot raced behind an append
+	// gets a private store without evicting the newer cached one.
+	if c.colStore == nil || c.colStore.version < ver {
+		c.colStore = cs
+	}
+	return cs, nil
 }

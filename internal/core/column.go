@@ -1,0 +1,532 @@
+package core
+
+// Columnar scan engine. The paper's query layer assumes selections and
+// top-k over patch metadata are cheap relative to vision UDFs; with the
+// row-at-a-time fallback every non-indexed filter pays an interface
+// iterator call, a Metadata map lookup and a predicate-closure invocation
+// per patch. The ColumnStore lazily projects hot metadata fields from a
+// collection snapshot into typed columnar arrays (int64 / float64 /
+// dictionary-encoded strings, plus a null bitmap), partitioned into
+// fixed-size blocks carrying zone maps (min/max for numerics, a small
+// distinct-set for low-cardinality strings). Vectorized kernels evaluate
+// equality and range predicates block-at-a-time into selection index
+// lists, skipping blocks the zone map proves empty, and run top-k,
+// group-count and count aggregation directly over the arrays. Results
+// are byte-identical to the row-at-a-time operators by construction:
+// selection lists are emitted in row (snapshot) order, top-k reproduces
+// the stable sort's (value, row) order, and group-count groups and
+// orders by the same SortKey encoding the row operator uses.
+//
+// A store is built over one immutable snapshot and carries its version;
+// appends bump the collection version, so a reader comparing versions
+// rebuilds — exactly the invalidation discipline the serving layer's
+// caches use (see Collection.Columns).
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// ColumnBlockSize is the number of rows per zone-mapped block. Small
+// enough that a selective predicate skips real work on clustered data,
+// large enough that the per-block min/max test is noise.
+const ColumnBlockSize = 1024
+
+// ColumnStore holds the columnar projections of one collection snapshot.
+// Columns materialize lazily per field on first use and are cached; the
+// store itself is immutable once built and safe for concurrent use.
+type ColumnStore struct {
+	patches []*Patch
+	version uint64
+
+	mu   sync.RWMutex
+	cols map[string]*Column
+}
+
+// NewColumnStore builds an empty store over a snapshot. Columns project
+// lazily on first access.
+func NewColumnStore(patches []*Patch, version uint64) *ColumnStore {
+	return &ColumnStore{patches: patches, version: version, cols: make(map[string]*Column)}
+}
+
+// Version is the collection version the store's snapshot reflects.
+func (cs *ColumnStore) Version() uint64 { return cs.version }
+
+// Len is the snapshot row count.
+func (cs *ColumnStore) Len() int { return len(cs.patches) }
+
+// Patches exposes the backing snapshot (row i of every column describes
+// patches[i]).
+func (cs *ColumnStore) Patches() []*Patch { return cs.patches }
+
+// zoneMap summarizes one block of a column for predicate pruning.
+type zoneMap struct {
+	lo, hi int // row range [lo, hi)
+	// Numeric bounds over non-null rows (valid when !allNull).
+	minI, maxI int64
+	minF, maxF float64
+	// codeSet is a presence bitset of dictionary codes < 64 in this block
+	// (string columns; valid while the dictionary holds at most 64 codes).
+	codeSet uint64
+	allNull bool
+}
+
+// Column is one metadata field projected over the snapshot: a typed
+// dense array plus a null bitmap and per-block zone maps. A column
+// projects only when every non-missing value shares one scalar kind
+// (int, float or string); mixed or vector-valued fields stay row-only.
+type Column struct {
+	kind    ValueKind
+	ints    []int64
+	floats  []float64
+	codes   []uint32
+	dict    []string
+	dictIdx map[string]uint32 // value -> code (built during projection)
+	nulls   []uint64          // bitmap: bit set = value present
+	blocks  []zoneMap
+	nnull   int // number of null (missing) rows
+}
+
+// Kind reports the column's uniform value kind.
+func (c *Column) Kind() ValueKind { return c.kind }
+
+// Blocks reports the zone-mapped block count (testing and EXPLAIN).
+func (c *Column) Blocks() int { return len(c.blocks) }
+
+func (c *Column) null(i int) bool { return c.nulls[i>>6]&(1<<(uint(i)&63)) == 0 }
+
+func (c *Column) setPresent(i int) { c.nulls[i>>6] |= 1 << (uint(i) & 63) }
+
+// Column returns the projection of field, building and caching it on
+// first use. ok is false when the field cannot be columnized (no
+// non-missing values, vector/rect values, or mixed scalar kinds).
+func (cs *ColumnStore) Column(field string) (*Column, bool) {
+	cs.mu.RLock()
+	col, cached := cs.cols[field]
+	cs.mu.RUnlock()
+	if cached {
+		return col, col != nil
+	}
+	col = projectColumn(cs.patches, field)
+	cs.mu.Lock()
+	if prev, raced := cs.cols[field]; raced {
+		col = prev // another projector won; keep one canonical column
+	} else {
+		cs.cols[field] = col
+	}
+	cs.mu.Unlock()
+	return col, col != nil
+}
+
+// projectColumn builds the typed array + null bitmap + zone maps for one
+// field, or nil when the field is not columnizable.
+func projectColumn(patches []*Patch, field string) *Column {
+	n := len(patches)
+	col := &Column{nulls: make([]uint64, (n+63)/64), dictIdx: make(map[string]uint32)}
+	for i, p := range patches {
+		v, ok := p.Meta[field]
+		if !ok {
+			col.nnull++
+			continue
+		}
+		switch v.Kind {
+		case KindInt, KindFloat, KindStr:
+		default:
+			return nil // vectors/rects are not columnar
+		}
+		if col.kind == 0 {
+			col.kind = v.Kind
+			switch v.Kind {
+			case KindInt:
+				col.ints = make([]int64, n)
+			case KindFloat:
+				col.floats = make([]float64, n)
+			case KindStr:
+				col.codes = make([]uint32, n)
+			}
+		} else if v.Kind != col.kind {
+			return nil // mixed kinds: row path only
+		}
+		col.setPresent(i)
+		switch v.Kind {
+		case KindInt:
+			col.ints[i] = v.I
+		case KindFloat:
+			col.floats[i] = v.F
+		case KindStr:
+			code, seen := col.dictIdx[v.S]
+			if !seen {
+				code = uint32(len(col.dict))
+				col.dictIdx[v.S] = code
+				col.dict = append(col.dict, v.S)
+			}
+			col.codes[i] = code
+		}
+	}
+	if col.kind == 0 {
+		return nil // every row null: nothing to scan
+	}
+	col.buildZoneMaps(n)
+	return col
+}
+
+// buildZoneMaps computes per-block summaries after projection.
+func (c *Column) buildZoneMaps(n int) {
+	nb := (n + ColumnBlockSize - 1) / ColumnBlockSize
+	c.blocks = make([]zoneMap, 0, nb)
+	for lo := 0; lo < n; lo += ColumnBlockSize {
+		hi := lo + ColumnBlockSize
+		if hi > n {
+			hi = n
+		}
+		z := zoneMap{lo: lo, hi: hi, allNull: true}
+		for i := lo; i < hi; i++ {
+			if c.null(i) {
+				continue
+			}
+			switch c.kind {
+			case KindInt:
+				v := c.ints[i]
+				if z.allNull || v < z.minI {
+					z.minI = v
+				}
+				if z.allNull || v > z.maxI {
+					z.maxI = v
+				}
+			case KindFloat:
+				v := c.floats[i]
+				if z.allNull || v < z.minF {
+					z.minF = v
+				}
+				if z.allNull || v > z.maxF {
+					z.maxF = v
+				}
+			case KindStr:
+				if code := c.codes[i]; code < 64 {
+					z.codeSet |= 1 << code
+				}
+			}
+			z.allNull = false
+		}
+		c.blocks = append(c.blocks, z)
+	}
+}
+
+// ---------------------------------------------------------- predicates ----
+
+// FilterEq evaluates field == v into a selection index list in row
+// order, skipping blocks whose zone map proves no row can match. ok is
+// false when the field has no column (caller falls back to the row scan)
+// — a kind mismatch between the column and the constant is a valid
+// (empty) result, mirroring Value.Equal.
+func (cs *ColumnStore) FilterEq(field string, v Value) ([]int32, bool) {
+	col, ok := cs.Column(field)
+	if !ok {
+		return nil, false
+	}
+	if col.kind != v.Kind {
+		return nil, true // row path: mv.Equal(v) is false for every row
+	}
+	var sel []int32
+	switch col.kind {
+	case KindInt:
+		for _, z := range col.blocks {
+			if z.allNull || v.I < z.minI || v.I > z.maxI {
+				continue
+			}
+			sel = appendEqInt(sel, col, z, v.I)
+		}
+	case KindFloat:
+		for _, z := range col.blocks {
+			if z.allNull || v.F < z.minF || v.F > z.maxF {
+				continue
+			}
+			sel = appendEqFloat(sel, col, z, v.F)
+		}
+	case KindStr:
+		code, present := col.code(v.S)
+		if !present {
+			return nil, true // value not in the dictionary: no row matches
+		}
+		smallDict := len(col.dict) <= 64
+		for _, z := range col.blocks {
+			if z.allNull {
+				continue
+			}
+			if smallDict && code < 64 && z.codeSet&(1<<code) == 0 {
+				continue
+			}
+			sel = appendEqCode(sel, col, z, code)
+		}
+	}
+	return sel, true
+}
+
+// code looks up a string's dictionary code.
+func (c *Column) code(s string) (uint32, bool) {
+	code, ok := c.dictIdx[s]
+	return code, ok
+}
+
+// The block inner loops are split out so the per-block hot path has no
+// switch inside it: one bounds-checked array sweep per block.
+
+func appendEqInt(sel []int32, c *Column, z zoneMap, v int64) []int32 {
+	for i := z.lo; i < z.hi; i++ {
+		if c.ints[i] == v && !c.null(i) {
+			sel = append(sel, int32(i))
+		}
+	}
+	return sel
+}
+
+func appendEqFloat(sel []int32, c *Column, z zoneMap, v float64) []int32 {
+	for i := z.lo; i < z.hi; i++ {
+		if c.floats[i] == v && !c.null(i) {
+			sel = append(sel, int32(i))
+		}
+	}
+	return sel
+}
+
+func appendEqCode(sel []int32, c *Column, z zoneMap, code uint32) []int32 {
+	for i := z.lo; i < z.hi; i++ {
+		if c.codes[i] == code && !c.null(i) {
+			sel = append(sel, int32(i))
+		}
+	}
+	return sel
+}
+
+// FilterRange evaluates lo <= field < hi (numeric widening, matching
+// FieldRange) into a selection list in row order. ok is false when the
+// field has no column. String columns return an empty selection, like
+// the row predicate (AsFloat yields NaN, which fails both bounds).
+func (cs *ColumnStore) FilterRange(field string, lo, hi float64) ([]int32, bool) {
+	col, ok := cs.Column(field)
+	if !ok {
+		return nil, false
+	}
+	var sel []int32
+	switch col.kind {
+	case KindInt:
+		for _, z := range col.blocks {
+			if z.allNull || float64(z.maxI) < lo || float64(z.minI) >= hi {
+				continue
+			}
+			for i := z.lo; i < z.hi; i++ {
+				if f := float64(col.ints[i]); f >= lo && f < hi && !col.null(i) {
+					sel = append(sel, int32(i))
+				}
+			}
+		}
+	case KindFloat:
+		for _, z := range col.blocks {
+			if z.allNull || z.maxF < lo || z.minF >= hi {
+				continue
+			}
+			for i := z.lo; i < z.hi; i++ {
+				if f := col.floats[i]; f >= lo && f < hi && !col.null(i) {
+					sel = append(sel, int32(i))
+				}
+			}
+		}
+	case KindStr:
+		// Non-numeric: the row predicate never matches.
+	}
+	return sel, true
+}
+
+// Materialize resolves a selection list to its patches, preserving row
+// order (the same patches, same order, the row scan would produce).
+func (cs *ColumnStore) Materialize(sel []int32) []*Patch {
+	out := make([]*Patch, len(sel))
+	for i, idx := range sel {
+		out[i] = cs.patches[idx]
+	}
+	return out
+}
+
+// --------------------------------------------------------------- top-k ----
+
+// TopK returns the selection of the k smallest (asc) or largest (desc)
+// rows by field, ordered exactly as a stable sort of the input would
+// order them (ties resolve in row order; null rows order before any
+// value ascending, after any value descending — Value.Less on the zero
+// Value). sel is the candidate row set in row order; nil means all rows.
+// ok is false when the field has no column.
+func (cs *ColumnStore) TopK(sel []int32, field string, desc bool, k int) ([]int32, bool) {
+	col, okc := cs.Column(field)
+	if !okc {
+		return nil, false
+	}
+	n := len(sel)
+	all := sel == nil
+	if all {
+		n = len(cs.patches)
+	}
+	row := func(i int) int32 {
+		if all {
+			return int32(i)
+		}
+		return sel[i]
+	}
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		return []int32{}, true
+	}
+	// before reports whether row a orders strictly before row b in the
+	// output: Value.Less on the column values (null = zero Value, whose
+	// kind 0 sorts below every real kind), ties in row order.
+	before := func(a, b int32) bool {
+		an, bn := col.null(int(a)), col.null(int(b))
+		if an || bn {
+			if an != bn {
+				// One null: ascending puts the null first, descending last.
+				return an != desc
+			}
+			return a < b // both null: row order
+		}
+		var less, greater bool
+		switch col.kind {
+		case KindInt:
+			less, greater = col.ints[a] < col.ints[b], col.ints[a] > col.ints[b]
+		case KindFloat:
+			less, greater = col.floats[a] < col.floats[b], col.floats[a] > col.floats[b]
+		case KindStr:
+			sa, sb := col.dict[col.codes[a]], col.dict[col.codes[b]]
+			less, greater = sa < sb, sa > sb
+		}
+		if desc {
+			less, greater = greater, less
+		}
+		if less {
+			return true
+		}
+		if greater {
+			return false
+		}
+		return a < b
+	}
+	// sel is in row order, so candidate-position ties and row ties agree
+	// and the shared bounded heap applies directly.
+	top := topKIndexes(n, k, func(a, b int) bool { return before(row(a), row(b)) })
+	out := make([]int32, len(top))
+	for i, idx := range top {
+		out[i] = row(idx)
+	}
+	return out, true
+}
+
+// --------------------------------------------------------- aggregation ----
+
+// CountEq is FilterEq without materializing a selection list: the count
+// of rows with field == v. ok is false when the field has no column.
+func (cs *ColumnStore) CountEq(field string, v Value) (int, bool) {
+	sel, ok := cs.FilterEq(field, v)
+	if !ok {
+		return 0, false
+	}
+	return len(sel), true
+}
+
+// GroupCount groups the snapshot by field and returns {group, count}
+// tuples identical (values, order) to the row operator GroupCount over
+// the same rows: groups key on the value's SortKey encoding (so e.g.
+// -0.0 and +0.0 stay distinct, as in the row path) and order by it
+// ascending. ok is false when the field has no column; null rows drop,
+// like rows missing the field.
+func (cs *ColumnStore) GroupCount(field string) ([]Tuple, bool) {
+	col, okc := cs.Column(field)
+	if !okc {
+		return nil, false
+	}
+	switch col.kind {
+	case KindInt:
+		// SortKey order for ints is numeric order.
+		counts := make(map[int64]int64)
+		for i := range col.ints {
+			if !col.null(i) {
+				counts[col.ints[i]]++
+			}
+		}
+		keys := make([]int64, 0, len(counts))
+		for k := range counts {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		out := make([]Tuple, len(keys))
+		for i, k := range keys {
+			out[i] = groupTuple(IntV(k), counts[k])
+		}
+		return out, true
+	case KindFloat:
+		// Group and order by the SortKey bit transform, not float
+		// equality: the row path distinguishes bit patterns (-0.0 vs 0.0)
+		// and orders NaNs by their encoding.
+		counts := make(map[uint64]int64)
+		vals := make(map[uint64]float64)
+		for i := range col.floats {
+			if col.null(i) {
+				continue
+			}
+			k := floatSortBits(col.floats[i])
+			counts[k]++
+			vals[k] = col.floats[i]
+		}
+		keys := make([]uint64, 0, len(counts))
+		for k := range counts {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		out := make([]Tuple, len(keys))
+		for i, k := range keys {
+			out[i] = groupTuple(FloatV(vals[k]), counts[k])
+		}
+		return out, true
+	case KindStr:
+		counts := make([]int64, len(col.dict))
+		for i := range col.codes {
+			if !col.null(i) {
+				counts[col.codes[i]]++
+			}
+		}
+		order := make([]uint32, 0, len(col.dict))
+		for code := range col.dict {
+			if counts[code] > 0 {
+				order = append(order, uint32(code))
+			}
+		}
+		sort.Slice(order, func(i, j int) bool { return col.dict[order[i]] < col.dict[order[j]] })
+		out := make([]Tuple, len(order))
+		for i, code := range order {
+			out[i] = groupTuple(StrV(col.dict[code]), counts[code])
+		}
+		return out, true
+	}
+	return nil, false
+}
+
+// floatSortBits is the order-preserving bit transform Value.SortKey
+// applies to floats (total order matching the row operator's key space).
+func floatSortBits(f float64) uint64 {
+	bits := math.Float64bits(f)
+	if f >= 0 {
+		return bits ^ (1 << 63)
+	}
+	return ^bits
+}
+
+func groupTuple(v Value, n int64) Tuple {
+	return Tuple{&Patch{Meta: Metadata{"group": v, "count": IntV(n)}}}
+}
+
+// AggCount mirrors the row AggCount over the snapshot: one tuple with
+// the row count. Kept columnar for API symmetry (snapshot length is
+// already O(1)).
+func (cs *ColumnStore) AggCount() Tuple {
+	return Tuple{&Patch{Meta: Metadata{"count": IntV(int64(len(cs.patches)))}}}
+}

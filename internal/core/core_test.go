@@ -592,7 +592,7 @@ func TestOptimizerFilterPath(t *testing.T) {
 		col.Append(mkPatch("car", int64(i)))
 	}
 	m, err := db.PlanFilter(col, "label", StrV("car"))
-	if err != nil || m != FilterScan {
+	if err != nil || m != FilterColumnScan {
 		t.Fatalf("no-index plan = %v, %v", m, err)
 	}
 	db.BuildIndex(col, "label", IdxHash)
@@ -600,11 +600,12 @@ func TestOptimizerFilterPath(t *testing.T) {
 	if m != FilterHashIndex {
 		t.Fatalf("hash available but plan = %v", m)
 	}
-	// Execution agreement.
+	// Execution agreement across every physical method.
 	scan, _ := db.ExecuteFilter(col, "label", StrV("car"), FilterScan)
+	columnar, _ := db.ExecuteFilter(col, "label", StrV("car"), FilterColumnScan)
 	indexed, _ := db.ExecuteFilter(col, "label", StrV("car"), FilterHashIndex)
-	if len(scan) != len(indexed) || len(scan) != 50 {
-		t.Fatalf("scan %d vs indexed %d", len(scan), len(indexed))
+	if len(scan) != len(indexed) || len(scan) != len(columnar) || len(scan) != 50 {
+		t.Fatalf("scan %d vs columnar %d vs indexed %d", len(scan), len(columnar), len(indexed))
 	}
 }
 

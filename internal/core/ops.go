@@ -128,6 +128,127 @@ func OrderBy(in Iterator, field string, asc bool) Iterator {
 	return NewSliceIterator(ts)
 }
 
+// TopK is OrderBy immediately followed by Limit(n), computed with a
+// bounded heap: O(len·log n) compares and O(n) extra memory instead of a
+// full materializing sort. The emitted tuples are exactly the first n of
+// OrderBy's stable output (ties resolve in input order).
+func TopK(in Iterator, field string, asc bool, n int) Iterator {
+	ts, err := Drain(in)
+	if err != nil {
+		return NewFuncIterator(func() (Tuple, bool, error) { return nil, false, err }, nil)
+	}
+	if n > len(ts) {
+		n = len(ts)
+	}
+	if n < 0 {
+		n = 0
+	}
+	top := topKIndexes(len(ts), n, func(a, b int) bool {
+		va, vb := ts[a][0].Meta[field], ts[b][0].Meta[field]
+		if asc {
+			if va.Less(vb) {
+				return true
+			}
+			if vb.Less(va) {
+				return false
+			}
+		} else {
+			if vb.Less(va) {
+				return true
+			}
+			if va.Less(vb) {
+				return false
+			}
+		}
+		return a < b
+	})
+	out := make([]Tuple, n)
+	for i, idx := range top {
+		out[i] = ts[idx]
+	}
+	return NewSliceIterator(out)
+}
+
+// TopKPatches returns the first k patches of a stable sort of ps by
+// field (ties in input order), in sorted order, without sorting the
+// whole input: a bounded heap keeps the best k seen. k >= len(ps)
+// degenerates to a full stable sort of a copy; ps is never mutated.
+// Patches missing the field order as the zero Value (before every real
+// value ascending, after descending), matching the sort comparator.
+func TopKPatches(ps []*Patch, field string, desc bool, k int) []*Patch {
+	if k > len(ps) {
+		k = len(ps)
+	}
+	if k <= 0 {
+		return nil
+	}
+	top := topKIndexes(len(ps), k, func(a, b int) bool {
+		va, vb := ps[a].Meta[field], ps[b].Meta[field]
+		if desc {
+			if vb.Less(va) {
+				return true
+			}
+			if va.Less(vb) {
+				return false
+			}
+		} else {
+			if va.Less(vb) {
+				return true
+			}
+			if vb.Less(va) {
+				return false
+			}
+		}
+		return a < b
+	})
+	out := make([]*Patch, k)
+	for i, idx := range top {
+		out[i] = ps[idx]
+	}
+	return out
+}
+
+// topKIndexes selects the k smallest of [0, n) under the strict total
+// order `before` and returns them sorted. The bounded heap keeps the
+// worst survivor at the root, so each of the remaining n-k candidates
+// costs one compare (plus log k when it displaces).
+func topKIndexes(n, k int, before func(a, b int) bool) []int {
+	if k <= 0 {
+		return nil
+	}
+	h := make([]int, k)
+	for i := range h {
+		h[i] = i
+	}
+	down := func(i int) {
+		for {
+			worst := i
+			if l := 2*i + 1; l < k && before(h[worst], h[l]) {
+				worst = l
+			}
+			if r := 2*i + 2; r < k && before(h[worst], h[r]) {
+				worst = r
+			}
+			if worst == i {
+				return
+			}
+			h[i], h[worst] = h[worst], h[i]
+			i = worst
+		}
+	}
+	for i := k/2 - 1; i >= 0; i-- {
+		down(i)
+	}
+	for i := k; i < n; i++ {
+		if before(i, h[0]) {
+			h[0] = i
+			down(0)
+		}
+	}
+	sort.Slice(h, func(i, j int) bool { return before(h[i], h[j]) })
+	return h
+}
+
 // GroupCount groups by a metadata field and emits one synthetic patch per
 // group with fields {group, count} — the aggregation q2 needs ("count per
 // frame number").

@@ -237,6 +237,11 @@ const (
 	FilterScan FilterMethod = iota + 1
 	FilterHashIndex
 	FilterBTreeIndex
+	// FilterColumnScan evaluates the predicate block-at-a-time over the
+	// collection's columnar projection (zone-map pruning + vectorized
+	// compare), falling back to the row scan when the field has no
+	// column. Purely physical: results are identical to FilterScan.
+	FilterColumnScan
 )
 
 func (m FilterMethod) String() string {
@@ -247,14 +252,42 @@ func (m FilterMethod) String() string {
 		return "hash-index"
 	case FilterBTreeIndex:
 		return "btree-index"
+	case FilterColumnScan:
+		return "column-scan"
 	default:
 		return fmt.Sprintf("filter(%d)", int(m))
 	}
 }
 
+// Per-row scan cost constants (seconds), measured on the reference
+// container: the iterator path pays an interface call, a metadata map
+// lookup and a predicate closure per patch; the columnar path pays one
+// typed array compare, with zone maps skipping whole blocks.
+const (
+	CRowScanSec = 2e-8
+	CColScanSec = 2e-9
+)
+
+// FilterCost estimates a selection's cost over n rows with the given
+// access path (matched is the expected output size for index fetches).
+func (cm *CostModel) FilterCost(method FilterMethod, n, matched int) float64 {
+	switch method {
+	case FilterHashIndex, FilterBTreeIndex:
+		return float64(matched) * cm.CFetch
+	case FilterColumnScan:
+		return float64(n) * CColScanSec
+	default:
+		return float64(n) * CRowScanSec
+	}
+}
+
 // PlanFilter chooses the access path for an equality selection, after
 // validating the predicate against the schema (plan-time type checking,
-// §4.2).
+// §4.2). Without an index the planner prefers the columnar scan for
+// scalar fields — declared fields are kind-uniform by schema validation,
+// so the projection always succeeds and strictly dominates the row scan;
+// vector/rect fields (never equality-filtered through this path anyway)
+// keep the row scan.
 func (db *DB) PlanFilter(col *Collection, field string, v Value) (FilterMethod, error) {
 	if err := col.Schema().ValidateFilterValue(field, v); err != nil {
 		return 0, err
@@ -264,6 +297,10 @@ func (db *DB) PlanFilter(col *Collection, field string, v Value) (FilterMethod, 
 	}
 	if db.HasIndex(col, field, IdxBTree) {
 		return FilterBTreeIndex, nil
+	}
+	switch v.Kind {
+	case KindInt, KindFloat, KindStr:
+		return FilterColumnScan, nil
 	}
 	return FilterScan, nil
 }
@@ -293,6 +330,17 @@ func (db *DB) ExecuteFilter(col *Collection, field string, v Value, method Filte
 			out = append(out, p)
 		}
 		return out, nil
+	case FilterColumnScan:
+		cs, err := col.Columns()
+		if err != nil {
+			return nil, err
+		}
+		if sel, ok := cs.FilterEq(field, v); ok {
+			return cs.Materialize(sel), nil
+		}
+		// Field not columnizable (mixed kinds, vectors, all-null): the
+		// row path answers every query the column can't.
+		return DrainPatches(Select(col.Scan(), FieldEq(field, v)))
 	default:
 		return DrainPatches(Select(col.Scan(), FieldEq(field, v)))
 	}

@@ -14,6 +14,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/tensor"
 )
 
 // fusedDevice is the backend contract the Batcher needs: uncharged kernel
@@ -59,11 +61,16 @@ type batchKey struct {
 }
 
 // fusedReq is one queued kernel: its compute body, its transfer bytes,
-// and the channel its submitter blocks on.
+// and the channel its submitter blocks on. GEMM submissions also carry
+// their operands so the launch stage can stack same-rhs products into
+// one physical kernel (a is nil for non-GEMM kernels).
 type fusedReq struct {
 	run   func()
 	bytes int
 	done  chan struct{}
+
+	m, n, k  int
+	a, bm, c []float32
 }
 
 // pendingBatch accumulates shape-compatible kernels until a flush.
@@ -118,6 +125,8 @@ type Batcher struct {
 	flushIdle     atomic.Int64
 	passThrough   atomic.Int64
 	maxFusion     atomic.Int64
+	stacks        atomic.Int64
+	stackedGEMMs  atomic.Int64
 }
 
 // NewBatcher wraps dev in a kernel-coalescing scheduler. For devices
@@ -182,6 +191,7 @@ func (b *Batcher) GEMM(m, n, k int, a, bm, c []float32) {
 		run:   func() { b.fd.gemmKernel(m, n, k, a, bm, c) },
 		bytes: gemmBytes(m, n, k),
 		done:  make(chan struct{}),
+		m:     m, n: n, k: k, a: a, bm: bm, c: c,
 	})
 }
 
@@ -301,26 +311,105 @@ func (b *Batcher) flushDeadlined(key batchKey, pb *pendingBatch) {
 
 // launch executes pb as one fused device launch and releases its waiters.
 func (b *Batcher) launch(pb *pendingBatch) {
-	total := 0
-	fns := make([]func(), len(pb.reqs))
-	for i, r := range pb.reqs {
-		total += r.bytes
-		fns[i] = r.run
-	}
+	fns, total, nstacks, nstacked := b.buildLaunch(pb.reqs)
 	b.launchMu.Lock()
 	b.fd.launchFused(total, fns)
 	b.launchMu.Unlock()
 	b.launches.Add(1)
-	b.fusedKernels.Add(int64(len(fns)))
+	b.fusedKernels.Add(int64(len(pb.reqs)))
+	b.stacks.Add(nstacks)
+	b.stackedGEMMs.Add(nstacked)
 	for {
 		cur := b.maxFusion.Load()
-		if int64(len(fns)) <= cur || b.maxFusion.CompareAndSwap(cur, int64(len(fns))) {
+		if int64(len(pb.reqs)) <= cur || b.maxFusion.CompareAndSwap(cur, int64(len(pb.reqs))) {
 			break
 		}
 	}
 	for _, r := range pb.reqs {
 		close(r.done)
 	}
+}
+
+// buildLaunch lowers a flushed batch into physical launch bodies. GEMMs
+// that share the rhs operand (same backing array — concurrent queries
+// against one set of weights) and the batch's (k, n) are stacked: their
+// lhs rows concatenate into one physical product, trading two copies for
+// one kernel body and a single transfer of the shared weights. The
+// caller's C rows are copied in before the kernel and back out after, so
+// every output element sees exactly the accumulation sequence the
+// unstacked kernel would produce — outputs are byte-identical. Kernels
+// that stack with nothing launch their original bodies unchanged.
+func (b *Batcher) buildLaunch(reqs []fusedReq) (fns []func(), total int, nstacks, nstacked int64) {
+	var groups map[*float32][]int
+	for i := range reqs {
+		// Degenerate shapes (empty operands) stay unstacked: there is
+		// nothing to save and the element-pointer keys need a first element.
+		if reqs[i].a == nil || len(reqs[i].bm) == 0 || len(reqs[i].c) == 0 {
+			continue
+		}
+		if groups == nil {
+			groups = make(map[*float32][]int)
+		}
+		rhs := &reqs[i].bm[0]
+		groups[rhs] = append(groups[rhs], i)
+	}
+	fns = make([]func(), 0, len(reqs))
+	stacked := make(map[int]bool)
+	for _, idxs := range groups {
+		// Conservatively refuse to stack two kernels writing the same C
+		// buffer: copy-in/copy-back would lose one's contribution.
+		seenC := make(map[*float32]bool, len(idxs))
+		grp := idxs[:0:0]
+		for _, i := range idxs {
+			cb := &reqs[i].c[0]
+			if seenC[cb] {
+				continue
+			}
+			seenC[cb] = true
+			grp = append(grp, i)
+		}
+		if len(grp) < 2 {
+			continue
+		}
+		n, k := reqs[grp[0]].n, reqs[grp[0]].k
+		bm := reqs[grp[0]].bm
+		rows := 0
+		members := make([]fusedReq, len(grp))
+		for j, i := range grp {
+			rows += reqs[i].m
+			members[j] = reqs[i]
+			stacked[i] = true
+		}
+		total += gemmBytes(rows, n, k) // the shared rhs transfers once
+		nstacks++
+		nstacked += int64(len(grp))
+		fns = append(fns, func() {
+			aStk := tensor.GetScratch(rows * k)
+			cStk := tensor.GetScratch(rows * n)
+			off := 0
+			for _, r := range members {
+				copy(aStk[off*k:(off+r.m)*k], r.a)
+				copy(cStk[off*n:(off+r.m)*n], r.c)
+				off += r.m
+			}
+			b.fd.gemmKernel(rows, n, k, aStk, bm, cStk)
+			off = 0
+			for _, r := range members {
+				copy(r.c[:r.m*n], cStk[off*n:(off+r.m)*n])
+				off += r.m
+			}
+			tensor.PutScratch(cStk)
+			tensor.PutScratch(aStk)
+		})
+	}
+	for i := range reqs {
+		if stacked[i] {
+			continue
+		}
+		fns = append(fns, reqs[i].run)
+		total += reqs[i].bytes
+	}
+	return fns, total, nstacks, nstacked
 }
 
 // BatcherStats is the scheduler's cumulative activity record.
@@ -333,6 +422,8 @@ type BatcherStats struct {
 	FlushIdle     int64 `json:"flush_idle"`     // batches flushed because every active submitter was already blocked
 	PassThrough   int64 `json:"pass_through"`   // kernels bypassing fusion (CPU/AVX)
 	MaxFusion     int64 `json:"max_fusion"`     // largest batch launched
+	Stacks        int64 `json:"stacks"`         // stacked same-rhs GEMM products launched
+	StackedGEMMs  int64 `json:"stacked_gemms"`  // logical GEMMs folded into stacked products
 }
 
 // FusionFactor is the mean kernels-per-launch — the launch-overhead
@@ -353,6 +444,8 @@ func (s *BatcherStats) Add(o BatcherStats) {
 	s.FlushDeadline += o.FlushDeadline
 	s.FlushIdle += o.FlushIdle
 	s.PassThrough += o.PassThrough
+	s.Stacks += o.Stacks
+	s.StackedGEMMs += o.StackedGEMMs
 	if o.MaxFusion > s.MaxFusion {
 		s.MaxFusion = o.MaxFusion
 	}
@@ -369,5 +462,7 @@ func (b *Batcher) BatcherStats() BatcherStats {
 		FlushIdle:     b.flushIdle.Load(),
 		PassThrough:   b.passThrough.Load(),
 		MaxFusion:     b.maxFusion.Load(),
+		Stacks:        b.stacks.Load(),
+		StackedGEMMs:  b.stackedGEMMs.Load(),
 	}
 }

@@ -1,0 +1,69 @@
+package service
+
+// Columnar execution glue: the service-side bridge between the request
+// pipeline and core's columnar scan engine. Both the unsharded executor
+// and the per-shard scatter fragments route their non-indexed filter and
+// order-by stages through these helpers, so the two paths stay
+// byte-identical (the N=1 golden contract) while sharing the vectorized
+// block-at-a-time kernels.
+
+import (
+	"repro/internal/core"
+)
+
+// columnSelection carries a columnar filter stage's outcome forward so
+// the order-by stage can stay columnar: the store, the matching rows as
+// an ascending selection list, and their materialized patches.
+type columnSelection struct {
+	cs   *core.ColumnStore
+	sel  []int32
+	rows []*core.Patch
+}
+
+// columnFilterEq evaluates the non-indexed equality filter over col's
+// columnar projection, clipped to the first n rows (the query's
+// snapshot length — the cached store may already reflect rows appended
+// after this query's snapshot was taken; snapshot prefixes are stable,
+// so clipping by row index is exact). ok is false when the field has no
+// column and the caller must run the row scan.
+func columnFilterEq(col *core.Collection, field string, v core.Value, n int) (*columnSelection, bool) {
+	cs, err := col.Columns()
+	if err != nil {
+		return nil, false
+	}
+	sel, ok := cs.FilterEq(field, v)
+	if !ok {
+		return nil, false
+	}
+	for len(sel) > 0 && int(sel[len(sel)-1]) >= n {
+		sel = sel[:len(sel)-1]
+	}
+	if sel == nil {
+		sel = []int32{}
+	}
+	return &columnSelection{cs: cs, sel: sel, rows: cs.Materialize(sel)}, true
+}
+
+// topKRows computes the ordered top-k of filtered, byte-identical to a
+// stable sort + trim (sortRows semantics: ties in input order, missing
+// fields order as the zero Value). It prefers the columnar heap — over
+// the filter stage's selection when there was one, or over the whole
+// snapshot for unfiltered queries (ocol non-nil) — and falls back to
+// the bounded-heap row top-k, which still avoids sorting rows that can
+// never reach the limit.
+func topKRows(ocol *core.Collection, csel *columnSelection, filtered []*core.Patch, field string, desc bool, k, snapLen int) []*core.Patch {
+	if csel != nil {
+		if top, ok := csel.cs.TopK(csel.sel, field, desc, k); ok {
+			return csel.cs.Materialize(top)
+		}
+	} else if ocol != nil {
+		// Unfiltered: the store must cover exactly this query's snapshot
+		// for nil-selection (all rows) to be correct.
+		if cs, err := ocol.Columns(); err == nil && cs.Len() == snapLen {
+			if top, ok := cs.TopK(nil, field, desc, k); ok {
+				return cs.Materialize(top)
+			}
+		}
+	}
+	return core.TopKPatches(filtered, field, desc, k)
+}

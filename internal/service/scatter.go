@@ -36,6 +36,7 @@ import (
 type shardFragment struct {
 	filtered []*core.Patch
 	rows     []*core.Patch // sorted/trimmed projection input (order/limit)
+	csel     *columnSelection
 	planOps  []string
 	cost     float64
 }
@@ -122,7 +123,15 @@ func (s *Service) executeScatter(req *Request) (*Response, error) {
 		if req.SimJoin == nil && wantRows {
 			frag.rows = frag.filtered
 			if req.OrderBy != "" {
-				frag.rows = sortRows(frag.filtered, req.OrderBy, req.Desc)
+				// Shard-local top-limit instead of a full sort: the merge
+				// stage only ever consumes the first `limit` rows of each
+				// fragment, and the bounded heap reproduces the stable
+				// sort's order exactly.
+				var ocol *core.Collection
+				if req.Filter == nil {
+					ocol = scol.Shard(i)
+				}
+				frag.rows = topKRows(ocol, frag.csel, frag.filtered, req.OrderBy, req.Desc, limit, len(parts[i]))
 			}
 			if len(frag.rows) > limit {
 				frag.rows = frag.rows[:limit]
@@ -233,6 +242,14 @@ func (s *Service) filterFragment(req *Request, fval core.Value, scol *core.Shard
 		frag.filtered = filtered
 		frag.planOps = append(frag.planOps, fmt.Sprintf("hash-index(%s)", f.Field))
 		frag.cost += float64(len(ids)) * s.cost.CFetch
+	} else if cf, ok := columnFilterEq(col, f.Field, fval, len(snap)); ok {
+		// Columnar fragment: each shard prunes and scans its own blocks
+		// (same kernels, labels and cost accounting as the unsharded
+		// path, so N=1 plans stay byte-identical).
+		frag.filtered = cf.rows
+		frag.csel = cf
+		frag.planOps = append(frag.planOps, fmt.Sprintf("column-scan(%s)", f.Field))
+		frag.cost += s.cost.FilterCost(core.FilterColumnScan, len(snap), 0)
 	} else {
 		filtered := make([]*core.Patch, 0, len(snap)/4)
 		for _, p := range snap {
@@ -435,9 +452,10 @@ func (s *Service) runCrossJoin(task *joinTask, sj *SimJoinSpec, left, right []*c
 	return nil
 }
 
-// sortRows returns a stably sorted copy of ps by the metadata field —
-// the same comparator the unsharded path uses, applied shard-locally so
-// the gather stage can stream-merge.
+// sortRows returns a stably sorted copy of ps by the metadata field.
+// The serving paths now run bounded top-k (topKRows) instead of a full
+// sort; this remains the reference semantics both top-k implementations
+// are golden-tested against.
 func sortRows(ps []*core.Patch, field string, desc bool) []*core.Patch {
 	rows := append([]*core.Patch(nil), ps...)
 	sort.SliceStable(rows, func(i, j int) bool {

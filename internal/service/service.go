@@ -613,6 +613,7 @@ func (s *Service) executeQuery(w *worker, req *Request) (*Response, error) {
 	resp := &Response{}
 	var plan []string
 	filtered := snap
+	var csel *columnSelection // non-nil when the filter stage ran columnar
 
 	if f := req.Filter; f != nil {
 		v, err := f.value()
@@ -641,6 +642,16 @@ func (s *Service) executeQuery(w *worker, req *Request) (*Response, error) {
 			}
 			plan = append(plan, fmt.Sprintf("hash-index(%s)", f.Field))
 			resp.EstCostSec += float64(len(ids)) * s.cost.CFetch
+		} else if cf, ok := columnFilterEq(col, f.Field, v, len(snap)); ok {
+			// Vectorized block-at-a-time evaluation over the collection's
+			// columnar projection: zone maps skip blocks that cannot
+			// match, surviving blocks compare typed arrays instead of
+			// paying a map lookup per patch. Results are byte-identical
+			// to the row scan (selection lists are in snapshot order).
+			filtered = cf.rows
+			csel = cf
+			plan = append(plan, fmt.Sprintf("column-scan(%s)", f.Field))
+			resp.EstCostSec += s.cost.FilterCost(core.FilterColumnScan, len(snap), 0)
 		} else {
 			filtered = make([]*core.Patch, 0, len(snap)/4)
 			for _, p := range snap {
@@ -719,14 +730,22 @@ func (s *Service) executeQuery(w *worker, req *Request) (*Response, error) {
 
 	resp.Value = len(filtered)
 	if req.OrderBy != "" || req.Limit > 0 {
-		rows := filtered
-		if req.OrderBy != "" {
-			rows = sortRows(filtered, req.OrderBy, req.Desc)
-			plan = append(plan, "order-by("+req.OrderBy+")")
-		}
 		limit := req.Limit
 		if limit <= 0 || limit > maxRows {
 			limit = maxRows
+		}
+		rows := filtered
+		if req.OrderBy != "" {
+			// Bounded top-k instead of sort-everything-then-trim: the
+			// columnar path when the filter stage left a selection (or
+			// the whole snapshot has a column), a bounded-heap row top-k
+			// otherwise. Output is identical to a stable sort + trim.
+			var ocol *core.Collection
+			if req.Filter == nil {
+				ocol = col // unfiltered: the snapshot itself may have a column
+			}
+			rows = topKRows(ocol, csel, filtered, req.OrderBy, req.Desc, limit, len(snap))
+			plan = append(plan, "order-by("+req.OrderBy+")")
 		}
 		if len(rows) > limit {
 			rows = rows[:limit]

@@ -96,10 +96,13 @@ func TestQueryFilterAndResultCache(t *testing.T) {
 	if st.ResultCache.Hits < 1 {
 		t.Fatalf("result cache hits = %d, want >= 1", st.ResultCache.Hits)
 	}
-	// Cache-aware cost shrinks as the hit rate climbs.
-	if r2.CacheAwareCostSec >= r1.EstCostSec && r1.EstCostSec > 0 {
-		t.Fatalf("cache-aware cost %g not below cold estimate %g",
-			r2.CacheAwareCostSec, r1.EstCostSec)
+	// Cache-aware cost shrinks as the hit rate climbs. (The columnar
+	// scan's cold estimate can undercut the fixed cache-lookup charge, so
+	// compare against the first query's cache-aware cost at hit rate 0,
+	// not the bare plan estimate.)
+	if r2.CacheAwareCostSec >= r1.CacheAwareCostSec && r1.EstCostSec > 0 {
+		t.Fatalf("cache-aware cost %g did not shrink from %g as the hit rate climbed",
+			r2.CacheAwareCostSec, r1.CacheAwareCostSec)
 	}
 }
 
