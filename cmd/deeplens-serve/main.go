@@ -10,6 +10,15 @@
 // cache table — the serving analog of the paper's query benchmarks.
 //
 //	deeplens-serve -loadgen 16 -loadgen-requests 400
+//
+// With -ingest N it drives the live-ingest path instead: a streaming
+// appender pushes N rows frame-at-a-time through the service's append
+// API into a fresh live collection while query clients keep hitting it,
+// proving the serving path stays warm — every post-append query extends
+// the columnar store in place instead of rebuilding it, and the report
+// prints the sealed-block reuse alongside the query latencies.
+//
+//	deeplens-serve -ingest 8000 -loadgen 4 -shards 3
 package main
 
 import (
@@ -30,6 +39,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/codec"
+	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/exec"
 	"repro/internal/service"
@@ -87,6 +97,9 @@ func run() error {
 		loadgen         = flag.Int("loadgen", 0, "run N concurrent load-generator clients instead of serving")
 		loadgenReqs     = flag.Int("loadgen-requests", 400, "total requests per load-generator phase")
 		loadgenDistinct = flag.Bool("loadgen-distinct", false, "jitter every request's parameters (defeats the result cache and coalescing) to exercise the compute path — the workload where cross-request kernel fusion shows")
+
+		ingest     = flag.Int("ingest", 0, "stream-append N rows through /append-style live ingest while queries run, then print the ingest + extension report (instead of serving)")
+		ingestBase = flag.Int("ingest-base", 12000, "rows pre-materialized in the live collection before the ingest stream starts")
 	)
 	flag.Parse()
 
@@ -159,6 +172,13 @@ func run() error {
 	defer svc.Close()
 	svc.RegisterSource("trafficcam", trafficSource{env.Traffic})
 
+	if *ingest > 0 {
+		clients := *loadgen
+		if clients <= 0 {
+			clients = 4
+		}
+		return runIngest(svc, env, clients, *ingest, *ingestBase)
+	}
 	if *loadgen > 0 {
 		return runLoadgen(svc, *loadgen, *loadgenReqs, *frames, *loadgenDistinct)
 	}
@@ -386,5 +406,173 @@ func runLoadgen(svc *service.Service, clients, total, frames int, distinct bool)
 		}
 	}
 	fmt.Printf("fusion factor: %.2fx\n", st.FusionFactor)
+	return nil
+}
+
+// liveCol names the collection the -ingest mode streams into.
+const liveCol = "live.dets"
+
+// livePatchSpec is ingest row i as a client would POST it (the colscan
+// field shapes: low-cardinality label, dense float score, small-domain
+// int rank).
+func livePatchSpec(i int) service.PatchSpec {
+	p := bench.ColScanPatch(i)
+	return service.PatchSpec{
+		Source: p.Ref.Source,
+		Frame:  p.Ref.Frame,
+		Meta: map[string]any{
+			"label": p.Meta["label"].S,
+			"score": p.Meta["score"].F,
+			"rank":  float64(p.Meta["rank"].I),
+		},
+	}
+}
+
+// ingestQueries is the query mix the clients run against the live
+// collection while the appender streams: selective equality, ordered
+// top-k, and a numeric range — all on the columnar path, all NoCache so
+// every request exercises the engine rather than the result cache
+// (appends move the version every batch anyway).
+func ingestQueries() []service.Request {
+	str := func(s string) *string { return &s }
+	f := func(v float64) *float64 { return &v }
+	return []service.Request{
+		{Collection: liveCol, Filter: &service.FilterSpec{Field: "label", Str: str("cls03")}, NoCache: true},
+		{Collection: liveCol, OrderBy: "score", Desc: true, Limit: 10, NoCache: true},
+		{Collection: liveCol, Filter: &service.FilterSpec{Field: "score", Min: f(0.25), Max: f(0.75)},
+			OrderBy: "rank", Limit: 5, NoCache: true},
+	}
+}
+
+// runIngest seeds the live collection with base rows, then interleaves
+// a frame-at-a-time append stream of total rows with clients*queries
+// concurrent query traffic, and reports both sides: ingest throughput,
+// query latency during ingest, and the columnar extension's
+// sealed-block reuse (the "stays warm" proof).
+func runIngest(svc *service.Service, env *bench.Env, clients, total, base int) error {
+	schema := bench.ColScanSchema()
+	var appendSeed func(*core.Patch) error
+	if env.Shards != nil {
+		sc, err := env.Shards.CreateCollection(liveCol, schema)
+		if err != nil {
+			return err
+		}
+		appendSeed = sc.Append
+	} else {
+		c, err := env.DB.CreateCollection(liveCol, schema)
+		if err != nil {
+			return err
+		}
+		appendSeed = c.Append
+	}
+	log.Printf("seeding %s with %d rows...", liveCol, base)
+	for i := 0; i < base; i++ {
+		if err := appendSeed(bench.ColScanPatch(i)); err != nil {
+			return err
+		}
+	}
+	// Warm the columnar store so the stream upgrades instead of building.
+	warm := ingestQueries()[0]
+	if _, err := svc.Query(context.Background(), warm); err != nil {
+		return err
+	}
+
+	const batch = 64
+	reqs := ingestQueries()
+	queryTotal := clients * 64
+	log.Printf("ingest: streaming %d rows in %d-row batches against %d query clients (%d queries)...",
+		total, batch, clients, queryTotal)
+
+	var (
+		appendLats []time.Duration
+		appendErr  error
+		res        = phaseResult{name: "during-ingest"}
+		mu         sync.Mutex
+		wg         sync.WaitGroup
+		seq        = make(chan int)
+	)
+	start := time.Now()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < total; i += batch {
+			req := service.AppendRequest{Collection: liveCol}
+			for j := i; j < i+batch && j < total; j++ {
+				req.Patches = append(req.Patches, livePatchSpec(base+j))
+			}
+			t0 := time.Now()
+			if _, err := svc.Append(context.Background(), req); err != nil {
+				appendErr = err
+				return
+			}
+			appendLats = append(appendLats, time.Since(t0))
+		}
+	}()
+	go func() {
+		for i := 0; i < queryTotal; i++ {
+			seq <- i
+		}
+		close(seq)
+	}()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range seq {
+				req := reqs[i%len(reqs)]
+				t0 := time.Now()
+				_, err := svc.Query(context.Background(), req)
+				lat := time.Since(t0)
+				mu.Lock()
+				switch err {
+				case nil:
+					res.ok++
+					res.lats = append(res.lats, lat)
+				case service.ErrOverloaded:
+					res.rejected++
+				default:
+					log.Printf("ingest query: %v", err)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	res.total = time.Since(start)
+	if appendErr != nil {
+		return appendErr
+	}
+
+	st := svc.Stats()
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "phase\treqs\tok\trejected\tQPS\tmean\tp50\tp95\tp99")
+	fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%.0f\t%v\t%v\t%v\t%v\n",
+		res.name, queryTotal, res.ok, res.rejected, res.qps(),
+		res.mean().Round(time.Microsecond),
+		res.pct(0.50).Round(time.Microsecond), res.pct(0.95).Round(time.Microsecond),
+		res.pct(0.99).Round(time.Microsecond))
+	w.Flush()
+	var appendSum time.Duration
+	for _, l := range appendLats {
+		appendSum += l
+	}
+	perRow := time.Duration(0)
+	if st.AppendedRows > 0 {
+		perRow = appendSum / time.Duration(st.AppendedRows)
+	}
+	fmt.Printf("\ningest: %d rows in %d appends over %v (%v/row)\n",
+		st.AppendedRows, st.Appends, res.total.Round(time.Millisecond), perRow.Round(100*time.Nanosecond))
+	reusePct := 0.0
+	if st.ExtendTotalBlocks > 0 {
+		reusePct = 100 * float64(st.ExtendReuseBlocks) / float64(st.ExtendTotalBlocks)
+	}
+	fmt.Printf("columnar extension: %d in-place upgrades, %d/%d sealed blocks reused (%.1f%%)\n",
+		st.ColumnExtends, st.ExtendReuseBlocks, st.ExtendTotalBlocks, reusePct)
+	if st.Shards > 1 {
+		fmt.Printf("shards: %d, appends hash-routed:\n", st.Shards)
+		for _, si := range st.ShardInfo {
+			fmt.Printf("  shard %d: %d rows, %d versions\n", si.Shard, si.Rows, si.Versions)
+		}
+	}
 	return nil
 }

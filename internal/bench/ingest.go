@@ -1,0 +1,116 @@
+package bench
+
+// Shared fixture for the streaming-ingest experiment: a warm colscan
+// collection absorbing one block's worth of appended rows, queried after
+// every frame-sized batch. The measured contrast is the columnar read
+// side's recovery strategy — incremental extension (sealed blocks
+// reused, tail re-projected) versus the pre-extension behavior of
+// rebuilding the whole ColumnStore on every version move. Used by
+// BenchmarkStreamingIngest (the CI-uploaded snapshot).
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+)
+
+// IngestAppendRows is how many rows one streaming-ingest measurement
+// appends: one full block, so the extension path both grows the old
+// tail block and seals a new one.
+const IngestAppendRows = core.ColumnBlockSize
+
+// IngestBatch is the frame-at-a-time batch size: queries interleave
+// with the stream every IngestBatch appended rows.
+const IngestBatch = 128
+
+// IngestQueries counts the interleaved queries per measurement (one
+// after each batch).
+const IngestQueries = IngestAppendRows / IngestBatch
+
+// RunStreamingIngest appends IngestAppendRows rows to col in
+// IngestBatch-sized batches, running the selective columnar filter
+// after every batch. When extend is false the cached store is dropped
+// before each query, forcing the pre-extension full rebuild the
+// comparison baselines against. Returns the final query's match count
+// (a correctness anchor) and the accumulated wall time of the
+// interleaved queries alone — the latency the serving path pays to see
+// fresh rows, with the (mode-independent) storage appends excluded.
+func RunStreamingIngest(db *core.DB, col *core.Collection, from int, extend bool) (int, time.Duration, error) {
+	last := 0
+	var queries time.Duration
+	for i := 0; i < IngestAppendRows; i += IngestBatch {
+		for j := i; j < i+IngestBatch; j++ {
+			if err := col.Append(ColScanPatch(from + j)); err != nil {
+				return 0, 0, err
+			}
+		}
+		if !extend {
+			col.InvalidateColumns()
+		}
+		t0 := time.Now()
+		n, err := ColScanFilterColumnar(db, col)
+		if err != nil {
+			return 0, 0, err
+		}
+		queries += time.Since(t0)
+		last = n
+	}
+	return last, queries, nil
+}
+
+// IngestPoint is one measured mode of the streaming-ingest curve.
+type IngestPoint struct {
+	Mode string `json:"mode"` // "extend" | "full-rebuild"
+	// TotalNS is the whole append-then-query stream (IngestQueries
+	// batches including storage appends); QueryNS the mean per
+	// interleaved query (store recovery + scan only).
+	TotalNS float64 `json:"total_ns"`
+	QueryNS float64 `json:"query_ns"`
+	Speedup float64 `json:"speedup,omitempty"` // query-side vs full-rebuild
+}
+
+// WriteIngestJSON writes the streaming-ingest baseline snapshot (the
+// artifact CI regenerates and uploads alongside the columnar-scan,
+// kernel-batching and shard-scaling curves).
+func WriteIngestJSON(path string, baseRows int, reused, total int64, points []IngestPoint) error {
+	var rebuild float64
+	for _, p := range points {
+		if p.Mode == "full-rebuild" {
+			rebuild = p.QueryNS
+		}
+	}
+	for i := range points {
+		if points[i].Mode == "extend" && points[i].QueryNS > 0 && rebuild > 0 {
+			points[i].Speedup = rebuild / points[i].QueryNS
+		}
+	}
+	out := struct {
+		Description  string        `json:"description"`
+		GoMaxProcs   int           `json:"gomaxprocs"`
+		BaseRows     int           `json:"base_rows"`
+		AppendRows   int           `json:"append_rows"`
+		Batch        int           `json:"batch"`
+		BlockSize    int           `json:"block_size"`
+		ReusedBlocks int64         `json:"extend_reuse_blocks"`
+		TotalBlocks  int64         `json:"extend_total_blocks"`
+		Modes        []IngestPoint `json:"modes"`
+	}{
+		Description:  "streaming ingest: frame-at-a-time appends interleaved with selective columnar filters; incremental ColumnStore extension vs full per-version rebuild",
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		BaseRows:     baseRows,
+		AppendRows:   IngestAppendRows,
+		Batch:        IngestBatch,
+		BlockSize:    core.ColumnBlockSize,
+		ReusedBlocks: reused,
+		TotalBlocks:  total,
+		Modes:        points,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

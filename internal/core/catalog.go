@@ -31,6 +31,21 @@ type DB struct {
 	patchLoc *kv.Bucket // patch id -> collection name (global lineage resolution)
 	cols     map[string]*Collection
 	indexes  map[string]map[string]*Index // collection -> field -> index
+
+	// Incremental column-extension counters (see Collection.Columns):
+	// how many stale stores were upgraded in place rather than rebuilt,
+	// and the sealed-block reuse they achieved.
+	colExtends      atomic.Int64
+	colExtendReused atomic.Int64
+	colExtendTotal  atomic.Int64
+}
+
+// ColumnExtendStats reports the live-ingest column-extension counters:
+// extends is the number of stale column stores upgraded incrementally,
+// reused/total the sealed-block reuse across those upgrades (reused ==
+// total except for the per-column partial tail blocks that re-projected).
+func (db *DB) ColumnExtendStats() (extends, reused, total int64) {
+	return db.colExtends.Load(), db.colExtendReused.Load(), db.colExtendTotal.Load()
 }
 
 // ErrNotFound reports a missing collection, patch or index.
@@ -576,31 +591,84 @@ func (c *Collection) InvalidateCache() {
 	c.cache = nil
 	c.byID = nil
 	c.mu.Unlock()
+	c.InvalidateColumns()
+}
+
+// InvalidateColumns drops only the cached columnar projection (memory
+// control; the row cache stays warm). The next Columns call rebuilds
+// from scratch instead of extending.
+func (c *Collection) InvalidateColumns() {
 	c.colMu.Lock()
 	c.colStore = nil
 	c.colMu.Unlock()
 }
 
 // Columns returns the columnar projection of the collection's current
-// snapshot, building it lazily and rebuilding whenever the version has
+// snapshot, building it lazily and upgrading whenever the version has
 // moved — the same version-keyed invalidation the serving layer's result
-// cache uses, so appends can never serve a stale column. The returned
-// store is immutable and safe to share across queries.
+// cache uses, so appends can never serve a stale column. When the stale
+// store's snapshot is a prefix of the current one (the live-append case:
+// snapshots are prefix-stable and grow in place), the upgrade is an
+// incremental Extend that reuses every sealed block and re-projects only
+// the tail; otherwise (cache reload, first touch) it is a full build.
+// The returned store is immutable and safe to share across queries.
 func (c *Collection) Columns() (*ColumnStore, error) {
 	ps, ver, err := c.Snapshot()
 	if err != nil {
 		return nil, err
 	}
 	c.colMu.Lock()
-	defer c.colMu.Unlock()
 	if c.colStore != nil && c.colStore.version == ver {
-		return c.colStore, nil
+		cs := c.colStore
+		c.colMu.Unlock()
+		return cs, nil
 	}
-	cs := NewColumnStore(ps, ver)
-	// Cache only forward: a reader whose snapshot raced behind an append
-	// gets a private store without evicting the newer cached one.
-	if c.colStore == nil || c.colStore.version < ver {
+	old := c.colStore
+	c.colMu.Unlock()
+
+	// Build or extend with colMu free: Extend memcpys the sealed arrays
+	// (O(history), even if cheap per byte), and holding the lock across
+	// that would stall every concurrent cache-hit reader on the
+	// collection — the same stall shape Snapshot's cold load avoids on
+	// c.mu. Racing builders at most duplicate work; the double-checked
+	// install below keeps one canonical store per version.
+	var cs *ColumnStore
+	if old != nil && old.version < ver && snapshotExtends(old.patches, ps) {
+		var st ExtendStats
+		cs, st = old.Extend(ps, ver)
+		c.db.colExtends.Add(1)
+		c.db.colExtendReused.Add(int64(st.ReusedBlocks))
+		c.db.colExtendTotal.Add(int64(st.TotalBlocks))
+	} else {
+		cs = NewColumnStore(ps, ver)
+	}
+
+	c.colMu.Lock()
+	switch {
+	case c.colStore != nil && c.colStore.version == ver:
+		// Another builder installed this version while we worked: adopt
+		// the canonical store (mirrors Column's raced-projector rule).
+		cs = c.colStore
+	case c.colStore == nil || c.colStore.version < ver:
+		// Cache only forward: a reader whose snapshot raced behind an
+		// append gets a private store without evicting the newer one.
 		c.colStore = cs
 	}
+	c.colMu.Unlock()
 	return cs, nil
+}
+
+// snapshotExtends reports whether old is a prefix of next sharing the
+// same patch objects. Appends grow the cache slice in place (the visible
+// prefix never mutates), so element identity at the ends certifies the
+// whole prefix; a cache reload after InvalidateCache allocates fresh
+// Patch values and correctly fails the check, forcing a full build.
+func snapshotExtends(old, next []*Patch) bool {
+	if len(old) > len(next) {
+		return false
+	}
+	if len(old) == 0 {
+		return true
+	}
+	return old[0] == next[0] && old[len(old)-1] == next[len(old)-1]
 }

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Incremental column extension tests: Extend must be indistinguishable
+// from a fresh projection over the longer snapshot — arrays, dictionary
+// codes, null bitmaps and zone maps byte for byte — while reusing every
+// sealed block of the old store.
+
+// extendPatches builds a deterministic snapshot with an interesting
+// suffix: rows >= split introduce a dictionary string the prefix never
+// saw, populate the prefix-all-null "late" field, and flip the "flip"
+// field from int to string (breaking columnizability exactly as a fresh
+// build would discover).
+func extendPatches(n, split int) []*Patch {
+	ps := make([]*Patch, n)
+	for i := 0; i < n; i++ {
+		p := columnPatch(i)
+		p.ID = PatchID(i + 1)
+		if i >= split {
+			if i%7 == 0 {
+				p.Meta["label"] = StrV("zeppelin") // new dictionary code
+			}
+			p.Meta["late"] = IntV(int64(i))
+			p.Meta["flip"] = StrV("now-a-string")
+		} else {
+			p.Meta["flip"] = IntV(int64(i))
+		}
+		ps[i] = p
+	}
+	return ps
+}
+
+// columnsEqual deep-compares one field's projection between two stores,
+// including the ok verdict.
+func columnsEqual(t *testing.T, field string, a, b *ColumnStore) {
+	t.Helper()
+	ca, oka := a.Column(field)
+	cb, okb := b.Column(field)
+	if oka != okb {
+		t.Fatalf("field %s: columnizable %v vs %v", field, oka, okb)
+	}
+	if !oka {
+		return
+	}
+	if !reflect.DeepEqual(ca, cb) {
+		t.Fatalf("field %s: extended column diverges from fresh build:\n  ext:   %+v\n  fresh: %+v", field, ca, cb)
+	}
+}
+
+// TestExtendByteIdenticalToFreshBuild pins the golden contract at the
+// store level across block-boundary alignments: mid-block and
+// block-aligned old tails, dictionary growth, nullable fields, a field
+// that becomes columnizable only through the suffix, and one that stops
+// being columnizable because of it.
+func TestExtendByteIdenticalToFreshBuild(t *testing.T) {
+	fields := []string{"label", "score", "rank", "sparse", "clustered", "late", "flip", "mixed"}
+	for _, tc := range []struct{ oldN, n int }{
+		{2*ColumnBlockSize + ColumnBlockSize/2, 4 * ColumnBlockSize},       // mid-block tail
+		{2 * ColumnBlockSize, 3*ColumnBlockSize + 7},                       // block-aligned old tail
+		{ColumnBlockSize / 2, ColumnBlockSize/2 + 3},                       // single partial block
+		{0, ColumnBlockSize},                                               // empty prefix
+		{3 * ColumnBlockSize, 3 * ColumnBlockSize},                         // no new rows (version-only)
+		{ColumnBlockSize + 1, ColumnBlockSize + 1 + 2*ColumnBlockSize + 5}, // multi-block append
+	} {
+		ps := extendPatches(tc.n, tc.oldN)
+		old := NewColumnStore(ps[:tc.oldN], 1)
+		for _, f := range fields {
+			old.Column(f) // project (or record nil) on the old store
+		}
+		ext, st := old.Extend(ps, 2)
+		fresh := NewColumnStore(ps, 2)
+		for _, f := range fields {
+			columnsEqual(t, f, ext, fresh)
+		}
+		if ext.Version() != 2 || ext.Len() != tc.n {
+			t.Fatalf("extended store identity: version %d len %d", ext.Version(), ext.Len())
+		}
+		// Sealed-block accounting: every carried column reuses exactly the
+		// full blocks of the old snapshot.
+		sealed := tc.oldN / ColumnBlockSize
+		oldBlocks := (tc.oldN + ColumnBlockSize - 1) / ColumnBlockSize
+		if tc.oldN > 0 {
+			// label/score/rank/sparse/clustered project; flip carried but
+			// broken by the suffix when rows straddle the split; late/mixed
+			// are nil on the old store.
+			if st.Columns < 5 {
+				t.Fatalf("oldN=%d: carried %d columns, want >= 5", tc.oldN, st.Columns)
+			}
+			if st.ReusedBlocks != st.Columns*sealed || st.TotalBlocks != st.Columns*oldBlocks {
+				t.Fatalf("oldN=%d: reuse %d/%d blocks over %d columns, want %d/%d",
+					tc.oldN, st.ReusedBlocks, st.TotalBlocks, st.Columns, st.Columns*sealed, st.Columns*oldBlocks)
+			}
+		}
+		// Query-level agreement over the extended store.
+		for _, v := range []Value{StrV("car"), StrV("zeppelin"), StrV("tricycle")} {
+			se, oke := ext.FilterEq("label", v)
+			sf, okf := fresh.FilterEq("label", v)
+			if oke != okf || !reflect.DeepEqual(se, sf) {
+				t.Fatalf("oldN=%d FilterEq(label, %v) diverges", tc.oldN, v)
+			}
+		}
+		re, _ := ext.FilterRange("score", 2.5, 7.5)
+		rf, _ := fresh.FilterRange("score", 2.5, 7.5)
+		if !reflect.DeepEqual(re, rf) {
+			t.Fatalf("oldN=%d FilterRange diverges", tc.oldN)
+		}
+		te, _ := ext.TopK(nil, "score", true, 25)
+		tf, _ := fresh.TopK(nil, "score", true, 25)
+		if !reflect.DeepEqual(te, tf) {
+			t.Fatalf("oldN=%d TopK diverges", tc.oldN)
+		}
+		ge, _ := ext.GroupCount("label")
+		gf, _ := fresh.GroupCount("label")
+		if !reflect.DeepEqual(ge, gf) {
+			t.Fatalf("oldN=%d GroupCount diverges", tc.oldN)
+		}
+	}
+}
+
+// TestExtendDoesNotMutateOldStore: readers holding the stale store must
+// see their snapshot's results forever, byte for byte.
+func TestExtendDoesNotMutateOldStore(t *testing.T) {
+	const oldN = ColumnBlockSize + 100
+	ps := extendPatches(oldN+2*ColumnBlockSize, oldN)
+	old := NewColumnStore(ps[:oldN], 1)
+	before, _ := old.FilterEq("label", StrV("car"))
+	beforeDict := append([]int32(nil), before...)
+	if _, st := old.Extend(ps, 2); st.Columns == 0 {
+		t.Fatal("no columns carried")
+	}
+	after, _ := old.FilterEq("label", StrV("car"))
+	if !reflect.DeepEqual(beforeDict, after) {
+		t.Fatal("Extend mutated the old store's selection results")
+	}
+	if _, ok := old.FilterEq("label", StrV("zeppelin")); !ok {
+		t.Fatal("old store lost its label column")
+	} else if sel, _ := old.FilterEq("label", StrV("zeppelin")); len(sel) != 0 {
+		t.Fatal("old store's dictionary leaked a suffix-only code")
+	}
+	if old.Len() != oldN {
+		t.Fatalf("old store length changed: %d", old.Len())
+	}
+}
+
+// TestCollectionColumnsExtends: the catalog-level upgrade path — a query
+// after appends extends the cached store in place (sealed blocks reused,
+// counters recorded) instead of rebuilding, and a cache invalidation
+// falls back to a full build.
+func TestCollectionColumnsExtends(t *testing.T) {
+	const base = 3000 // 2 sealed blocks + 952-row tail
+	db, col := columnCollection(t, base)
+	defer db.Close()
+
+	cs0, err := col.Columns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cs0.Column("label"); !ok {
+		t.Fatal("label did not project")
+	}
+	if _, ok := cs0.Column("rank"); !ok {
+		t.Fatal("rank did not project")
+	}
+
+	for i := base; i < base+ColumnBlockSize; i++ {
+		if err := col.Append(columnPatch(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cs1, err := col.Columns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs1 == cs0 || cs1.Len() != base+ColumnBlockSize {
+		t.Fatalf("stale store served after append (len %d)", cs1.Len())
+	}
+	extends, reused, total := db.ColumnExtendStats()
+	if extends != 1 {
+		t.Fatalf("extends = %d, want 1", extends)
+	}
+	// Two carried columns, each 2 sealed of 3 old blocks.
+	if reused != 4 || total != 6 {
+		t.Fatalf("block reuse %d/%d, want 4/6", reused, total)
+	}
+	// Byte-identical to a fresh build over the same snapshot.
+	fresh := NewColumnStore(cs1.Patches(), cs1.Version())
+	for _, f := range []string{"label", "rank", "score"} {
+		columnsEqual(t, f, cs1, fresh)
+	}
+	// Idempotent: a second Columns call at the same version returns the
+	// cached store without another extension.
+	cs2, err := col.Columns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs2 != cs1 {
+		t.Fatal("same-version Columns did not serve the cached store")
+	}
+	if e2, _, _ := db.ColumnExtendStats(); e2 != 1 {
+		t.Fatalf("same-version Columns re-extended: %d", e2)
+	}
+
+	// After InvalidateColumns the prefix check cannot apply (no store):
+	// full rebuild, extend counters unchanged.
+	col.InvalidateColumns()
+	if err := col.Append(columnPatch(base + ColumnBlockSize)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := col.Columns(); err != nil {
+		t.Fatal(err)
+	}
+	if e3, _, _ := db.ColumnExtendStats(); e3 != 1 {
+		t.Fatalf("rebuild after InvalidateColumns counted as extend: %d", e3)
+	}
+}

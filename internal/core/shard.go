@@ -297,6 +297,19 @@ func (s *Sharded) Backtrace(p *Patch) ([]*Patch, error) {
 	return chain, nil
 }
 
+// ColumnExtendStats sums the shards' incremental column-extension
+// counters (each shard extends its own partition's stores independently;
+// see DB.ColumnExtendStats).
+func (s *Sharded) ColumnExtendStats() (extends, reused, total int64) {
+	for _, db := range s.shards {
+		e, r, t := db.ColumnExtendStats()
+		extends += e
+		reused += r
+		total += t
+	}
+	return extends, reused, total
+}
+
 // ShardInfo is one shard's storage snapshot (served by /stats).
 type ShardInfo struct {
 	Shard int `json:"shard"`

@@ -138,3 +138,19 @@ func (s Schema) ValidateFilterValue(field string, v Value) error {
 	}
 	return nil
 }
+
+// ValidateFilterRange checks a range predicate's field against the
+// schema: it must be declared and numeric. A range over a string or
+// vector field can never match (AsFloat widens non-numerics to NaN,
+// which fails both bounds), so it is a plan-time error, not a silently
+// empty result — the same validation posture as ValidateFilterValue.
+func (s Schema) ValidateFilterRange(field string) error {
+	f := s.FieldNamed(field)
+	if f == nil {
+		return fmt.Errorf("core: filter on undeclared field %q", field)
+	}
+	if f.Kind != KindInt && f.Kind != KindFloat {
+		return fmt.Errorf("core: range filter on field %q of kind %v (numeric field required)", field, f.Kind)
+	}
+	return nil
+}

@@ -35,13 +35,54 @@ func columnFilterEq(col *core.Collection, field string, v core.Value, n int) (*c
 	if !ok {
 		return nil, false
 	}
+	return clipSelection(cs, sel, n), true
+}
+
+// columnFilterRange is columnFilterEq for the half-open numeric range
+// lo <= field < hi (core.FilterRange semantics, matching the row
+// predicate core.FieldRange under numeric widening). ok is false when
+// the field has no column and the caller must run the row scan.
+func columnFilterRange(col *core.Collection, field string, lo, hi float64, n int) (*columnSelection, bool) {
+	cs, err := col.Columns()
+	if err != nil {
+		return nil, false
+	}
+	sel, ok := cs.FilterRange(field, lo, hi)
+	if !ok {
+		return nil, false
+	}
+	return clipSelection(cs, sel, n), true
+}
+
+// rowFilterRange is the row-scan fallback for a range filter (fields
+// the store cannot columnize): core.FieldRange semantics — missing
+// fields never match, non-numerics widen to NaN and fail both bounds.
+// Shared by the unsharded executor and the scatter fragments so the two
+// paths cannot drift (the N=1 byte-identity contract).
+func rowFilterRange(snap []*core.Patch, field string, lo, hi float64) []*core.Patch {
+	filtered := make([]*core.Patch, 0, len(snap)/4)
+	for _, p := range snap {
+		if mv, ok := p.Meta[field]; ok {
+			if fv := mv.AsFloat(); fv >= lo && fv < hi {
+				filtered = append(filtered, p)
+			}
+		}
+	}
+	return filtered
+}
+
+// clipSelection trims a selection list to the query's snapshot length
+// and materializes it (the cached store may already reflect rows
+// appended after this query's snapshot; prefixes are stable, so
+// clipping by row index is exact).
+func clipSelection(cs *core.ColumnStore, sel []int32, n int) *columnSelection {
 	for len(sel) > 0 && int(sel[len(sel)-1]) >= n {
 		sel = sel[:len(sel)-1]
 	}
 	if sel == nil {
 		sel = []int32{}
 	}
-	return &columnSelection{cs: cs, sel: sel, rows: cs.Materialize(sel)}, true
+	return &columnSelection{cs: cs, sel: sel, rows: cs.Materialize(sel)}
 }
 
 // topKRows computes the ordered top-k of filtered, byte-identical to a

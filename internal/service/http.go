@@ -11,7 +11,9 @@ import (
 // Handler returns the service's HTTP JSON API:
 //
 //	POST /query   — execute a Request (JSON body), returns a Response
-//	GET  /stats   — serving + cache + device counters
+//	POST /append  — live-ingest an AppendRequest (single patch or a
+//	                frame-at-a-time batch), returns an AppendResponse
+//	GET  /stats   — serving + cache + device + ingest counters
 //	GET  /healthz — liveness probe
 //
 // Admission overflow maps to 429 so load balancers can back off; unknown
@@ -20,6 +22,7 @@ import (
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/append", s.handleAppend)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	return mux
@@ -63,6 +66,39 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, r.Context().Err()):
 		writeJSON(w, http.StatusRequestTimeout, httpError{err.Error()})
 	default:
+		writeJSON(w, http.StatusBadRequest, httpError{err.Error()})
+	}
+}
+
+func (s *Service) handleAppend(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, httpError{"POST a JSON append body"})
+		return
+	}
+	var req AppendRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, httpError{"bad append body: " + err.Error()})
+		return
+	}
+	resp, err := s.Append(r.Context(), req)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, resp)
+	case errors.Is(err, ErrClosed):
+		writeJSON(w, http.StatusServiceUnavailable, httpError{err.Error()})
+	case errors.Is(err, ErrAppendStorage):
+		// Server-side fault after validation (a prefix may be committed;
+		// the message says how much): retryable, unlike a 400.
+		writeJSON(w, http.StatusInternalServerError, httpError{err.Error()})
+	case errors.Is(err, core.ErrNotFound):
+		writeJSON(w, http.StatusNotFound, httpError{err.Error()})
+	case errors.Is(err, r.Context().Err()):
+		writeJSON(w, http.StatusRequestTimeout, httpError{err.Error()})
+	default:
+		// Schema violations and malformed specs: the ingest-time type
+		// checking mirroring /query's plan-time 400s.
 		writeJSON(w, http.StatusBadRequest, httpError{err.Error()})
 	}
 }

@@ -3,6 +3,7 @@ package service
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/core"
 )
@@ -39,16 +40,40 @@ type Request struct {
 	NoCache bool `json:"no_cache,omitempty"`
 }
 
-// FilterSpec is an equality selection on one metadata field. Exactly one
-// constant must be set.
+// FilterSpec is a selection on one metadata field: either an equality
+// against exactly one constant (Str/Int/Float), or a half-open numeric
+// range Min <= field < Max (either bound may be omitted for an open
+// side). Equality and range are mutually exclusive.
 type FilterSpec struct {
 	Field string   `json:"field"`
 	Str   *string  `json:"str,omitempty"`
 	Int   *int64   `json:"int,omitempty"`
 	Float *float64 `json:"float,omitempty"`
+	// Min/Max select rows with Min <= field < Max under numeric widening
+	// (ints compare as floats, matching core.FieldRange). The field must
+	// be a declared numeric field.
+	Min *float64 `json:"min,omitempty"`
+	Max *float64 `json:"max,omitempty"`
 	// UseIndex requests the indexed access path (a hash index is built on
-	// first use). Purely physical: it never changes the result.
+	// first use). Purely physical: it never changes the result. Equality
+	// only — a hash index cannot serve a range.
 	UseIndex bool `json:"use_index,omitempty"`
+}
+
+// isRange reports whether the filter is a range selection.
+func (f *FilterSpec) isRange() bool { return f.Min != nil || f.Max != nil }
+
+// bounds resolves the range's half-open interval, open sides widening
+// to infinity.
+func (f *FilterSpec) bounds() (lo, hi float64) {
+	lo, hi = math.Inf(-1), math.Inf(1)
+	if f.Min != nil {
+		lo = *f.Min
+	}
+	if f.Max != nil {
+		hi = *f.Max
+	}
+	return lo, hi
 }
 
 func (f *FilterSpec) value() (core.Value, error) {
@@ -132,8 +157,21 @@ func (r *Request) validate() error {
 	if r.SimJoin != nil && r.SimJoin.Eps <= 0 {
 		return errors.New("service: simjoin eps must be positive")
 	}
-	if r.Filter != nil {
-		if _, err := r.Filter.value(); err != nil {
+	if f := r.Filter; f != nil {
+		if f.isRange() {
+			if f.Str != nil || f.Int != nil || f.Float != nil {
+				return fmt.Errorf("service: filter on %q mixes equality and range bounds", f.Field)
+			}
+			if f.UseIndex {
+				return fmt.Errorf("service: range filter on %q cannot use an index (hash indexes serve equality only)", f.Field)
+			}
+			if f.Min != nil && f.Max != nil && *f.Min >= *f.Max {
+				return fmt.Errorf("service: filter on %q has empty range [%g, %g)", f.Field, *f.Min, *f.Max)
+			}
+			if (f.Min != nil && math.IsNaN(*f.Min)) || (f.Max != nil && math.IsNaN(*f.Max)) {
+				return fmt.Errorf("service: filter on %q has NaN bound", f.Field)
+			}
+		} else if _, err := f.value(); err != nil {
 			return err
 		}
 	}
@@ -165,10 +203,27 @@ func (r *Request) fingerprint(version uint64, modelSeed int64) string {
 	}
 	f := core.NewFingerprinter("query").Col(r.Collection, version)
 	if r.Filter != nil {
-		v, _ := r.Filter.value()
-		f.Str("filter.field", r.Filter.Field).Value("filter.eq", v)
+		f.Str("filter.field", r.Filter.Field)
+		if r.Filter.isRange() {
+			// Named tokens keep an absent bound distinct from any set one.
+			if r.Filter.Min != nil {
+				f.Float("filter.min", *r.Filter.Min)
+			}
+			if r.Filter.Max != nil {
+				f.Float("filter.max", *r.Filter.Max)
+			}
+		} else {
+			v, _ := r.Filter.value()
+			f.Value("filter.eq", v)
+		}
 	}
+	// Canonicalize before folding the output shape: similarity-join (and
+	// distinct) requests return before the order/limit stage, so OrderBy/
+	// Desc/Limit never influence their result. Folding them anyway would
+	// fragment the cache — identical answers under distinct keys.
+	orderBy, desc, limit := r.OrderBy, r.Desc, r.Limit
 	if r.SimJoin != nil {
+		orderBy, desc, limit = "", false, 0
 		f.Str("sim.field", r.SimJoin.Field).
 			Float("sim.eps", r.SimJoin.Eps).
 			Int("sim.mincluster", int64(r.SimJoin.MinCluster))
@@ -176,15 +231,15 @@ func (r *Request) fingerprint(version uint64, modelSeed int64) string {
 	if r.Distinct {
 		f.Int("distinct", 1)
 	}
-	if r.OrderBy != "" {
-		desc := int64(0)
-		if r.Desc {
-			desc = 1
+	if orderBy != "" {
+		d := int64(0)
+		if desc {
+			d = 1
 		}
-		f.Str("order", r.OrderBy).Int("desc", desc)
+		f.Str("order", orderBy).Int("desc", d)
 	}
-	if r.Limit > 0 {
-		f.Int("limit", int64(r.Limit))
+	if limit > 0 {
+		f.Int("limit", int64(limit))
 	}
 	return "q:" + r.Collection + ":" + string(f.Sum())
 }
@@ -218,13 +273,38 @@ func (r *Response) sizeBytes() int64 {
 	for _, row := range r.Rows {
 		size += 48
 		for k, v := range row {
-			size += int64(len(k)) + 16
-			if s, ok := v.(string); ok {
-				size += int64(len(s))
-			} else {
-				size += 8
-			}
+			size += int64(len(k)) + valueBytes(v)
 		}
 	}
 	return size
+}
+
+// valueBytes estimates one row value's in-memory footprint: the
+// interface header plus its payload, recursing into containers. Flat
+// 8-byte accounting undercounts values wider than a machine word —
+// nested maps or slices surfaced via map[string]any, wide strings
+// inside them — letting wide rows occupy the LRU nearly for free and
+// evict honestly-accounted entries.
+func valueBytes(v any) int64 {
+	const header = 16 // interface value: type word + data word
+	switch x := v.(type) {
+	case nil:
+		return header
+	case string:
+		return header + 16 + int64(len(x)) // string header + bytes
+	case []any:
+		n := int64(header + 24) // slice header
+		for _, e := range x {
+			n += valueBytes(e)
+		}
+		return n
+	case map[string]any:
+		n := int64(header + 48) // map header + bucket overhead
+		for k, e := range x {
+			n += 16 + int64(len(k)) + valueBytes(e)
+		}
+		return n
+	default:
+		return header + 8 // scalar payload (int64, float64, bool, ...)
+	}
 }

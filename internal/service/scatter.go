@@ -92,16 +92,22 @@ func (s *Service) executeScatter(req *Request) (*Response, error) {
 	nsh := len(parts)
 	s.scatterQueries.Add(1)
 
-	// Plan once: resolve and type-check the filter constant against the
-	// schema before fanning anything out.
+	// Plan once: resolve and type-check the filter constant (or range
+	// bounds) against the schema before fanning anything out.
 	var fval core.Value
 	if f := req.Filter; f != nil {
-		fval, err = f.value()
-		if err != nil {
-			return nil, err
-		}
-		if err := scol.Schema().ValidateFilterValue(f.Field, fval); err != nil {
-			return nil, err
+		if f.isRange() {
+			if err := scol.Schema().ValidateFilterRange(f.Field); err != nil {
+				return nil, err
+			}
+		} else {
+			fval, err = f.value()
+			if err != nil {
+				return nil, err
+			}
+			if err := scol.Schema().ValidateFilterValue(f.Field, fval); err != nil {
+				return nil, err
+			}
 		}
 	}
 
@@ -222,6 +228,20 @@ func (s *Service) filterFragment(req *Request, fval core.Value, scol *core.Shard
 		return frag, nil
 	}
 	col := scol.Shard(i)
+	if f.isRange() {
+		lo, hi := f.bounds()
+		if cf, ok := columnFilterRange(col, f.Field, lo, hi, len(snap)); ok {
+			frag.filtered = cf.rows
+			frag.csel = cf
+			frag.planOps = append(frag.planOps, fmt.Sprintf("column-scan(%s)", f.Field))
+			frag.cost += s.cost.FilterCost(core.FilterColumnScan, len(snap), 0)
+		} else {
+			frag.filtered = rowFilterRange(snap, f.Field, lo, hi)
+			frag.planOps = append(frag.planOps, fmt.Sprintf("scan-filter(%s)", f.Field))
+			frag.cost += float64(len(snap)) * scanCmpCostSec
+		}
+		return frag, nil
+	}
 	if f.UseIndex {
 		idx, err := s.ensureIndexOn(s.shards.Shard(i), shardScope(i), col, f.Field, core.IdxHash)
 		if err != nil {

@@ -205,6 +205,10 @@ type Service struct {
 	completed, failed             atomic.Int64
 	inFlight, peakInFlight        atomic.Int64
 
+	// Live-ingest counters: append requests served and rows committed
+	// through the streaming path (see ingest.go).
+	appends, appendedRows atomic.Int64
+
 	// statsMu makes (queue depth, in-flight count) observable as one
 	// consistent pair: enqueue/dequeue update the in-flight counter while
 	// holding it, and Stats reads both under it. Without this, /stats
@@ -615,7 +619,24 @@ func (s *Service) executeQuery(w *worker, req *Request) (*Response, error) {
 	filtered := snap
 	var csel *columnSelection // non-nil when the filter stage ran columnar
 
-	if f := req.Filter; f != nil {
+	if f := req.Filter; f != nil && f.isRange() {
+		lo, hi := f.bounds()
+		if err := col.Schema().ValidateFilterRange(f.Field); err != nil {
+			return nil, err
+		}
+		if cf, ok := columnFilterRange(col, f.Field, lo, hi, len(snap)); ok {
+			// Same vectorized block-at-a-time path as equality: zone maps
+			// prune blocks whose min/max cannot intersect the interval.
+			filtered = cf.rows
+			csel = cf
+			plan = append(plan, fmt.Sprintf("column-scan(%s)", f.Field))
+			resp.EstCostSec += s.cost.FilterCost(core.FilterColumnScan, len(snap), 0)
+		} else {
+			filtered = rowFilterRange(snap, f.Field, lo, hi)
+			plan = append(plan, fmt.Sprintf("scan-filter(%s)", f.Field))
+			resp.EstCostSec += float64(len(snap)) * scanCmpCostSec
+		}
+	} else if f != nil {
 		v, err := f.value()
 		if err != nil {
 			return nil, err
@@ -967,6 +988,17 @@ type Stats struct {
 	InFlight     int64 `json:"in_flight"`
 	PeakInFlight int64 `json:"peak_in_flight"`
 
+	// Live ingest: append requests served, rows committed, and the
+	// columnar read side's incremental-extension record — how many stale
+	// column stores were upgraded in place and the sealed-block reuse
+	// those upgrades achieved (ExtendReuseBlocks of ExtendTotalBlocks
+	// carried over without re-projection).
+	Appends           int64 `json:"appends"`
+	AppendedRows      int64 `json:"appended_rows"`
+	ColumnExtends     int64 `json:"column_extends"`
+	ExtendReuseBlocks int64 `json:"extend_reuse_blocks"`
+	ExtendTotalBlocks int64 `json:"extend_total_blocks"`
+
 	ResultCache   CacheStats `json:"result_cache"`
 	UDFCache      CacheStats `json:"udf_cache"`
 	ResultHitRate float64    `json:"result_hit_rate"`
@@ -1011,9 +1043,13 @@ func (s *Service) Stats() Stats {
 	s.statsMu.Unlock()
 	nshards := 1
 	var shardInfo []core.ShardInfo
+	var extends, extReused, extTotal int64
 	if s.shards != nil {
 		nshards = s.shards.NumShards()
 		shardInfo = s.shards.ShardInfos()
+		extends, extReused, extTotal = s.shards.ColumnExtendStats()
+	} else {
+		extends, extReused, extTotal = s.db.ColumnExtendStats()
 	}
 	return Stats{
 		UptimeSec:  time.Since(s.start).Seconds(),
@@ -1030,6 +1066,12 @@ func (s *Service) Stats() Stats {
 		Failed:       s.failed.Load(),
 		InFlight:     inFlight,
 		PeakInFlight: s.peakInFlight.Load(),
+
+		Appends:           s.appends.Load(),
+		AppendedRows:      s.appendedRows.Load(),
+		ColumnExtends:     extends,
+		ExtendReuseBlocks: extReused,
+		ExtendTotalBlocks: extTotal,
 
 		ResultCache:   rc,
 		UDFCache:      s.udfMemo.Stats(),

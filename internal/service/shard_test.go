@@ -117,6 +117,8 @@ func queryMatrix() []Request {
 		{Collection: shardTestCol, Filter: &FilterSpec{Field: "label", Str: str("pedestrian"), UseIndex: true}},
 		{Collection: shardTestCol, Filter: &FilterSpec{Field: "label", Str: str("tricycle")}}, // empty result
 		{Collection: shardTestCol, Filter: &FilterSpec{Field: "score", Float: fp(2)}},
+		{Collection: shardTestCol, Filter: &FilterSpec{Field: "score", Min: fp(1), Max: fp(3)}},
+		{Collection: shardTestCol, Filter: &FilterSpec{Field: "rank", Min: fp(2)}, OrderBy: "score", Limit: 6},
 		{Collection: shardTestCol, Limit: 7},
 		{Collection: shardTestCol, OrderBy: "score", Limit: 5},
 		{Collection: shardTestCol, OrderBy: "rank", Desc: true, Limit: 9},
