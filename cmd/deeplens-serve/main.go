@@ -27,11 +27,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"path/filepath"
-	"sort"
 	"strings"
 	"sync"
 	"text/tabwriter"
@@ -42,6 +42,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -88,6 +89,8 @@ func run() error {
 		cacheMB    = flag.Int("cache-mb", 32, "result cache budget (MiB)")
 		udfCacheMB = flag.Int("udf-cache-mb", 128, "UDF materialization cache budget (MiB)")
 		ttl        = flag.Duration("ttl", 5*time.Minute, "result cache TTL (0 = never expire)")
+		slowMS     = flag.Int("slow-query-ms", 250, "slow-query log threshold in milliseconds (negative disables GET /debug/slow)")
+		traceSmp   = flag.Float64("trace-sample", 0, "background trace sampling rate in (0,1]: capture spans for ~1 in 1/rate queries that did not ask for a trace (0 = off)")
 
 		frames  = flag.Int("frames", 240, "TrafficCam frames to ingest")
 		pcImgs  = flag.Int("pc-images", 120, "PC corpus images to ingest")
@@ -134,6 +137,9 @@ func run() error {
 		ResultTTL:        *ttl,
 		UDFCacheBytes:    int64(*udfCacheMB) << 20,
 		ModelSeed:        bench.ModelSeed,
+
+		SlowQueryThreshold: time.Duration(*slowMS) * time.Millisecond,
+		TraceSample:        *traceSmp,
 	}
 
 	useSharded, err := checkDirLayout(*dir, *shards)
@@ -261,7 +267,7 @@ func workload(frames int) []service.Request {
 type phaseResult struct {
 	name     string
 	total    time.Duration
-	lats     []time.Duration
+	lats     obs.Summary
 	ok       int
 	rejected int
 }
@@ -274,23 +280,11 @@ func (p *phaseResult) qps() float64 {
 }
 
 func (p *phaseResult) pct(q float64) time.Duration {
-	if len(p.lats) == 0 {
-		return 0
-	}
-	sort.Slice(p.lats, func(i, j int) bool { return p.lats[i] < p.lats[j] })
-	i := int(q * float64(len(p.lats)-1))
-	return p.lats[i]
+	return time.Duration(p.lats.Quantile(q) * float64(time.Second))
 }
 
 func (p *phaseResult) mean() time.Duration {
-	if len(p.lats) == 0 {
-		return 0
-	}
-	var sum time.Duration
-	for _, l := range p.lats {
-		sum += l
-	}
-	return sum / time.Duration(len(p.lats))
+	return time.Duration(p.lats.Mean() * float64(time.Second))
 }
 
 // distinctReq perturbs request i so no two requests share a fingerprint:
@@ -348,7 +342,7 @@ func runPhase(svc *service.Service, name string, clients, total int, reqs []serv
 				switch err {
 				case nil:
 					res.ok++
-					res.lats = append(res.lats, lat)
+					res.lats.ObserveDuration(lat)
 				case service.ErrOverloaded:
 					res.rejected++
 				default:
@@ -406,7 +400,53 @@ func runLoadgen(svc *service.Service, clients, total, frames int, distinct bool)
 		}
 	}
 	fmt.Printf("fusion factor: %.2fx\n", st.FusionFactor)
+
+	// Scrape the service's own /metrics over loopback HTTP — the same
+	// bytes Prometheus would see — and cross-check the server-side
+	// histogram percentiles against the client-side raw summaries. The
+	// server buckets (fixed bounds, interpolated), the client keeps every
+	// sample, so agreement is "same bucket", not equality.
+	exp, err := scrapeMetrics(svc)
+	if err != nil {
+		return fmt.Errorf("loadgen: /metrics scrape: %w", err)
+	}
+	var client obs.Summary
+	client.Merge(&cold.lats)
+	client.Merge(&warm.lats)
+	fmt.Printf("\nserver (/metrics histogram) vs client (raw samples) latency:\n")
+	for _, q := range []float64{0.50, 0.95, 0.99} {
+		sv, ok := obs.PromHistogramQuantile(exp, "deeplens_query_duration_seconds", nil, q)
+		if !ok {
+			return fmt.Errorf("loadgen: /metrics has no deeplens_query_duration_seconds histogram")
+		}
+		fmt.Printf("  p%.0f: server %v, client %v\n", q*100,
+			time.Duration(sv*float64(time.Second)).Round(time.Microsecond),
+			time.Duration(client.Quantile(q)*float64(time.Second)).Round(time.Microsecond))
+	}
+	if n, ok := exp.Value("deeplens_query_duration_seconds_count", nil); ok {
+		fmt.Printf("  server observed %.0f queries, client %d\n", n, client.Count())
+	}
 	return nil
+}
+
+// scrapeMetrics serves the service's handler on an ephemeral loopback
+// listener and fetches one /metrics page through a real HTTP round
+// trip, so the loadgen validates the exposition exactly as an external
+// scraper would receive it.
+func scrapeMetrics(svc *service.Service) (*obs.PromExposition, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+	resp, err := http.Get("http://" + ln.Addr().String() + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return obs.CheckExposition(resp.Body)
 }
 
 // liveCol names the collection the -ingest mode streams into.
@@ -527,7 +567,7 @@ func runIngest(svc *service.Service, env *bench.Env, clients, total, base int) e
 				switch err {
 				case nil:
 					res.ok++
-					res.lats = append(res.lats, lat)
+					res.lats.ObserveDuration(lat)
 				case service.ErrOverloaded:
 					res.rejected++
 				default:

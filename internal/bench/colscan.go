@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/obs"
 )
 
 // ColScanRows is the default ingested row count: comfortably past the
@@ -123,17 +124,15 @@ func ColScanTopKColumnar(col *core.Collection) (int, error) {
 // MinWallNS returns the fastest of iters runs of fn in nanoseconds —
 // robust against scheduler noise, like the shard-scaling fixture.
 func MinWallNS(iters int, fn func() error) (float64, error) {
-	best := time.Duration(1<<62 - 1)
+	var s obs.Summary
 	for i := 0; i < iters; i++ {
 		t0 := time.Now()
 		if err := fn(); err != nil {
 			return 0, err
 		}
-		if el := time.Since(t0); el < best {
-			best = el
-		}
+		s.ObserveDuration(time.Since(t0))
 	}
-	return float64(best.Nanoseconds()), nil
+	return s.Min() * 1e9, nil
 }
 
 // ColScanPoint is one measured workload of the columnar-scan curve.

@@ -613,15 +613,33 @@ func (c *Collection) InvalidateColumns() {
 // the tail; otherwise (cache reload, first touch) it is a full build.
 // The returned store is immutable and safe to share across queries.
 func (c *Collection) Columns() (*ColumnStore, error) {
+	cs, _, err := c.ColumnsWithInfo()
+	return cs, err
+}
+
+// ColumnsInfo reports what one Columns call did: served the cached
+// store, extended it incrementally, or built from scratch — the
+// per-call view of the DB-level ColumnExtendStats aggregates, so trace
+// spans can attribute extension work to the query that paid for it.
+type ColumnsInfo struct {
+	Built    bool        // full projection build
+	Extended bool        // incremental extend of the cached store
+	Extend   ExtendStats // populated when Extended
+}
+
+// ColumnsWithInfo is Columns reporting whether this call hit the
+// cached store, extended it, or rebuilt it.
+func (c *Collection) ColumnsWithInfo() (*ColumnStore, ColumnsInfo, error) {
+	var info ColumnsInfo
 	ps, ver, err := c.Snapshot()
 	if err != nil {
-		return nil, err
+		return nil, info, err
 	}
 	c.colMu.Lock()
 	if c.colStore != nil && c.colStore.version == ver {
 		cs := c.colStore
 		c.colMu.Unlock()
-		return cs, nil
+		return cs, info, nil
 	}
 	old := c.colStore
 	c.colMu.Unlock()
@@ -636,11 +654,14 @@ func (c *Collection) Columns() (*ColumnStore, error) {
 	if old != nil && old.version < ver && snapshotExtends(old.patches, ps) {
 		var st ExtendStats
 		cs, st = old.Extend(ps, ver)
+		info.Extended = true
+		info.Extend = st
 		c.db.colExtends.Add(1)
 		c.db.colExtendReused.Add(int64(st.ReusedBlocks))
 		c.db.colExtendTotal.Add(int64(st.TotalBlocks))
 	} else {
 		cs = NewColumnStore(ps, ver)
+		info.Built = true
 	}
 
 	c.colMu.Lock()
@@ -655,7 +676,7 @@ func (c *Collection) Columns() (*ColumnStore, error) {
 		c.colStore = cs
 	}
 	c.colMu.Unlock()
-	return cs, nil
+	return cs, info, nil
 }
 
 // snapshotExtends reports whether old is a prefix of next sharing the

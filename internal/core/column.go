@@ -349,52 +349,87 @@ func (c *Column) appendZoneMaps(from, n int) {
 
 // ---------------------------------------------------------- predicates ----
 
+// ScanStats reports one columnar predicate evaluation's pruning work:
+// how many zone-mapped blocks the column holds, how many the zone maps
+// skipped, and how many rows the surviving blocks actually swept.
+type ScanStats struct {
+	Blocks      int // zone-mapped blocks in the column
+	Pruned      int // blocks skipped by zone-map/dictionary pruning
+	RowsScanned int // rows swept in unpruned blocks
+}
+
+// Add accumulates o into s (aggregating the fragments of one query).
+func (s *ScanStats) Add(o ScanStats) {
+	s.Blocks += o.Blocks
+	s.Pruned += o.Pruned
+	s.RowsScanned += o.RowsScanned
+}
+
 // FilterEq evaluates field == v into a selection index list in row
 // order, skipping blocks whose zone map proves no row can match. ok is
 // false when the field has no column (caller falls back to the row scan)
 // — a kind mismatch between the column and the constant is a valid
 // (empty) result, mirroring Value.Equal.
 func (cs *ColumnStore) FilterEq(field string, v Value) ([]int32, bool) {
+	sel, _, ok := cs.FilterEqStats(field, v)
+	return sel, ok
+}
+
+// FilterEqStats is FilterEq reporting per-call pruning statistics —
+// the instrumented path trace spans read, kept separate so untraced
+// callers pay nothing new.
+func (cs *ColumnStore) FilterEqStats(field string, v Value) ([]int32, ScanStats, bool) {
+	var st ScanStats
 	col, ok := cs.Column(field)
 	if !ok {
-		return nil, false
+		return nil, st, false
 	}
+	st.Blocks = len(col.blocks)
 	if col.kind != v.Kind {
-		return nil, true // row path: mv.Equal(v) is false for every row
+		st.Pruned = st.Blocks
+		return nil, st, true // row path: mv.Equal(v) is false for every row
 	}
 	var sel []int32
 	switch col.kind {
 	case KindInt:
 		for _, z := range col.blocks {
 			if z.allNull || v.I < z.minI || v.I > z.maxI {
+				st.Pruned++
 				continue
 			}
+			st.RowsScanned += z.hi - z.lo
 			sel = appendEqInt(sel, col, z, v.I)
 		}
 	case KindFloat:
 		for _, z := range col.blocks {
 			if z.allNull || v.F < z.minF || v.F > z.maxF {
+				st.Pruned++
 				continue
 			}
+			st.RowsScanned += z.hi - z.lo
 			sel = appendEqFloat(sel, col, z, v.F)
 		}
 	case KindStr:
 		code, present := col.code(v.S)
 		if !present {
-			return nil, true // value not in the dictionary: no row matches
+			st.Pruned = st.Blocks
+			return nil, st, true // value not in the dictionary: no row matches
 		}
 		smallDict := len(col.dict) <= 64
 		for _, z := range col.blocks {
 			if z.allNull {
+				st.Pruned++
 				continue
 			}
 			if smallDict && code < 64 && z.codeSet&(1<<code) == 0 {
+				st.Pruned++
 				continue
 			}
+			st.RowsScanned += z.hi - z.lo
 			sel = appendEqCode(sel, col, z, code)
 		}
 	}
-	return sel, true
+	return sel, st, true
 }
 
 // code looks up a string's dictionary code.
@@ -438,17 +473,28 @@ func appendEqCode(sel []int32, c *Column, z zoneMap, code uint32) []int32 {
 // field has no column. String columns return an empty selection, like
 // the row predicate (AsFloat yields NaN, which fails both bounds).
 func (cs *ColumnStore) FilterRange(field string, lo, hi float64) ([]int32, bool) {
+	sel, _, ok := cs.FilterRangeStats(field, lo, hi)
+	return sel, ok
+}
+
+// FilterRangeStats is FilterRange reporting per-call pruning
+// statistics (see FilterEqStats).
+func (cs *ColumnStore) FilterRangeStats(field string, lo, hi float64) ([]int32, ScanStats, bool) {
+	var st ScanStats
 	col, ok := cs.Column(field)
 	if !ok {
-		return nil, false
+		return nil, st, false
 	}
+	st.Blocks = len(col.blocks)
 	var sel []int32
 	switch col.kind {
 	case KindInt:
 		for _, z := range col.blocks {
 			if z.allNull || float64(z.maxI) < lo || float64(z.minI) >= hi {
+				st.Pruned++
 				continue
 			}
+			st.RowsScanned += z.hi - z.lo
 			for i := z.lo; i < z.hi; i++ {
 				if f := float64(col.ints[i]); f >= lo && f < hi && !col.null(i) {
 					sel = append(sel, int32(i))
@@ -458,8 +504,10 @@ func (cs *ColumnStore) FilterRange(field string, lo, hi float64) ([]int32, bool)
 	case KindFloat:
 		for _, z := range col.blocks {
 			if z.allNull || z.maxF < lo || z.minF >= hi {
+				st.Pruned++
 				continue
 			}
+			st.RowsScanned += z.hi - z.lo
 			for i := z.lo; i < z.hi; i++ {
 				if f := col.floats[i]; f >= lo && f < hi && !col.null(i) {
 					sel = append(sel, int32(i))
@@ -468,8 +516,9 @@ func (cs *ColumnStore) FilterRange(field string, lo, hi float64) ([]int32, bool)
 		}
 	case KindStr:
 		// Non-numeric: the row predicate never matches.
+		st.Pruned = st.Blocks
 	}
-	return sel, true
+	return sel, st, true
 }
 
 // Materialize resolves a selection list to its patches, preserving row

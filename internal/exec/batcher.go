@@ -63,14 +63,28 @@ type batchKey struct {
 // fusedReq is one queued kernel: its compute body, its transfer bytes,
 // and the channel its submitter blocks on. GEMM submissions also carry
 // their operands so the launch stage can stack same-rhs products into
-// one physical kernel (a is nil for non-GEMM kernels).
+// one physical kernel (a is nil for non-GEMM kernels). Observed
+// submissions (rec non-nil) also record submit→launch wait and batch
+// size; launch writes rec before closing done, so the submitter reads
+// it race-free.
 type fusedReq struct {
 	run   func()
 	bytes int
 	done  chan struct{}
 
+	enq time.Time
+	rec *kernelRecord
+
 	m, n, k  int
 	a, bm, c []float32
+}
+
+// kernelRecord receives one observed submission's timing: how long the
+// kernel sat queued before its fused launch, and how many kernels that
+// launch carried.
+type kernelRecord struct {
+	wait  time.Duration
+	batch int
 }
 
 // pendingBatch accumulates shape-compatible kernels until a flush.
@@ -181,34 +195,58 @@ func (b *Batcher) EndSubmitter() {
 // GEMM submits C += A·B and blocks until the (possibly fused) launch that
 // includes it completes. See Device.GEMM for the shape contract.
 func (b *Batcher) GEMM(m, n, k int, a, bm, c []float32) {
+	b.gemm(m, n, k, a, bm, c, nil)
+}
+
+func (b *Batcher) gemm(m, n, k int, a, bm, c []float32, rec *kernelRecord) {
 	if b.fd == nil {
 		b.passThrough.Add(1)
 		b.dev.GEMM(m, n, k, a, bm, c)
+		if rec != nil {
+			rec.batch = 1
+		}
 		return
 	}
 	checkGEMM(m, n, k, a, bm, c) // fail in the submitter's goroutine
-	b.submit(batchKey{op: 0, d1: k, d2: n}, fusedReq{
+	req := fusedReq{
 		run:   func() { b.fd.gemmKernel(m, n, k, a, bm, c) },
 		bytes: gemmBytes(m, n, k),
 		done:  make(chan struct{}),
+		rec:   rec,
 		m:     m, n: n, k: k, a: a, bm: bm, c: c,
-	})
+	}
+	if rec != nil {
+		req.enq = time.Now()
+	}
+	b.submit(batchKey{op: 0, d1: k, d2: n}, req)
 }
 
 // PairwiseSqDist submits a distance-matrix kernel and blocks until its
 // launch completes. See Device.PairwiseSqDist for the shape contract.
 func (b *Batcher) PairwiseSqDist(x, y []float32, lenX, lenY, dim int, out []float32) {
+	b.pairwise(x, y, lenX, lenY, dim, out, nil)
+}
+
+func (b *Batcher) pairwise(x, y []float32, lenX, lenY, dim int, out []float32, rec *kernelRecord) {
 	if b.fd == nil {
 		b.passThrough.Add(1)
 		b.dev.PairwiseSqDist(x, y, lenX, lenY, dim, out)
+		if rec != nil {
+			rec.batch = 1
+		}
 		return
 	}
 	checkPairwise(x, y, lenX, lenY, dim, out)
-	b.submit(batchKey{op: 1, d1: dim}, fusedReq{
+	req := fusedReq{
 		run:   func() { b.fd.pairwiseKernel(x, y, lenX, lenY, dim, out) },
 		bytes: pairwiseBytes(lenX, lenY, dim),
 		done:  make(chan struct{}),
-	})
+		rec:   rec,
+	}
+	if rec != nil {
+		req.enq = time.Now()
+	}
+	b.submit(batchKey{op: 1, d1: dim}, req)
 }
 
 // submit queues req under key and blocks until its batch has launched.
@@ -312,6 +350,15 @@ func (b *Batcher) flushDeadlined(key batchKey, pb *pendingBatch) {
 // launch executes pb as one fused device launch and releases its waiters.
 func (b *Batcher) launch(pb *pendingBatch) {
 	fns, total, nstacks, nstacked := b.buildLaunch(pb.reqs)
+	// Stamp observed submissions before their done channels close (the
+	// close is the happens-before edge the submitter's read rides on).
+	now := time.Now()
+	for _, r := range pb.reqs {
+		if r.rec != nil {
+			r.rec.wait = now.Sub(r.enq)
+			r.rec.batch = len(pb.reqs)
+		}
+	}
 	b.launchMu.Lock()
 	b.fd.launchFused(total, fns)
 	b.launchMu.Unlock()

@@ -1,0 +1,50 @@
+// Kernel-level observation hooks. The serving layer's tracer wants to
+// know how long each kernel sat queued in the Batcher before its fused
+// launch and how large that launch was — without the Batcher importing
+// the observability package (exec stays dependency-light and the hot
+// path stays allocation-free when nothing observes).
+package exec
+
+import "time"
+
+// KernelObserver receives one callback per kernel submitted through an
+// Observed device: the op ("gemm" or "pairwise"), the submit→launch
+// queuing delay, and the number of kernels in the fused launch that
+// carried it (1 on pass-through devices). Callbacks arrive on the
+// submitting goroutine, after the launch completes.
+type KernelObserver interface {
+	ObserveKernel(op string, wait time.Duration, batch int)
+}
+
+// Observed returns a Device view of the batcher that reports every
+// kernel to o. A nil observer returns the batcher itself — callers can
+// thread an optional observer without branching.
+func (b *Batcher) Observed(o KernelObserver) Device {
+	if o == nil {
+		return b
+	}
+	return &observedBatcher{b: b, o: o}
+}
+
+// observedBatcher decorates one Batcher with per-kernel reporting. It
+// implements Device, so observed and unobserved call sites are
+// interchangeable.
+type observedBatcher struct {
+	b *Batcher
+	o KernelObserver
+}
+
+func (d *observedBatcher) Kind() Kind   { return d.b.Kind() }
+func (d *observedBatcher) Stats() Stats { return d.b.Stats() }
+
+func (d *observedBatcher) GEMM(m, n, k int, a, bm, c []float32) {
+	var rec kernelRecord
+	d.b.gemm(m, n, k, a, bm, c, &rec)
+	d.o.ObserveKernel("gemm", rec.wait, rec.batch)
+}
+
+func (d *observedBatcher) PairwiseSqDist(x, y []float32, lenX, lenY, dim int, out []float32) {
+	var rec kernelRecord
+	d.b.pairwise(x, y, lenX, lenY, dim, out, &rec)
+	d.o.ObserveKernel("pairwise", rec.wait, rec.batch)
+}

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"sort"
+	"time"
+)
+
+// Summary accumulates raw samples and answers exact order statistics.
+// It is the client-side counterpart to Histogram: the load generator
+// and benchmark tools record every latency and report nearest-rank
+// percentiles, while the server buckets. Not safe for concurrent use —
+// callers own the synchronization (the loadgen aggregates per-phase
+// under its own mutex).
+type Summary struct {
+	samples []float64
+	sorted  bool
+}
+
+// NewSummary returns a summary with capacity hint n.
+func NewSummary(n int) *Summary {
+	return &Summary{samples: make([]float64, 0, n)}
+}
+
+// Observe records one sample.
+func (s *Summary) Observe(v float64) {
+	s.samples = append(s.samples, v)
+	s.sorted = false
+}
+
+// ObserveDuration records a latency sample in seconds.
+func (s *Summary) ObserveDuration(d time.Duration) {
+	s.Observe(d.Seconds())
+}
+
+// Merge appends all of o's samples.
+func (s *Summary) Merge(o *Summary) {
+	if o == nil {
+		return
+	}
+	s.samples = append(s.samples, o.samples...)
+	s.sorted = false
+}
+
+// Count returns the number of samples.
+func (s *Summary) Count() int { return len(s.samples) }
+
+// Sum returns the sum of all samples.
+func (s *Summary) Sum() float64 {
+	var t float64
+	for _, v := range s.samples {
+		t += v
+	}
+	return t
+}
+
+// Mean returns the arithmetic mean (0 with no samples).
+func (s *Summary) Mean() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	return s.Sum() / float64(len(s.samples))
+}
+
+// Min returns the smallest sample (0 with no samples) — the robust
+// statistic the min-wall benchmarks report.
+func (s *Summary) Min() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	s.sort()
+	return s.samples[0]
+}
+
+// Max returns the largest sample (0 with no samples).
+func (s *Summary) Max() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	s.sort()
+	return s.samples[len(s.samples)-1]
+}
+
+// Quantile returns the nearest-rank q-quantile (0..1): index
+// int(q*(n-1)) of the sorted samples, matching the percentile
+// semantics the load generator has always reported. 0 with no samples.
+func (s *Summary) Quantile(q float64) float64 {
+	n := len(s.samples)
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	s.sort()
+	return s.samples[int(q*float64(n-1))]
+}
+
+func (s *Summary) sort() {
+	if !s.sorted {
+		sort.Float64s(s.samples)
+		s.sorted = true
+	}
+}

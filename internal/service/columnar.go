@@ -13,11 +13,15 @@ import (
 
 // columnSelection carries a columnar filter stage's outcome forward so
 // the order-by stage can stay columnar: the store, the matching rows as
-// an ascending selection list, and their materialized patches.
+// an ascending selection list, and their materialized patches. The scan
+// record (blocks visited, zone-pruned, rows actually compared) and the
+// store's build/extend outcome ride along for trace annotation.
 type columnSelection struct {
-	cs   *core.ColumnStore
-	sel  []int32
-	rows []*core.Patch
+	cs      *core.ColumnStore
+	sel     []int32
+	rows    []*core.Patch
+	scan    core.ScanStats
+	colInfo core.ColumnsInfo
 }
 
 // columnFilterEq evaluates the non-indexed equality filter over col's
@@ -27,15 +31,17 @@ type columnSelection struct {
 // so clipping by row index is exact). ok is false when the field has no
 // column and the caller must run the row scan.
 func columnFilterEq(col *core.Collection, field string, v core.Value, n int) (*columnSelection, bool) {
-	cs, err := col.Columns()
+	cs, info, err := col.ColumnsWithInfo()
 	if err != nil {
 		return nil, false
 	}
-	sel, ok := cs.FilterEq(field, v)
+	sel, st, ok := cs.FilterEqStats(field, v)
 	if !ok {
 		return nil, false
 	}
-	return clipSelection(cs, sel, n), true
+	csel := clipSelection(cs, sel, n)
+	csel.scan, csel.colInfo = st, info
+	return csel, true
 }
 
 // columnFilterRange is columnFilterEq for the half-open numeric range
@@ -43,15 +49,17 @@ func columnFilterEq(col *core.Collection, field string, v core.Value, n int) (*c
 // predicate core.FieldRange under numeric widening). ok is false when
 // the field has no column and the caller must run the row scan.
 func columnFilterRange(col *core.Collection, field string, lo, hi float64, n int) (*columnSelection, bool) {
-	cs, err := col.Columns()
+	cs, info, err := col.ColumnsWithInfo()
 	if err != nil {
 		return nil, false
 	}
-	sel, ok := cs.FilterRange(field, lo, hi)
+	sel, st, ok := cs.FilterRangeStats(field, lo, hi)
 	if !ok {
 		return nil, false
 	}
-	return clipSelection(cs, sel, n), true
+	csel := clipSelection(cs, sel, n)
+	csel.scan, csel.colInfo = st, info
+	return csel, true
 }
 
 // rowFilterRange is the row-scan fallback for a range filter (fields

@@ -4,17 +4,20 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"time"
 
 	"repro/internal/core"
 )
 
 // Handler returns the service's HTTP JSON API:
 //
-//	POST /query   — execute a Request (JSON body), returns a Response
-//	POST /append  — live-ingest an AppendRequest (single patch or a
-//	                frame-at-a-time batch), returns an AppendResponse
-//	GET  /stats   — serving + cache + device + ingest counters
-//	GET  /healthz — liveness probe
+//	POST /query      — execute a Request (JSON body), returns a Response
+//	POST /append     — live-ingest an AppendRequest (single patch or a
+//	                   frame-at-a-time batch), returns an AppendResponse
+//	GET  /stats      — serving + cache + device + ingest counters (JSON)
+//	GET  /metrics    — the same state as Prometheus text exposition
+//	GET  /debug/slow — recent slow queries, newest first (JSON)
+//	GET  /healthz    — liveness probe
 //
 // Admission overflow maps to 429 so load balancers can back off; unknown
 // collections/fields map to 400 (the plan-time type checking the paper
@@ -24,6 +27,8 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/append", s.handleAppend)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/slow", s.handleSlow)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	return mux
 }
@@ -107,13 +112,28 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
 }
 
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.Metrics().WritePrometheus(w)
+}
+
+func (s *Service) handleSlow(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"threshold_ms": float64(s.cfg.SlowQueryThreshold.Microseconds()) / 1000,
+		"entries":      s.SlowQueries(),
+	})
+}
+
 func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if s.closed.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "closed"})
 		return
 	}
+	// The liveness probe reads the start timestamp directly — building a
+	// full Stats() snapshot (merge locks, cache sweeps) just for uptime
+	// made the cheapest endpoint the most expensive one.
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":     "ok",
-		"uptime_sec": s.Stats().UptimeSec,
+		"uptime_sec": time.Since(s.start).Seconds(),
 	})
 }

@@ -143,12 +143,14 @@ func (s *Service) Append(ctx context.Context, req AppendRequest) (*AppendRespons
 		ids = append(ids, uint64(p.ID))
 	}
 	s.noteAppended(req.Collection, len(ids))
+	dur := time.Since(start)
+	s.tel.appendDur.Observe(dur.Seconds())
 	return &AppendResponse{
 		Collection: req.Collection,
 		Appended:   len(ids),
 		IDs:        ids,
 		Version:    version(),
-		DurationMS: float64(time.Since(start).Microseconds()) / 1000,
+		DurationMS: float64(dur.Microseconds()) / 1000,
 	}, nil
 }
 
@@ -161,8 +163,8 @@ func (s *Service) noteAppended(collection string, n int) {
 	if n == 0 {
 		return
 	}
-	s.appends.Add(1)
-	s.appendedRows.Add(int64(n))
+	s.tel.appends.Inc()
+	s.tel.appendedRows.Add(int64(n))
 	s.results.InvalidatePrefix("q:" + collection + ":")
 }
 

@@ -1,0 +1,9 @@
+//go:build !race
+
+package service
+
+// raceEnabled reports whether the race detector instruments this build.
+// Wall-clock assertions (the tracing-overhead bound) are skipped under
+// the detector: its per-access instrumentation slows code paths
+// non-uniformly, so measured ratios no longer reflect production.
+const raceEnabled = false

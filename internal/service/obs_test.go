@@ -1,0 +1,514 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/obs"
+)
+
+// Observability tests: per-query trace capture on the scattered path,
+// the /metrics Prometheus surface, the /stats JSON contract, the
+// slow-query log, and the traced-vs-untraced overhead bound.
+
+// obsFixture builds a service over `rows` synthetic rows — sharded when
+// shards > 1 — usable from both tests and benchmarks.
+func obsFixture(tb testing.TB, shards, rows int, cfg Config) *Service {
+	tb.Helper()
+	if shards > 1 {
+		sdb, err := core.OpenSharded(filepath.Join(tb.TempDir(), "sharded"), shards, exec.New(exec.CPU))
+		if err != nil {
+			tb.Fatal(err)
+		}
+		tb.Cleanup(func() { sdb.Close() })
+		sc, err := sdb.CreateCollection(shardTestCol, synthSchema())
+		if err != nil {
+			tb.Fatal(err)
+		}
+		for i := 0; i < rows; i++ {
+			if err := sc.Append(synthPatch(i)); err != nil {
+				tb.Fatal(err)
+			}
+		}
+		s, err := NewSharded(sdb, cfg)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		tb.Cleanup(s.Close)
+		return s
+	}
+	db, err := core.Open(filepath.Join(tb.TempDir(), "plain.db"), exec.New(exec.CPU))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { db.Close() })
+	col, err := db.CreateCollection(shardTestCol, synthSchema())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		if err := col.Append(synthPatch(i)); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	s, err := New(db, cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(s.Close)
+	return s
+}
+
+func spansByName(data *obs.TraceData) map[string][]obs.Span {
+	out := make(map[string][]obs.Span)
+	for _, sp := range data.Spans {
+		out[sp.Name] = append(out[sp.Name], sp)
+	}
+	return out
+}
+
+// TestTracedScatterSpans: a traced scattered top-k query must return a
+// trace whose spans cover the whole request path — plan, queue wait,
+// execution, one fragment per shard (carrying shard id and scan record),
+// the k-way merge, and the cache store — and the named spans must cover
+// nearly all of the measured wall time (best of 5 attempts, since a
+// single run can be descheduled between spans).
+func TestTracedScatterSpans(t *testing.T) {
+	const nsh = 3
+	s := obsFixture(t, nsh, 600, Config{Workers: 2})
+	str := "car"
+
+	best := 0.0
+	var data *obs.TraceData
+	for attempt := 0; attempt < 5; attempt++ {
+		// A fresh limit each attempt keeps the fingerprint distinct, so
+		// every traced run executes instead of hitting the result cache.
+		resp, err := s.Query(context.Background(), Request{
+			Collection: shardTestCol,
+			Filter:     &FilterSpec{Field: "label", Str: &str},
+			OrderBy:    "score", Limit: 5 + attempt,
+			Trace: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.TraceID == "" || resp.TraceData == nil {
+			t.Fatalf("traced query returned no trace: id=%q data=%v", resp.TraceID, resp.TraceData)
+		}
+		d := resp.TraceData
+		// plan/queue/execute/cache-store partition the request lifetime;
+		// fragment and merge spans nest inside execute and must not be
+		// double-counted.
+		var covered float64
+		for _, sp := range d.Spans {
+			switch sp.Name {
+			case "plan", "queue", "execute", "cache-store":
+				covered += sp.DurUS
+			}
+		}
+		if d.DurUS > 0 && covered/d.DurUS > best {
+			best = covered / d.DurUS
+			data = d
+		}
+	}
+	if data == nil {
+		t.Fatal("no trace captured")
+	}
+	byName := spansByName(data)
+	for _, want := range []string{"plan", "queue", "execute", "fragment", "merge", "cache-store"} {
+		if len(byName[want]) == 0 {
+			t.Fatalf("trace is missing a %q span; got %v", want, data.Spans)
+		}
+	}
+	if got := len(byName["fragment"]); got != nsh {
+		t.Fatalf("fragment spans = %d, want one per shard (%d)", got, nsh)
+	}
+	shardsSeen := make(map[string]bool)
+	for _, sp := range byName["fragment"] {
+		if sp.Attrs["shard"] == "" {
+			t.Fatalf("fragment span has no shard attr: %+v", sp)
+		}
+		shardsSeen[sp.Attrs["shard"]] = true
+		if sp.Attrs["path"] == "" || sp.Attrs["rows"] == "" {
+			t.Fatalf("fragment span is missing path/rows attrs: %+v", sp)
+		}
+	}
+	if len(shardsSeen) != nsh {
+		t.Fatalf("fragment spans cover shards %v, want %d distinct", shardsSeen, nsh)
+	}
+	if got := byName["plan"][0].Attrs["cache"]; got != "miss" {
+		t.Fatalf("first execution's plan span says cache=%q, want miss", got)
+	}
+	if byName["execute"][0].Attrs["plan"] == "" {
+		t.Fatal("execute span carries no plan label")
+	}
+	if best < 0.90 {
+		t.Fatalf("named spans cover %.1f%% of traced wall time, want >= 90%%", 100*best)
+	}
+}
+
+// TestTraceOnCachedResponse: tracing a cache hit must report the hit in
+// the plan span, attach the trace to a caller-private copy, and leave
+// the shared cached response untouched for untraced callers.
+func TestTraceOnCachedResponse(t *testing.T) {
+	s := obsFixture(t, 1, 120, Config{Workers: 1})
+	str := "bus"
+	req := Request{
+		Collection: shardTestCol,
+		Filter:     &FilterSpec{Field: "label", Str: &str},
+		Trace:      true,
+	}
+	first, err := s.Query(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.TraceID == "" || first.CacheHit {
+		t.Fatalf("first traced query: id=%q hit=%v, want traced miss", first.TraceID, first.CacheHit)
+	}
+	second, err := s.Query(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.CacheHit || second.TraceData == nil {
+		t.Fatalf("second traced query: hit=%v trace=%v, want traced hit", second.CacheHit, second.TraceData)
+	}
+	if got := spansByName(second.TraceData)["plan"][0].Attrs["cache"]; got != "hit" {
+		t.Fatalf("cached query's plan span says cache=%q, want hit", got)
+	}
+	// The untraced caller must see the pristine shared object.
+	req.Trace = false
+	third, err := s.Query(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.TraceID != "" || third.TraceData != nil {
+		t.Fatalf("untraced query leaked trace state: id=%q data=%v", third.TraceID, third.TraceData)
+	}
+}
+
+// TestTraceSampling: with TraceSample set and no per-request opt-in, a
+// stride of queries gets span capture — visible only in the slow log
+// (responses stay trace-free).
+func TestTraceSampling(t *testing.T) {
+	s := obsFixture(t, 1, 60, Config{
+		Workers:            1,
+		TraceSample:        0.5,
+		SlowQueryThreshold: time.Nanosecond, // everything is "slow"
+	})
+	str := "car"
+	for i := 0; i < 4; i++ {
+		resp, err := s.Query(context.Background(), Request{
+			Collection: shardTestCol,
+			Filter:     &FilterSpec{Field: "label", Str: &str},
+			Limit:      1 + i, // distinct fingerprints: each query executes
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.TraceID != "" || resp.TraceData != nil {
+			t.Fatal("sampled trace must not attach to the response without an explicit request")
+		}
+	}
+	traced := 0
+	for _, e := range s.SlowQueries() {
+		if e.Trace != nil {
+			traced++
+		}
+	}
+	if traced != 2 {
+		t.Fatalf("1-in-2 sampling over 4 queries captured %d traces, want 2", traced)
+	}
+}
+
+// TestSlowQueryLog: the ring keeps the newest entries, newest first,
+// each carrying the request description and fingerprint.
+func TestSlowQueryLog(t *testing.T) {
+	s := obsFixture(t, 1, 120, Config{
+		Workers:            1,
+		SlowQueryThreshold: time.Nanosecond,
+		SlowLogEntries:     4,
+	})
+	str := "pedestrian"
+	for i := 0; i < 6; i++ {
+		if _, err := s.Query(context.Background(), Request{
+			Collection: shardTestCol,
+			Filter:     &FilterSpec{Field: "label", Str: &str},
+			Limit:      1 + i,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries := s.SlowQueries()
+	if len(entries) != 4 {
+		t.Fatalf("slow log holds %d entries, want the newest 4", len(entries))
+	}
+	for i, e := range entries {
+		if e.Query == "" || e.Fingerprint == "" {
+			t.Fatalf("entry %d is missing query/fingerprint: %+v", i, e)
+		}
+		if i > 0 && e.Time.After(entries[i-1].Time) {
+			t.Fatalf("entries not newest-first: %v after %v", e.Time, entries[i-1].Time)
+		}
+	}
+	// The newest entry is the limit=6 query.
+	if want := "limit(6)"; !strings.Contains(entries[0].Query, want) {
+		t.Fatalf("newest entry %q does not mention %s", entries[0].Query, want)
+	}
+}
+
+// TestMetricsEndpoint: GET /metrics must emit well-formed Prometheus
+// text (no duplicate series, complete histogram families) whose
+// counters agree with the queries this test ran.
+func TestMetricsEndpoint(t *testing.T) {
+	s := obsFixture(t, 2, 200, Config{Workers: 2})
+	str := "car"
+	const n = 5
+	for i := 0; i < n; i++ {
+		if _, err := s.Query(context.Background(), Request{
+			Collection: shardTestCol,
+			Filter:     &FilterSpec{Field: "label", Str: &str},
+			NoCache:    true,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/metrics returned %d", rec.Code)
+	}
+	exp, err := obs.CheckExposition(rec.Body)
+	if err != nil {
+		t.Fatalf("/metrics is not valid exposition: %v", err)
+	}
+	if v, ok := exp.Value("deeplens_queries_completed_total", nil); !ok || v != n {
+		t.Fatalf("deeplens_queries_completed_total = %v (found=%v), want %d", v, ok, n)
+	}
+	if v, ok := exp.Value("deeplens_query_duration_seconds_count", nil); !ok || v != n {
+		t.Fatalf("deeplens_query_duration_seconds_count = %v (found=%v), want %d", v, ok, n)
+	}
+	if v, ok := exp.Value("deeplens_scatter_fanout_count", nil); !ok || v != n {
+		t.Fatalf("deeplens_scatter_fanout_count = %v (found=%v), want %d", v, ok, n)
+	}
+	if _, ok := exp.Value("deeplens_cache_hit_rate", map[string]string{"cache": "result"}); !ok {
+		t.Fatal("deeplens_cache_hit_rate{cache=\"result\"} is missing")
+	}
+	// The server-side histogram quantile must reconstruct from the
+	// scraped buckets (the loadgen's cross-check path).
+	if q, ok := obs.PromHistogramQuantile(exp, "deeplens_query_duration_seconds", nil, 0.5); !ok || q < 0 {
+		t.Fatalf("p50 from scraped histogram = %v (found=%v)", q, ok)
+	}
+}
+
+// TestDebugSlowAndHealthz: the slow-log endpoint serves JSON and the
+// liveness probe reports uptime without building a Stats snapshot.
+func TestDebugSlowAndHealthz(t *testing.T) {
+	s := obsFixture(t, 1, 60, Config{Workers: 1, SlowQueryThreshold: time.Nanosecond})
+	str := "car"
+	if _, err := s.Query(context.Background(), Request{
+		Collection: shardTestCol,
+		Filter:     &FilterSpec{Field: "label", Str: &str},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/slow", nil))
+	var slow struct {
+		ThresholdMS float64         `json:"threshold_ms"`
+		Entries     []obs.SlowEntry `json:"entries"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &slow); err != nil {
+		t.Fatalf("/debug/slow: %v", err)
+	}
+	if len(slow.Entries) == 0 {
+		t.Fatal("/debug/slow has no entries after a slow query")
+	}
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	var health struct {
+		Status    string  `json:"status"`
+		UptimeSec float64 `json:"uptime_sec"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &health); err != nil {
+		t.Fatalf("/healthz: %v", err)
+	}
+	if health.Status != "ok" || health.UptimeSec < 0 {
+		t.Fatalf("/healthz = %+v", health)
+	}
+}
+
+// statsContract mirrors every JSON field Stats currently exposes. The
+// decoder below runs with DisallowUnknownFields, so renaming or adding
+// a /stats field fails this test until the contract (and any dashboards
+// reading it) are updated deliberately; the key check catches drops.
+type statsContract struct {
+	UptimeSec         float64           `json:"uptime_sec"`
+	Workers           int               `json:"workers"`
+	QueueCap          int               `json:"queue_cap"`
+	QueueDepth        int               `json:"queue_depth"`
+	QueueLen          int               `json:"queue_len"`
+	Sources           int               `json:"sources"`
+	Admitted          int64             `json:"admitted"`
+	Rejected          int64             `json:"rejected"`
+	Coalesced         int64             `json:"coalesced"`
+	Completed         int64             `json:"completed"`
+	Failed            int64             `json:"failed"`
+	InFlight          int64             `json:"in_flight"`
+	PeakInFlight      int64             `json:"peak_in_flight"`
+	Appends           int64             `json:"appends"`
+	AppendedRows      int64             `json:"appended_rows"`
+	ColumnExtends     int64             `json:"column_extends"`
+	ExtendReuseBlocks int64             `json:"extend_reuse_blocks"`
+	ExtendTotalBlocks int64             `json:"extend_total_blocks"`
+	ResultCache       CacheStats        `json:"result_cache"`
+	UDFCache          CacheStats        `json:"udf_cache"`
+	ResultHitRate     float64           `json:"result_hit_rate"`
+	Device            string            `json:"device"`
+	Devices           int               `json:"devices"`
+	DeviceKernels     int64             `json:"device_kernels"`
+	DeviceLaunches    int64             `json:"device_launches"`
+	DeviceFLOPs       int64             `json:"device_flops"`
+	DeviceOverheadMS  float64           `json:"device_overhead_ms"`
+	Batcher           exec.BatcherStats `json:"batcher"`
+	FusionFactor      float64           `json:"fusion_factor"`
+	Shards            int               `json:"shards"`
+	ShardInfo         []core.ShardInfo  `json:"shard_info"`
+	ScatterQueries    int64             `json:"scatter_queries"`
+	ScatterTasks      int64             `json:"scatter_tasks"`
+	MergeTimeMS       float64           `json:"merge_time_ms"`
+}
+
+// TestStatsJSONContract pins the /stats response shape: every field the
+// contract lists must be present (drops and renames fail), and no field
+// may appear that the contract does not know (renames surface as
+// unknowns).
+func TestStatsJSONContract(t *testing.T) {
+	s := obsFixture(t, 2, 100, Config{Workers: 1})
+	str := "car"
+	if _, err := s.Query(context.Background(), Request{
+		Collection: shardTestCol,
+		Filter:     &FilterSpec{Field: "label", Str: &str},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/stats", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/stats returned %d", rec.Code)
+	}
+	raw := rec.Body.Bytes()
+
+	strict := json.NewDecoder(bytes.NewReader(raw))
+	strict.DisallowUnknownFields()
+	var got statsContract
+	if err := strict.Decode(&got); err != nil {
+		t.Fatalf("/stats no longer matches the contract (renamed or new field?): %v", err)
+	}
+
+	var keys map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &keys); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"uptime_sec", "workers", "queue_cap", "queue_depth", "queue_len", "sources",
+		"admitted", "rejected", "coalesced", "completed", "failed",
+		"in_flight", "peak_in_flight",
+		"appends", "appended_rows", "column_extends", "extend_reuse_blocks", "extend_total_blocks",
+		"result_cache", "udf_cache", "result_hit_rate",
+		"device", "devices", "device_kernels", "device_launches", "device_flops", "device_overhead_ms",
+		"batcher", "fusion_factor",
+		"shards", "shard_info", "scatter_queries", "scatter_tasks", "merge_time_ms",
+	} {
+		if _, ok := keys[want]; !ok {
+			t.Errorf("/stats dropped field %q", want)
+		}
+	}
+	if got.Completed < 1 || got.Admitted < 1 {
+		t.Fatalf("counters did not move: %+v", got)
+	}
+}
+
+// TestTracingOverheadBound: with sampling off, an untraced query pays
+// only nil-trace branches; its min-wall must stay close to a build
+// where the same query runs traced. The margin is deliberately loose —
+// this is a regression tripwire for accidentally putting allocation or
+// locking on the untraced path, not a benchmark.
+func TestTracingOverheadBound(t *testing.T) {
+	if raceEnabled {
+		t.Skip("wall-clock ratios are not meaningful under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s := obsFixture(t, 1, 2000, Config{Workers: 2})
+	str := "car"
+	run := func(traced bool) float64 {
+		var sum obs.Summary
+		for i := 0; i < 40; i++ {
+			req := Request{
+				Collection: shardTestCol,
+				Filter:     &FilterSpec{Field: "label", Str: &str},
+				NoCache:    true,
+				Trace:      traced,
+			}
+			t0 := time.Now()
+			if _, err := s.Query(context.Background(), req); err != nil {
+				t.Fatal(err)
+			}
+			sum.ObserveDuration(time.Since(t0))
+		}
+		return sum.Min()
+	}
+	run(false) // warm both paths (snapshot + column store)
+	run(true)
+	untraced := run(false)
+	traced := run(true)
+	if untraced <= 0 {
+		t.Skip("clock resolution too coarse for this machine")
+	}
+	// Span capture costs a handful of microseconds absolute (mutex, span
+	// records, the Data() copy), which dwarfs a microsecond-scale test
+	// query but vanishes on production ones — so the bound is relative
+	// plus a small absolute allowance.
+	if traced > untraced*1.25+100e-6 {
+		t.Fatalf("traced min-wall %.0fµs vs untraced %.0fµs: tracing overhead out of bounds",
+			traced*1e6, untraced*1e6)
+	}
+}
+
+func BenchmarkUntracedQuery(b *testing.B) {
+	benchmarkQuery(b, false)
+}
+
+func BenchmarkTracedQuery(b *testing.B) {
+	benchmarkQuery(b, true)
+}
+
+func benchmarkQuery(b *testing.B, traced bool) {
+	s := obsFixture(b, 1, 2000, Config{Workers: 2})
+	str := "car"
+	req := Request{
+		Collection: shardTestCol,
+		Filter:     &FilterSpec{Field: "label", Str: &str},
+		NoCache:    true,
+		Trace:      traced,
+	}
+	ctx := context.Background()
+	if _, err := s.Query(ctx, req); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Query(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Request is the declarative query the service executes: a pipeline of
@@ -38,6 +39,17 @@ type Request struct {
 	// NoCache bypasses the result cache (the plan still executes and the
 	// UDF cache still applies).
 	NoCache bool `json:"no_cache,omitempty"`
+
+	// Trace requests full span capture for this query; the response then
+	// carries the trace (TraceID/TraceData). Purely observational: it
+	// never changes the result and is excluded from the fingerprint, so
+	// traced and untraced runs share one cache entry.
+	Trace bool `json:"trace,omitempty"`
+
+	// tr is the span collector for this execution, set by the service
+	// when the query is traced (requested or sampled). Nil otherwise —
+	// every span call on a nil trace is a no-op.
+	tr *obs.Trace
 }
 
 // FilterSpec is a selection on one metadata field: either an equality
@@ -264,6 +276,13 @@ type Response struct {
 	CacheAwareCostSec float64 `json:"cache_aware_cost_sec"`
 
 	DurationMS float64 `json:"duration_ms"`
+
+	// TraceID/TraceData carry the per-query trace when the request asked
+	// for one ("trace": true). Always attached to a caller-private copy:
+	// cached and coalesced responses are shared objects and are never
+	// mutated.
+	TraceID   string         `json:"trace_id,omitempty"`
+	TraceData *obs.TraceData `json:"trace,omitempty"`
 }
 
 // sizeBytes estimates the response's cache footprint, including row

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/obs"
 )
 
 // Scatter-gather execution over a sharded backend. The plan is made
@@ -41,6 +42,37 @@ type shardFragment struct {
 	cost     float64
 }
 
+// annotate attaches the fragment's work record to its trace span:
+// which shard ran, how many rows it held and matched, the access path,
+// and — when the filter ran columnar — the zone-map pruning and
+// column-extension outcome. No-op on untraced queries (nil handle).
+func (f *shardFragment) annotate(sp *obs.SpanHandle, shard, snapRows int) {
+	if sp == nil {
+		return
+	}
+	sp.AttrInt("shard", int64(shard))
+	sp.AttrInt("rows", int64(snapRows))
+	sp.AttrInt("matched", int64(len(f.filtered)))
+	path := "full-scan"
+	if len(f.planOps) > 0 {
+		path = f.planOps[0]
+	}
+	sp.Attr("path", path)
+	if c := f.csel; c != nil {
+		sp.AttrInt("blocks", int64(c.scan.Blocks))
+		sp.AttrInt("blocks_pruned", int64(c.scan.Pruned))
+		sp.AttrInt("rows_scanned", int64(c.scan.RowsScanned))
+		switch {
+		case c.colInfo.Extended:
+			sp.Attr("columns", "extended")
+		case c.colInfo.Built:
+			sp.Attr("columns", "built")
+		default:
+			sp.Attr("columns", "cached")
+		}
+	}
+}
+
 // shardDev returns the batcher-fronted device scatter task t is pinned
 // to. Shard-local task i maps to device i%Devices, so a shard's kernels
 // always land on the same scheduler; cross tasks continue round-robin.
@@ -52,7 +84,7 @@ func (s *Service) shardDev(t int) *exec.Batcher {
 // the first error. A single task runs inline (the N=1 path adds no
 // goroutine overhead).
 func (s *Service) scatterWave(n int, fn func(t int) error) error {
-	s.scatterTasks.Add(int64(n))
+	s.tel.scatterTasks.Add(int64(n))
 	if n == 1 {
 		return fn(0)
 	}
@@ -90,7 +122,8 @@ func (s *Service) executeScatter(req *Request) (*Response, error) {
 		return nil, err
 	}
 	nsh := len(parts)
-	s.scatterQueries.Add(1)
+	s.tel.scatterQueries.Inc()
+	s.tel.fanout.Observe(float64(nsh))
 
 	// Plan once: resolve and type-check the filter constant (or range
 	// bounds) against the schema before fanning anything out.
@@ -122,8 +155,10 @@ func (s *Service) executeScatter(req *Request) (*Response, error) {
 	// ---- scatter: per-shard filter (+ local sort/trim) fragments ----
 	frags := make([]*shardFragment, nsh)
 	err = s.scatterWave(nsh, func(i int) error {
+		sp := req.tr.Begin("fragment")
 		frag, err := s.filterFragment(req, fval, scol, i, parts[i])
 		if err != nil {
+			sp.End()
 			return err
 		}
 		if req.SimJoin == nil && wantRows {
@@ -143,6 +178,8 @@ func (s *Service) executeScatter(req *Request) (*Response, error) {
 				frag.rows = frag.rows[:limit]
 			}
 		}
+		sp.End()
+		frag.annotate(sp, i, len(parts[i]))
 		frags[i] = frag
 		return nil
 	})
@@ -156,6 +193,7 @@ func (s *Service) executeScatter(req *Request) (*Response, error) {
 
 	// ---- gather: sum counts, merge rows ----
 	mergeStart := time.Now()
+	mg := req.tr.Begin("merge")
 	resp := &Response{}
 	total := 0
 	for _, frag := range frags {
@@ -188,6 +226,7 @@ func (s *Service) executeScatter(req *Request) (*Response, error) {
 		planOps = append(planOps, "scan-count")
 	}
 	resp.Plan = s.scatterPlan(nsh, 0, planOps, gatherLabel(req))
+	mg.Attr("gather", gatherLabel(req)).AttrInt("rows", int64(len(resp.Rows))).End()
 	s.mergeNS.Add(time.Since(mergeStart).Nanoseconds())
 	return resp, nil
 }
@@ -350,10 +389,21 @@ func (s *Service) simJoinScatter(req *Request, scol *core.ShardedCollection, fra
 			dev.BeginSubmitter()
 			defer dev.EndSubmitter()
 		}
+		sp := req.tr.Begin("join-task")
+		odev := s.observedDev(dev, req.tr)
+		var err error
 		if task.left == task.right {
-			return s.runLocalJoin(task, sj, frags[task.left].filtered, scol, dim, hasIndex, dev)
+			err = s.runLocalJoin(task, sj, frags[task.left].filtered, scol, dim, hasIndex, dev, odev)
+		} else {
+			err = s.runCrossJoin(task, sj, frags[task.left].filtered, frags[task.right].filtered, scol, dim, hasIndex, dev, odev)
 		}
-		return s.runCrossJoin(task, sj, frags[task.left].filtered, frags[task.right].filtered, scol, dim, hasIndex, dev)
+		sp.End()
+		if err == nil {
+			sp.AttrInt("left", int64(task.left)).
+				AttrInt("right", int64(task.right)).
+				AttrInt("pairs", int64(len(task.pairs)))
+		}
+		return err
 	})
 	if err != nil {
 		return nil, err
@@ -361,6 +411,7 @@ func (s *Service) simJoinScatter(req *Request, scol *core.ShardedCollection, fra
 
 	// ---- gather: concatenate pairs, re-cluster for distinct ----
 	mergeStart := time.Now()
+	mg := req.tr.Begin("merge")
 	resp := &Response{}
 	var pairs []core.Tuple
 	label := ""
@@ -390,13 +441,14 @@ func (s *Service) simJoinScatter(req *Request, scol *core.ShardedCollection, fra
 		resp.Value = len(pairs)
 	}
 	resp.Plan = s.scatterPlan(nsh, cross, planOps, gather)
+	mg.Attr("gather", gather).AttrInt("pairs", int64(len(pairs))).End()
 	s.mergeNS.Add(time.Since(mergeStart).Nanoseconds())
 	return resp, nil
 }
 
 // runLocalJoin is shard i's self-join over its own fragment — exactly
 // the unsharded similarity join, shard-local index and all.
-func (s *Service) runLocalJoin(task *joinTask, sj *SimJoinSpec, filtered []*core.Patch, scol *core.ShardedCollection, dim int, hasIndex bool, dev *exec.Batcher) error {
+func (s *Service) runLocalJoin(task *joinTask, sj *SimJoinSpec, filtered []*core.Patch, scol *core.ShardedCollection, dim int, hasIndex bool, dev *exec.Batcher, odev exec.Device) error {
 	i := task.left
 	db, col := s.shards.Shard(i), scol.Shard(i)
 	if hasIndex {
@@ -409,7 +461,7 @@ func (s *Service) runLocalJoin(task *joinTask, sj *SimJoinSpec, filtered []*core
 	task.cost = sp.EstCost
 	opts := core.SimilarityJoinOpts{
 		LeftField: sj.Field, RightField: sj.Field,
-		Eps: sj.Eps, DedupUnordered: true, Device: dev,
+		Eps: sj.Eps, DedupUnordered: true, Device: odev,
 	}
 	var pairs []core.Tuple
 	var err error
@@ -440,14 +492,14 @@ func (s *Service) runLocalJoin(task *joinTask, sj *SimJoinSpec, filtered []*core
 // needed: each qualifying cross-shard pair materializes exactly once,
 // which together with the deduped local self-joins reproduces the
 // unsharded DedupUnordered pair set.
-func (s *Service) runCrossJoin(task *joinTask, sj *SimJoinSpec, left, right []*core.Patch, scol *core.ShardedCollection, dim int, hasIndex bool, dev *exec.Batcher) error {
+func (s *Service) runCrossJoin(task *joinTask, sj *SimJoinSpec, left, right []*core.Patch, scol *core.ShardedCollection, dim int, hasIndex bool, dev *exec.Batcher, odev exec.Device) error {
 	j := task.right
 	dbR, colR := s.shards.Shard(j), scol.Shard(j)
 	sp := s.cost.PlanSimilarityJoin(len(left), len(right), dim, hasIndex)
 	task.cost = sp.EstCost
 	opts := core.SimilarityJoinOpts{
 		LeftField: sj.Field, RightField: sj.Field,
-		Eps: sj.Eps, Device: dev,
+		Eps: sj.Eps, Device: odev,
 	}
 	var pairs []core.Tuple
 	var err error

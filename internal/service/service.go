@@ -41,6 +41,7 @@ import (
 	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/vision"
 )
 
@@ -104,6 +105,18 @@ type Config struct {
 	UDFCacheBytes int64
 	// ModelSeed fixes UDF weights (default DefaultModelSeed).
 	ModelSeed int64
+	// SlowQueryThreshold records queries at or over this duration in the
+	// in-memory slow-query log served at /debug/slow (default 250ms;
+	// negative disables the log).
+	SlowQueryThreshold time.Duration
+	// SlowLogEntries bounds the slow-query ring buffer (default 64).
+	SlowLogEntries int
+	// TraceSample captures full span traces for this fraction of
+	// queries even without an explicit "trace": true request (0 = only
+	// explicit traces; 1 = every query). Sampled traces feed the
+	// slow-query log; explicit traces are additionally returned on the
+	// response.
+	TraceSample float64
 }
 
 // withDefaults resolves zero values. shards is the backing partition
@@ -142,6 +155,15 @@ func (c Config) withDefaults(shards int) Config {
 	if c.ModelSeed == 0 {
 		c.ModelSeed = DefaultModelSeed
 	}
+	switch {
+	case c.SlowQueryThreshold == 0:
+		c.SlowQueryThreshold = 250 * time.Millisecond
+	case c.SlowQueryThreshold < 0:
+		c.SlowQueryThreshold = 0 // slow log disabled
+	}
+	if c.SlowLogEntries <= 0 {
+		c.SlowLogEntries = 64
+	}
 	return c
 }
 
@@ -149,7 +171,8 @@ func (c Config) withDefaults(shards int) Config {
 type task struct {
 	ctx  context.Context
 	req  *Request
-	key  string // result-cache key ("" = uncacheable)
+	key  string    // result-cache key ("" = uncacheable)
+	enq  time.Time // admission time (queue-wait telemetry)
 	resp *Response
 	err  error
 	done chan struct{}
@@ -201,13 +224,12 @@ type Service struct {
 	buildMu sync.Mutex
 	builds  map[string]*sync.Mutex // per-(col,field,kind) index-build locks
 
-	admitted, rejected, coalesced atomic.Int64
-	completed, failed             atomic.Int64
-	inFlight, peakInFlight        atomic.Int64
+	// tel owns the metrics registry (the serving counters live there as
+	// registry-backed obs.Counters), the slow-query log, and the trace
+	// sampler; /metrics and /stats read the same source.
+	tel *telemetry
 
-	// Live-ingest counters: append requests served and rows committed
-	// through the streaming path (see ingest.go).
-	appends, appendedRows atomic.Int64
+	inFlight, peakInFlight atomic.Int64
 
 	// statsMu makes (queue depth, in-flight count) observable as one
 	// consistent pair: enqueue/dequeue update the in-flight counter while
@@ -215,10 +237,7 @@ type Service struct {
 	// could report a task as neither queued nor in flight (or both).
 	statsMu sync.Mutex
 
-	// Scatter-gather counters (sharded backend only).
-	scatterQueries atomic.Int64 // queries executed via scatter-gather
-	scatterTasks   atomic.Int64 // fragments fanned out (filter + join tasks)
-	mergeNS        atomic.Int64 // cumulative gather/merge wall time
+	mergeNS atomic.Int64 // cumulative scatter gather/merge wall time
 }
 
 // New starts a service over db with cfg.Workers executors. Close releases
@@ -268,6 +287,7 @@ func buildService(db *core.DB, sdb *core.Sharded, cfg Config) (*Service, error) 
 		inflight: make(map[string]*flight),
 		builds:   make(map[string]*sync.Mutex),
 	}
+	s.tel = newTelemetry(s, cfg)
 	// Lease every device for the service's lifetime and front each with a
 	// kernel batcher. Workers are assigned round-robin: with Devices ==
 	// Workers this degenerates to PR-1's exclusive leases (a batch of one
@@ -403,27 +423,49 @@ func (s *Service) Query(ctx context.Context, req Request) (*Response, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	start := time.Now()
+	// tr is nil for untraced queries; every span operation on it is a
+	// no-op branch, keeping the hot path's instrumentation cost at two
+	// clock reads plus one histogram observe.
+	tr := s.tel.startTrace(&req)
+	req.tr = tr
+	resp, err := s.doQuery(ctx, &req, tr)
+	if err != nil {
+		return nil, err
+	}
+	return s.tel.finishQuery(resp, &req, tr, time.Since(start)), nil
+}
 
+// doQuery is Query's cache/coalesce/admit pipeline.
+func (s *Service) doQuery(ctx context.Context, req *Request, tr *obs.Trace) (*Response, error) {
 	var key string
 	if !req.NoCache {
+		plan := tr.Begin("plan")
 		var err error
-		if key, err = s.fingerprintFor(&req); err != nil {
+		if key, err = s.fingerprintFor(req); err != nil {
+			plan.End()
 			return nil, err
 		}
 		if v, ok := s.results.Get(key); ok {
-			return cachedResponse(v.(*Response), s), nil
+			plan.Attr("cache", "hit").End()
+			resp := cachedResponse(v.(*Response), s)
+			plan.Attr("plan", resp.Plan)
+			return resp, nil
 		}
 		// Coalesce identical cold queries onto one execution.
 		s.flightMu.Lock()
 		if fl, ok := s.inflight[key]; ok {
 			s.flightMu.Unlock()
-			s.coalesced.Add(1)
+			s.tel.coalesced.Inc()
+			plan.Attr("cache", "coalesced").End()
 			select {
 			case <-fl.done:
 				if fl.err != nil {
 					return nil, fl.err
 				}
-				return cachedResponse(fl.resp, s), nil
+				resp := cachedResponse(fl.resp, s)
+				plan.Attr("plan", resp.Plan)
+				return resp, nil
 			case <-ctx.Done():
 				return nil, ctx.Err()
 			case <-s.quit:
@@ -433,7 +475,8 @@ func (s *Service) Query(ctx context.Context, req Request) (*Response, error) {
 		fl := &flight{done: make(chan struct{})}
 		s.inflight[key] = fl
 		s.flightMu.Unlock()
-		t, err := s.enqueue(ctx, &req, key)
+		plan.Attr("cache", "miss").End()
+		t, err := s.enqueue(ctx, req, key)
 		if err != nil {
 			s.finishFlight(key, fl, nil, err)
 			return nil, err
@@ -451,6 +494,9 @@ func (s *Service) Query(ctx context.Context, req Request) (*Response, error) {
 		}()
 		select {
 		case <-fl.done:
+			if fl.resp != nil {
+				plan.Attr("plan", fl.resp.Plan)
+			}
 			return fl.resp, fl.err
 		case <-ctx.Done():
 			return nil, ctx.Err() // the worker still completes it; result is cached
@@ -458,7 +504,13 @@ func (s *Service) Query(ctx context.Context, req Request) (*Response, error) {
 			return nil, ErrClosed
 		}
 	}
-	return s.admit(ctx, &req, "")
+	plan := tr.Begin("plan")
+	plan.Attr("cache", "bypass").End()
+	resp, err := s.admit(ctx, req, "")
+	if err == nil {
+		plan.Attr("plan", resp.Plan)
+	}
+	return resp, err
 }
 
 // finishFlight publishes an in-flight computation's outcome exactly once.
@@ -473,7 +525,7 @@ func (s *Service) finishFlight(key string, fl *flight, resp *Response, err error
 // enqueue admits the task, rejecting with ErrOverloaded when the queue
 // is full.
 func (s *Service) enqueue(ctx context.Context, req *Request, key string) (*task, error) {
-	t := &task{ctx: ctx, req: req, key: key, done: make(chan struct{})}
+	t := &task{ctx: ctx, req: req, key: key, enq: time.Now(), done: make(chan struct{})}
 	// The queue send and the in-flight increment happen under statsMu so
 	// Stats observes them as one event (a task is never visible in the
 	// queue without being counted in flight, or vice versa).
@@ -488,11 +540,11 @@ func (s *Service) enqueue(ctx context.Context, req *Request, key string) (*task,
 				break
 			}
 		}
-		s.admitted.Add(1)
+		s.tel.admitted.Inc()
 		return t, nil
 	default:
 		s.statsMu.Unlock()
-		s.rejected.Add(1)
+		s.tel.rejected.Inc()
 		return nil, ErrOverloaded
 	}
 }
@@ -538,27 +590,37 @@ func (s *Service) process(w *worker, t *task) {
 	// Cacheable tasks still run: the result serves coalesced waiters and
 	// future fingerprint hits.
 	if t.key == "" && t.ctx != nil && t.ctx.Err() != nil {
-		s.failed.Add(1)
+		s.tel.failed.Inc()
 		t.err = t.ctx.Err()
 		close(t.done)
 		return
 	}
 	start := time.Now()
+	wait := start.Sub(t.enq)
+	s.tel.queueWait.Observe(wait.Seconds())
+	tr := t.req.tr
+	tr.AddSpan("queue", t.enq, wait, nil)
+	ex := tr.Begin("execute")
 	resp, err := s.execute(w, t.req)
 	if err != nil {
-		s.failed.Add(1)
+		ex.End()
+		s.tel.failed.Inc()
 		t.err = err
 		close(t.done)
 		return
 	}
+	ex.AttrInt("worker", int64(w.id)).End()
+	ex.Attr("plan", resp.Plan)
 	resp.DurationMS = float64(time.Since(start).Microseconds()) / 1000
 	resp.Fingerprint = t.key
 	resp.CacheAwareCostSec = s.cost.CacheAwareCost(
 		resp.EstCostSec, s.results.Stats().HitRate(), cacheLookupCostSec)
 	if t.key != "" {
+		cs := tr.Begin("cache-store")
 		s.results.Put(t.key, resp, resp.sizeBytes())
+		cs.End()
 	}
-	s.completed.Add(1)
+	s.tel.completed.Inc()
 	t.resp = resp
 	close(t.done)
 }
@@ -708,7 +770,8 @@ func (s *Service) executeQuery(w *worker, req *Request) (*Response, error) {
 		resp.EstCostSec += sp.EstCost
 		opts := core.SimilarityJoinOpts{
 			LeftField: sj.Field, RightField: sj.Field,
-			Eps: sj.Eps, DedupUnordered: true, Device: w.dev,
+			Eps: sj.Eps, DedupUnordered: true,
+			Device: s.observedDev(w.dev, req.tr),
 		}
 		var pairs []core.Tuple
 		switch sp.Method {
@@ -1059,16 +1122,16 @@ func (s *Service) Stats() Stats {
 		QueueLen:   queueDepth,
 		Sources:    nsrc,
 
-		Admitted:     s.admitted.Load(),
-		Rejected:     s.rejected.Load(),
-		Coalesced:    s.coalesced.Load(),
-		Completed:    s.completed.Load(),
-		Failed:       s.failed.Load(),
+		Admitted:     s.tel.admitted.Value(),
+		Rejected:     s.tel.rejected.Value(),
+		Coalesced:    s.tel.coalesced.Value(),
+		Completed:    s.tel.completed.Value(),
+		Failed:       s.tel.failed.Value(),
 		InFlight:     inFlight,
 		PeakInFlight: s.peakInFlight.Load(),
 
-		Appends:           s.appends.Load(),
-		AppendedRows:      s.appendedRows.Load(),
+		Appends:           s.tel.appends.Value(),
+		AppendedRows:      s.tel.appendedRows.Value(),
 		ColumnExtends:     extends,
 		ExtendReuseBlocks: extReused,
 		ExtendTotalBlocks: extTotal,
@@ -1092,8 +1155,17 @@ func (s *Service) Stats() Stats {
 
 		Shards:         nshards,
 		ShardInfo:      shardInfo,
-		ScatterQueries: s.scatterQueries.Load(),
-		ScatterTasks:   s.scatterTasks.Load(),
+		ScatterQueries: s.tel.scatterQueries.Value(),
+		ScatterTasks:   s.tel.scatterTasks.Value(),
 		MergeTimeMS:    float64(s.mergeNS.Load()) / 1e6,
 	}
 }
+
+// Metrics returns the service's metrics registry (the source behind
+// GET /metrics). Exposed so embedding binaries can add their own
+// families or render the exposition out-of-band.
+func (s *Service) Metrics() *obs.Registry { return s.tel.reg }
+
+// SlowQueries returns the retained slow-query log entries, newest
+// first (the source behind GET /debug/slow).
+func (s *Service) SlowQueries() []obs.SlowEntry { return s.tel.slow.Snapshot() }

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -106,17 +107,15 @@ type Point struct {
 func MinWall(svc *service.Service, iters int) (time.Duration, error) {
 	req := ScanRequest()
 	ctx := context.Background()
-	best := time.Duration(1<<62 - 1)
+	var s obs.Summary
 	for i := 0; i < iters; i++ {
 		t0 := time.Now()
 		if _, err := svc.Query(ctx, req); err != nil {
 			return 0, err
 		}
-		if el := time.Since(t0); el < best {
-			best = el
-		}
+		s.ObserveDuration(time.Since(t0))
 	}
-	return best, nil
+	return time.Duration(s.Min() * float64(time.Second)), nil
 }
 
 // WriteJSON fills in speedups relative to the 1-shard point and writes

@@ -1,0 +1,23 @@
+// Command promcheck validates a Prometheus text exposition read from
+// stdin: it fails on malformed lines, duplicate series, duplicate TYPE
+// declarations, and histogram families missing their
+// _bucket/_sum/_count triples. CI pipes `curl /metrics` through it to
+// keep the exposition contract honest.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	exp, err := obs.CheckExposition(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "promcheck: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("promcheck: ok — %d samples across %d typed families\n",
+		len(exp.Samples), len(exp.Types))
+}
