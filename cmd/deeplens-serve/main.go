@@ -42,6 +42,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/exec"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/service"
 )
@@ -80,6 +81,11 @@ func run() error {
 		addr       = flag.String("addr", ":8080", "HTTP listen address")
 		dir        = flag.String("dir", "", "data directory (default: a fresh temp dir)")
 		shards     = flag.Int("shards", 1, "partition collections across N DB shards (shard subdirectories under -dir; queries run scatter-gather)")
+		replicas   = flag.Int("replicas", 1, "replicas per shard (appends write all replicas of the home shard; reads hedge across them)")
+		queryTO    = flag.Duration("query-timeout", 0, "server-side query deadline (0 = none; requests may override with timeout_ms; exceeded = HTTP 504)")
+		hedgeAfter = flag.Duration("hedge-after", 0, "hedge-budget floor before the fragment p99 takes over (0 = default 25ms, negative disables hedging)")
+		faultSpec  = flag.String("fault", "", "comma-separated failpoint rules point[@shard[.replica]]:prob[:stall_ms], e.g. fragment-stall:0.2 or fragment-error@1.0:1 (points: fragment-error, fragment-stall, append-error, device-stall)")
+		faultSeed  = flag.Int64("fault-seed", 1, "deterministic seed for failpoint probability draws")
 		workers    = flag.Int("workers", 8, "executor pool size")
 		queue      = flag.Int("queue", 64, "admission queue depth")
 		device     = flag.String("device", "cpu", "execution backend: cpu, avx or gpu")
@@ -140,9 +146,23 @@ func run() error {
 
 		SlowQueryThreshold: time.Duration(*slowMS) * time.Millisecond,
 		TraceSample:        *traceSmp,
+
+		QueryTimeout: *queryTO,
+		HedgeAfter:   *hedgeAfter,
+	}
+	if *faultSpec != "" {
+		rules, err := fault.ParseRules(*faultSpec)
+		if err != nil {
+			return err
+		}
+		svcCfg.Faults = fault.Config{Seed: *faultSeed, Rules: rules}
+		log.Printf("fault injection armed (seed %d): %s", *faultSeed, *faultSpec)
 	}
 
-	useSharded, err := checkDirLayout(*dir, *shards)
+	if *replicas < 1 {
+		return fmt.Errorf("-replicas %d: want >= 1", *replicas)
+	}
+	useSharded, err := checkDirLayout(*dir, *shards, *replicas)
 	if err != nil {
 		return err
 	}
@@ -153,14 +173,16 @@ func run() error {
 	)
 	start := time.Now()
 	if useSharded {
-		log.Printf("ingesting into %s across %d shards (reused if already materialized)...", *dir, *shards)
-		env, err = bench.NewShardedEnv(*dir, cfg, *shards, exec.New(kind))
+		log.Printf("ingesting into %s across %d shards x %d replicas (reused if already materialized)...",
+			*dir, *shards, *replicas)
+		env, err = bench.NewShardedReplicaEnv(*dir, cfg, *shards, *replicas, exec.New(kind))
 		if err != nil {
 			return err
 		}
 		defer env.Close()
-		log.Printf("sharded catalog ready in %v: collections %v across %d shards",
-			time.Since(start).Round(time.Millisecond), env.Shards.Collections(), env.Shards.NumShards())
+		log.Printf("sharded catalog ready in %v: collections %v across %d shards x %d replicas",
+			time.Since(start).Round(time.Millisecond), env.Shards.Collections(),
+			env.Shards.NumShards(), env.Shards.Replicas())
 		svc, err = service.NewSharded(env.Shards, svcCfg)
 	} else {
 		log.Printf("ingesting into %s (reused if already materialized)...", *dir)
@@ -210,7 +232,8 @@ func run() error {
 // different count; the cases it cannot see are sharded vs unsharded
 // transitions, which would otherwise silently re-ingest a second
 // database alongside the existing one.
-func checkDirLayout(dir string, shards int) (useSharded bool, err error) {
+func checkDirLayout(dir string, shards, replicas int) (useSharded bool, err error) {
+	wantSharded := shards > 1 || replicas > 1
 	raw, readErr := os.ReadFile(filepath.Join(dir, "SHARDS.json"))
 	if readErr == nil {
 		var m struct {
@@ -221,15 +244,15 @@ func checkDirLayout(dir string, shards int) (useSharded bool, err error) {
 			// names the file; guessing a count here would mislead.
 			return true, nil
 		}
-		if shards <= 1 && m.Shards != 1 {
+		if !wantSharded && m.Shards != 1 {
 			return false, fmt.Errorf("%s holds a sharded database (%d shards): pass -shards %d, or re-ingest into a fresh -dir",
 				dir, m.Shards, m.Shards)
 		}
-		return true, nil // existing sharded layout (OpenSharded re-validates the count)
+		return true, nil // existing sharded layout (OpenShardedReplicas re-validates the topology)
 	}
-	if shards > 1 {
+	if wantSharded {
 		if _, err := os.Stat(filepath.Join(dir, "deeplens.db")); err == nil {
-			return false, fmt.Errorf("%s holds an unsharded database: drop -shards, or re-ingest into a fresh -dir", dir)
+			return false, fmt.Errorf("%s holds an unsharded database: drop -shards/-replicas, or re-ingest into a fresh -dir", dir)
 		}
 		return true, nil
 	}

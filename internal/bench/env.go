@@ -85,7 +85,16 @@ func NewEnvAt(dbPath, dir string, cfg dataset.Config, dev exec.Device) (*Env, er
 // dir/shard-NNN). A prior sharded ingest is reused; a prior ingest with
 // a different shard count fails with core.ErrShardMismatch.
 func NewShardedEnv(dir string, cfg dataset.Config, n int, dev exec.Device) (*Env, error) {
-	sdb, err := core.OpenSharded(dir, n, dev)
+	return NewShardedReplicaEnv(dir, cfg, n, 1, dev)
+}
+
+// NewShardedReplicaEnv is NewShardedEnv with r replicas per shard
+// (replica directories dir/shard-NNN-rK beside the primaries): the ETL
+// runs once and every append fans out to all replicas of its home
+// shard, so the replicas come up byte-identical and the hedged-read
+// serving path has somewhere to fail over to.
+func NewShardedReplicaEnv(dir string, cfg dataset.Config, n, r int, dev exec.Device) (*Env, error) {
+	sdb, err := core.OpenShardedReplicas(dir, n, r, dev)
 	if err != nil {
 		return nil, err
 	}

@@ -8,8 +8,10 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/exec"
+	"repro/internal/fault"
 )
 
 // This file implements horizontal partitioning: a Sharded database fans
@@ -20,45 +22,81 @@ import (
 // restarts and reshard-free reopens; the serving layer scatters query
 // fragments across the shards and merges at the gather stage.
 //
-// With one shard the layer is a pass-through: IDs, versions and
-// per-collection contents are byte-identical to an unsharded DB fed the
-// same operations (the N=1 equivalence the service tests pin down).
+// Each shard may additionally carry R replicas: independent DB instances
+// fed the identical append sequence, so any in-sync replica serves the
+// same bytes as the primary. Writes are primary-authoritative — the
+// primary (replica 0) must accept the append or the whole write fails;
+// a secondary that fails is demoted from the read set (out of sync)
+// while the append still succeeds. Reads therefore never observe a
+// missed write, and the serving layer is free to hedge a slow fragment
+// to any in-sync replica.
+//
+// With one shard and one replica the layer is a pass-through: IDs,
+// versions and per-collection contents are byte-identical to an
+// unsharded DB fed the same operations (the N=1 equivalence the service
+// tests pin down).
 
-// shardMetaFile persists the shard count at the root of a sharded
-// directory so a reopen with a different -shards value fails loudly
-// instead of silently splitting collections across disjoint layouts.
+// shardMetaFile persists the shard topology at the root of a sharded
+// directory so a reopen with a different -shards or -replicas value
+// fails loudly instead of silently splitting collections across
+// disjoint layouts.
 const shardMetaFile = "SHARDS.json"
 
 type shardMeta struct {
 	Shards int `json:"shards"`
+	// Replicas is omitted at R=1 so single-replica directories keep the
+	// exact pre-replication meta bytes; absent means 1 on read.
+	Replicas int `json:"replicas,omitempty"`
 }
 
 // ErrShardMismatch reports a sharded directory reopened with a different
-// shard count than it was created with.
+// shard or replica count than it was created with.
 var ErrShardMismatch = errors.New("core: shard count mismatch")
 
 // Sharded is a horizontally partitioned database: N independent DB
-// instances (shard subdirectories) behind one combined catalog. All
-// writes must go through the Sharded layer (or a ShardedCollection),
-// which allocates globally unique patch ids and routes each patch to
-// its home shard.
+// instances (shard subdirectories) behind one combined catalog, each
+// optionally backed by R replicas. All writes must go through the
+// Sharded layer (or a ShardedCollection), which allocates globally
+// unique patch ids and routes each patch to every replica of its home
+// shard.
 type Sharded struct {
 	dir    string
-	shards []*DB
+	shards []*DB   // primaries, shards[i] == reps[i][0]
+	reps   [][]*DB // [shard][replica]
+	nrep   int
+
+	// insync[shard][replica]: replica serves reads. The primary
+	// (replica 0) is always in sync; a secondary that misses an append
+	// is demoted until restart.
+	insync  [][]atomic.Bool
+	repErrs atomic.Int64 // secondary append failures observed
+
+	inj *fault.Injector
 
 	mu   sync.RWMutex
 	cols map[string]*ShardedCollection
 }
 
 // OpenSharded opens (or creates) a sharded database of n shards rooted
-// at dir, each shard an independent DB at dir/shard-NNN/deeplens.db on
-// the given device. n < 1 is treated as 1. Reopening an existing
-// sharded directory with a different n fails with ErrShardMismatch:
-// patches were hash-placed for the original count, and a different
-// modulus would scatter every collection across the wrong shards.
+// at dir with one replica per shard — the pre-replication layout.
 func OpenSharded(dir string, n int, dev exec.Device) (*Sharded, error) {
+	return OpenShardedReplicas(dir, n, 1, dev)
+}
+
+// OpenShardedReplicas opens (or creates) a sharded database of n shards
+// with r replicas each, rooted at dir. The primary of shard i is an
+// independent DB at dir/shard-NNN/deeplens.db on the given device;
+// replica j > 0 lives beside it at dir/shard-NNN-rJ/. n or r < 1 is
+// treated as 1. Reopening an existing sharded directory with a
+// different n or r fails with ErrShardMismatch: patches were hash-placed
+// for the original count, and a different modulus would scatter every
+// collection across the wrong shards.
+func OpenShardedReplicas(dir string, n, r int, dev exec.Device) (*Sharded, error) {
 	if n < 1 {
 		n = 1
+	}
+	if r < 1 {
+		r = 1
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
@@ -72,9 +110,12 @@ func OpenSharded(dir string, n int, dev exec.Device) (*Sharded, error) {
 		if err := json.Unmarshal(raw, &m); err != nil {
 			return nil, fmt.Errorf("core: corrupt %s: %w", shardMetaFile, err)
 		}
-		if m.Shards != n {
-			return nil, fmt.Errorf("%w: directory %s holds %d shards, requested %d (reshard by re-ingesting)",
-				ErrShardMismatch, dir, m.Shards, n)
+		if m.Replicas == 0 {
+			m.Replicas = 1
+		}
+		if m.Shards != n || m.Replicas != r {
+			return nil, fmt.Errorf("%w: directory %s holds %d shards x %d replicas, requested %dx%d (reshard by re-ingesting)",
+				ErrShardMismatch, dir, m.Shards, m.Replicas, n, r)
 		}
 		haveMeta = true
 	case errors.Is(readErr, fs.ErrNotExist):
@@ -85,25 +126,32 @@ func OpenSharded(dir string, n int, dev exec.Device) (*Sharded, error) {
 		// wrong modulus.
 		return nil, fmt.Errorf("core: read %s: %w", shardMetaFile, readErr)
 	}
-	s := &Sharded{dir: dir, shards: make([]*DB, n), cols: make(map[string]*ShardedCollection)}
+	s := newSharded(dir, n, r)
 	for i := 0; i < n; i++ {
-		sub := filepath.Join(dir, fmt.Sprintf("shard-%03d", i))
-		if err := os.MkdirAll(sub, 0o755); err != nil {
-			s.closeOpened()
-			return nil, err
+		for j := 0; j < r; j++ {
+			sub := filepath.Join(dir, replicaDirName(i, j))
+			if err := os.MkdirAll(sub, 0o755); err != nil {
+				s.closeOpened()
+				return nil, err
+			}
+			db, err := Open(filepath.Join(sub, "deeplens.db"), dev)
+			if err != nil {
+				s.closeOpened()
+				return nil, fmt.Errorf("core: open shard %d replica %d: %w", i, j, err)
+			}
+			s.reps[i][j] = db
 		}
-		db, err := Open(filepath.Join(sub, "deeplens.db"), dev)
-		if err != nil {
-			s.closeOpened()
-			return nil, fmt.Errorf("core: open shard %d: %w", i, err)
-		}
-		s.shards[i] = db
+		s.shards[i] = s.reps[i][0]
 	}
-	// Persist the shard count only once every shard opened: a failed
-	// first open must not strand a meta file that blocks a retry at a
+	// Persist the topology only once every shard opened: a failed first
+	// open must not strand a meta file that blocks a retry at a
 	// different count.
 	if !haveMeta {
-		raw, _ := json.Marshal(shardMeta{Shards: n})
+		m := shardMeta{Shards: n}
+		if r > 1 {
+			m.Replicas = r
+		}
+		raw, _ := json.Marshal(m)
 		if err := os.WriteFile(metaPath, append(raw, '\n'), 0o644); err != nil {
 			s.closeOpened()
 			return nil, err
@@ -112,17 +160,55 @@ func OpenSharded(dir string, n int, dev exec.Device) (*Sharded, error) {
 	return s, nil
 }
 
-// WrapSharded presents already-open DB instances as one sharded database
-// (tests and embedders that manage shard storage themselves). Closing
-// the wrapper closes the shards.
-func WrapSharded(shards ...*DB) *Sharded {
-	return &Sharded{shards: shards, cols: make(map[string]*ShardedCollection)}
+// replicaDirName is the on-disk directory of (shard, replica): the
+// primary keeps the historical shard-NNN name, replicas sit beside it.
+func replicaDirName(shard, replica int) string {
+	if replica == 0 {
+		return fmt.Sprintf("shard-%03d", shard)
+	}
+	return fmt.Sprintf("shard-%03d-r%d", shard, replica)
 }
 
+func newSharded(dir string, n, r int) *Sharded {
+	s := &Sharded{
+		dir:    dir,
+		shards: make([]*DB, n),
+		reps:   make([][]*DB, n),
+		nrep:   r,
+		insync: make([][]atomic.Bool, n),
+		cols:   make(map[string]*ShardedCollection),
+	}
+	for i := range s.reps {
+		s.reps[i] = make([]*DB, r)
+		s.insync[i] = make([]atomic.Bool, r)
+		for j := range s.insync[i] {
+			s.insync[i][j].Store(true)
+		}
+	}
+	return s
+}
+
+// WrapSharded presents already-open DB instances as one sharded database
+// with a single replica per shard (tests and embedders that manage shard
+// storage themselves). Closing the wrapper closes the shards.
+func WrapSharded(shards ...*DB) *Sharded {
+	s := newSharded("", len(shards), 1)
+	for i, db := range shards {
+		s.shards[i] = db
+		s.reps[i][0] = db
+	}
+	return s
+}
+
+// SetFaults arms the append-path failpoints (nil disables).
+func (s *Sharded) SetFaults(inj *fault.Injector) { s.inj = inj }
+
 func (s *Sharded) closeOpened() {
-	for _, db := range s.shards {
-		if db != nil {
-			db.Close()
+	for _, rs := range s.reps {
+		for _, db := range rs {
+			if db != nil {
+				db.Close()
+			}
 		}
 	}
 }
@@ -130,9 +216,31 @@ func (s *Sharded) closeOpened() {
 // NumShards returns the shard count.
 func (s *Sharded) NumShards() int { return len(s.shards) }
 
-// Shard returns shard i's underlying DB (shard-local index builds and
+// Replicas returns the per-shard replica count.
+func (s *Sharded) Replicas() int { return s.nrep }
+
+// Shard returns shard i's primary DB (shard-local index builds and
 // read-only introspection; writes must go through the Sharded layer).
 func (s *Sharded) Shard(i int) *DB { return s.shards[i] }
+
+// ReplicaDB returns replica j of shard i (j=0 is the primary).
+func (s *Sharded) ReplicaDB(i, j int) *DB { return s.reps[i][j] }
+
+// InSyncReplicas returns the replica indices of shard i currently
+// serving reads, in replica order. The primary (0) is always present.
+func (s *Sharded) InSyncReplicas(i int) []int {
+	rs := make([]int, 0, s.nrep)
+	for j := 0; j < s.nrep; j++ {
+		if s.insync[i][j].Load() {
+			rs = append(rs, j)
+		}
+	}
+	return rs
+}
+
+// ReplicaAppendErrors returns how many secondary-replica append failures
+// have been absorbed (each demotes the failing replica).
+func (s *Sharded) ReplicaAppendErrors() int64 { return s.repErrs.Load() }
 
 // shardHash is a splitmix64 finalizer: sequential patch ids spread
 // uniformly across shards, and placement is a pure function of the id.
@@ -152,47 +260,63 @@ func (s *Sharded) ShardFor(id PatchID) int {
 	return int(shardHash(id) % uint64(len(s.shards)))
 }
 
-// NewPatchID allocates a database-wide unique patch id. Shard 0 is the
-// designated allocator, so ids never collide across shards and a
-// one-shard database allocates exactly the sequence an unsharded DB
-// would.
+// NewPatchID allocates a database-wide unique patch id. Shard 0's
+// primary is the designated allocator, so ids never collide across
+// shards and a one-shard database allocates exactly the sequence an
+// unsharded DB would.
 func (s *Sharded) NewPatchID() PatchID { return s.shards[0].NewPatchID() }
 
-// Close flushes and closes every shard, returning the first error.
+// Close flushes and closes every replica of every shard, returning the
+// first error.
 func (s *Sharded) Close() error {
 	var first error
-	for _, db := range s.shards {
-		if err := db.Close(); err != nil && first == nil {
-			first = err
+	for _, rs := range s.reps {
+		for _, db := range rs {
+			if err := db.Close(); err != nil && first == nil {
+				first = err
+			}
 		}
 	}
 	return first
 }
 
-// Flush persists all dirty state on every shard.
+// Flush persists all dirty state on every replica of every shard.
 func (s *Sharded) Flush() error {
-	for i, db := range s.shards {
-		if err := db.Flush(); err != nil {
-			return fmt.Errorf("core: flush shard %d: %w", i, err)
+	for i, rs := range s.reps {
+		for j, db := range rs {
+			if err := db.Flush(); err != nil {
+				return fmt.Errorf("core: flush shard %d replica %d: %w", i, j, err)
+			}
 		}
 	}
 	return nil
 }
 
-// CreateCollection registers a new collection on every shard. On partial
-// failure the already-created shard-local collections are dropped, so a
-// collection either exists everywhere or nowhere.
+// CreateCollection registers a new collection on every replica of every
+// shard. On partial failure the already-created shard-local collections
+// are dropped, so a collection either exists everywhere or nowhere.
 func (s *Sharded) CreateCollection(name string, schema Schema) (*ShardedCollection, error) {
-	cols := make([]*Collection, len(s.shards))
-	for i, db := range s.shards {
-		c, err := db.CreateCollection(name, schema)
-		if err != nil {
-			for j := 0; j < i; j++ {
-				s.shards[j].DropCollection(name)
+	cols := make([][]*Collection, len(s.reps))
+	created := 0
+	for i, rs := range s.reps {
+		cols[i] = make([]*Collection, len(rs))
+		for j, db := range rs {
+			c, err := db.CreateCollection(name, schema)
+			if err != nil {
+				for _, prs := range s.reps[:i+1] {
+					for _, pdb := range prs {
+						if created == 0 {
+							break
+						}
+						pdb.DropCollection(name)
+						created--
+					}
+				}
+				return nil, fmt.Errorf("core: create %q on shard %d replica %d: %w", name, i, j, err)
 			}
-			return nil, fmt.Errorf("core: create %q on shard %d: %w", name, i, err)
+			cols[i][j] = c
+			created++
 		}
-		cols[i] = c
 	}
 	sc := &ShardedCollection{s: s, name: name, schema: schema, cols: cols}
 	s.mu.Lock()
@@ -209,15 +333,18 @@ func (s *Sharded) Collection(name string) (*ShardedCollection, error) {
 	if ok {
 		return sc, nil
 	}
-	cols := make([]*Collection, len(s.shards))
-	for i, db := range s.shards {
-		c, err := db.Collection(name)
-		if err != nil {
-			return nil, err
+	cols := make([][]*Collection, len(s.reps))
+	for i, rs := range s.reps {
+		cols[i] = make([]*Collection, len(rs))
+		for j, db := range rs {
+			c, err := db.Collection(name)
+			if err != nil {
+				return nil, err
+			}
+			cols[i][j] = c
 		}
-		cols[i] = c
 	}
-	sc = &ShardedCollection{s: s, name: name, schema: cols[0].Schema(), cols: cols}
+	sc = &ShardedCollection{s: s, name: name, schema: cols[0][0].Schema(), cols: cols}
 	s.mu.Lock()
 	if cached, ok := s.cols[name]; ok { // raced another opener
 		sc = cached
@@ -229,18 +356,21 @@ func (s *Sharded) Collection(name string) (*ShardedCollection, error) {
 }
 
 // Collections lists collection names (the combined catalog; every shard
-// holds the same set, shard 0 is authoritative).
+// holds the same set, shard 0's primary is authoritative).
 func (s *Sharded) Collections() []string { return s.shards[0].Collections() }
 
-// DropCollection removes the collection from every shard.
+// DropCollection removes the collection from every replica of every
+// shard.
 func (s *Sharded) DropCollection(name string) error {
 	s.mu.Lock()
 	delete(s.cols, name)
 	s.mu.Unlock()
 	var first error
-	for i, db := range s.shards {
-		if err := db.DropCollection(name); err != nil && first == nil {
-			first = fmt.Errorf("core: drop %q on shard %d: %w", name, i, err)
+	for i, rs := range s.reps {
+		for j, db := range rs {
+			if err := db.DropCollection(name); err != nil && first == nil {
+				first = fmt.Errorf("core: drop %q on shard %d replica %d: %w", name, i, j, err)
+			}
 		}
 	}
 	return first
@@ -268,9 +398,11 @@ func (s *Sharded) Materialize(name string, schema Schema, it Iterator) (*Sharded
 			}
 		}
 	}
-	for _, c := range sc.cols {
-		if err := c.saveDesc(); err != nil {
-			return nil, err
+	for _, rs := range sc.cols {
+		for _, c := range rs {
+			if err := c.saveDesc(); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return sc, nil
@@ -297,7 +429,7 @@ func (s *Sharded) Backtrace(p *Patch) ([]*Patch, error) {
 	return chain, nil
 }
 
-// ColumnExtendStats sums the shards' incremental column-extension
+// ColumnExtendStats sums the primaries' incremental column-extension
 // counters (each shard extends its own partition's stores independently;
 // see DB.ColumnExtendStats).
 func (s *Sharded) ColumnExtendStats() (extends, reused, total int64) {
@@ -318,17 +450,28 @@ type ShardInfo struct {
 	// Versions is the shard's version-counter high-water mark: how many
 	// writes this shard has absorbed since creation.
 	Versions uint64 `json:"versions"`
+	// Replicas is the shard's configured replica count.
+	Replicas int `json:"replicas"`
+	// OutOfSync lists replicas demoted from the read set after a missed
+	// append (empty when all replicas serve reads).
+	OutOfSync []int `json:"out_of_sync,omitempty"`
 }
 
-// ShardInfos snapshots per-shard row counts and version counters.
+// ShardInfos snapshots per-shard row counts, version counters and
+// replica health (rows and versions come from the primary).
 func (s *Sharded) ShardInfos() []ShardInfo {
 	infos := make([]ShardInfo, len(s.shards))
 	names := s.Collections()
 	for i, db := range s.shards {
-		info := ShardInfo{Shard: i, Versions: db.nextVer.Load()}
+		info := ShardInfo{Shard: i, Versions: db.nextVer.Load(), Replicas: s.nrep}
 		for _, name := range names {
 			if c, err := db.Collection(name); err == nil {
 				info.Rows += c.Len()
+			}
+		}
+		for j := 0; j < s.nrep; j++ {
+			if !s.insync[i][j].Load() {
+				info.OutOfSync = append(info.OutOfSync, j)
 			}
 		}
 		infos[i] = info
@@ -337,12 +480,12 @@ func (s *Sharded) ShardInfos() []ShardInfo {
 }
 
 // ShardedCollection is the combined view of one collection's N
-// shard-local partitions.
+// shard-local partitions (each held by every replica of its shard).
 type ShardedCollection struct {
 	s      *Sharded
 	name   string
 	schema Schema
-	cols   []*Collection
+	cols   [][]*Collection // [shard][replica]
 }
 
 // Name returns the collection name.
@@ -354,30 +497,56 @@ func (c *ShardedCollection) Schema() Schema { return c.schema }
 // Shards returns the partition count.
 func (c *ShardedCollection) Shards() int { return len(c.cols) }
 
-// Shard returns partition i's shard-local collection.
-func (c *ShardedCollection) Shard(i int) *Collection { return c.cols[i] }
+// Shard returns partition i's primary shard-local collection.
+func (c *ShardedCollection) Shard(i int) *Collection { return c.cols[i][0] }
 
-// Len sums the partitions' patch counts.
+// Replica returns replica j of partition i (j=0 is the primary). The
+// caller is responsible for consulting Sharded.InSyncReplicas before
+// serving reads from a secondary.
+func (c *ShardedCollection) Replica(i, j int) *Collection { return c.cols[i][j] }
+
+// Len sums the partitions' patch counts (primaries).
 func (c *ShardedCollection) Len() int {
 	n := 0
-	for _, col := range c.cols {
-		n += col.Len()
+	for _, rs := range c.cols {
+		n += rs[0].Len()
 	}
 	return n
 }
 
-// Append ids the patch (shard 0 allocates) and routes it to its home
-// shard. A single-shard append is exactly an unsharded Append.
+// Append ids the patch (shard 0 allocates) and routes it to every
+// replica of its home shard, primary first. The write is
+// primary-authoritative: a primary failure fails the append before any
+// secondary is touched, and a secondary failure demotes that replica
+// from the read set while the append succeeds — so an in-sync replica
+// can never be missing a write the primary accepted. A single-shard,
+// single-replica append is exactly an unsharded Append.
 func (c *ShardedCollection) Append(p *Patch) error {
 	if p.ID == 0 {
 		p.ID = c.s.NewPatchID()
 	}
-	return c.cols[c.s.ShardFor(p.ID)].Append(p)
+	home := c.s.ShardFor(p.ID)
+	for j, col := range c.cols[home] {
+		err := c.s.inj.Fail(fault.AppendError, home, j)
+		if err == nil {
+			err = col.Append(p)
+		}
+		if err == nil {
+			continue
+		}
+		if j == 0 {
+			return err
+		}
+		if c.s.insync[home][j].CompareAndSwap(true, false) {
+			c.s.repErrs.Add(1)
+		}
+	}
+	return nil
 }
 
-// Get routes a point lookup to the patch's home shard.
+// Get routes a point lookup to the patch's home shard (primary).
 func (c *ShardedCollection) Get(id PatchID) (*Patch, error) {
-	return c.cols[c.s.ShardFor(id)].Get(id)
+	return c.cols[c.s.ShardFor(id)][0].Get(id)
 }
 
 // Version folds the partitions' versions into one composite identity for
@@ -386,19 +555,22 @@ func (c *ShardedCollection) Get(id PatchID) (*Patch, error) {
 // invalidate exactly as in the unsharded case. With one shard the
 // composite IS the shard version (fingerprints match an unsharded DB
 // fed the same operations); with more it is an FNV-1a fold of the
-// ordered shard versions.
+// ordered shard versions. Versions always come from primaries —
+// replicas fed the same appends advance in lockstep, and a demoted
+// replica is no longer read.
 func (c *ShardedCollection) Version() uint64 {
 	if len(c.cols) == 1 {
-		return c.cols[0].Version()
+		return c.cols[0][0].Version()
 	}
 	return compositeVersion(c.ShardVersions())
 }
 
-// ShardVersions returns each partition's current version, in shard order.
+// ShardVersions returns each partition's current primary version, in
+// shard order.
 func (c *ShardedCollection) ShardVersions() []uint64 {
 	vs := make([]uint64, len(c.cols))
-	for i, col := range c.cols {
-		vs[i] = col.Version()
+	for i, rs := range c.cols {
+		vs[i] = rs[0].Version()
 	}
 	return vs
 }
@@ -420,16 +592,17 @@ func compositeVersion(vs []uint64) uint64 {
 	return h
 }
 
-// Snapshot atomically snapshots every partition and returns the per-shard
-// patch slices together with the composite version they reflect. Each
-// part carries the same stable-prefix guarantee as Collection.Snapshot;
-// the composite is computed from the versions the per-shard snapshots
-// actually returned, so it identifies exactly the visible contents.
+// Snapshot atomically snapshots every partition's primary and returns
+// the per-shard patch slices together with the composite version they
+// reflect. Each part carries the same stable-prefix guarantee as
+// Collection.Snapshot; the composite is computed from the versions the
+// per-shard snapshots actually returned, so it identifies exactly the
+// visible contents.
 func (c *ShardedCollection) Snapshot() ([][]*Patch, uint64, error) {
 	parts := make([][]*Patch, len(c.cols))
 	vs := make([]uint64, len(c.cols))
-	for i, col := range c.cols {
-		ps, v, err := col.Snapshot()
+	for i, rs := range c.cols {
+		ps, v, err := rs[0].Snapshot()
 		if err != nil {
 			return nil, 0, fmt.Errorf("core: snapshot shard %d of %q: %w", i, c.name, err)
 		}

@@ -1,0 +1,194 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsDisabled(t *testing.T) {
+	var in *Injector
+	if in.Enabled() {
+		t.Fatal("nil injector reports enabled")
+	}
+	if err := in.Fail(FragmentError, 0, 0); err != nil {
+		t.Fatalf("nil injector fired: %v", err)
+	}
+	if err := in.Stall(context.Background(), FragmentStall, 0, 0); err != nil {
+		t.Fatalf("nil injector stalled: %v", err)
+	}
+	if got := in.Fired(AppendError); got != 0 {
+		t.Fatalf("nil injector Fired = %d", got)
+	}
+	if New(Config{Seed: 1}) != nil {
+		t.Fatal("New with no rules should return nil")
+	}
+}
+
+func TestParseRule(t *testing.T) {
+	cases := []struct {
+		spec string
+		want Rule
+	}{
+		{"fragment-stall:0.2", Rule{Point: FragmentStall, Shard: Any, Replica: Any, Prob: 0.2}},
+		{"fragment-stall:1:50", Rule{Point: FragmentStall, Shard: Any, Replica: Any, Prob: 1, Stall: 50 * time.Millisecond}},
+		{"append-error@2:0.5", Rule{Point: AppendError, Shard: 2, Replica: Any, Prob: 0.5}},
+		{"fragment-stall@*.0:1:25", Rule{Point: FragmentStall, Shard: Any, Replica: 0, Prob: 1, Stall: 25 * time.Millisecond}},
+		{"fragment-error@1.1:1", Rule{Point: FragmentError, Shard: 1, Replica: 1, Prob: 1}},
+		{"device-stall:0", Rule{Point: DeviceStall, Shard: Any, Replica: Any, Prob: 0}},
+	}
+	for _, c := range cases {
+		got, err := ParseRule(c.spec)
+		if err != nil {
+			t.Fatalf("ParseRule(%q): %v", c.spec, err)
+		}
+		if got != c.want {
+			t.Fatalf("ParseRule(%q) = %+v, want %+v", c.spec, got, c.want)
+		}
+	}
+	bad := []string{
+		"", "fragment-stall", "bogus-point:1", "fragment-stall:2",
+		"fragment-stall:x", "fragment-stall:1:-5", "fragment-stall@-1:1",
+		"fragment-stall@0.q:1", "fragment-stall:1:50:9",
+	}
+	for _, spec := range bad {
+		if _, err := ParseRule(spec); err == nil {
+			t.Fatalf("ParseRule(%q) accepted a bad spec", spec)
+		}
+	}
+}
+
+func TestParseRules(t *testing.T) {
+	rules, err := ParseRules("fragment-stall:0.2, append-error@1:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 2 || rules[0].Point != FragmentStall || rules[1].Shard != 1 {
+		t.Fatalf("ParseRules = %+v", rules)
+	}
+	if got, err := ParseRules("  "); err != nil || got != nil {
+		t.Fatalf("empty spec list: %v %v", got, err)
+	}
+	if _, err := ParseRules("fragment-stall:0.2,nope:1"); err == nil {
+		t.Fatal("bad member accepted")
+	}
+}
+
+func TestScopeMatching(t *testing.T) {
+	in := New(Config{Seed: 7, Rules: []Rule{
+		{Point: FragmentError, Shard: 1, Replica: 0, Prob: 1},
+	}})
+	if err := in.Fail(FragmentError, 0, 0); err != nil {
+		t.Fatalf("wrong shard fired: %v", err)
+	}
+	if err := in.Fail(FragmentError, 1, 1); err != nil {
+		t.Fatalf("wrong replica fired: %v", err)
+	}
+	if err := in.Fail(AppendError, 1, 0); err != nil {
+		t.Fatalf("wrong point fired: %v", err)
+	}
+	err := in.Fail(FragmentError, 1, 0)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("matching site did not fire: %v", err)
+	}
+	if got := in.Fired(FragmentError); got != 1 {
+		t.Fatalf("Fired = %d, want 1", got)
+	}
+}
+
+func TestDeterministicSequence(t *testing.T) {
+	run := func() []bool {
+		in := New(Config{Seed: 42, Rules: []Rule{
+			{Point: FragmentError, Shard: Any, Replica: Any, Prob: 0.5},
+		}})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = in.Fail(FragmentError, 0, 0) != nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d diverged across identical runs", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	// p=0.5 over 64 draws: both outcomes must appear.
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("degenerate fire count %d/64 at p=0.5", fired)
+	}
+	// A different seed must produce a different schedule.
+	in2 := New(Config{Seed: 43, Rules: []Rule{
+		{Point: FragmentError, Shard: Any, Replica: Any, Prob: 0.5},
+	}})
+	same := true
+	for i := range a {
+		if (in2.Fail(FragmentError, 0, 0) != nil) != a[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seed 42 and 43 produced identical schedules")
+	}
+}
+
+func TestStallDelaysThenContinues(t *testing.T) {
+	in := New(Config{Seed: 1, Rules: []Rule{
+		{Point: FragmentStall, Shard: Any, Replica: Any, Prob: 1, Stall: 30 * time.Millisecond},
+	}})
+	start := time.Now()
+	if err := in.Stall(context.Background(), FragmentStall, 0, 0); err != nil {
+		t.Fatalf("completed stall returned error: %v", err)
+	}
+	if el := time.Since(start); el < 25*time.Millisecond {
+		t.Fatalf("stall returned after %v, want >= 30ms", el)
+	}
+	if got := in.Fired(FragmentStall); got != 1 {
+		t.Fatalf("Fired = %d", got)
+	}
+}
+
+func TestStallHonorsCancel(t *testing.T) {
+	in := New(Config{Seed: 1, Rules: []Rule{
+		{Point: FragmentStall, Shard: Any, Replica: Any, Prob: 1, Stall: 10 * time.Second},
+	}})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- in.Stall(ctx, FragmentStall, 0, 0) }()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled stall returned %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("canceled stall did not unblock")
+	}
+}
+
+func TestFirstMatchingRuleWins(t *testing.T) {
+	// A shard-scoped certain rule ahead of a never-fire wildcard:
+	// scoped sites fire, others fall through to the p=0 rule and don't.
+	in := New(Config{Seed: 9, Rules: []Rule{
+		{Point: FragmentStall, Shard: 0, Replica: Any, Prob: 1, Stall: time.Millisecond},
+		{Point: FragmentStall, Shard: Any, Replica: Any, Prob: 0},
+	}})
+	if err := in.Stall(context.Background(), FragmentStall, 1, 0); err != nil {
+		t.Fatalf("p=0 wildcard fired: %v", err)
+	}
+	if got := in.Fired(FragmentStall); got != 0 {
+		t.Fatalf("Fired = %d, want 0", got)
+	}
+	if err := in.Stall(context.Background(), FragmentStall, 0, 1); err != nil {
+		t.Fatalf("scoped stall errored: %v", err)
+	}
+	if got := in.Fired(FragmentStall); got != 1 {
+		t.Fatalf("Fired = %d, want 1", got)
+	}
+}

@@ -1,0 +1,440 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/fault"
+)
+
+// Chaos suite: the fault-injection harness drives every recovery branch
+// of the replicated scatter path — hedged reads around stalled
+// replicas, error retries, graceful degradation under a dead shard,
+// deadline enforcement, and appends during replica failure — all with
+// deterministic failpoints (internal/fault), no sleeps-and-hope.
+
+// synthReplicated builds an n-shard, r-replica Sharded + service over
+// the same synthetic rows the golden matrix uses.
+func synthReplicated(t *testing.T, n, r, rows int, cfg Config) (*core.Sharded, *Service) {
+	t.Helper()
+	sdb, err := core.OpenShardedReplicas(filepath.Join(t.TempDir(), "replicated"), n, r, exec.New(exec.CPU))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sdb.Close() })
+	sc, err := sdb.CreateCollection(shardTestCol, synthSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillSynth(t, sc.Append, rows)
+	s, err := NewSharded(sdb, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return sdb, s
+}
+
+// TestHedgedReadsSurviveStalledReplica: with every shard's primary
+// replica 100%-stalled (plus jittery device stalls on join tasks), the
+// full query matrix must still return results byte-identical to a
+// fault-free twin — the hedge to the healthy replica wins every
+// fragment.
+func TestHedgedReadsSurviveStalledReplica(t *testing.T) {
+	const rows = 240
+	faulted := Config{Workers: 2, HedgeAfter: 5 * time.Millisecond, Faults: fault.Config{
+		Seed: 7,
+		Rules: []fault.Rule{
+			{Point: fault.FragmentStall, Shard: fault.Any, Replica: 0, Prob: 1, Stall: 300 * time.Millisecond},
+			{Point: fault.DeviceStall, Shard: fault.Any, Replica: fault.Any, Prob: 0.3, Stall: 2 * time.Millisecond},
+		},
+	}}
+	_, chaotic := synthReplicated(t, 3, 2, rows, faulted)
+	_, healthy := synthReplicated(t, 3, 2, rows, Config{Workers: 2})
+	ctx := context.Background()
+	for qi, req := range queryMatrix() {
+		hr, err := healthy.Query(ctx, req)
+		if err != nil {
+			t.Fatalf("query %d fault-free: %v", qi, err)
+		}
+		cr, err := chaotic.Query(ctx, req)
+		if err != nil {
+			t.Fatalf("query %d with stalled primaries: %v", qi, err)
+		}
+		if hg, cg := goldenKey(t, hr), goldenKey(t, cr); hg != cg {
+			t.Errorf("query %d diverges under stalls:\n  healthy: %s\n  chaotic: %s", qi, hg, cg)
+		}
+		if cr.Degraded || len(cr.MissingShards) != 0 {
+			t.Errorf("query %d reported degraded despite a healthy replica", qi)
+		}
+	}
+	st := chaotic.Stats()
+	if st.HedgedFragments == 0 {
+		t.Fatal("stalled primaries produced zero hedged fragments")
+	}
+	// A traced query over the stalled primaries surfaces the hedge
+	// decision as a span: which shard hedged, the budget, the winner.
+	tr := mustQuery(t, chaotic, Request{Collection: shardTestCol, NoCache: true, Trace: true})
+	if tr.TraceData == nil {
+		t.Fatal("traced query returned no spans")
+	}
+	hedgeSpans := 0
+	for _, sp := range tr.TraceData.Spans {
+		if sp.Name != "hedge" {
+			continue
+		}
+		hedgeSpans++
+		for _, attr := range []string{"shard", "replica", "budget", "winner"} {
+			if _, ok := sp.Attrs[attr]; !ok {
+				t.Fatalf("hedge span missing %q attr: %v", attr, sp.Attrs)
+			}
+		}
+	}
+	if hedgeSpans == 0 {
+		t.Fatal("no hedge span on a traced query with stalled primaries")
+	}
+	if st.Replicas != 2 {
+		t.Fatalf("stats replicas = %d, want 2", st.Replicas)
+	}
+	if healthy.Stats().HedgedFragments != 0 {
+		t.Fatal("fault-free twin hedged (budget too tight for healthy reads)")
+	}
+}
+
+// TestFragmentErrorRetriesToSecondReplica: a fragment whose first
+// attempt fails outright gets one jittered retry on the next replica —
+// the query succeeds and the retry counter moves.
+func TestFragmentErrorRetriesToSecondReplica(t *testing.T) {
+	const rows = 120
+	_, svc := synthReplicated(t, 2, 2, rows, Config{Workers: 2, Faults: fault.Config{
+		Seed:  11,
+		Rules: []fault.Rule{{Point: fault.FragmentError, Shard: 0, Replica: 0, Prob: 1}},
+	}})
+	r := mustQuery(t, svc, Request{Collection: shardTestCol, NoCache: true})
+	if r.Value != rows {
+		t.Fatalf("count with failing primary = %d, want %d", r.Value, rows)
+	}
+	if st := svc.Stats(); st.FragmentRetries == 0 {
+		t.Fatal("failing primary produced zero fragment retries")
+	}
+}
+
+// TestDeadShardDegradedResults: with both replicas of shard 1 erroring,
+// a default query fails while allow_partial returns the surviving
+// shards' answer annotated degraded + missing-shard list — and the
+// degraded response never enters the result cache.
+func TestDeadShardDegradedResults(t *testing.T) {
+	const rows = 240
+	deadShard1 := fault.Config{Seed: 3, Rules: []fault.Rule{
+		{Point: fault.FragmentError, Shard: 1, Replica: 0, Prob: 1},
+		{Point: fault.FragmentError, Shard: 1, Replica: 1, Prob: 1},
+	}}
+	sdb, svc := synthReplicated(t, 3, 2, rows, Config{Workers: 2, Faults: deadShard1})
+	ctx := context.Background()
+
+	if _, err := svc.Query(ctx, Request{Collection: shardTestCol}); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("default query over a dead shard = %v, want the injected fault", err)
+	}
+
+	wantPartial := rows - sdb.ShardInfos()[1].Rows
+	r, err := svc.Query(ctx, Request{Collection: shardTestCol, AllowPartial: true})
+	if err != nil {
+		t.Fatalf("allow_partial query over a dead shard: %v", err)
+	}
+	if !r.Degraded || len(r.MissingShards) != 1 || r.MissingShards[0] != 1 {
+		t.Fatalf("partial annotation = degraded=%v missing=%v, want shard 1", r.Degraded, r.MissingShards)
+	}
+	if r.Value != wantPartial {
+		t.Fatalf("partial count = %d, want %d (surviving shards only)", r.Value, wantPartial)
+	}
+	// Degraded responses are not cached: the rerun recomputes.
+	r2, err := svc.Query(ctx, Request{Collection: shardTestCol, AllowPartial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.CacheHit {
+		t.Fatal("degraded response was served from the result cache")
+	}
+	// Ordered rows and joins degrade the same way.
+	or, err := svc.Query(ctx, Request{Collection: shardTestCol, OrderBy: "score", Limit: 10, AllowPartial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !or.Degraded || len(or.Rows) != 10 {
+		t.Fatalf("degraded ordered query: degraded=%v rows=%d", or.Degraded, len(or.Rows))
+	}
+	jr, err := svc.Query(ctx, Request{Collection: shardTestCol,
+		SimJoin: &SimJoinSpec{Field: "emb", Eps: 0.2}, AllowPartial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !jr.Degraded {
+		t.Fatal("degraded simjoin lost its annotation")
+	}
+	if st := svc.Stats(); st.DegradedQueries < 4 {
+		t.Fatalf("degraded_queries = %d, want >= 4", st.DegradedQueries)
+	}
+
+	// On a healthy service allow_partial changes the fingerprint (a
+	// possibly-partial answer must never share a cache entry with the
+	// full one) but not the result.
+	_, healthy := synthReplicated(t, 3, 2, rows, Config{Workers: 2})
+	full := mustQuery(t, healthy, Request{Collection: shardTestCol})
+	part := mustQuery(t, healthy, Request{Collection: shardTestCol, AllowPartial: true})
+	if full.Fingerprint == part.Fingerprint {
+		t.Fatal("allow_partial does not alter the fingerprint")
+	}
+	if part.Value != full.Value || part.Degraded {
+		t.Fatalf("healthy allow_partial = %d degraded=%v, want full %d", part.Value, part.Degraded, full.Value)
+	}
+}
+
+// TestAllReplicasStalledTimeoutVsPartial: every replica of shard 1
+// wedged beyond the query deadline — the default query fails fast with
+// ErrQueryTimeout at its deadline, while allow_partial sacrifices the
+// wedged shard early and still answers inside the budget.
+func TestAllReplicasStalledTimeoutVsPartial(t *testing.T) {
+	const rows = 240
+	wedged := fault.Config{Seed: 5, Rules: []fault.Rule{
+		{Point: fault.FragmentStall, Shard: 1, Replica: 0, Prob: 1, Stall: 5 * time.Second},
+		{Point: fault.FragmentStall, Shard: 1, Replica: 1, Prob: 1, Stall: 5 * time.Second},
+	}}
+	sdb, svc := synthReplicated(t, 3, 2, rows, Config{
+		Workers: 2, QueryTimeout: 250 * time.Millisecond, Faults: wedged,
+	})
+	ctx := context.Background()
+
+	start := time.Now()
+	_, err := svc.Query(ctx, Request{Collection: shardTestCol, NoCache: true})
+	if !errors.Is(err, ErrQueryTimeout) {
+		t.Fatalf("default query over a wedged shard = %v, want ErrQueryTimeout", err)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("timeout took %v, want ~250ms (deadline not propagated into the stall)", el)
+	}
+
+	r, err := svc.Query(ctx, Request{Collection: shardTestCol, NoCache: true, AllowPartial: true})
+	if err != nil {
+		t.Fatalf("allow_partial under a wedged shard: %v", err)
+	}
+	if !r.Degraded || len(r.MissingShards) != 1 || r.MissingShards[0] != 1 {
+		t.Fatalf("partial annotation = degraded=%v missing=%v, want shard 1", r.Degraded, r.MissingShards)
+	}
+	if want := rows - sdb.ShardInfos()[1].Rows; r.Value != want {
+		t.Fatalf("partial count = %d, want %d", r.Value, want)
+	}
+}
+
+// TestQueryCancellation (regression for the deadline-propagation bug):
+// a pre-canceled context never reaches the scatter wave, and a context
+// canceled mid-wave aborts stalled fragments promptly instead of
+// burning the full fan-out.
+func TestQueryCancellation(t *testing.T) {
+	stallAll := fault.Config{Seed: 9, Rules: []fault.Rule{
+		{Point: fault.FragmentStall, Shard: fault.Any, Replica: fault.Any, Prob: 1, Stall: 2 * time.Second},
+	}}
+	_, svc := synthReplicated(t, 2, 1, 120, Config{Workers: 2, Faults: stallAll})
+
+	pre, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := svc.Query(pre, Request{Collection: shardTestCol, NoCache: true}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled query = %v, want context.Canceled", err)
+	}
+
+	mid, cancelMid := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		_, err := svc.Query(mid, Request{Collection: shardTestCol, NoCache: true})
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancelMid()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("mid-wave canceled query = %v, want context.Canceled", err)
+		}
+		if el := time.Since(start); el > time.Second {
+			t.Fatalf("cancel honored after %v; fragments kept running", el)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled query never returned (stall ignored ctx)")
+	}
+}
+
+// TestAppendDuringReplicaFailureHammer: appends race scattered queries
+// while a flaky secondary replica drops writes. Appends and queries
+// must all succeed (primary-authoritative write-all demotes the broken
+// replica instead of failing), the demoted replica leaves the read
+// set, and the quiesced count is exact. Run under -race this is the
+// memory-model check for the insync/demotion machinery.
+func TestAppendDuringReplicaFailureHammer(t *testing.T) {
+	const initial, appends = 60, 120
+	flakySecondary := fault.Config{Seed: 13, Rules: []fault.Rule{
+		{Point: fault.AppendError, Shard: fault.Any, Replica: 1, Prob: 0.4},
+	}}
+	sdb, svc := synthReplicated(t, 3, 2, initial, Config{Workers: 4, Faults: flakySecondary})
+	sc, err := sdb.Collection(shardTestCol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < appends; i++ {
+			if err := sc.Append(synthPatch(initial + i)); err != nil {
+				t.Errorf("append with flaky secondary: %v", err)
+				return
+			}
+		}
+	}()
+	reqs := []Request{
+		{Collection: shardTestCol, NoCache: true},
+		{Collection: shardTestCol, Filter: &FilterSpec{Field: "label", Str: strp("car")}, NoCache: true},
+		{Collection: shardTestCol, OrderBy: "score", Limit: 8, NoCache: true},
+	}
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				if _, err := svc.Query(ctx, reqs[(c+i)%len(reqs)]); err != nil {
+					t.Errorf("query during replica failure: %v", err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	r := mustQuery(t, svc, Request{Collection: shardTestCol, NoCache: true})
+	if r.Value != initial+appends {
+		t.Fatalf("post-hammer count = %d, want %d", r.Value, initial+appends)
+	}
+	st := svc.Stats()
+	if st.ReplicaAppendErrors == 0 {
+		t.Fatal("flaky secondary produced zero replica append errors (test is vacuous)")
+	}
+	demoted := 0
+	for i := 0; i < 3; i++ {
+		if len(sdb.InSyncReplicas(i)) == 1 {
+			demoted++
+		}
+	}
+	if demoted == 0 {
+		t.Fatal("no replica was demoted despite dropped writes")
+	}
+	for _, info := range sdb.ShardInfos() {
+		for _, r := range info.OutOfSync {
+			if r != 1 {
+				t.Fatalf("out-of-sync replica %d, only replica 1 was flaky", r)
+			}
+		}
+	}
+}
+
+// TestHTTPOverloadAndTimeout pins the HTTP error contract for the two
+// retryable failures: admission overflow maps to 429 and a query that
+// exceeds its deadline maps to 504, both with Retry-After.
+func TestHTTPOverloadAndTimeout(t *testing.T) {
+	stallAll := fault.Config{Seed: 17, Rules: []fault.Rule{
+		{Point: fault.FragmentStall, Shard: fault.Any, Replica: fault.Any, Prob: 1, Stall: 600 * time.Millisecond},
+	}}
+	_, svc := synthReplicated(t, 1, 1, 60, Config{Workers: 1, QueueDepth: 1, Faults: stallAll})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	post := func(body string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/query", "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	// Deadline exceeded -> 504 + Retry-After (per-request timeout_ms).
+	resp := post(`{"collection":"` + shardTestCol + `","no_cache":true,"timeout_ms":100}`)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("timed-out query = %d, want 504", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("504 missing Retry-After")
+	}
+
+	// Overload -> 429 + Retry-After: wedge the single worker and the
+	// one queue slot with stalled queries, then probe.
+	var wg sync.WaitGroup
+	for _, label := range []string{"car", "bus"} {
+		wg.Add(1)
+		go func(label string) {
+			defer wg.Done()
+			post(`{"collection":"` + shardTestCol + `","no_cache":true,"timeout_ms":400,` +
+				`"filter":{"field":"label","str":"` + label + `"}}`)
+		}(label)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := svc.Stats()
+		if st.InFlight >= 1 && st.QueueDepth >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("worker + queue never filled")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	resp = post(`{"collection":"` + shardTestCol + `","no_cache":true,"filter":{"field":"label","str":"pedestrian"}}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("query over a full queue = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 missing Retry-After")
+	}
+	wg.Wait()
+}
+
+// TestDegradedHTTPResponseShape: the JSON surface carries the
+// degradation annotation verbatim.
+func TestDegradedHTTPResponseShape(t *testing.T) {
+	deadShard0 := fault.Config{Seed: 19, Rules: []fault.Rule{
+		{Point: fault.FragmentError, Shard: 0, Replica: fault.Any, Prob: 1},
+	}}
+	_, svc := synthReplicated(t, 2, 2, 80, Config{Workers: 2, Faults: deadShard0})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/query", "application/json",
+		bytes.NewBufferString(`{"collection":"`+shardTestCol+`","allow_partial":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("allow_partial over a dead shard = %d, want 200", resp.StatusCode)
+	}
+	var body struct {
+		Value         int   `json:"value"`
+		Degraded      bool  `json:"degraded"`
+		MissingShards []int `json:"missing_shards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if !body.Degraded || len(body.MissingShards) != 1 || body.MissingShards[0] != 0 {
+		t.Fatalf("degraded JSON = %+v, want degraded with missing shard 0", body)
+	}
+}

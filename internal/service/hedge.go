@@ -1,0 +1,269 @@
+package service
+
+import (
+	"context"
+	"math/rand/v2"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+)
+
+// Hedged, deadline-aware fragment execution. Every shard of a scatter
+// runs its fragment against one in-sync replica; if that attempt is
+// slower than the hedge budget (a live p99 of past fragment latencies,
+// seeded by Config.HedgeAfter until enough samples exist), a second
+// attempt launches on the next replica and the first response wins —
+// the loser's context is canceled so it stops scanning. A fragment
+// that fails outright gets one retry with jittered backoff before the
+// shard is declared missing.
+//
+// The single-replica, no-fault-injection case takes a separate inline
+// path: no goroutine, no channel, no timer — the N=1/R=1 golden tests
+// see exactly the pre-hedging execution.
+
+const (
+	// hedgeHeadroom scales the observed p99 into the hedge budget: an
+	// attempt twice as slow as the 99th percentile is presumed stuck.
+	hedgeHeadroom = 2.0
+	// hedgeMinSamples gates the p99-derived budget; below it the
+	// configured HedgeAfter floor applies (cold-start histograms are
+	// noise).
+	hedgeMinSamples = 32
+	// hedgeBudgetMin/Max clamp the derived budget: never hedge inside
+	// a millisecond (fragment startup costs that much), never wait
+	// more than a second to try the other replica.
+	hedgeBudgetMin = time.Millisecond
+	hedgeBudgetMax = time.Second
+	// retryBaseDelay/retryJitter space the single error-retry so a
+	// deterministic failure (full disk, poisoned block) isn't hammered
+	// back-to-back, with jitter to de-correlate shards retrying at once.
+	retryBaseDelay = 2 * time.Millisecond
+	retryJitter    = 2 * time.Millisecond
+)
+
+// hedgeBudget returns how long a fragment attempt may run before a
+// hedge launches, or 0 when hedging is disabled. Once the fragment
+// latency histogram has hedgeMinSamples observations the budget tracks
+// 2x its live p99 (clamped); before that it is the configured floor.
+func (s *Service) hedgeBudget() time.Duration {
+	if s.cfg.HedgeAfter <= 0 {
+		return 0
+	}
+	h := s.tel.fragmentDur
+	if h.Count() < hedgeMinSamples {
+		return s.cfg.HedgeAfter
+	}
+	b := time.Duration(h.Quantile(0.99) * hedgeHeadroom * float64(time.Second))
+	if b < hedgeBudgetMin {
+		b = hedgeBudgetMin
+	}
+	if b > hedgeBudgetMax {
+		b = hedgeBudgetMax
+	}
+	return b
+}
+
+// retryDelay returns the jittered backoff before the single fragment
+// error-retry.
+func retryDelay() time.Duration {
+	return retryBaseDelay + time.Duration(rand.Int64N(int64(retryJitter)))
+}
+
+// sleepCtx sleeps for d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// fragmentAttempt runs shard i's whole fragment — snapshot, filter,
+// shard-local sort/trim — against replica r. It passes the fragment
+// failpoints first, so injected faults behave exactly like a slow or
+// failing replica would.
+func (s *Service) fragmentAttempt(ctx context.Context, req *Request, fval core.Value, scol *core.ShardedCollection, i, r, limit int, wantRows bool) (*shardFragment, int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	if err := s.inj.Fail(fault.FragmentError, i, r); err != nil {
+		return nil, 0, err
+	}
+	if err := s.inj.Stall(ctx, fault.FragmentStall, i, r); err != nil {
+		return nil, 0, err
+	}
+	col := scol.Replica(i, r)
+	snap, _, err := col.Snapshot()
+	if err != nil {
+		return nil, 0, err
+	}
+	frag, err := s.filterFragment(ctx, req, fval, scol, i, r, snap)
+	if err != nil {
+		return nil, 0, err
+	}
+	if req.SimJoin == nil && wantRows {
+		frag.rows = frag.filtered
+		if req.OrderBy != "" {
+			// Shard-local top-limit instead of a full sort: the merge
+			// stage only ever consumes the first `limit` rows of each
+			// fragment, and the bounded heap reproduces the stable
+			// sort's order exactly.
+			var ocol *core.Collection
+			if req.Filter == nil {
+				ocol = col
+			}
+			frag.rows = topKRows(ocol, frag.csel, frag.filtered, req.OrderBy, req.Desc, limit, len(snap))
+		}
+		if len(frag.rows) > limit {
+			frag.rows = frag.rows[:limit]
+		}
+	}
+	return frag, len(snap), nil
+}
+
+// hedgedFragment produces shard i's fragment from whichever in-sync
+// replica answers first. Policy: start on one replica; hedge to the
+// next after the budget elapses; on an error, retry once (jittered)
+// on the next replica in line; first success wins and cancels the
+// loser. Returns the parent context's error verbatim when the query
+// was canceled or timed out.
+func (s *Service) hedgedFragment(ctx context.Context, req *Request, fval core.Value, scol *core.ShardedCollection, i, limit int, wantRows bool) (*shardFragment, error) {
+	replicas := s.shards.InSyncReplicas(i)
+	sp := req.tr.Begin("fragment")
+
+	// Inline path: a single healthy replica and no fault injection has
+	// nothing to hedge against — run the attempt on the caller's
+	// goroutine (the R=1 golden path), keeping the one error-retry.
+	if len(replicas) == 1 && s.inj == nil {
+		start := time.Now()
+		frag, snapLen, err := s.fragmentAttempt(ctx, req, fval, scol, i, replicas[0], limit, wantRows)
+		if err != nil && ctx.Err() == nil {
+			s.tel.fragmentRetries.Inc()
+			if serr := sleepCtx(ctx, retryDelay()); serr != nil {
+				sp.End()
+				return nil, serr
+			}
+			start = time.Now()
+			frag, snapLen, err = s.fragmentAttempt(ctx, req, fval, scol, i, replicas[0], limit, wantRows)
+		}
+		sp.End()
+		if err != nil {
+			return nil, err
+		}
+		s.tel.fragmentDur.Observe(time.Since(start).Seconds())
+		frag.annotate(sp, i, snapLen)
+		return frag, nil
+	}
+
+	type attempt struct {
+		frag    *shardFragment
+		snapLen int
+		replica int
+		dur     time.Duration
+		err     error
+	}
+	actx, acancel := context.WithCancel(ctx)
+	defer acancel()
+	// Buffered past the maximum launch count (initial + hedge + retry)
+	// so late losers never block on send after the winner returns.
+	resCh := make(chan attempt, 4)
+	next := 0
+	launch := func() int {
+		r := replicas[next%len(replicas)]
+		next++
+		go func() {
+			start := time.Now()
+			frag, snapLen, err := s.fragmentAttempt(actx, req, fval, scol, i, r, limit, wantRows)
+			resCh <- attempt{frag: frag, snapLen: snapLen, replica: r, dur: time.Since(start), err: err}
+		}()
+		return r
+	}
+	outstanding := 1
+	launch()
+
+	budget := s.hedgeBudget()
+	var hedgeC <-chan time.Time
+	if budget > 0 && len(replicas) > 1 {
+		ht := time.NewTimer(budget)
+		defer ht.Stop()
+		hedgeC = ht.C
+	}
+	var (
+		retried      bool
+		retryC       <-chan time.Time
+		hedged       bool
+		hedgeStart   time.Time
+		hedgeReplica int
+		lastErr      error
+	)
+	for {
+		select {
+		case res := <-resCh:
+			outstanding--
+			if res.err == nil {
+				acancel() // stop the losing attempt, if one is running
+				s.tel.fragmentDur.Observe(res.dur.Seconds())
+				sp.End()
+				res.frag.annotate(sp, i, res.snapLen)
+				sp.AttrInt("replica", int64(res.replica))
+				if hedged {
+					winner := "original"
+					if res.replica == hedgeReplica {
+						winner = "hedge"
+					}
+					req.tr.AddSpan("hedge", hedgeStart, time.Since(hedgeStart), map[string]string{
+						"shard":   strconv.Itoa(i),
+						"replica": strconv.Itoa(hedgeReplica),
+						"budget":  budget.String(),
+						"winner":  winner,
+					})
+				}
+				return res.frag, nil
+			}
+			if err := ctx.Err(); err != nil {
+				if outstanding == 0 {
+					sp.End()
+					return nil, err
+				}
+				continue // drain the remaining attempt
+			}
+			lastErr = res.err
+			if !retried {
+				// One retry, on the next replica in line, after a
+				// jittered backoff.
+				retried = true
+				s.tel.fragmentRetries.Inc()
+				rt := time.NewTimer(retryDelay())
+				defer rt.Stop()
+				retryC = rt.C
+				continue
+			}
+			if outstanding == 0 && retryC == nil {
+				sp.End()
+				return nil, lastErr
+			}
+		case <-retryC:
+			retryC = nil
+			outstanding++
+			launch()
+		case <-hedgeC:
+			hedgeC = nil
+			if outstanding == 0 {
+				continue // an error beat the budget; the retry path owns recovery
+			}
+			hedged = true
+			hedgeStart = time.Now()
+			s.tel.hedgedFragments.Inc()
+			outstanding++
+			hedgeReplica = launch()
+		case <-ctx.Done():
+			sp.End()
+			return nil, ctx.Err()
+		}
+	}
+}

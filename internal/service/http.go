@@ -68,6 +68,11 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, httpError{err.Error()})
 	case errors.Is(err, core.ErrNotFound):
 		writeJSON(w, http.StatusNotFound, httpError{err.Error()})
+	case errors.Is(err, ErrQueryTimeout):
+		// The server's own deadline fired (client is still waiting):
+		// gateway timeout, and worth retrying once load drains.
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusGatewayTimeout, httpError{err.Error()})
 	case errors.Is(err, r.Context().Err()):
 		writeJSON(w, http.StatusRequestTimeout, httpError{err.Error()})
 	default:

@@ -380,10 +380,15 @@ type statsContract struct {
 	Batcher           exec.BatcherStats `json:"batcher"`
 	FusionFactor      float64           `json:"fusion_factor"`
 	Shards            int               `json:"shards"`
+	Replicas          int               `json:"replicas"`
 	ShardInfo         []core.ShardInfo  `json:"shard_info"`
 	ScatterQueries    int64             `json:"scatter_queries"`
 	ScatterTasks      int64             `json:"scatter_tasks"`
 	MergeTimeMS       float64           `json:"merge_time_ms"`
+	HedgedFragments   int64             `json:"hedged_fragments"`
+	FragmentRetries   int64             `json:"fragment_retries"`
+	DegradedQueries   int64             `json:"degraded_queries"`
+	ReplicaAppendErrs int64             `json:"replica_append_errors"`
 }
 
 // TestStatsJSONContract pins the /stats response shape: every field the
@@ -425,7 +430,8 @@ func TestStatsJSONContract(t *testing.T) {
 		"result_cache", "udf_cache", "result_hit_rate",
 		"device", "devices", "device_kernels", "device_launches", "device_flops", "device_overhead_ms",
 		"batcher", "fusion_factor",
-		"shards", "shard_info", "scatter_queries", "scatter_tasks", "merge_time_ms",
+		"shards", "replicas", "shard_info", "scatter_queries", "scatter_tasks", "merge_time_ms",
+		"hedged_fragments", "fragment_retries", "degraded_queries", "replica_append_errors",
 	} {
 		if _, ok := keys[want]; !ok {
 			t.Errorf("/stats dropped field %q", want)

@@ -37,12 +37,22 @@ type telemetry struct {
 	scatterQueries, scatterTasks  *obs.Counter
 	traced                        *obs.Counter
 
+	// Fault-tolerance counters: fragments hedged to another replica,
+	// fragment attempts retried after an error, and partial (degraded)
+	// responses served under a dead shard.
+	hedgedFragments *obs.Counter
+	fragmentRetries *obs.Counter
+	degradedQueries *obs.Counter
+
 	// Latency and shape distributions.
 	queryDur  *obs.Histogram // full Query wall time (matches client-side)
 	appendDur *obs.Histogram
 	queueWait *obs.Histogram // admission-queue wait, every executed task
 	batchWait *obs.Histogram // batcher submit->launch wait (traced queries)
 	fanout    *obs.Histogram // scatter wave width per scattered query
+	// fragmentDur feeds the hedge budget: its live p99 (with headroom)
+	// decides when a slow fragment is raced against another replica.
+	fragmentDur *obs.Histogram
 }
 
 // newTelemetry builds the registry and registers every family. Gauges
@@ -64,11 +74,16 @@ func newTelemetry(s *Service, cfg Config) *telemetry {
 		scatterTasks:   r.Counter("deeplens_scatter_tasks_total", "Scatter fragments fanned out (filter + join tasks).", nil),
 		traced:         r.Counter("deeplens_traced_queries_total", "Queries with full span capture (requested or sampled).", nil),
 
-		queryDur:  r.Histogram("deeplens_query_duration_seconds", "Query wall time, admission to response.", nil, obs.DefaultLatencyBuckets),
-		appendDur: r.Histogram("deeplens_append_duration_seconds", "Append request wall time.", nil, obs.DefaultLatencyBuckets),
-		queueWait: r.Histogram("deeplens_queue_wait_seconds", "Admission-queue wait before a worker picks the task up.", nil, obs.DefaultLatencyBuckets),
-		batchWait: r.Histogram("deeplens_batch_wait_seconds", "Kernel submit-to-launch wait in the batcher (traced queries only).", nil, obs.DefaultLatencyBuckets),
-		fanout:    r.Histogram("deeplens_scatter_fanout", "Scatter wave width (shards) per scattered query.", nil, obs.FanoutBuckets),
+		hedgedFragments: r.Counter("deeplens_hedged_fragments_total", "Scatter fragments hedged to another replica after the latency budget.", nil),
+		fragmentRetries: r.Counter("deeplens_fragment_retries_total", "Scatter fragment attempts retried after an error.", nil),
+		degradedQueries: r.Counter("deeplens_degraded_queries_total", "Queries answered partially (allow_partial with every replica of a shard down).", nil),
+
+		queryDur:    r.Histogram("deeplens_query_duration_seconds", "Query wall time, admission to response.", nil, obs.DefaultLatencyBuckets),
+		appendDur:   r.Histogram("deeplens_append_duration_seconds", "Append request wall time.", nil, obs.DefaultLatencyBuckets),
+		queueWait:   r.Histogram("deeplens_queue_wait_seconds", "Admission-queue wait before a worker picks the task up.", nil, obs.DefaultLatencyBuckets),
+		batchWait:   r.Histogram("deeplens_batch_wait_seconds", "Kernel submit-to-launch wait in the batcher (traced queries only).", nil, obs.DefaultLatencyBuckets),
+		fanout:      r.Histogram("deeplens_scatter_fanout", "Scatter wave width (shards) per scattered query.", nil, obs.FanoutBuckets),
+		fragmentDur: r.Histogram("deeplens_fragment_duration_seconds", "Scatter fragment attempt wall time (successful attempts; feeds the hedge budget p99).", nil, obs.DefaultLatencyBuckets),
 	}
 	if cfg.TraceSample > 0 {
 		n := int64(1.0/cfg.TraceSample + 0.5)
@@ -95,6 +110,28 @@ func newTelemetry(s *Service, cfg Config) *telemetry {
 			return float64(s.shards.NumShards())
 		}
 		return 1
+	})
+	r.GaugeFunc("deeplens_replicas", "Per-shard replica count.", nil, func() float64 {
+		if s.shards != nil {
+			return float64(s.shards.Replicas())
+		}
+		return 1
+	})
+	r.CounterFunc("deeplens_replica_append_errors_total", "Secondary-replica append failures absorbed (each demotes the replica from the read set).", nil, func() float64 {
+		if s.shards != nil {
+			return float64(s.shards.ReplicaAppendErrors())
+		}
+		return 0
+	})
+	r.GaugeFunc("deeplens_out_of_sync_replicas", "Replicas currently demoted from the read set.", nil, func() float64 {
+		if s.shards == nil {
+			return 0
+		}
+		n := 0
+		for i := 0; i < s.shards.NumShards(); i++ {
+			n += s.shards.Replicas() - len(s.shards.InSyncReplicas(i))
+		}
+		return float64(n)
 	})
 
 	for _, c := range []struct {

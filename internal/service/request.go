@@ -40,6 +40,18 @@ type Request struct {
 	// UDF cache still applies).
 	NoCache bool `json:"no_cache,omitempty"`
 
+	// TimeoutMS overrides Config.QueryTimeout for this request (0 keeps
+	// the service default). Purely physical — it bounds wall time, never
+	// the result — so it is excluded from the fingerprint.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+
+	// AllowPartial opts into graceful degradation: when every replica of
+	// a shard fails, the gather stage returns the surviving shards'
+	// partial result (annotated Degraded + MissingShards) instead of an
+	// error. Changes the result contract, so it IS folded into the
+	// fingerprint (only when set — default fingerprints are unchanged).
+	AllowPartial bool `json:"allow_partial,omitempty"`
+
 	// Trace requests full span capture for this query; the response then
 	// carries the trace (TraceID/TraceData). Purely observational: it
 	// never changes the result and is excluded from the fingerprint, so
@@ -190,6 +202,9 @@ func (r *Request) validate() error {
 	if r.Limit < 0 {
 		return errors.New("service: negative limit")
 	}
+	if r.TimeoutMS < 0 {
+		return errors.New("service: negative timeout_ms")
+	}
 	return nil
 }
 
@@ -243,6 +258,11 @@ func (r *Request) fingerprint(version uint64, modelSeed int64) string {
 	if r.Distinct {
 		f.Int("distinct", 1)
 	}
+	if r.AllowPartial {
+		// A partial-tolerant request may legitimately return a different
+		// (degraded) answer; never share a cache entry with strict ones.
+		f.Int("allow_partial", 1)
+	}
 	if orderBy != "" {
 		d := int64(0)
 		if desc {
@@ -276,6 +296,13 @@ type Response struct {
 	CacheAwareCostSec float64 `json:"cache_aware_cost_sec"`
 
 	DurationMS float64 `json:"duration_ms"`
+
+	// Degraded marks a partial result: every replica of the shards in
+	// MissingShards failed, the request allowed partial results, and
+	// Value/Rows cover only the surviving shards. Degraded responses are
+	// never cached.
+	Degraded      bool  `json:"degraded,omitempty"`
+	MissingShards []int `json:"missing_shards,omitempty"`
 
 	// TraceID/TraceData carry the per-query trace when the request asked
 	// for one ("trace": true). Always attached to a caller-private copy:

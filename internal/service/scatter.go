@@ -2,6 +2,7 @@ package service
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -9,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/fault"
 	"repro/internal/obs"
 )
 
@@ -111,17 +113,20 @@ func (s *Service) scatterWave(n int, fn func(t int) error) error {
 }
 
 // executeScatter runs the filter -> simjoin -> distinct -> order/limit
-// pipeline as plan-once, scatter-everywhere, merge-at-the-top.
-func (s *Service) executeScatter(req *Request) (*Response, error) {
+// pipeline as plan-once, scatter-everywhere, merge-at-the-top. Each
+// shard's fragment runs as a hedged, deadline-aware read over the
+// shard's in-sync replicas (see hedge.go); when every replica of a
+// shard fails and the request allows partial results, the gather stage
+// degrades instead of erroring.
+func (s *Service) executeScatter(ctx context.Context, req *Request) (*Response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	scol, err := s.shards.Collection(req.Collection)
 	if err != nil {
 		return nil, err
 	}
-	parts, _, err := scol.Snapshot()
-	if err != nil {
-		return nil, err
-	}
-	nsh := len(parts)
+	nsh := scol.Shards()
 	s.tel.scatterQueries.Inc()
 	s.tel.fanout.Observe(float64(nsh))
 
@@ -152,64 +157,88 @@ func (s *Service) executeScatter(req *Request) (*Response, error) {
 	}
 	wantRows := req.OrderBy != "" || req.Limit > 0
 
-	// ---- scatter: per-shard filter (+ local sort/trim) fragments ----
+	// Partial-tolerant queries under a deadline cut their fragments
+	// slightly early, so the gather stage still has time to assemble and
+	// return the surviving shards' answer before the 504 would fire.
+	fctx := ctx
+	if req.AllowPartial {
+		if dl, ok := ctx.Deadline(); ok {
+			margin := time.Until(dl) / 10
+			if margin < time.Millisecond {
+				margin = time.Millisecond
+			}
+			if margin > 100*time.Millisecond {
+				margin = 100 * time.Millisecond
+			}
+			var fcancel context.CancelFunc
+			fctx, fcancel = context.WithDeadline(ctx, dl.Add(-margin))
+			defer fcancel()
+		}
+	}
+
+	// ---- scatter: per-shard hedged filter (+ local sort/trim) fragments ----
 	frags := make([]*shardFragment, nsh)
-	err = s.scatterWave(nsh, func(i int) error {
-		sp := req.tr.Begin("fragment")
-		frag, err := s.filterFragment(req, fval, scol, i, parts[i])
-		if err != nil {
-			sp.End()
-			return err
-		}
-		if req.SimJoin == nil && wantRows {
-			frag.rows = frag.filtered
-			if req.OrderBy != "" {
-				// Shard-local top-limit instead of a full sort: the merge
-				// stage only ever consumes the first `limit` rows of each
-				// fragment, and the bounded heap reproduces the stable
-				// sort's order exactly.
-				var ocol *core.Collection
-				if req.Filter == nil {
-					ocol = scol.Shard(i)
-				}
-				frag.rows = topKRows(ocol, frag.csel, frag.filtered, req.OrderBy, req.Desc, limit, len(parts[i]))
-			}
-			if len(frag.rows) > limit {
-				frag.rows = frag.rows[:limit]
-			}
-		}
-		sp.End()
-		frag.annotate(sp, i, len(parts[i]))
-		frags[i] = frag
-		return nil
+	errs := make([]error, nsh)
+	s.scatterWave(nsh, func(i int) error {
+		frags[i], errs[i] = s.hedgedFragment(fctx, req, fval, scol, i, limit, wantRows)
+		return nil // per-shard outcomes are judged below, not first-error
 	})
-	if err != nil {
-		return nil, err
+	if err := ctx.Err(); err != nil {
+		return nil, err // timeout/cancel dominates any per-shard outcome
+	}
+	var missing []int
+	var shardErr error
+	for i, e := range errs {
+		if e != nil {
+			missing = append(missing, i)
+			if shardErr == nil {
+				shardErr = fmt.Errorf("shard %d: %w", i, e)
+			}
+		}
+	}
+	if len(missing) > 0 && (!req.AllowPartial || len(missing) == nsh) {
+		return nil, shardErr
+	}
+	if len(missing) > 0 {
+		s.tel.degradedQueries.Inc()
 	}
 
 	if req.SimJoin != nil {
-		return s.simJoinScatter(req, scol, frags)
+		return s.simJoinScatter(ctx, req, scol, frags, missing)
 	}
 
-	// ---- gather: sum counts, merge rows ----
+	// ---- gather: sum counts, merge rows (nil frags = missing shards) ----
 	mergeStart := time.Now()
 	mg := req.tr.Begin("merge")
-	resp := &Response{}
+	resp := &Response{Degraded: len(missing) > 0, MissingShards: missing}
 	total := 0
+	var planOps []string
 	for _, frag := range frags {
+		if frag == nil {
+			continue
+		}
+		if planOps == nil {
+			planOps = append([]string{}, frag.planOps...)
+		}
 		total += len(frag.filtered)
 		resp.EstCostSec += frag.cost
 	}
 	resp.Value = total
 
-	planOps := append([]string(nil), frags[0].planOps...)
 	if wantRows {
 		var merged []*core.Patch
 		if req.OrderBy != "" {
-			merged = mergeSortedRows(frags, req.OrderBy, req.Desc, limit)
+			merged, err = mergeSortedRows(ctx, frags, req.OrderBy, req.Desc, limit)
+			if err != nil {
+				mg.End()
+				return nil, err
+			}
 			planOps = append(planOps, "order-by("+req.OrderBy+")")
 		} else {
 			for _, frag := range frags {
+				if frag == nil {
+					continue
+				}
 				merged = append(merged, frag.rows...)
 				if len(merged) >= limit {
 					merged = merged[:limit]
@@ -258,15 +287,18 @@ func (s *Service) scatterPlan(nsh, cross int, fragOps []string, gather string) s
 	return fmt.Sprintf("scatter[%s](%s) -> %s", fan, joinPlan(fragOps), gather)
 }
 
-// filterFragment runs the filter stage of the plan on shard i's
-// snapshot, using the shard-local hash index when the plan asks for it.
-func (s *Service) filterFragment(req *Request, fval core.Value, scol *core.ShardedCollection, i int, snap []*core.Patch) (*shardFragment, error) {
+// filterFragment runs the filter stage of the plan on replica r of
+// shard i's snapshot, using the replica-local hash index when the plan
+// asks for it. It checks ctx between blocks of row work so a canceled
+// caller (or a hedge loser) stops promptly instead of burning the
+// full scan.
+func (s *Service) filterFragment(ctx context.Context, req *Request, fval core.Value, scol *core.ShardedCollection, i, r int, snap []*core.Patch) (*shardFragment, error) {
 	frag := &shardFragment{filtered: snap}
 	f := req.Filter
 	if f == nil {
 		return frag, nil
 	}
-	col := scol.Shard(i)
+	col := scol.Replica(i, r)
 	if f.isRange() {
 		lo, hi := f.bounds()
 		if cf, ok := columnFilterRange(col, f.Field, lo, hi, len(snap)); ok {
@@ -282,7 +314,7 @@ func (s *Service) filterFragment(req *Request, fval core.Value, scol *core.Shard
 		return frag, nil
 	}
 	if f.UseIndex {
-		idx, err := s.ensureIndexOn(s.shards.Shard(i), shardScope(i), col, f.Field, core.IdxHash)
+		idx, err := s.ensureIndexOn(s.shards.ReplicaDB(i, r), replicaScope(i, r), col, f.Field, core.IdxHash)
 		if err != nil {
 			return nil, err
 		}
@@ -291,7 +323,12 @@ func (s *Service) filterFragment(req *Request, fval core.Value, scol *core.Shard
 			return nil, err
 		}
 		filtered := make([]*core.Patch, 0, len(ids))
-		for _, id := range ids {
+		for k, id := range ids {
+			if k%ctxCheckRows == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			p, err := col.Get(id)
 			if err != nil {
 				return nil, err
@@ -302,7 +339,7 @@ func (s *Service) filterFragment(req *Request, fval core.Value, scol *core.Shard
 		frag.planOps = append(frag.planOps, fmt.Sprintf("hash-index(%s)", f.Field))
 		frag.cost += float64(len(ids)) * s.cost.CFetch
 	} else if cf, ok := columnFilterEq(col, f.Field, fval, len(snap)); ok {
-		// Columnar fragment: each shard prunes and scans its own blocks
+		// Columnar fragment: each replica prunes and scans its own blocks
 		// (same kernels, labels and cost accounting as the unsharded
 		// path, so N=1 plans stay byte-identical).
 		frag.filtered = cf.rows
@@ -311,7 +348,12 @@ func (s *Service) filterFragment(req *Request, fval core.Value, scol *core.Shard
 		frag.cost += s.cost.FilterCost(core.FilterColumnScan, len(snap), 0)
 	} else {
 		filtered := make([]*core.Patch, 0, len(snap)/4)
-		for _, p := range snap {
+		for k, p := range snap {
+			if k%ctxCheckRows == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			if mv, ok := p.Meta[f.Field]; ok && mv.Equal(fval) {
 				filtered = append(filtered, p)
 			}
@@ -323,8 +365,22 @@ func (s *Service) filterFragment(req *Request, fval core.Value, scol *core.Shard
 	return frag, nil
 }
 
+// ctxCheckRows is the row stride between cancellation checks in scan
+// loops: frequent enough to abandon a dead query promptly, sparse
+// enough that the atomic ctx.Err() load never shows up in profiles.
+const ctxCheckRows = 4096
+
 // shardScope disambiguates per-shard index-build locks.
 func shardScope(i int) string { return fmt.Sprintf("shard%d", i) }
+
+// replicaScope disambiguates per-replica index-build locks. The primary
+// keeps the historical shard-scope key.
+func replicaScope(i, r int) string {
+	if r == 0 {
+		return shardScope(i)
+	}
+	return fmt.Sprintf("shard%d-r%d", i, r)
+}
 
 // joinTask is one unit of the similarity-join scatter wave: a shard's
 // local self-join, or the cross join between a pair of shards.
@@ -339,8 +395,11 @@ type joinTask struct {
 // self-joins its own fragment and every shard pair cross-joins (left
 // fragment against right fragment), all tasks in parallel on their
 // pinned devices; pair lists concatenate at the gather stage, and
-// distinct queries re-cluster over the union.
-func (s *Service) simJoinScatter(req *Request, scol *core.ShardedCollection, frags []*shardFragment) (*Response, error) {
+// distinct queries re-cluster over the union. Shards listed in missing
+// have nil fragments (every replica failed under allow_partial): they
+// contribute no tasks, and the degraded pair set covers only the
+// surviving shards.
+func (s *Service) simJoinScatter(ctx context.Context, req *Request, scol *core.ShardedCollection, frags []*shardFragment, missing []int) (*Response, error) {
 	sj := req.SimJoin
 	nsh := len(frags)
 
@@ -351,7 +410,7 @@ func (s *Service) simJoinScatter(req *Request, scol *core.ShardedCollection, fra
 	}
 	if dim == 0 {
 		for _, frag := range frags {
-			if len(frag.filtered) > 0 {
+			if frag != nil && len(frag.filtered) > 0 {
 				if mv, ok := frag.filtered[0].Meta[sj.Field]; ok {
 					dim = len(mv.V)
 				}
@@ -362,15 +421,21 @@ func (s *Service) simJoinScatter(req *Request, scol *core.ShardedCollection, fra
 	// A prebuilt (shard-local) index can only serve an unfiltered join.
 	hasIndex := sj.UseIndex && req.Filter == nil
 
-	// Task list: nsh local self-joins, then one cross task per non-empty
-	// shard pair.
+	// Task list: one local self-join per surviving shard, then one cross
+	// task per non-empty surviving shard pair.
 	tasks := make([]*joinTask, 0, nsh+nsh*(nsh-1)/2)
 	for i := 0; i < nsh; i++ {
+		if frags[i] == nil {
+			continue
+		}
 		tasks = append(tasks, &joinTask{left: i, right: i})
 	}
 	cross := 0
 	for i := 0; i < nsh; i++ {
 		for j := i + 1; j < nsh; j++ {
+			if frags[i] == nil || frags[j] == nil {
+				continue
+			}
 			if len(frags[i].filtered) == 0 || len(frags[j].filtered) == 0 {
 				continue // an empty side can contribute no cross pairs
 			}
@@ -381,6 +446,12 @@ func (s *Service) simJoinScatter(req *Request, scol *core.ShardedCollection, fra
 
 	err := s.scatterWave(len(tasks), func(t int) error {
 		task := tasks[t]
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := s.inj.Stall(ctx, fault.DeviceStall, task.left, 0); err != nil {
+			return err
+		}
 		dev := s.shardDev(t)
 		// Join tasks submit kernels: register with the device's batcher so
 		// its adaptive flush knows a submitter is mid-query (default flush
@@ -408,14 +479,24 @@ func (s *Service) simJoinScatter(req *Request, scol *core.ShardedCollection, fra
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// ---- gather: concatenate pairs, re-cluster for distinct ----
 	mergeStart := time.Now()
 	mg := req.tr.Begin("merge")
-	resp := &Response{}
+	resp := &Response{Degraded: len(missing) > 0, MissingShards: missing}
 	var pairs []core.Tuple
 	label := ""
+	var planOps []string
 	for _, frag := range frags {
+		if frag == nil {
+			continue
+		}
+		if planOps == nil {
+			planOps = append([]string{}, frag.planOps...)
+		}
 		resp.EstCostSec += frag.cost
 	}
 	for _, task := range tasks {
@@ -426,12 +507,14 @@ func (s *Service) simJoinScatter(req *Request, scol *core.ShardedCollection, fra
 		}
 	}
 
-	planOps := append([]string(nil), frags[0].planOps...)
 	planOps = append(planOps, label)
 	gather := "gather-pairs"
 	if req.Distinct {
 		var all []*core.Patch
 		for _, frag := range frags {
+			if frag == nil {
+				continue
+			}
 			all = append(all, frag.filtered...)
 		}
 		resp.Value = clusterCount(all, pairs, sj.MinCluster)
@@ -591,17 +674,24 @@ func (h *rowHeap) Pop() any {
 // mergeSortedRows k-way heap-merges the shards' sorted row fragments
 // into the global top-limit rows. Each shard trimmed its fragment to
 // the limit already, so the merge touches at most nsh*limit rows no
-// matter how large the collection is.
-func mergeSortedRows(frags []*shardFragment, field string, desc bool, limit int) []*core.Patch {
+// matter how large the collection is. Nil fragments (missing shards on
+// a degraded query) contribute no stream; the merge checks ctx
+// periodically so a query that times out mid-gather stops there.
+func mergeSortedRows(ctx context.Context, frags []*shardFragment, field string, desc bool, limit int) ([]*core.Patch, error) {
 	h := &rowHeap{field: field, desc: desc}
 	for i, frag := range frags {
-		if len(frag.rows) > 0 {
+		if frag != nil && len(frag.rows) > 0 {
 			h.streams = append(h.streams, &rowStream{shard: i, rows: frag.rows})
 		}
 	}
 	heap.Init(h)
 	out := make([]*core.Patch, 0, limit)
 	for h.Len() > 0 && len(out) < limit {
+		if len(out)%mergeCtxCheckRows == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		st := h.streams[0]
 		out = append(out, st.rows[st.pos])
 		st.pos++
@@ -611,5 +701,10 @@ func mergeSortedRows(frags []*shardFragment, field string, desc bool, limit int)
 			heap.Pop(h)
 		}
 	}
-	return out
+	return out, nil
 }
+
+// mergeCtxCheckRows is the output-row stride between cancellation
+// checks in the k-way merge (heap steps are pricier than scan steps,
+// so the stride is tighter than ctxCheckRows).
+const mergeCtxCheckRows = 32

@@ -41,6 +41,7 @@ import (
 	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/vision"
 )
@@ -52,6 +53,12 @@ var (
 	ErrOverloaded = errors.New("service: admission queue full")
 	// ErrClosed reports a query against a closed service.
 	ErrClosed = errors.New("service: closed")
+	// ErrQueryTimeout reports a query that exceeded the server-side
+	// deadline (Config.QueryTimeout or the request's TimeoutMS): the
+	// result was abandoned, the caller may retry (HTTP 504). Client
+	// cancellation is NOT mapped here — a caller that gave up keeps its
+	// own context error.
+	ErrQueryTimeout = errors.New("service: query deadline exceeded")
 )
 
 // DefaultModelSeed fixes UDF model weights when Config.ModelSeed is zero
@@ -117,6 +124,23 @@ type Config struct {
 	// slow-query log; explicit traces are additionally returned on the
 	// response.
 	TraceSample float64
+	// QueryTimeout bounds each query's wall time server-side (0 = no
+	// deadline, today's behavior; a request's timeout_ms overrides).
+	// An exceeded deadline fails the query with ErrQueryTimeout
+	// (HTTP 504) — unless the request set allow_partial, in which case
+	// fragments are cut slightly early and the shards that made it in
+	// time still answer.
+	QueryTimeout time.Duration
+	// HedgeAfter is the fragment latency budget before a scatter
+	// fragment is hedged to another in-sync replica (first response
+	// wins, loser canceled). Used until enough fragments have been
+	// observed to derive the budget from the live p99 (default 25ms;
+	// negative disables hedging). Only effective with > 1 replica.
+	HedgeAfter time.Duration
+	// Faults arms the deterministic fault-injection failpoints in the
+	// scatter/append paths (chaos tests, `deeplens-serve -fault`).
+	// Zero value: no faults.
+	Faults fault.Config
 }
 
 // withDefaults resolves zero values. shards is the backing partition
@@ -163,6 +187,12 @@ func (c Config) withDefaults(shards int) Config {
 	}
 	if c.SlowLogEntries <= 0 {
 		c.SlowLogEntries = 64
+	}
+	switch {
+	case c.HedgeAfter == 0:
+		c.HedgeAfter = 25 * time.Millisecond
+	case c.HedgeAfter < 0:
+		c.HedgeAfter = 0 // hedging disabled
 	}
 	return c
 }
@@ -229,6 +259,10 @@ type Service struct {
 	// sampler; /metrics and /stats read the same source.
 	tel *telemetry
 
+	// inj evaluates the armed fault-injection failpoints on the scatter
+	// and join paths (nil = disabled, one pointer compare per site).
+	inj *fault.Injector
+
 	inFlight, peakInFlight atomic.Int64
 
 	// statsMu makes (queue depth, in-flight count) observable as one
@@ -286,6 +320,10 @@ func buildService(db *core.DB, sdb *core.Sharded, cfg Config) (*Service, error) 
 		sources:  make(map[string]FrameSource),
 		inflight: make(map[string]*flight),
 		builds:   make(map[string]*sync.Mutex),
+	}
+	s.inj = fault.New(cfg.Faults)
+	if sdb != nil {
+		sdb.SetFaults(s.inj)
 	}
 	s.tel = newTelemetry(s, cfg)
 	// Lease every device for the service's lifetime and front each with a
@@ -423,6 +461,20 @@ func (s *Service) Query(ctx context.Context, req Request) (*Response, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// Server-side deadline: Config.QueryTimeout, overridable per request.
+	// Exceeding it surfaces as ErrQueryTimeout (HTTP 504) — but only when
+	// the caller's own context is still live, so a client that hung up
+	// keeps its own cancellation error.
+	parent := ctx
+	timeout := s.cfg.QueryTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
 	start := time.Now()
 	// tr is nil for untraced queries; every span operation on it is a
 	// no-op branch, keeping the hot path's instrumentation cost at two
@@ -431,6 +483,10 @@ func (s *Service) Query(ctx context.Context, req Request) (*Response, error) {
 	req.tr = tr
 	resp, err := s.doQuery(ctx, &req, tr)
 	if err != nil {
+		if timeout > 0 && parent.Err() == nil &&
+			(errors.Is(err, context.DeadlineExceeded) || errors.Is(ctx.Err(), context.DeadlineExceeded)) {
+			return nil, ErrQueryTimeout
+		}
 		return nil, err
 	}
 	return s.tel.finishQuery(resp, &req, tr, time.Since(start)), nil
@@ -601,7 +657,11 @@ func (s *Service) process(w *worker, t *task) {
 	tr := t.req.tr
 	tr.AddSpan("queue", t.enq, wait, nil)
 	ex := tr.Begin("execute")
-	resp, err := s.execute(w, t.req)
+	ctx := t.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	resp, err := s.execute(ctx, w, t.req)
 	if err != nil {
 		ex.End()
 		s.tel.failed.Inc()
@@ -615,7 +675,10 @@ func (s *Service) process(w *worker, t *task) {
 	resp.Fingerprint = t.key
 	resp.CacheAwareCostSec = s.cost.CacheAwareCost(
 		resp.EstCostSec, s.results.Stats().HitRate(), cacheLookupCostSec)
-	if t.key != "" {
+	// Degraded (partial) responses are never cached: the missing shards
+	// may be back for the very next query, and a cached partial answer
+	// would keep serving under a fingerprint that promises the full one.
+	if t.key != "" && !resp.Degraded {
 		cs := tr.Begin("cache-store")
 		s.results.Put(t.key, resp, resp.sizeBytes())
 		cs.End()
@@ -643,7 +706,7 @@ func cachedResponse(r *Response, s *Service) *Response {
 
 // ---------------------------------------------------------- execution ----
 
-func (s *Service) execute(w *worker, req *Request) (*Response, error) {
+func (s *Service) execute(ctx context.Context, w *worker, req *Request) (*Response, error) {
 	if req.Infer != nil {
 		// The sweep may submit kernels for the whole request: register as
 		// a mid-query submitter so the batcher's idle flush knows when the
@@ -653,21 +716,24 @@ func (s *Service) execute(w *worker, req *Request) (*Response, error) {
 			w.dev.BeginSubmitter()
 			defer w.dev.EndSubmitter()
 		}
-		return s.executeInfer(w, req.Infer)
+		return s.executeInfer(ctx, w, req.Infer)
 	}
 	if s.shards != nil {
-		return s.executeScatter(req)
+		return s.executeScatter(ctx, req)
 	}
 	if s.adaptive {
 		w.dev.BeginSubmitter()
 		defer w.dev.EndSubmitter()
 	}
-	return s.executeQuery(w, req)
+	return s.executeQuery(ctx, w, req)
 }
 
 // executeQuery runs the filter -> simjoin -> distinct -> order/limit
 // pipeline over a collection snapshot.
-func (s *Service) executeQuery(w *worker, req *Request) (*Response, error) {
+func (s *Service) executeQuery(ctx context.Context, w *worker, req *Request) (*Response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	col, err := s.db.Collection(req.Collection)
 	if err != nil {
 		return nil, err
@@ -748,6 +814,9 @@ func (s *Service) executeQuery(w *worker, req *Request) (*Response, error) {
 	}
 
 	if sj := req.SimJoin; sj != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		dim := 0
 		if fd := col.Schema().FieldNamed(sj.Field); fd != nil {
 			dim = fd.VecDim
@@ -941,7 +1010,7 @@ func clusterCount(ps []*core.Patch, pairs []core.Tuple, minSize int) int {
 const estInferPerFrameSec = 4e-3
 
 // executeInfer sweeps a memoized UDF over rendered frames.
-func (s *Service) executeInfer(w *worker, spec *InferSpec) (*Response, error) {
+func (s *Service) executeInfer(ctx context.Context, w *worker, spec *InferSpec) (*Response, error) {
 	src := s.source(spec.Source)
 	if src == nil {
 		return nil, fmt.Errorf("service: unknown frame source %q", spec.Source)
@@ -952,6 +1021,11 @@ func (s *Service) executeInfer(w *worker, spec *InferSpec) (*Response, error) {
 	}
 	count := 0
 	for t := spec.From; t < spec.To; t++ {
+		// Frames are the sweep's natural cancellation boundary: a caller
+		// that gave up (or a fired deadline) stops burning inference here.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		img, err := src.Render(t)
 		if err != nil {
 			return nil, fmt.Errorf("service: render %s[%d]: %w", spec.Source, t, err)
@@ -1087,6 +1161,16 @@ type Stats struct {
 	ScatterQueries int64            `json:"scatter_queries"`
 	ScatterTasks   int64            `json:"scatter_tasks"`
 	MergeTimeMS    float64          `json:"merge_time_ms"`
+
+	// Fault tolerance: per-shard replica count, the hedged-read and
+	// retry activity record, partial (degraded) responses served, and
+	// secondary-replica append failures absorbed (each demotes the
+	// failing replica from the read set).
+	Replicas            int   `json:"replicas"`
+	HedgedFragments     int64 `json:"hedged_fragments"`
+	FragmentRetries     int64 `json:"fragment_retries"`
+	DegradedQueries     int64 `json:"degraded_queries"`
+	ReplicaAppendErrors int64 `json:"replica_append_errors"`
 }
 
 // Stats snapshots the service counters.
@@ -1104,13 +1188,16 @@ func (s *Service) Stats() Stats {
 	queueDepth := len(s.queue)
 	inFlight := s.inFlight.Load()
 	s.statsMu.Unlock()
-	nshards := 1
+	nshards, nreplicas := 1, 1
 	var shardInfo []core.ShardInfo
 	var extends, extReused, extTotal int64
+	var repErrs int64
 	if s.shards != nil {
 		nshards = s.shards.NumShards()
+		nreplicas = s.shards.Replicas()
 		shardInfo = s.shards.ShardInfos()
 		extends, extReused, extTotal = s.shards.ColumnExtendStats()
+		repErrs = s.shards.ReplicaAppendErrors()
 	} else {
 		extends, extReused, extTotal = s.db.ColumnExtendStats()
 	}
@@ -1158,6 +1245,12 @@ func (s *Service) Stats() Stats {
 		ScatterQueries: s.tel.scatterQueries.Value(),
 		ScatterTasks:   s.tel.scatterTasks.Value(),
 		MergeTimeMS:    float64(s.mergeNS.Load()) / 1e6,
+
+		Replicas:            nreplicas,
+		HedgedFragments:     s.tel.hedgedFragments.Value(),
+		FragmentRetries:     s.tel.fragmentRetries.Value(),
+		DegradedQueries:     s.tel.degradedQueries.Value(),
+		ReplicaAppendErrors: repErrs,
 	}
 }
 
