@@ -1,0 +1,76 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/bench"
+)
+
+// runANNKNN measures the ANN physical path against the brute-force
+// vector scan on the kNN probe workload (the same fixture
+// BenchmarkANNKNN snapshots for CI — shared via internal/bench's annknn
+// fixture) and writes the curve to BENCH_ann_knn.json in the working
+// directory.
+func runANNKNN() error {
+	const iters = 10
+	dir, err := os.MkdirTemp("", "deeplens-annknn")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	f, err := bench.NewANNKNNFixture(dir, bench.ANNKNNRows)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := f.ANNKNNCheck(); err != nil {
+		return err
+	}
+
+	measure := func(run func(qi int)) (float64, error) {
+		total, err := bench.MinWallNS(iters, func() error {
+			for qi := 0; qi < bench.ANNKNNQueries; qi++ {
+				run(qi)
+			}
+			return nil
+		})
+		return total / bench.ANNKNNQueries, err
+	}
+	points := []bench.ANNKNNPoint{
+		{Method: "brute-scan"}, {Method: "index-exact"}, {Method: "index-lsh"},
+	}
+	if points[0].NS, err = measure(func(qi int) { f.Brute(qi) }); err != nil {
+		return err
+	}
+	if points[1].NS, err = measure(func(qi int) { f.ExactKNN(qi) }); err != nil {
+		return err
+	}
+	if points[2].NS, err = measure(func(qi int) { f.ApproxKNN(qi) }); err != nil {
+		return err
+	}
+	points[2].Recall = f.ANNKNNRecall()
+	if err := bench.WriteANNKNNJSON("BENCH_ann_knn.json", bench.ANNKNNRows, points); err != nil {
+		return err
+	}
+
+	fmt.Printf("\n## ANN-indexed kNN vs brute scan (%d rows, dim %d, k=%d, %d queries)\n",
+		bench.ANNKNNRows, bench.ANNKNNDim, bench.ANNKNNK, bench.ANNKNNQueries)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "method\tns/query\tspeedup\trecall")
+	for _, p := range points {
+		speedup := "-"
+		if p.Method != "brute-scan" && p.NS > 0 {
+			speedup = fmt.Sprintf("%.1fx", points[0].NS/p.NS)
+		}
+		recall := "-"
+		if p.Method == "index-lsh" {
+			recall = fmt.Sprintf("%.3f", p.Recall)
+		}
+		fmt.Fprintf(w, "%s\t%.0f\t%s\t%s\n", p.Method, p.NS, speedup, recall)
+	}
+	w.Flush()
+	fmt.Println("\nwrote BENCH_ann_knn.json")
+	return nil
+}

@@ -1,0 +1,233 @@
+package bench
+
+// Shared fixture for the ANN-kNN experiment: one synthetic clustered
+// vector collection, the brute-scan / exact-balltree / approximate-LSH
+// probe workloads, recall measurement against the brute golden, and the
+// baseline-JSON encoding — used by both BenchmarkANNKNN (the
+// CI-uploaded snapshot) and the `deeplens-bench ann-knn` subcommand so
+// the two surfaces cannot drift apart.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+)
+
+// ANNKNNRows is the ingested row count: large enough that the brute
+// scan's n·d distance computations dominate and the index's sublinear
+// probe shows.
+const ANNKNNRows = 12000
+
+// ANNKNNDim is the vector dimensionality (the embedding regime, not the
+// toy one).
+const ANNKNNDim = 32
+
+// ANNKNNClusters spreads the rows over well-separated centers; ~125
+// rows per cluster keeps every top-k inside one cluster.
+const ANNKNNClusters = 96
+
+// ANNKNNK is the probe depth.
+const ANNKNNK = 10
+
+// ANNKNNQueries is the query-set size each measurement cycles through.
+const ANNKNNQueries = 32
+
+// ANNKNNCol names the synthetic collection.
+const ANNKNNCol = "annknn.vecs"
+
+// ANNKNNSchema declares the indexed vector field.
+func ANNKNNSchema() core.Schema {
+	return core.Schema{
+		Data:   core.Pixels(0, 0),
+		Fields: []core.Field{{Name: "emb", Kind: core.KindVec, VecDim: ANNKNNDim}},
+	}
+}
+
+// ANNKNNPatch generates row i deterministically: i%ANNKNNClusters picks
+// a center, a tiny per-row jitter spreads the members without leaving
+// the cluster's neighborhood. Centers straddle the origin — random-
+// hyperplane signatures separate by direction, so an all-positive cloud
+// would pile every cluster into the same few buckets and turn the LSH
+// probe into a disguised linear scan.
+func ANNKNNPatch(i int) *core.Patch {
+	v := make([]float32, ANNKNNDim)
+	c := i % ANNKNNClusters
+	for d := range v {
+		v[d] = float32((c*31+d*17)%101)/101.0*10 - 5 + float32(((i/ANNKNNClusters)%23)*((d*13)%7))*0.0007
+	}
+	return &core.Patch{
+		Ref:  core.Ref{Source: "annknn", Frame: uint64(i)},
+		Meta: core.Metadata{"emb": core.VecV(v)},
+	}
+}
+
+// ANNKNNQuery returns query qi: a stored row's vector nudged off-grid,
+// so probes search near, not on, an indexed point.
+func ANNKNNQuery(qi int) []float32 {
+	src := ANNKNNPatch((qi * 379) % ANNKNNRows).Meta["emb"].V
+	q := append([]float32(nil), src...)
+	q[qi%ANNKNNDim] += 0.0003
+	return q
+}
+
+// ANNKNNFixture is the materialized experiment state: one warm snapshot
+// with both index modes prebuilt, so measurements isolate probe
+// execution from build cost.
+type ANNKNNFixture struct {
+	DB     *core.DB
+	Col    *core.Collection
+	Snap   []*core.Patch
+	Exact  *core.VectorIndex
+	Approx *core.VectorIndex
+}
+
+// NewANNKNNFixture ingests rows synthetic vectors under dir and builds
+// both vector indexes over the warm snapshot.
+func NewANNKNNFixture(dir string, rows int) (*ANNKNNFixture, error) {
+	db, err := core.Open(filepath.Join(dir, "annknn.db"), exec.New(exec.CPU))
+	if err != nil {
+		return nil, err
+	}
+	col, err := db.CreateCollection(ANNKNNCol, ANNKNNSchema())
+	if err != nil {
+		db.Close()
+		return nil, err
+	}
+	for i := 0; i < rows; i++ {
+		if err := col.Append(ANNKNNPatch(i)); err != nil {
+			db.Close()
+			return nil, err
+		}
+	}
+	snap, ver, err := col.Snapshot()
+	if err != nil {
+		db.Close()
+		return nil, err
+	}
+	f := &ANNKNNFixture{DB: db, Col: col, Snap: snap}
+	if f.Exact, err = col.VectorIndexAt(snap, ver, "emb", core.VecExact); err != nil {
+		db.Close()
+		return nil, err
+	}
+	if f.Approx, err = col.VectorIndexAt(snap, ver, "emb", core.VecApprox); err != nil {
+		db.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// Close releases the fixture's database.
+func (f *ANNKNNFixture) Close() { f.DB.Close() }
+
+// Brute answers query qi by scanning the snapshot (the reference path).
+func (f *ANNKNNFixture) Brute(qi int) []core.VecNeighbor {
+	return core.BruteKNN(f.Snap, "emb", ANNKNNQuery(qi%ANNKNNQueries), ANNKNNK)
+}
+
+// ExactKNN answers query qi through the balltree index.
+func (f *ANNKNNFixture) ExactKNN(qi int) []core.VecNeighbor {
+	return f.Exact.KNN(ANNKNNQuery(qi%ANNKNNQueries), ANNKNNK)
+}
+
+// ApproxKNN answers query qi through the LSH index.
+func (f *ANNKNNFixture) ApproxKNN(qi int) []core.VecNeighbor {
+	return f.Approx.KNN(ANNKNNQuery(qi%ANNKNNQueries), ANNKNNK)
+}
+
+// ANNKNNRecall measures the approximate path's tie-tolerant recall over
+// the whole query set: an approximate neighbor no farther than the
+// brute kth distance counts as found.
+func (f *ANNKNNFixture) ANNKNNRecall() float64 {
+	hits, want := 0, 0
+	for qi := 0; qi < ANNKNNQueries; qi++ {
+		golden := f.Brute(qi)
+		if len(golden) == 0 {
+			continue
+		}
+		dk := golden[len(golden)-1].Dist
+		want += len(golden)
+		for _, n := range f.ApproxKNN(qi) {
+			if n.Dist <= dk {
+				hits++
+			}
+		}
+	}
+	if want == 0 {
+		return 0
+	}
+	return float64(hits) / float64(want)
+}
+
+// ANNKNNPoint is one measured probe method of the ann-knn curve.
+type ANNKNNPoint struct {
+	Method  string  `json:"method"` // "brute-scan" | "index-exact" | "index-lsh"
+	NS      float64 `json:"ns_per_query"`
+	Speedup float64 `json:"speedup_vs_brute,omitempty"`
+	Recall  float64 `json:"recall,omitempty"`
+}
+
+// WriteANNKNNJSON fills in speedups against the brute-scan point and
+// writes the baseline snapshot (the artifact CI uploads alongside the
+// other perf curves).
+func WriteANNKNNJSON(path string, rows int, points []ANNKNNPoint) error {
+	brute := 0.0
+	for _, p := range points {
+		if p.Method == "brute-scan" {
+			brute = p.NS
+		}
+	}
+	for i := range points {
+		if points[i].Method != "brute-scan" && points[i].NS > 0 && brute > 0 {
+			points[i].Speedup = brute / points[i].NS
+		}
+	}
+	out := struct {
+		Description string        `json:"description"`
+		GoMaxProcs  int           `json:"gomaxprocs"`
+		Rows        int           `json:"rows"`
+		Dim         int           `json:"dim"`
+		K           int           `json:"k"`
+		RecallFloor float64       `json:"recall_floor"`
+		Methods     []ANNKNNPoint `json:"methods"`
+	}{
+		Description: "ANN-indexed kNN probes vs brute-force scan: exact balltree and approximate LSH over a clustered vector collection, warm prebuilt indexes",
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Rows:        rows,
+		Dim:         ANNKNNDim,
+		K:           ANNKNNK,
+		RecallFloor: core.ANNDefaultRecall,
+		Methods:     points,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ANNKNNCheck verifies the fixture's correctness contract once per
+// process: exact probes byte-identical to brute, approximate recall at
+// or above the floor.
+func (f *ANNKNNFixture) ANNKNNCheck() error {
+	for qi := 0; qi < ANNKNNQueries; qi++ {
+		got, want := f.ExactKNN(qi), f.Brute(qi)
+		if len(got) != len(want) {
+			return fmt.Errorf("bench: exact knn q%d returned %d of %d", qi, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return fmt.Errorf("bench: exact knn q%d diverges from brute at rank %d: %v != %v",
+					qi, i, got[i], want[i])
+			}
+		}
+	}
+	if r := f.ANNKNNRecall(); r < core.ANNDefaultRecall {
+		return fmt.Errorf("bench: lsh recall %.3f below the %.2f floor", r, core.ANNDefaultRecall)
+	}
+	return nil
+}

@@ -38,6 +38,11 @@ type DB struct {
 	colExtends      atomic.Int64
 	colExtendReused atomic.Int64
 	colExtendTotal  atomic.Int64
+
+	// Vector-index maintenance counters (see Collection.VectorIndexAt):
+	// prefix-certified incremental extensions vs full builds.
+	idxExtends  atomic.Int64
+	idxRebuilds atomic.Int64
 }
 
 // ColumnExtendStats reports the live-ingest column-extension counters:
@@ -378,6 +383,11 @@ type Collection struct {
 	// (built lazily by Columns, invalidated by version movement).
 	colMu    sync.Mutex
 	colStore *ColumnStore
+
+	// vecMu guards the cached vector indexes, keyed field + "/" + mode
+	// (built lazily by VectorIndexAt, maintained like colStore).
+	vecMu  sync.Mutex
+	vecIdx map[string]*VectorIndex
 }
 
 // Name returns the collection name.
@@ -424,8 +434,17 @@ func (c *Collection) Append(p *Patch) error {
 	if p.Meta == nil {
 		p.Meta = Metadata{}
 	}
-	p.Meta["_source"] = StrV(p.Ref.Source)
-	p.Meta["_frame"] = IntV(int64(p.Ref.Frame))
+	// Assign lineage only when absent or stale: a replicated write-all
+	// append routes the same *Patch through every replica's Append, and
+	// after the primary commits it the patch is already visible to
+	// concurrent snapshot readers — a secondary's re-assignment of an
+	// unchanged value would race those readers' Meta map accesses.
+	if v, ok := p.Meta["_source"]; !ok || v.Kind != KindStr || v.S != p.Ref.Source {
+		p.Meta["_source"] = StrV(p.Ref.Source)
+	}
+	if v, ok := p.Meta["_frame"]; !ok || v.Kind != KindInt || v.I != int64(p.Ref.Frame) {
+		p.Meta["_frame"] = IntV(int64(p.Ref.Frame))
+	}
 	if err := c.schema.ValidatePatch(p); err != nil {
 		return fmt.Errorf("collection %q: %w", c.name, err)
 	}
@@ -592,6 +611,7 @@ func (c *Collection) InvalidateCache() {
 	c.byID = nil
 	c.mu.Unlock()
 	c.InvalidateColumns()
+	c.InvalidateVectorIndexes()
 }
 
 // InvalidateColumns drops only the cached columnar projection (memory

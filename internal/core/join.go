@@ -296,6 +296,41 @@ func SimilarityJoinIndexed(db *DB, left []*Patch, rightCol *Collection, idx *Ind
 	return out, nil
 }
 
+// SimilarityJoinVecIndexed probes the maintained per-collection vector
+// index on the right collection — the eps-range analog of
+// SimilarityJoinIndexed, but against a VectorIndex that is extended
+// incrementally on append instead of rebuilt per version. With an
+// exact-mode index the pair set is identical to the all-pairs methods.
+func SimilarityJoinVecIndexed(left []*Patch, rightCol *Collection, vi *VectorIndex, opts SimilarityJoinOpts) ([]Tuple, error) {
+	var out []Tuple
+	var ferr error
+	for _, l := range left {
+		lv, err := VecField(l, opts.LeftField)
+		if err != nil {
+			return nil, err
+		}
+		vi.RangeSearch(lv, opts.Eps, func(id PatchID, _ float64) bool {
+			if opts.ExcludeSelf && l.ID == id {
+				return true
+			}
+			if opts.DedupUnordered && l.ID >= id {
+				return true
+			}
+			r, err := rightCol.Get(id)
+			if err != nil {
+				ferr = err
+				return false
+			}
+			out = append(out, Tuple{l, r})
+			return true
+		})
+		if ferr != nil {
+			return nil, ferr
+		}
+	}
+	return out, nil
+}
+
 // SimilarityJoinOnTheFly implements §5's "On-The-Fly Index Similarity
 // Join": build an in-memory ball tree over the smaller relation, then
 // probe with the other. Index construction is charged to the query.

@@ -20,10 +20,11 @@ type SimMethod int
 
 // Similarity-join physical operators.
 const (
-	SimNested   SimMethod = iota + 1 // all pairs, scalar
-	SimBatched                       // all pairs, device-batched distance matrix
-	SimOnTheFly                      // build ball tree on smaller side, probe
-	SimIndexed                       // probe a prebuilt ball tree
+	SimNested     SimMethod = iota + 1 // all pairs, scalar
+	SimBatched                         // all pairs, device-batched distance matrix
+	SimOnTheFly                        // build ball tree on smaller side, probe
+	SimIndexed                         // probe a prebuilt ball tree
+	SimVecIndexed                      // probe the maintained per-collection vector index
 )
 
 func (m SimMethod) String() string {
@@ -36,6 +37,8 @@ func (m SimMethod) String() string {
 		return "on-the-fly-balltree"
 	case SimIndexed:
 		return "prebuilt-balltree"
+	case SimVecIndexed:
+		return "join-index"
 	default:
 		return fmt.Sprintf("sim(%d)", int(m))
 	}
@@ -133,7 +136,7 @@ func (cm *CostModel) simCost(m SimMethod, dev exec.Kind, nL, nR, dim int) float6
 			transfer = bytesMoved / 6e9
 		}
 		return flops*cm.CDevFlop[dev] + kernels*cm.DevOverhead[dev].Seconds() + transfer
-	case SimOnTheFly, SimIndexed:
+	case SimOnTheFly, SimIndexed, SimVecIndexed:
 		build, probe := mf, nf
 		if m == SimOnTheFly && nf < mf {
 			build, probe = nf, mf
@@ -189,6 +192,108 @@ func (cm *CostModel) PlanSimilarityJoin(nL, nR, dim int, hasIndex bool) SimJoinP
 		explain += fmt.Sprintf("%s@%s=%.4fs ", c.m, c.dev, cost)
 		if cost < best.EstCost {
 			best = SimJoinPlan{Method: c.m, Device: c.dev, EstCost: cost}
+		}
+	}
+	best.Explain = explain
+	return best
+}
+
+// PlanSimilarityJoinVec is PlanSimilarityJoin extended with the
+// maintained vector-index alternative: hasVecIndex reports a
+// per-collection VectorIndex (exact mode) covering the right side's
+// join field. It probes like a prebuilt ball tree — the same Figure 7
+// non-linearity — but is maintained incrementally across appends
+// instead of rebuilt per version, so its build cost never lands on the
+// query being planned.
+func (cm *CostModel) PlanSimilarityJoinVec(nL, nR, dim int, hasVecIndex bool) SimJoinPlan {
+	best := cm.PlanSimilarityJoin(nL, nR, dim, false)
+	if !hasVecIndex {
+		return best
+	}
+	cost := cm.simCost(SimVecIndexed, exec.CPU, nL, nR, dim)
+	explain := best.Explain + fmt.Sprintf("%s@%s=%.4fs ", SimVecIndexed, exec.CPU, cost)
+	if cost < best.EstCost {
+		best = SimJoinPlan{Method: SimVecIndexed, Device: exec.CPU, EstCost: cost}
+	}
+	best.Explain = explain
+	return best
+}
+
+// KNNMethod is a physical implementation of a k-nearest-neighbor query.
+type KNNMethod int
+
+// KNN physical operators.
+const (
+	KNNScan  KNNMethod = iota + 1 // brute-force exact scan over the snapshot
+	KNNIndex                      // probe the maintained vector index
+)
+
+func (m KNNMethod) String() string {
+	switch m {
+	case KNNScan:
+		return "knn-scan"
+	case KNNIndex:
+		return "knn-index"
+	default:
+		return fmt.Sprintf("knn(%d)", int(m))
+	}
+}
+
+// ANNDefaultRecall is the recall the approximate index shape
+// (vecLSHTables x vecLSHBits) is tuned to deliver on clustered
+// embedding workloads; a request with a recall floor above it forces
+// the exact path.
+const ANNDefaultRecall = 0.95
+
+// knnCandFrac estimates the fraction of the relation an LSH probe
+// verifies exactly (expected candidate-union size / n).
+const knnCandFrac = 0.05
+
+// KNNPlan is the optimizer's physical choice for a kNN query.
+type KNNPlan struct {
+	Method KNNMethod
+	// Mode is the index access mode when Method == KNNIndex: exact
+	// (balltree, brute-force-identical results) or approx (LSH,
+	// recall-bounded).
+	Mode    VecIndexMode
+	EstCost float64
+	// Explain records the costs of every alternative considered.
+	Explain string
+}
+
+// PlanKNN picks the physical path for a k-nearest-neighbor query over n
+// indexed vectors of dimensionality dim. exact forces results identical
+// to the brute-force scan; recallFloor sets the minimum acceptable
+// recall (0 = no floor) — above what the LSH shape promises, the
+// planner stays exact. forceIndex pins the index path regardless of
+// cost (the physical knob mirroring FilterSpec.UseIndex).
+func (cm *CostModel) PlanKNN(n, dim, k int, exact bool, recallFloor float64, forceIndex bool) KNNPlan {
+	nf, df, kf := float64(n), float64(dim), float64(k)
+	// Wider result sets keep more balls live during the descent.
+	frontier := 1 + math.Log2(kf+1)
+	inflate := 1.0
+	if n > 1000 {
+		inflate = math.Pow(nf/1000, cm.ProbeAlpha)
+	}
+	dimInflate := 1 + cm.DimPenalty*math.Max(0, df-8)
+	scanCost := nf*df*cm.CDist + kf*cm.CFetch
+	exactCost := cm.CDist*df*32*math.Log2(nf+2)*inflate*dimInflate*frontier + kf*cm.CFetch
+	hashCost := float64(vecLSHTables*vecLSHBits) * df * cm.CDist
+	approxCost := hashCost + knnCandFrac*nf*df*cm.CDist + kf*cm.CFetch
+
+	allowApprox := !exact && recallFloor <= ANNDefaultRecall
+	best := KNNPlan{Method: KNNScan, EstCost: scanCost}
+	if forceIndex {
+		best = KNNPlan{Method: KNNIndex, Mode: VecExact, EstCost: exactCost}
+	}
+	explain := fmt.Sprintf("knn-scan=%.6fs knn-index[exact]=%.6fs ", scanCost, exactCost)
+	if exactCost < best.EstCost {
+		best = KNNPlan{Method: KNNIndex, Mode: VecExact, EstCost: exactCost}
+	}
+	if allowApprox {
+		explain += fmt.Sprintf("knn-index[approx]=%.6fs ", approxCost)
+		if approxCost < best.EstCost {
+			best = KNNPlan{Method: KNNIndex, Mode: VecApprox, EstCost: approxCost}
 		}
 	}
 	best.Explain = explain

@@ -442,6 +442,18 @@ func (s *Sharded) ColumnExtendStats() (extends, reused, total int64) {
 	return extends, reused, total
 }
 
+// IndexExtendStats sums the primaries' vector-index maintenance
+// counters (each shard extends its own partition's indexes
+// independently; see DB.IndexExtendStats).
+func (s *Sharded) IndexExtendStats() (extends, rebuilds int64) {
+	for _, db := range s.shards {
+		e, r := db.IndexExtendStats()
+		extends += e
+		rebuilds += r
+	}
+	return extends, rebuilds
+}
+
 // ShardInfo is one shard's storage snapshot (served by /stats).
 type ShardInfo struct {
 	Shard int `json:"shard"`

@@ -1,0 +1,407 @@
+package core
+
+// VectorIndex is the ANN physical path's core structure: a
+// per-collection, versioned nearest-neighbor index over one declared
+// vector field, maintained exactly like the columnar projection —
+// cached per (field, mode) on the collection, reused while the version
+// stands, incrementally extended when the previous snapshot is a
+// certified prefix of the current one, rebuilt otherwise. A stale index
+// can never serve a newer snapshot: the cached entry is keyed by the
+// version it was built over and only the exact-version match is
+// returned.
+//
+// Two modes share the interface. Exact mode is balltree-backed and
+// returns precisely the brute-force answer (k nearest by Euclidean
+// distance, ties broken by ascending patch id — the byte-identity
+// contract the serving layer's golden tests pin). Approximate mode is
+// LSH-backed: probes verify candidates with exact distances, so
+// reported distances are always true, but a neighbor sharing no hash
+// bucket with the query is missed — recall, not precision, is the
+// approximation.
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/balltree"
+	"repro/internal/lsh"
+)
+
+// VecIndexMode selects the vector-index access method.
+type VecIndexMode int
+
+// Vector index modes.
+const (
+	VecExact  VecIndexMode = iota + 1 // balltree: results identical to brute force
+	VecApprox                         // LSH: recall-bounded approximation, exact distances
+)
+
+func (m VecIndexMode) String() string {
+	switch m {
+	case VecExact:
+		return "exact"
+	case VecApprox:
+		return "approx"
+	default:
+		return fmt.Sprintf("vecmode(%d)", int(m))
+	}
+}
+
+// LSH shape for approximate vector indexes: few hash bits keep buckets
+// populous (recall over precision), multiple tables patch the residual
+// misses. Probes verify candidates exactly, so low precision costs only
+// distance computations, never wrong answers.
+const (
+	vecLSHTables = 8
+	vecLSHBits   = 12
+	vecLSHSeed   = 42
+)
+
+// exactTailMax bounds the un-treed append tail of an exact index: an
+// extension whose accumulated tail would exceed max(exactTailMax,
+// treeSize/4) re-trees instead, keeping probe cost O(log n + tail)
+// with a bounded tail.
+const exactTailMax = 256
+
+// VecDist is the vector-index distance metric (Euclidean). Every
+// consumer of the index — brute-force reference paths included — must
+// compute distances through this one function so exact mode stays
+// byte-identical to the scan it replaces.
+func VecDist(a, b []float32) float64 { return balltree.Dist(a, b) }
+
+// VecNeighbor is one nearest-neighbor result: a patch id with its exact
+// distance to the query.
+type VecNeighbor struct {
+	ID   PatchID
+	Dist float64
+}
+
+// VectorIndex indexes one vector field of one collection snapshot.
+type VectorIndex struct {
+	field   string
+	mode    VecIndexMode
+	version uint64
+	dim     int
+
+	// patches is the exact snapshot the index covers; extension
+	// certification compares it against the next snapshot by element
+	// identity (see snapshotExtends).
+	patches []*Patch
+
+	// Exact mode: a balltree over pts[:treeN] plus a linear tail
+	// pts[treeN:] of appended points not yet re-treed. pts is
+	// append-only across extensions (capacity-clamped), so concurrent
+	// readers of an older extension never see their slice mutate.
+	pts   []balltree.Point
+	treeN int
+	ball  *balltree.Tree
+
+	// Approximate mode.
+	lshI *lsh.Index
+}
+
+// NewVectorIndex builds an index over field across the snapshot ps,
+// recorded as of version. Rows without the field, and rows whose vector
+// dimensionality disagrees with the first one seen, are skipped (the
+// same tolerance the LSH secondary index applies).
+func NewVectorIndex(ps []*Patch, version uint64, field string, mode VecIndexMode) (*VectorIndex, error) {
+	vi := &VectorIndex{field: field, mode: mode, version: version, patches: ps}
+	for _, p := range ps {
+		if vec, ok := vecOf(p, field); ok {
+			if vi.dim == 0 {
+				vi.dim = len(vec)
+			}
+			if len(vec) == vi.dim {
+				vi.pts = append(vi.pts, balltree.Point{Vec: vec, ID: uint64(p.ID)})
+			}
+		}
+	}
+	switch mode {
+	case VecExact:
+		t, err := balltree.Build(vi.pts)
+		if err != nil {
+			return nil, err
+		}
+		vi.ball = t
+		vi.treeN = len(vi.pts)
+	case VecApprox:
+		dim := vi.dim
+		if dim == 0 {
+			dim = 1 // empty index; Extend rebuilds when vectors appear
+		}
+		ix, err := lsh.New(dim, vecLSHTables, vecLSHBits, vecLSHSeed)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range vi.pts {
+			if err := ix.Insert(lsh.Point(p)); err != nil {
+				return nil, err
+			}
+		}
+		vi.lshI = ix
+	default:
+		return nil, fmt.Errorf("core: unknown vector index mode %v", mode)
+	}
+	return vi, nil
+}
+
+// Extend returns a new index covering ps — which must extend the
+// receiver's snapshot as a certified prefix — as of version. The
+// receiver is never mutated, so readers holding it stay consistent.
+// Exact mode appends to the linear tail and re-trees only when the tail
+// outgrows its bound; approximate mode shares the hyperplanes and
+// copies only the bucket maps. Returns an error when the extension
+// cannot preserve the index shape (first vectors appearing, or a
+// dimensionality change); the caller falls back to a full rebuild.
+func (vi *VectorIndex) Extend(ps []*Patch, version uint64) (*VectorIndex, error) {
+	var newPts []balltree.Point
+	for _, p := range ps[len(vi.patches):] {
+		if vec, ok := vecOf(p, vi.field); ok {
+			if vi.dim == 0 || len(vec) != vi.dim {
+				return nil, fmt.Errorf("core: vector index on %q cannot extend across dimensionality change", vi.field)
+			}
+			newPts = append(newPts, balltree.Point{Vec: vec, ID: uint64(p.ID)})
+		}
+	}
+	nx := &VectorIndex{field: vi.field, mode: vi.mode, version: version, dim: vi.dim, patches: ps}
+	switch vi.mode {
+	case VecExact:
+		nx.pts = append(vi.pts[:len(vi.pts):len(vi.pts)], newPts...)
+		nx.ball, nx.treeN = vi.ball, vi.treeN
+		if tail := len(nx.pts) - nx.treeN; tail > exactTailMax && tail*4 > nx.treeN {
+			t, err := balltree.Build(nx.pts)
+			if err != nil {
+				return nil, err
+			}
+			nx.ball, nx.treeN = t, len(nx.pts)
+		}
+	case VecApprox:
+		ext, err := vi.lshI.Extend(toLSHPoints(newPts))
+		if err != nil {
+			return nil, err
+		}
+		nx.pts = append(vi.pts[:len(vi.pts):len(vi.pts)], newPts...)
+		nx.lshI = ext
+	default:
+		return nil, fmt.Errorf("core: unknown vector index mode %v", vi.mode)
+	}
+	return nx, nil
+}
+
+func toLSHPoints(pts []balltree.Point) []lsh.Point {
+	out := make([]lsh.Point, len(pts))
+	for i, p := range pts {
+		out[i] = lsh.Point(p)
+	}
+	return out
+}
+
+// Field returns the indexed vector field.
+func (vi *VectorIndex) Field() string { return vi.field }
+
+// Mode returns the access method.
+func (vi *VectorIndex) Mode() VecIndexMode { return vi.mode }
+
+// BuiltVersion returns the collection version the index contents
+// reflect — the invalidation key: a reader must only use an index whose
+// BuiltVersion matches its snapshot's version.
+func (vi *VectorIndex) BuiltVersion() uint64 { return vi.version }
+
+// Len returns the number of indexed vectors.
+func (vi *VectorIndex) Len() int {
+	if vi.mode == VecApprox {
+		return vi.lshI.Len()
+	}
+	return len(vi.pts)
+}
+
+// Dim returns the indexed dimensionality (0 when no vectors were seen).
+func (vi *VectorIndex) Dim() int { return vi.dim }
+
+// KNN returns the k nearest indexed vectors to q in ascending
+// (distance, id) order. Exact mode returns precisely the brute-force
+// answer under that ordering; approximate mode returns the best of the
+// LSH candidate union (possibly fewer than k).
+func (vi *VectorIndex) KNN(q []float32, k int) []VecNeighbor {
+	if k <= 0 {
+		return nil
+	}
+	if vi.mode == VecApprox {
+		ns := vi.lshI.KNN(q, k)
+		out := make([]VecNeighbor, len(ns))
+		for i, n := range ns {
+			out[i] = VecNeighbor{ID: PatchID(n.Point.ID), Dist: n.Dist}
+		}
+		return out
+	}
+	// Exact: the balltree's own top-k breaks boundary ties by traversal
+	// order, not id. Candidates = tree top-k + the whole tail establish
+	// an upper bound dk on the true kth distance; re-collecting every
+	// tree point within (slightly inflated) dk and sorting by (dist, id)
+	// then yields the canonical top-k, tied boundary included.
+	cands := make([]VecNeighbor, 0, k+len(vi.pts)-vi.treeN)
+	if vi.ball != nil {
+		for _, n := range vi.ball.KNN(q, k) {
+			cands = append(cands, VecNeighbor{ID: PatchID(n.Point.ID), Dist: n.Dist})
+		}
+	}
+	tail := vi.pts[vi.treeN:]
+	for _, p := range tail {
+		cands = append(cands, VecNeighbor{ID: PatchID(p.ID), Dist: VecDist(p.Vec, q)})
+	}
+	sortNeighbors(cands)
+	if len(cands) < k {
+		// Fewer points than k: the candidates are the entire index, and
+		// sorting them is already canonical.
+		return cands
+	}
+	// At least k candidates: cands[k-1] bounds the true kth distance, but
+	// the tree may hold equal-distance points it broke ties against by
+	// traversal order — re-collect the full boundary before trimming.
+	dk := cands[k-1].Dist
+	if vi.ball != nil && vi.ball.Len() > 0 {
+		eps := dk * (1 + 1e-9) // absorb sqrt/square round-trip error at the boundary
+		out := make([]VecNeighbor, 0, k+len(tail))
+		vi.ball.RangeSearch(q, eps, func(p balltree.Point, d float64) bool {
+			out = append(out, VecNeighbor{ID: PatchID(p.ID), Dist: d})
+			return true
+		})
+		for _, p := range tail {
+			out = append(out, VecNeighbor{ID: PatchID(p.ID), Dist: VecDist(p.Vec, q)})
+		}
+		sortNeighbors(out)
+		cands = out
+	}
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	return cands
+}
+
+// RangeSearch calls fn for every indexed vector within eps of q
+// (inclusive). Exact mode visits every true match; approximate mode
+// only those in the candidate union. fn returning false stops the
+// search. Visit order is unspecified.
+func (vi *VectorIndex) RangeSearch(q []float32, eps float64, fn func(id PatchID, dist float64) bool) {
+	if vi.mode == VecApprox {
+		vi.lshI.RangeSearch(q, eps, func(p lsh.Point, d float64) bool {
+			return fn(PatchID(p.ID), d)
+		})
+		return
+	}
+	stopped := false
+	if vi.ball != nil {
+		vi.ball.RangeSearch(q, eps, func(p balltree.Point, d float64) bool {
+			if !fn(PatchID(p.ID), d) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+	}
+	if stopped {
+		return
+	}
+	for _, p := range vi.pts[vi.treeN:] {
+		if d := VecDist(p.Vec, q); d <= eps {
+			if !fn(PatchID(p.ID), d) {
+				return
+			}
+		}
+	}
+}
+
+func sortNeighbors(ns []VecNeighbor) {
+	sort.Slice(ns, func(i, j int) bool {
+		if ns[i].Dist != ns[j].Dist {
+			return ns[i].Dist < ns[j].Dist
+		}
+		return ns[i].ID < ns[j].ID
+	})
+}
+
+// BruteKNN is the reference scan exact mode must match byte for byte:
+// the k nearest vectors under field across ps, ascending (distance,
+// id), distances through VecDist. Rows without the field (or with a
+// dimensionality mismatch against the query) are skipped.
+func BruteKNN(ps []*Patch, field string, q []float32, k int) []VecNeighbor {
+	if k <= 0 {
+		return nil
+	}
+	out := make([]VecNeighbor, 0, len(ps))
+	for _, p := range ps {
+		if vec, ok := vecOf(p, field); ok && len(vec) == len(q) {
+			out = append(out, VecNeighbor{ID: p.ID, Dist: VecDist(vec, q)})
+		}
+	}
+	sortNeighbors(out)
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// VectorIndexAt returns a vector index over field in the given mode,
+// current exactly as of the caller's snapshot (ps, ver) — the caller
+// passes the snapshot it is executing over, so index contents and query
+// visibility can never skew. The index is cached per (field, mode) and
+// maintained like the column store: reused while the version matches,
+// incrementally extended when the cached snapshot is a certified prefix
+// of ps, rebuilt otherwise. Racing builders may duplicate work; the
+// cache only moves forward and the caller always receives an index at
+// its own version.
+func (c *Collection) VectorIndexAt(ps []*Patch, ver uint64, field string, mode VecIndexMode) (*VectorIndex, error) {
+	key := field + "/" + mode.String()
+	c.vecMu.Lock()
+	old := c.vecIdx[key]
+	if old != nil && old.version == ver {
+		c.vecMu.Unlock()
+		return old, nil
+	}
+	c.vecMu.Unlock()
+
+	// Build or extend with vecMu free (balltree builds are O(n log n);
+	// holding the lock would stall every cache-hit reader).
+	var vi *VectorIndex
+	var err error
+	if old != nil && old.version < ver && snapshotExtends(old.patches, ps) {
+		if vi, err = old.Extend(ps, ver); err == nil {
+			c.db.idxExtends.Add(1)
+		}
+	}
+	if vi == nil {
+		if vi, err = NewVectorIndex(ps, ver, field, mode); err != nil {
+			return nil, err
+		}
+		c.db.idxRebuilds.Add(1)
+	}
+
+	c.vecMu.Lock()
+	switch cur := c.vecIdx[key]; {
+	case cur != nil && cur.version == ver:
+		vi = cur // raced an identical build: adopt the canonical index
+	case cur == nil || cur.version < ver:
+		if c.vecIdx == nil {
+			c.vecIdx = make(map[string]*VectorIndex)
+		}
+		c.vecIdx[key] = vi
+	}
+	c.vecMu.Unlock()
+	return vi, nil
+}
+
+// InvalidateVectorIndexes drops the cached vector indexes (memory
+// control; the next VectorIndexAt rebuilds from scratch).
+func (c *Collection) InvalidateVectorIndexes() {
+	c.vecMu.Lock()
+	c.vecIdx = nil
+	c.vecMu.Unlock()
+}
+
+// IndexExtendStats reports the vector-index maintenance counters:
+// extends is the number of prefix-certified incremental extensions,
+// rebuilds the number of full builds (first touch, cache reload, or a
+// shape change an extension could not absorb).
+func (db *DB) IndexExtendStats() (extends, rebuilds int64) {
+	return db.idxExtends.Load(), db.idxRebuilds.Load()
+}

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/exec"
+)
+
+// Vector-index contract tests: exact mode byte-identical to the brute
+// scan (tie boundaries and extended-tail states included), approximate
+// mode recall-bounded against the brute golden, and the maintenance
+// counters distinguishing prefix-certified extensions from rebuilds.
+
+// vecTestPatch generates row i of a clustered vector fixture: i%clusters
+// picks a well-separated center, a tiny deterministic jitter spreads the
+// members, and a few rows per cluster repeat exactly (distance ties).
+func vecTestPatch(i, dim, clusters int) *Patch {
+	v := make([]float32, dim)
+	c := i % clusters
+	for d := range v {
+		v[d] = float32((c*31+d*17)%101)/101.0*10 + float32(((i/clusters)%5)*((d*13)%7))*0.003
+	}
+	return &Patch{
+		Ref:  Ref{Source: "vecfix", Frame: uint64(i)},
+		Meta: Metadata{"emb": VecV(v)},
+	}
+}
+
+func vecTestCollection(t *testing.T, rows, dim, clusters int) (*DB, *Collection) {
+	t.Helper()
+	db, err := Open(filepath.Join(t.TempDir(), "vec.db"), exec.New(exec.CPU))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	col, err := db.CreateCollection("vec.fix", Schema{
+		Data:   Pixels(0, 0),
+		Fields: []Field{{Name: "emb", Kind: KindVec, VecDim: dim}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		if err := col.Append(vecTestPatch(i, dim, clusters)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db, col
+}
+
+func vecTestQuery(qi, dim, clusters int) []float32 {
+	q := vecTestPatch(qi*7+3, dim, clusters).Meta["emb"].V
+	out := append([]float32(nil), q...)
+	out[0] += 0.001 // off-grid: the query is near, not on, a stored point
+	return out
+}
+
+func neighborsEqual(a, b []VecNeighbor) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Dist != b[i].Dist {
+			return false
+		}
+	}
+	return true
+}
+
+// TestVectorIndexExactMatchesBrute: exact mode is the brute scan, byte
+// for byte, across k values, tie-heavy data, and every maintenance
+// state (fresh build, linear tail after appends, re-treed).
+func TestVectorIndexExactMatchesBrute(t *testing.T) {
+	const dim, clusters = 8, 7
+	_, col := vecTestCollection(t, 500, dim, clusters)
+	check := func(stage string) {
+		t.Helper()
+		snap, ver, err := col.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		vi, err := col.VectorIndexAt(snap, ver, "emb", VecExact)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vi.BuiltVersion() != ver || vi.Len() != len(snap) {
+			t.Fatalf("%s: index at version %d/%d rows, snapshot %d/%d",
+				stage, vi.BuiltVersion(), vi.Len(), ver, len(snap))
+		}
+		for qi := 0; qi < 12; qi++ {
+			q := vecTestQuery(qi, dim, clusters)
+			for _, k := range []int{1, 3, 10, 25, len(snap) + 5} {
+				got := vi.KNN(q, k)
+				want := BruteKNN(snap, "emb", q, k)
+				if !neighborsEqual(got, want) {
+					t.Fatalf("%s: q%d k=%d: index %v != brute %v", stage, qi, k, got, want)
+				}
+			}
+		}
+	}
+	check("fresh build")
+	// A small append keeps the extension in the linear tail.
+	for i := 500; i < 560; i++ {
+		if err := col.Append(vecTestPatch(i, dim, clusters)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check("extended tail")
+	// A large append forces the tail past its bound and re-trees.
+	for i := 560; i < 1200; i++ {
+		if err := col.Append(vecTestPatch(i, dim, clusters)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check("re-treed")
+	if k0 := (&VectorIndex{}).KNN(vecTestQuery(0, dim, clusters), 0); k0 != nil {
+		t.Fatalf("k=0 returned %v", k0)
+	}
+}
+
+// TestVectorIndexLSHRecall: the approximate mode's recall against the
+// brute golden stays at or above the default floor across
+// dimensionalities and collection sizes. Recall is tie-tolerant: any
+// returned neighbor no farther than the golden kth distance counts.
+func TestVectorIndexLSHRecall(t *testing.T) {
+	const k, queries = 10, 20
+	for _, tc := range []struct{ rows, dim, clusters int }{
+		{500, 8, 7},
+		{2000, 8, 24},
+		{1200, 32, 16},
+		{3000, 32, 48},
+	} {
+		t.Run(fmt.Sprintf("n%d_d%d", tc.rows, tc.dim), func(t *testing.T) {
+			_, col := vecTestCollection(t, tc.rows, tc.dim, tc.clusters)
+			snap, ver, err := col.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			vi, err := col.VectorIndexAt(snap, ver, "emb", VecApprox)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hits, want := 0, 0
+			for qi := 0; qi < queries; qi++ {
+				q := vecTestQuery(qi, tc.dim, tc.clusters)
+				golden := BruteKNN(snap, "emb", q, k)
+				if len(golden) == 0 {
+					continue
+				}
+				dk := golden[len(golden)-1].Dist
+				want += len(golden)
+				for _, n := range vi.KNN(q, k) {
+					if n.Dist > dk {
+						t.Fatalf("q%d: approx neighbor %d reports dist %g beyond its own rank window %g while claiming top-%d",
+							qi, n.ID, n.Dist, dk, k)
+					}
+					hits++
+					// Approximate distances must still be exact.
+					p, err := col.Get(n.ID)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if d := VecDist(p.Meta["emb"].V, q); d != n.Dist {
+						t.Fatalf("q%d: neighbor %d reported dist %g, true dist %g", qi, n.ID, n.Dist, d)
+					}
+				}
+			}
+			recall := float64(hits) / float64(want)
+			t.Logf("n=%d d=%d: measured recall %.3f", tc.rows, tc.dim, recall)
+			if recall < ANNDefaultRecall {
+				t.Fatalf("recall %.3f below the %.2f floor", recall, ANNDefaultRecall)
+			}
+		})
+	}
+}
+
+// TestVectorIndexMaintenanceCounters: version-stable reuse costs
+// nothing, prefix-certified appends extend, invalidation and first
+// touches rebuild.
+func TestVectorIndexMaintenanceCounters(t *testing.T) {
+	const dim, clusters = 8, 7
+	db, col := vecTestCollection(t, 100, dim, clusters)
+	at := func() (*VectorIndex, []*Patch) {
+		t.Helper()
+		snap, ver, err := col.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		vi, err := col.VectorIndexAt(snap, ver, "emb", VecExact)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return vi, snap
+	}
+	e0, r0 := db.IndexExtendStats()
+
+	vi1, _ := at() // first touch: full build
+	if e, r := db.IndexExtendStats(); e != e0 || r != r0+1 {
+		t.Fatalf("first touch: extends %d rebuilds %d, want %d/%d", e, r, e0, r0+1)
+	}
+	vi2, _ := at() // same version: cache hit, no counter movement
+	if vi2 != vi1 {
+		t.Fatal("version-stable lookup did not return the cached index")
+	}
+	if e, r := db.IndexExtendStats(); e != e0 || r != r0+1 {
+		t.Fatalf("cache hit moved counters: extends %d rebuilds %d", e, r)
+	}
+
+	for i := 100; i < 130; i++ {
+		if err := col.Append(vecTestPatch(i, dim, clusters)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vi3, snap3 := at() // prefix-certified append: incremental extension
+	if e, r := db.IndexExtendStats(); e != e0+1 || r != r0+1 {
+		t.Fatalf("append: extends %d rebuilds %d, want %d/%d", e, r, e0+1, r0+1)
+	}
+	if vi3.Len() != len(snap3) {
+		t.Fatalf("extended index covers %d of %d rows", vi3.Len(), len(snap3))
+	}
+
+	col.InvalidateVectorIndexes()
+	at() // cache dropped: full rebuild
+	if e, r := db.IndexExtendStats(); e != e0+1 || r != r0+2 {
+		t.Fatalf("post-invalidate: extends %d rebuilds %d, want %d/%d", e, r, e0+1, r0+2)
+	}
+
+	// A second mode is its own cache entry and build.
+	snap, ver, err := col.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := col.VectorIndexAt(snap, ver, "emb", VecApprox); err != nil {
+		t.Fatal(err)
+	}
+	if e, r := db.IndexExtendStats(); e != e0+1 || r != r0+3 {
+		t.Fatalf("approx first touch: extends %d rebuilds %d, want %d/%d", e, r, e0+1, r0+3)
+	}
+}

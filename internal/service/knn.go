@@ -1,0 +1,322 @@
+package service
+
+// First-class kNN serving over the maintained vector indexes. The
+// unsharded path plans once (brute scan vs exact ball tree vs
+// approximate LSH, by size/dimensionality/recall target) and probes the
+// collection's versioned VectorIndex; the sharded path scatters the
+// probe — every shard answers its local top-k from its own shard-local
+// index — and k-way merges the candidate streams at the gather stage,
+// optionally re-verifying the merged pool's distances before the global
+// trim. With one shard the fragment is the whole plan and the merge is
+// the identity, so N=1 responses are byte-identical to the unsharded
+// path — the same golden contract every other query shape honors.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+)
+
+// patchGetter resolves a patch id against whichever backend is serving
+// (a single collection or the sharded set).
+type patchGetter func(core.PatchID) (*core.Patch, error)
+
+// knnQueryVec resolves the request's query vector: the inline vector,
+// or the source patch's vector under the query field.
+func knnQueryVec(spec *KNNSpec, get patchGetter) ([]float32, error) {
+	if len(spec.Query) > 0 {
+		return spec.Query, nil
+	}
+	p, err := get(core.PatchID(spec.SourceID))
+	if err != nil {
+		return nil, fmt.Errorf("service: knn source patch %d: %w", spec.SourceID, err)
+	}
+	mv, ok := p.Meta[spec.Field]
+	if !ok || mv.Kind != core.KindVec {
+		return nil, fmt.Errorf("service: knn source patch %d has no vector field %q", spec.SourceID, spec.Field)
+	}
+	return mv.V, nil
+}
+
+// knnCheckDim validates the query field and vector against the schema:
+// the field must be a declared vector field, and the query must match
+// its dimensionality when one is declared.
+func knnCheckDim(schema core.Schema, field string, q []float32) error {
+	fd := schema.FieldNamed(field)
+	if fd == nil {
+		return fmt.Errorf("service: knn field %q is not declared in the schema", field)
+	}
+	if fd.Kind != core.KindVec {
+		return fmt.Errorf("service: knn field %q is not a vector field", field)
+	}
+	if fd.VecDim > 0 && len(q) != fd.VecDim {
+		return fmt.Errorf("service: knn query vector on %q has dim %d, schema declares %d",
+			field, len(q), fd.VecDim)
+	}
+	return nil
+}
+
+// knnLabel renders the physical plan operator.
+func knnLabel(plan core.KNNPlan, spec *KNNSpec) string {
+	if plan.Method == core.KNNIndex {
+		return fmt.Sprintf("knn-index[%s](%s, k=%d)", plan.Mode, spec.Field, spec.K)
+	}
+	return fmt.Sprintf("knn-scan(%s, k=%d)", spec.Field, spec.K)
+}
+
+// knnProbe executes the planned probe over one collection snapshot. A
+// source-patch query probes one extra neighbor and drops the source
+// itself, so the source never appears in its own result.
+func knnProbe(col *core.Collection, snap []*core.Patch, ver uint64, spec *KNNSpec, q []float32, plan core.KNNPlan) ([]core.VecNeighbor, error) {
+	k := spec.K
+	if spec.SourceID != 0 {
+		k++
+	}
+	var ns []core.VecNeighbor
+	if plan.Method == core.KNNIndex {
+		vi, err := col.VectorIndexAt(snap, ver, spec.Field, plan.Mode)
+		if err != nil {
+			return nil, err
+		}
+		ns = vi.KNN(q, k)
+	} else {
+		ns = core.BruteKNN(snap, spec.Field, q, k)
+	}
+	if spec.SourceID != 0 {
+		src := core.PatchID(spec.SourceID)
+		kept := ns[:0]
+		for _, n := range ns {
+			if n.ID != src {
+				kept = append(kept, n)
+			}
+		}
+		ns = kept
+	}
+	if len(ns) > spec.K {
+		ns = ns[:spec.K]
+	}
+	return ns, nil
+}
+
+// knnRows materializes the neighbor list as response rows: the usual
+// scalar projection plus a _dist column with the (exact) distance.
+func knnRows(ns []core.VecNeighbor, get patchGetter) ([]map[string]any, error) {
+	ps := make([]*core.Patch, len(ns))
+	for i, n := range ns {
+		p, err := get(n.ID)
+		if err != nil {
+			return nil, err
+		}
+		ps[i] = p
+	}
+	rows := projectRows(ps)
+	for i := range rows {
+		rows[i]["_dist"] = ns[i].Dist
+	}
+	return rows, nil
+}
+
+// sortKNN orders neighbors canonically: ascending (distance, id).
+func sortKNN(ns []core.VecNeighbor) {
+	sort.Slice(ns, func(i, j int) bool {
+		if ns[i].Dist != ns[j].Dist {
+			return ns[i].Dist < ns[j].Dist
+		}
+		return ns[i].ID < ns[j].ID
+	})
+}
+
+// executeKNN serves a kNN request over the unsharded backend.
+func (s *Service) executeKNN(ctx context.Context, req *Request) (*Response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	spec := req.KNN
+	s.tel.knnQueries.Inc()
+	col, err := s.db.Collection(req.Collection)
+	if err != nil {
+		return nil, err
+	}
+	snap, ver, err := col.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	q, err := knnQueryVec(spec, col.Get)
+	if err != nil {
+		return nil, err
+	}
+	if err := knnCheckDim(col.Schema(), spec.Field, q); err != nil {
+		return nil, err
+	}
+	plan := s.cost.PlanKNN(len(snap), len(q), spec.K, spec.Exact, spec.RecallFloor, spec.UseIndex)
+	ns, err := knnProbe(col, snap, ver, spec, q, plan)
+	if err != nil {
+		return nil, err
+	}
+	resp := &Response{Value: len(ns), EstCostSec: plan.EstCost}
+	if resp.Rows, err = knnRows(ns, col.Get); err != nil {
+		return nil, err
+	}
+	resp.Plan = knnLabel(plan, spec)
+	return resp, nil
+}
+
+// knnFragment is one shard's partial kNN answer: its local top-k
+// candidates with exact distances, plus the fragment's plan record.
+type knnFragment struct {
+	ns    []core.VecNeighbor
+	label string
+	cost  float64
+	mode  core.VecIndexMode // index access mode; 0 on the scan path
+}
+
+// executeKNNScatter serves a kNN request over the sharded backend:
+// plan-per-shard (each shard's snapshot has its own size), probe every
+// shard's local index in parallel, k-way merge the candidate streams by
+// (distance, id), and trim to the global k. When any shard answered
+// approximately and more than one shard contributed, the merged pool's
+// distances are re-verified against the stored vectors before the trim
+// (the exact re-rank stage), so cross-shard ordering never depends on a
+// fragment's internals.
+func (s *Service) executeKNNScatter(ctx context.Context, req *Request) (*Response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	spec := req.KNN
+	s.tel.knnQueries.Inc()
+	scol, err := s.shards.Collection(req.Collection)
+	if err != nil {
+		return nil, err
+	}
+	nsh := scol.Shards()
+	s.tel.scatterQueries.Inc()
+	s.tel.fanout.Observe(float64(nsh))
+
+	q, err := knnQueryVec(spec, scol.Get)
+	if err != nil {
+		return nil, err
+	}
+	if err := knnCheckDim(scol.Schema(), spec.Field, q); err != nil {
+		return nil, err
+	}
+
+	// ---- scatter: per-shard planned probes against shard-local indexes ----
+	frags := make([]*knnFragment, nsh)
+	errs := make([]error, nsh)
+	s.scatterWave(nsh, func(i int) error {
+		sp := req.tr.Begin("knn-fragment")
+		frags[i], errs[i] = s.knnShardProbe(ctx, scol, i, spec, q)
+		sp.End()
+		if f := frags[i]; f != nil {
+			sp.AttrInt("shard", int64(i)).
+				AttrInt("candidates", int64(len(f.ns))).
+				Attr("path", f.label)
+		}
+		return nil
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var missing []int
+	var shardErr error
+	for i, e := range errs {
+		if e != nil {
+			missing = append(missing, i)
+			if shardErr == nil {
+				shardErr = fmt.Errorf("shard %d: %w", i, e)
+			}
+		}
+	}
+	if len(missing) > 0 && (!req.AllowPartial || len(missing) == nsh) {
+		return nil, shardErr
+	}
+	if len(missing) > 0 {
+		s.tel.degradedQueries.Inc()
+	}
+
+	// ---- gather: k-way merge by (distance, id), re-rank, global trim ----
+	mergeStart := time.Now()
+	mg := req.tr.Begin("knn-merge")
+	resp := &Response{Degraded: len(missing) > 0, MissingShards: missing}
+	var merged []core.VecNeighbor
+	label := ""
+	approx := false
+	for _, frag := range frags {
+		if frag == nil {
+			continue
+		}
+		merged = append(merged, frag.ns...)
+		resp.EstCostSec += frag.cost
+		if label == "" {
+			label = frag.label
+		}
+		if frag.mode == core.VecApprox {
+			approx = true
+		}
+	}
+	if nsh > 1 && approx {
+		// Re-rank: re-verify every merged candidate's distance against its
+		// stored vector before the global trim. Approximate fragments
+		// already report exact distances, so this is a defensive identity
+		// today — but it pins the contract that cross-shard ordering never
+		// trusts a fragment's internals.
+		rr := req.tr.Begin("knn-rerank")
+		for i := range merged {
+			p, err := scol.Get(merged[i].ID)
+			if err != nil {
+				rr.End()
+				mg.End()
+				return nil, err
+			}
+			if mv, ok := p.Meta[spec.Field]; ok && mv.Kind == core.KindVec && len(mv.V) == len(q) {
+				merged[i].Dist = core.VecDist(mv.V, q)
+			}
+		}
+		rr.AttrInt("candidates", int64(len(merged))).End()
+	}
+	sortKNN(merged)
+	if len(merged) > spec.K {
+		merged = merged[:spec.K]
+	}
+	resp.Value = len(merged)
+	if resp.Rows, err = knnRows(merged, scol.Get); err != nil {
+		mg.End()
+		return nil, err
+	}
+	gather := "gather-knn"
+	if nsh > 1 && approx {
+		gather = "gather-knn(rerank)"
+	}
+	resp.Plan = s.scatterPlan(nsh, 0, []string{label}, gather)
+	mg.Attr("gather", gather).AttrInt("rows", int64(len(resp.Rows))).End()
+	s.mergeNS.Add(time.Since(mergeStart).Nanoseconds())
+	return resp, nil
+}
+
+// knnShardProbe plans and runs shard i's fragment over its own snapshot
+// and shard-local vector index. Fragment plans are made over the local
+// row count, so with one shard the fragment's plan, label and cost are
+// exactly the unsharded ones.
+func (s *Service) knnShardProbe(ctx context.Context, scol *core.ShardedCollection, i int, spec *KNNSpec, q []float32) (*knnFragment, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	col := scol.Shard(i)
+	snap, ver, err := col.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	plan := s.cost.PlanKNN(len(snap), len(q), spec.K, spec.Exact, spec.RecallFloor, spec.UseIndex)
+	ns, err := knnProbe(col, snap, ver, spec, q, plan)
+	if err != nil {
+		return nil, err
+	}
+	frag := &knnFragment{ns: ns, label: knnLabel(plan, spec), cost: plan.EstCost}
+	if plan.Method == core.KNNIndex {
+		frag.mode = plan.Mode
+	}
+	return frag, nil
+}

@@ -1,0 +1,374 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// kNN serving tests: request validation and fingerprint semantics, the
+// N=1 golden contract against the unsharded path, exact-mode shard
+// invariance, the approximate scatter path's plan decoration and
+// recall, and the append-vs-knn race hammer.
+
+// knnQ returns a query vector sitting at synthPatch cluster c's center,
+// nudged off-grid so the query is near, not on, a stored point.
+func knnQ(c int) []float32 {
+	q := make([]float32, 8)
+	for d := range q {
+		q[d] = float32(c*10) + 0.01
+	}
+	return q
+}
+
+func TestKNNValidation(t *testing.T) {
+	_, svc := synthUnsharded(t, 50, Config{Workers: 1})
+	ctx := context.Background()
+	str := func(s string) *string { return &s }
+	for name, req := range map[string]Request{
+		"no field":        {Collection: shardTestCol, KNN: &KNNSpec{K: 3, Query: knnQ(1)}},
+		"k zero":          {Collection: shardTestCol, KNN: &KNNSpec{Field: "emb", K: 0, Query: knnQ(1)}},
+		"k over cap":      {Collection: shardTestCol, KNN: &KNNSpec{Field: "emb", K: 101, Query: knnQ(1)}},
+		"no query source": {Collection: shardTestCol, KNN: &KNNSpec{Field: "emb", K: 3}},
+		"both query and source": {Collection: shardTestCol,
+			KNN: &KNNSpec{Field: "emb", K: 3, Query: knnQ(1), SourceID: 1}},
+		"bad metric": {Collection: shardTestCol,
+			KNN: &KNNSpec{Field: "emb", K: 3, Query: knnQ(1), Metric: "cosine"}},
+		"recall floor over one": {Collection: shardTestCol,
+			KNN: &KNNSpec{Field: "emb", K: 3, Query: knnQ(1), RecallFloor: 1.5}},
+		"nan component": {Collection: shardTestCol,
+			KNN: &KNNSpec{Field: "emb", K: 3, Query: []float32{1, float32(math.NaN()), 0, 0, 0, 0, 0, 0}}},
+		"inf component": {Collection: shardTestCol,
+			KNN: &KNNSpec{Field: "emb", K: 3, Query: []float32{float32(math.Inf(1)), 0, 0, 0, 0, 0, 0, 0}}},
+		"composed with filter": {Collection: shardTestCol,
+			KNN:    &KNNSpec{Field: "emb", K: 3, Query: knnQ(1)},
+			Filter: &FilterSpec{Field: "label", Str: str("car")}},
+		"composed with simjoin": {Collection: shardTestCol,
+			KNN:     &KNNSpec{Field: "emb", K: 3, Query: knnQ(1)},
+			SimJoin: &SimJoinSpec{Field: "emb", Eps: 0.2}},
+		"composed with order": {Collection: shardTestCol,
+			KNN: &KNNSpec{Field: "emb", K: 3, Query: knnQ(1)}, OrderBy: "score"},
+		"composed with limit": {Collection: shardTestCol,
+			KNN: &KNNSpec{Field: "emb", K: 3, Query: knnQ(1)}, Limit: 5},
+		"composed with distinct": {Collection: shardTestCol,
+			KNN: &KNNSpec{Field: "emb", K: 3, Query: knnQ(1)}, Distinct: true},
+		"dim mismatch": {Collection: shardTestCol,
+			KNN: &KNNSpec{Field: "emb", K: 3, Query: []float32{1, 2, 3}}},
+		"non-vector field": {Collection: shardTestCol,
+			KNN: &KNNSpec{Field: "score", K: 3, Query: knnQ(1)}},
+	} {
+		if _, err := svc.Query(ctx, req); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// The explicit metric name is the default spelled out, not an error.
+	r, err := svc.Query(ctx, Request{Collection: shardTestCol,
+		KNN: &KNNSpec{Field: "emb", K: 3, Query: knnQ(1), Metric: "l2"}})
+	if err != nil {
+		t.Fatalf("explicit l2 metric rejected: %v", err)
+	}
+	if r.Value != 3 {
+		t.Fatalf("knn value %d, want 3", r.Value)
+	}
+}
+
+func TestKNNFingerprintSemantics(t *testing.T) {
+	mk := func(mut func(*KNNSpec)) Request {
+		spec := &KNNSpec{Field: "emb", K: 5, Query: knnQ(2)}
+		mut(spec)
+		return Request{Collection: "c", KNN: spec}
+	}
+	base := mk(func(*KNNSpec) {})
+	distinct := map[string]Request{
+		"k":      mk(func(s *KNNSpec) { s.K = 6 }),
+		"query":  mk(func(s *KNNSpec) { s.Query = knnQ(3) }),
+		"field":  mk(func(s *KNNSpec) { s.Field = "emb2" }),
+		"exact":  mk(func(s *KNNSpec) { s.Exact = true }),
+		"recall": mk(func(s *KNNSpec) { s.RecallFloor = 0.5 }),
+		"source": mk(func(s *KNNSpec) { s.Query = nil; s.SourceID = 7 }),
+	}
+	for name, req := range distinct {
+		if base.fingerprint(3, 42) == req.fingerprint(3, 42) {
+			t.Errorf("%s variant collides with the base fingerprint", name)
+		}
+	}
+	// The explicit default metric and execution-only knobs must not
+	// fragment the cache key.
+	for name, req := range map[string]Request{
+		"metric l2": mk(func(s *KNNSpec) { s.Metric = "l2" }),
+		"use_index": mk(func(s *KNNSpec) { s.UseIndex = true }),
+	} {
+		if base.fingerprint(3, 42) != req.fingerprint(3, 42) {
+			t.Errorf("%s fragments the fingerprint", name)
+		}
+	}
+}
+
+// knnMatrix is the request matrix the golden and invariance tests
+// share: planner-chosen, pinned-exact, forced-index, recall-floored and
+// source-patch forms.
+func knnMatrix() []Request {
+	return []Request{
+		{Collection: shardTestCol, KNN: &KNNSpec{Field: "emb", K: 5, Query: knnQ(3)}},
+		{Collection: shardTestCol, KNN: &KNNSpec{Field: "emb", K: 8, Query: knnQ(1), Exact: true}},
+		{Collection: shardTestCol, KNN: &KNNSpec{Field: "emb", K: 4, Query: knnQ(5), UseIndex: true}},
+		{Collection: shardTestCol, KNN: &KNNSpec{Field: "emb", K: 6, Query: knnQ(0), RecallFloor: 0.99}},
+		{Collection: shardTestCol, KNN: &KNNSpec{Field: "emb", K: 3, SourceID: 1}},
+	}
+}
+
+// TestKNNGoldenN1: a one-shard sharded service answers kNN requests
+// byte-identically to the unsharded path — values, rows (including
+// _dist), plan strings, fingerprints and cost estimates.
+func TestKNNGoldenN1(t *testing.T) {
+	const rows = 240
+	cfg := Config{Workers: 2}
+	_, plain := synthUnsharded(t, rows, cfg)
+	_, sharded := synthSharded(t, 1, rows, cfg)
+	ctx := context.Background()
+	for qi, req := range knnMatrix() {
+		pr, err := plain.Query(ctx, req)
+		if err != nil {
+			t.Fatalf("knn %d unsharded: %v", qi, err)
+		}
+		sr, err := sharded.Query(ctx, req)
+		if err != nil {
+			t.Fatalf("knn %d sharded N=1: %v", qi, err)
+		}
+		if pg, sg := goldenKey(t, pr), goldenKey(t, sr); pg != sg {
+			t.Errorf("knn %d diverges:\n  unsharded: %s\n  sharded-1: %s", qi, pg, sg)
+		}
+	}
+}
+
+// TestKNNShardInvariance: kNN answers — values AND rows — are
+// shard-count invariant across the whole matrix: every fragment reports
+// exact distances, LSH candidacy is a per-point property under the
+// fixed hyperplane seed, so per-shard local top-k merges to exactly the
+// unsharded answer.
+func TestKNNShardInvariance(t *testing.T) {
+	const rows = 240
+	cfg := Config{Workers: 2}
+	_, plain := synthUnsharded(t, rows, cfg)
+	ctx := context.Background()
+	want := make([]*Response, 0, len(knnMatrix()))
+	for qi, req := range knnMatrix() {
+		r, err := plain.Query(ctx, req)
+		if err != nil {
+			t.Fatalf("knn %d unsharded: %v", qi, err)
+		}
+		want = append(want, r)
+	}
+	_, sharded := synthSharded(t, 3, rows, cfg)
+	for qi, req := range knnMatrix() {
+		r, err := sharded.Query(ctx, req)
+		if err != nil {
+			t.Fatalf("knn %d sharded N=3: %v", qi, err)
+		}
+		if r.Value != want[qi].Value {
+			t.Errorf("knn %d: N=3 value %d, unsharded %d", qi, r.Value, want[qi].Value)
+		}
+		if !reflect.DeepEqual(r.Rows, want[qi].Rows) {
+			t.Errorf("knn %d: N=3 rows diverge from unsharded\n  N=3: %v\n  N=1: %v",
+				qi, r.Rows, want[qi].Rows)
+		}
+	}
+}
+
+// TestKNNRowsShape: neighbor rows carry the projection plus _dist,
+// ascending, trimmed to k, and a source-id query never returns its own
+// source.
+func TestKNNRowsShape(t *testing.T) {
+	_, svc := synthUnsharded(t, 200, Config{Workers: 2})
+	ctx := context.Background()
+	r, err := svc.Query(ctx, Request{Collection: shardTestCol,
+		KNN: &KNNSpec{Field: "emb", K: 10, Query: knnQ(2), Exact: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Value != 10 || len(r.Rows) != 10 {
+		t.Fatalf("value %d rows %d, want 10/10", r.Value, len(r.Rows))
+	}
+	prev := -1.0
+	for i, row := range r.Rows {
+		d, ok := row["_dist"].(float64)
+		if !ok {
+			t.Fatalf("row %d has no _dist: %v", i, row)
+		}
+		if d < prev {
+			t.Fatalf("rows not ascending by distance: %g after %g", d, prev)
+		}
+		prev = d
+		if _, ok := row["_id"]; !ok {
+			t.Fatalf("row %d lost its projection: %v", i, row)
+		}
+	}
+	// The query sits at cluster 2's center: every neighbor is a member.
+	if prev > 1 {
+		t.Fatalf("kth distance %g: neighbors escaped the query's cluster", prev)
+	}
+
+	// Source-id form: the source never appears among its own neighbors.
+	first, err := svc.Query(ctx, Request{Collection: shardTestCol, Limit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcID := first.Rows[0]["_id"].(uint64)
+	r, err = svc.Query(ctx, Request{Collection: shardTestCol,
+		KNN: &KNNSpec{Field: "emb", K: 5, SourceID: srcID, Exact: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Value != 5 {
+		t.Fatalf("source knn value %d, want 5", r.Value)
+	}
+	for _, row := range r.Rows {
+		if row["_id"].(uint64) == srcID {
+			t.Fatal("source patch returned as its own neighbor")
+		}
+	}
+}
+
+// TestKNNApproxScatter: at a size where the planner picks LSH, the
+// sharded plan surfaces the approximate fragments and the re-rank
+// gather, and the answer's recall against the exact result holds the
+// default floor.
+func TestKNNApproxScatter(t *testing.T) {
+	const rows, k = 600, 10
+	cfg := Config{Workers: 2}
+	_, sharded := synthSharded(t, 3, rows, cfg)
+	ctx := context.Background()
+	approx, err := sharded.Query(ctx, Request{Collection: shardTestCol,
+		KNN: &KNNSpec{Field: "emb", K: k, Query: knnQ(4)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(approx.Plan, "knn-index[approx]") {
+		t.Fatalf("plan %q does not surface the approximate index path", approx.Plan)
+	}
+	if !strings.Contains(approx.Plan, "gather-knn(rerank)") {
+		t.Fatalf("plan %q does not surface the re-rank gather", approx.Plan)
+	}
+	exact, err := sharded.Query(ctx, Request{Collection: shardTestCol,
+		KNN: &KNNSpec{Field: "emb", K: k, Query: knnQ(4), Exact: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(exact.Plan, "knn-") {
+		t.Fatalf("exact plan %q lost the knn label", exact.Plan)
+	}
+	// Tie-tolerant recall: an approximate neighbor within the exact kth
+	// distance counts as found.
+	dk := exact.Rows[len(exact.Rows)-1]["_dist"].(float64)
+	hits := 0
+	for _, row := range approx.Rows {
+		if row["_dist"].(float64) <= dk {
+			hits++
+		}
+	}
+	if recall := float64(hits) / float64(len(exact.Rows)); recall < 0.9 {
+		t.Fatalf("approximate scatter recall %.2f below 0.9 (approx %v / exact %v)",
+			recall, approx.Rows, exact.Rows)
+	}
+}
+
+// TestKNNStatsAndMaintenanceCounters: cold kNN executions count,
+// cache hits do not, and the index maintenance counters surface
+// through Stats on both backends.
+func TestKNNStatsAndMaintenanceCounters(t *testing.T) {
+	db, svc := synthUnsharded(t, 120, Config{Workers: 1})
+	ctx := context.Background()
+	req := Request{Collection: shardTestCol,
+		KNN: &KNNSpec{Field: "emb", K: 5, Query: knnQ(1), UseIndex: true}}
+	if _, err := svc.Query(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := svc.Query(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.CacheHit {
+		t.Fatal("identical knn request missed the result cache")
+	}
+	st := svc.Stats()
+	if st.KNNQueries != 1 {
+		t.Fatalf("knn_queries = %d after one cold + one cached, want 1", st.KNNQueries)
+	}
+	if st.IndexRebuilds < 1 {
+		t.Fatalf("index_rebuilds = %d after an indexed probe", st.IndexRebuilds)
+	}
+	col, err := db.Collection(shardTestCol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := col.Append(synthPatch(120)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Query(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	st2 := svc.Stats()
+	if st2.IndexExtends != st.IndexExtends+1 {
+		t.Fatalf("index_extends %d -> %d across a prefix-certified append, want +1",
+			st.IndexExtends, st2.IndexExtends)
+	}
+	if st2.KNNQueries != 2 {
+		t.Fatalf("knn_queries = %d after two cold executions, want 2", st2.KNNQueries)
+	}
+}
+
+// TestKNNConcurrentAppendsHammer: kNN scatters race appends across
+// every shard; under -race this is the memory-model check for the
+// versioned index cache feeding parallel fragments.
+func TestKNNConcurrentAppendsHammer(t *testing.T) {
+	sdb, svc := synthSharded(t, 3, 60, Config{Workers: 4})
+	sc, err := sdb.Collection(shardTestCol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	const appends = 120
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < appends; i++ {
+			if err := sc.Append(synthPatch(60 + i)); err != nil {
+				panic(fmt.Sprintf("append during knn scatter: %v", err))
+			}
+		}
+	}()
+	reqs := []Request{
+		{Collection: shardTestCol, KNN: &KNNSpec{Field: "emb", K: 5, Query: knnQ(1)}, NoCache: true},
+		{Collection: shardTestCol, KNN: &KNNSpec{Field: "emb", K: 8, Query: knnQ(3), Exact: true}, NoCache: true},
+		{Collection: shardTestCol, KNN: &KNNSpec{Field: "emb", K: 4, Query: knnQ(6), UseIndex: true}, NoCache: true},
+		{Collection: shardTestCol, KNN: &KNNSpec{Field: "emb", K: 6, Query: knnQ(2), RecallFloor: 0.5}, NoCache: true},
+	}
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				req := reqs[(c+i)%len(reqs)]
+				r, err := svc.Query(ctx, req)
+				if err != nil {
+					panic(fmt.Sprintf("knn during appends: %v", err))
+				}
+				if r.Value > req.KNN.K {
+					panic(fmt.Sprintf("knn returned %d rows for k=%d", r.Value, req.KNN.K))
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	// Quiesced: every index path answers over the full row set.
+	r := mustQuery(t, svc, Request{Collection: shardTestCol,
+		KNN: &KNNSpec{Field: "emb", K: 10, Query: knnQ(0), UseIndex: true}, NoCache: true})
+	if r.Value != 10 {
+		t.Fatalf("post-hammer knn value = %d, want 10", r.Value)
+	}
+}

@@ -368,6 +368,9 @@ type statsContract struct {
 	ColumnExtends     int64             `json:"column_extends"`
 	ExtendReuseBlocks int64             `json:"extend_reuse_blocks"`
 	ExtendTotalBlocks int64             `json:"extend_total_blocks"`
+	KNNQueries        int64             `json:"knn_queries"`
+	IndexExtends      int64             `json:"index_extends"`
+	IndexRebuilds     int64             `json:"index_rebuilds"`
 	ResultCache       CacheStats        `json:"result_cache"`
 	UDFCache          CacheStats        `json:"udf_cache"`
 	ResultHitRate     float64           `json:"result_hit_rate"`
@@ -427,6 +430,7 @@ func TestStatsJSONContract(t *testing.T) {
 		"admitted", "rejected", "coalesced", "completed", "failed",
 		"in_flight", "peak_in_flight",
 		"appends", "appended_rows", "column_extends", "extend_reuse_blocks", "extend_total_blocks",
+		"knn_queries", "index_extends", "index_rebuilds",
 		"result_cache", "udf_cache", "result_hit_rate",
 		"device", "devices", "device_kernels", "device_launches", "device_flops", "device_overhead_ms",
 		"batcher", "fusion_factor",

@@ -35,6 +35,7 @@ type telemetry struct {
 	completed, failed             *obs.Counter
 	appends, appendedRows         *obs.Counter
 	scatterQueries, scatterTasks  *obs.Counter
+	knnQueries                    *obs.Counter
 	traced                        *obs.Counter
 
 	// Fault-tolerance counters: fragments hedged to another replica,
@@ -72,6 +73,7 @@ func newTelemetry(s *Service, cfg Config) *telemetry {
 		appendedRows:   r.Counter("deeplens_appended_rows_total", "Rows committed through the append path.", nil),
 		scatterQueries: r.Counter("deeplens_scatter_queries_total", "Queries executed via scatter-gather.", nil),
 		scatterTasks:   r.Counter("deeplens_scatter_tasks_total", "Scatter fragments fanned out (filter + join tasks).", nil),
+		knnQueries:     r.Counter("deeplens_knn_queries_total", "kNN queries executed (cold; cache hits excluded).", nil),
 		traced:         r.Counter("deeplens_traced_queries_total", "Queries with full span capture (requested or sampled).", nil),
 
 		hedgedFragments: r.Counter("deeplens_hedged_fragments_total", "Scatter fragments hedged to another replica after the latency budget.", nil),
@@ -166,6 +168,14 @@ func newTelemetry(s *Service, cfg Config) *telemetry {
 		n, _, _ := s.columnExtendStats()
 		return float64(n)
 	})
+	r.CounterFunc("deeplens_index_extends_total", "Incremental vector-index extensions performed (prefix-certified appends).", nil, func() float64 {
+		n, _ := s.indexExtendStats()
+		return float64(n)
+	})
+	r.CounterFunc("deeplens_index_rebuilds_total", "Full vector-index builds (first touch or a shape change an extension could not absorb).", nil, func() float64 {
+		_, n := s.indexExtendStats()
+		return float64(n)
+	})
 	r.CounterFunc("deeplens_device_kernels_total", "Kernels executed across the device pool.", nil,
 		func() float64 { return float64(s.devPool.Stats().Kernels) })
 	r.CounterFunc("deeplens_device_launches_total", "Device launches issued (fusion shows as launches < kernels).", nil,
@@ -184,6 +194,15 @@ func (s *Service) columnExtendStats() (extends, reused, total int64) {
 		return s.shards.ColumnExtendStats()
 	}
 	return s.db.ColumnExtendStats()
+}
+
+// indexExtendStats reads the backend's vector-index maintenance
+// counters regardless of sharding.
+func (s *Service) indexExtendStats() (extends, rebuilds int64) {
+	if s.shards != nil {
+		return s.shards.IndexExtendStats()
+	}
+	return s.db.IndexExtendStats()
 }
 
 // startTrace decides whether this query gets full span capture: an
@@ -268,6 +287,9 @@ func (r *Request) describe() string {
 	}
 	if r.SimJoin != nil {
 		out += fmt.Sprintf(" simjoin(%s, eps=%g)", r.SimJoin.Field, r.SimJoin.Eps)
+	}
+	if q := r.KNN; q != nil {
+		out += fmt.Sprintf(" knn(%s, k=%d)", q.Field, q.K)
 	}
 	if r.Distinct {
 		out += " distinct"

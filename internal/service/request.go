@@ -23,6 +23,11 @@ type Request struct {
 	Filter  *FilterSpec  `json:"filter,omitempty"`
 	SimJoin *SimJoinSpec `json:"simjoin,omitempty"`
 
+	// KNN asks for the k nearest neighbors of a query vector. It is a
+	// complete query shape on its own and composes with none of the
+	// other stages (filter/simjoin/distinct/order_by/limit).
+	KNN *KNNSpec `json:"knn,omitempty"`
+
 	// Distinct clusters the similarity-join pairs into identities and
 	// returns the cluster count (q4's dedup step). Requires SimJoin.
 	Distinct bool `json:"distinct,omitempty"`
@@ -78,9 +83,9 @@ type FilterSpec struct {
 	// be a declared numeric field.
 	Min *float64 `json:"min,omitempty"`
 	Max *float64 `json:"max,omitempty"`
-	// UseIndex requests the indexed access path (a hash index is built on
-	// first use). Purely physical: it never changes the result. Equality
-	// only — a hash index cannot serve a range.
+	// UseIndex requests the indexed access path, built on first use: a
+	// hash index for equality, a B-tree for ranges. Purely physical: it
+	// never changes the result.
 	UseIndex bool `json:"use_index,omitempty"`
 }
 
@@ -137,6 +142,41 @@ type SimJoinSpec struct {
 	MinCluster int `json:"min_cluster,omitempty"`
 }
 
+// KNNSpec is a k-nearest-neighbor query on a vector field: the K rows
+// closest to a query vector under Euclidean distance, ascending, ties
+// broken by patch id. The query vector is given inline (Query) or named
+// by an existing patch (SourceID, which is excluded from its own
+// result). The optimizer picks the physical method — brute-force scan,
+// exact ball-tree index, or approximate LSH index — bounded by Exact
+// and RecallFloor.
+type KNNSpec struct {
+	Field string `json:"field"`
+	K     int    `json:"k"`
+
+	// Query is the inline query vector. Exactly one of Query and
+	// SourceID must be set.
+	Query []float32 `json:"query,omitempty"`
+	// SourceID names an existing patch whose Field vector is the query.
+	// The source patch never appears in its own neighbor list.
+	SourceID uint64 `json:"source_id,omitempty"`
+
+	// Metric names the distance; "l2" (Euclidean) is the only metric
+	// served and the empty string means l2.
+	Metric string `json:"metric,omitempty"`
+
+	// Exact demands results byte-identical to the brute-force scan: the
+	// planner may still use the exact index, never the approximate one.
+	Exact bool `json:"exact,omitempty"`
+	// RecallFloor is the minimum acceptable expected recall in [0, 1].
+	// Above what the approximate index promises, the planner stays
+	// exact. Zero means no floor. Logical — it changes which results are
+	// admissible — so it IS folded into the fingerprint.
+	RecallFloor float64 `json:"recall_floor,omitempty"`
+	// UseIndex pins the vector-index path regardless of estimated cost.
+	// Purely physical, excluded from the fingerprint.
+	UseIndex bool `json:"use_index,omitempty"`
+}
+
 // InferSpec sweeps a UDF over frames [From, To) of a registered frame
 // source, counting matching outputs: detections with Label (or all), OCR
 // words equal to Text (or all), or embeddings computed. Repeated sweeps
@@ -175,6 +215,36 @@ func (r *Request) validate() error {
 		}
 		return nil
 	}
+	if q := r.KNN; q != nil {
+		if r.Filter != nil || r.SimJoin != nil || r.Distinct || r.OrderBy != "" || r.Limit != 0 {
+			return errors.New("service: knn composes with none of filter/simjoin/distinct/order_by/limit")
+		}
+		if q.Field == "" {
+			return errors.New("service: knn needs a field")
+		}
+		if q.K < 1 {
+			return fmt.Errorf("service: knn k must be >= 1, got %d", q.K)
+		}
+		if q.K > maxRows {
+			return fmt.Errorf("service: knn k %d exceeds the row cap %d", q.K, maxRows)
+		}
+		if (len(q.Query) > 0) == (q.SourceID != 0) {
+			return errors.New("service: knn needs exactly one of query and source_id")
+		}
+		for _, x := range q.Query {
+			if math.IsNaN(float64(x)) || math.IsInf(float64(x), 0) {
+				return fmt.Errorf("service: knn query vector on %q has non-finite component", q.Field)
+			}
+		}
+		switch q.Metric {
+		case "", "l2":
+		default:
+			return fmt.Errorf("service: knn metric %q unsupported (only l2)", q.Metric)
+		}
+		if q.RecallFloor < 0 || q.RecallFloor > 1 || math.IsNaN(q.RecallFloor) {
+			return fmt.Errorf("service: knn recall_floor %g outside [0, 1]", q.RecallFloor)
+		}
+	}
 	if r.Distinct && r.SimJoin == nil {
 		return errors.New("service: distinct requires a simjoin")
 	}
@@ -185,9 +255,6 @@ func (r *Request) validate() error {
 		if f.isRange() {
 			if f.Str != nil || f.Int != nil || f.Float != nil {
 				return fmt.Errorf("service: filter on %q mixes equality and range bounds", f.Field)
-			}
-			if f.UseIndex {
-				return fmt.Errorf("service: range filter on %q cannot use an index (hash indexes serve equality only)", f.Field)
 			}
 			if f.Min != nil && f.Max != nil && *f.Min >= *f.Max {
 				return fmt.Errorf("service: filter on %q has empty range [%g, %g)", f.Field, *f.Min, *f.Max)
@@ -229,6 +296,34 @@ func (r *Request) fingerprint(version uint64, modelSeed int64) string {
 		return "q:" + i.Source + ":" + string(fp)
 	}
 	f := core.NewFingerprinter("query").Col(r.Collection, version)
+	if q := r.KNN; q != nil {
+		// All logical knn content: the field, k, metric (canonicalized),
+		// the query vector or source patch, and the exactness contract.
+		// UseIndex is physical (exact plans agree byte-for-byte; approx
+		// admissibility is governed by Exact/RecallFloor, not the knob).
+		metric := q.Metric
+		if metric == "" {
+			metric = "l2"
+		}
+		f.Str("knn.field", q.Field).
+			Int("knn.k", int64(q.K)).
+			Str("knn.metric", metric)
+		if len(q.Query) > 0 {
+			f.Value("knn.query", core.VecV(q.Query))
+		} else {
+			f.Int("knn.source", int64(q.SourceID))
+		}
+		if q.Exact {
+			f.Int("knn.exact", 1)
+		}
+		if q.RecallFloor > 0 {
+			f.Float("knn.recall_floor", q.RecallFloor)
+		}
+		if r.AllowPartial {
+			f.Int("allow_partial", 1)
+		}
+		return "q:" + r.Collection + ":" + string(f.Sum())
+	}
 	if r.Filter != nil {
 		f.Str("filter.field", r.Filter.Field)
 		if r.Filter.isRange() {

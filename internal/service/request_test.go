@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -68,8 +69,6 @@ func TestRangeFilterValidation(t *testing.T) {
 	for name, req := range map[string]Request{
 		"mixed eq+range": {Collection: shardTestCol,
 			Filter: &FilterSpec{Field: "score", Float: fp(1), Min: fp(0)}},
-		"range with index": {Collection: shardTestCol,
-			Filter: &FilterSpec{Field: "score", Min: fp(0), UseIndex: true}},
 		"empty range": {Collection: shardTestCol,
 			Filter: &FilterSpec{Field: "score", Min: fp(2), Max: fp(2)}},
 		"string field": {Collection: shardTestCol,
@@ -156,6 +155,61 @@ func TestRangeFilterResults(t *testing.T) {
 		}
 		if rank := row["rank"].(int64); rank < 2 || rank >= 5 {
 			t.Fatalf("row escapes range bound: rank %d", rank)
+		}
+	}
+}
+
+// TestBTreeRangeFilterMatchesColumnScan: the B-tree range path is a
+// physical-plan swap — same rows and counts as the column scan under
+// every bound shape, with its own plan label, sharded and unsharded.
+func TestBTreeRangeFilterMatchesColumnScan(t *testing.T) {
+	const rows = 300
+	cases := []struct {
+		field    string
+		min, max *float64
+	}{
+		{"score", fp(1), fp(3)},
+		{"score", fp(2), nil},
+		{"score", nil, fp(3)},
+		{"rank", fp(1.5), fp(4.5)}, // fractional bounds over ints
+		{"rank", fp(2), nil},
+		{"rank", nil, fp(4)},
+		{"score", fp(7), nil}, // empty result
+	}
+	_, plain := synthUnsharded(t, rows, Config{Workers: 2})
+	_, sharded := synthSharded(t, 3, rows, Config{Workers: 2})
+	ctx := context.Background()
+	for _, tc := range cases {
+		scan := Request{Collection: shardTestCol,
+			Filter: &FilterSpec{Field: tc.field, Min: tc.min, Max: tc.max}, NoCache: true}
+		indexed := scan
+		f := *scan.Filter
+		f.UseIndex = true
+		indexed.Filter = &f
+		for label, svc := range map[string]*Service{"unsharded": plain, "sharded-3": sharded} {
+			sr, err := svc.Query(ctx, scan)
+			if err != nil {
+				t.Fatalf("%s scan %s: %v", label, tc.field, err)
+			}
+			ir, err := svc.Query(ctx, indexed)
+			if err != nil {
+				t.Fatalf("%s indexed %s: %v", label, tc.field, err)
+			}
+			if ir.Value != sr.Value {
+				t.Errorf("%s %s: btree value %d, column scan %d", label, tc.field, ir.Value, sr.Value)
+			}
+			if !strings.Contains(ir.Plan, "btree-index("+tc.field+")") {
+				t.Errorf("%s %s: indexed plan %q lacks the btree-index label", label, tc.field, ir.Plan)
+			}
+			if strings.Contains(sr.Plan, "btree-index") {
+				t.Errorf("%s %s: scan plan %q took the index path uninvited", label, tc.field, sr.Plan)
+			}
+		}
+		// Unsharded rows are snapshot-ordered on both paths: identical.
+		sr, _ := plain.Query(ctx, scan)
+		ir, _ := plain.Query(ctx, indexed)
+		if !reflect.DeepEqual(sr.Rows, ir.Rows) {
+			t.Errorf("%s[%v,%v): btree rows diverge from column scan", tc.field, tc.min, tc.max)
 		}
 	}
 }

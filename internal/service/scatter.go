@@ -301,7 +301,32 @@ func (s *Service) filterFragment(ctx context.Context, req *Request, fval core.Va
 	col := scol.Replica(i, r)
 	if f.isRange() {
 		lo, hi := f.bounds()
-		if cf, ok := columnFilterRange(col, f.Field, lo, hi, len(snap)); ok {
+		if f.UseIndex {
+			idx, err := s.ensureIndexOn(s.shards.ReplicaDB(i, r), replicaScope(i, r), col, f.Field, core.IdxBTree)
+			if err != nil {
+				return nil, err
+			}
+			ids, err := btreeRangeIDs(idx, lo, hi)
+			if err != nil {
+				return nil, err
+			}
+			filtered := make([]*core.Patch, 0, len(ids))
+			for k, id := range ids {
+				if k%ctxCheckRows == 0 {
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+				}
+				p, err := col.Get(id)
+				if err != nil {
+					return nil, err
+				}
+				filtered = append(filtered, p)
+			}
+			frag.filtered = filtered
+			frag.planOps = append(frag.planOps, fmt.Sprintf("btree-index(%s)", f.Field))
+			frag.cost += s.cost.FilterCost(core.FilterBTreeIndex, len(snap), len(ids))
+		} else if cf, ok := columnFilterRange(col, f.Field, lo, hi, len(snap)); ok {
 			frag.filtered = cf.rows
 			frag.csel = cf
 			frag.planOps = append(frag.planOps, fmt.Sprintf("column-scan(%s)", f.Field))
@@ -529,18 +554,25 @@ func (s *Service) simJoinScatter(ctx context.Context, req *Request, scol *core.S
 	return resp, nil
 }
 
+// shardVectorIndex resolves the shard-local maintained vector index at
+// the shard's current snapshot (exact mode — join results must be
+// byte-identical to the scan-based methods).
+func shardVectorIndex(col *core.Collection, field string) (*core.VectorIndex, error) {
+	snap, ver, err := col.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return col.VectorIndexAt(snap, ver, field, core.VecExact)
+}
+
 // runLocalJoin is shard i's self-join over its own fragment — exactly
 // the unsharded similarity join, shard-local index and all.
 func (s *Service) runLocalJoin(task *joinTask, sj *SimJoinSpec, filtered []*core.Patch, scol *core.ShardedCollection, dim int, hasIndex bool, dev *exec.Batcher, odev exec.Device) error {
 	i := task.left
-	db, col := s.shards.Shard(i), scol.Shard(i)
-	if hasIndex {
-		if _, err := s.ensureIndexOn(db, shardScope(i), col, sj.Field, core.IdxBallTree); err != nil {
-			return err
-		}
-	}
+	col := scol.Shard(i)
+	db := s.shards.Shard(i)
 	n := len(filtered)
-	sp := s.cost.PlanSimilarityJoin(n, n, dim, hasIndex)
+	sp := s.cost.PlanSimilarityJoinVec(n, n, dim, hasIndex)
 	task.cost = sp.EstCost
 	opts := core.SimilarityJoinOpts{
 		LeftField: sj.Field, RightField: sj.Field,
@@ -549,12 +581,12 @@ func (s *Service) runLocalJoin(task *joinTask, sj *SimJoinSpec, filtered []*core
 	var pairs []core.Tuple
 	var err error
 	switch sp.Method {
-	case core.SimIndexed:
-		idx, ierr := s.ensureIndexOn(db, shardScope(i), col, sj.Field, core.IdxBallTree)
+	case core.SimVecIndexed:
+		vi, ierr := shardVectorIndex(col, sj.Field)
 		if ierr != nil {
 			return ierr
 		}
-		pairs, err = core.SimilarityJoinIndexed(db, filtered, col, idx, opts)
+		pairs, err = core.SimilarityJoinVecIndexed(filtered, col, vi, opts)
 	case core.SimOnTheFly:
 		pairs, err = core.SimilarityJoinOnTheFly(filtered, filtered, opts)
 	case core.SimBatched:
@@ -578,7 +610,7 @@ func (s *Service) runLocalJoin(task *joinTask, sj *SimJoinSpec, filtered []*core
 func (s *Service) runCrossJoin(task *joinTask, sj *SimJoinSpec, left, right []*core.Patch, scol *core.ShardedCollection, dim int, hasIndex bool, dev *exec.Batcher, odev exec.Device) error {
 	j := task.right
 	dbR, colR := s.shards.Shard(j), scol.Shard(j)
-	sp := s.cost.PlanSimilarityJoin(len(left), len(right), dim, hasIndex)
+	sp := s.cost.PlanSimilarityJoinVec(len(left), len(right), dim, hasIndex)
 	task.cost = sp.EstCost
 	opts := core.SimilarityJoinOpts{
 		LeftField: sj.Field, RightField: sj.Field,
@@ -587,12 +619,12 @@ func (s *Service) runCrossJoin(task *joinTask, sj *SimJoinSpec, left, right []*c
 	var pairs []core.Tuple
 	var err error
 	switch sp.Method {
-	case core.SimIndexed:
-		idx, ierr := s.ensureIndexOn(dbR, shardScope(j), colR, sj.Field, core.IdxBallTree)
+	case core.SimVecIndexed:
+		vi, ierr := shardVectorIndex(colR, sj.Field)
 		if ierr != nil {
 			return ierr
 		}
-		pairs, err = core.SimilarityJoinIndexed(dbR, left, colR, idx, opts)
+		pairs, err = core.SimilarityJoinVecIndexed(left, colR, vi, opts)
 	case core.SimOnTheFly:
 		pairs, err = core.SimilarityJoinOnTheFly(left, right, opts)
 	case core.SimBatched:

@@ -33,7 +33,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -718,6 +720,14 @@ func (s *Service) execute(ctx context.Context, w *worker, req *Request) (*Respon
 		}
 		return s.executeInfer(ctx, w, req.Infer)
 	}
+	if req.KNN != nil {
+		// kNN has its own scatter shape (per-shard index probes, k-way
+		// candidate merge) and submits no kernels.
+		if s.shards != nil {
+			return s.executeKNNScatter(ctx, req)
+		}
+		return s.executeKNN(ctx, req)
+	}
 	if s.shards != nil {
 		return s.executeScatter(ctx, req)
 	}
@@ -738,7 +748,7 @@ func (s *Service) executeQuery(ctx context.Context, w *worker, req *Request) (*R
 	if err != nil {
 		return nil, err
 	}
-	snap, _, err := col.Snapshot()
+	snap, ver, err := col.Snapshot()
 	if err != nil {
 		return nil, err
 	}
@@ -752,7 +762,26 @@ func (s *Service) executeQuery(ctx context.Context, w *worker, req *Request) (*R
 		if err := col.Schema().ValidateFilterRange(f.Field); err != nil {
 			return nil, err
 		}
-		if cf, ok := columnFilterRange(col, f.Field, lo, hi, len(snap)); ok {
+		if f.UseIndex {
+			idx, err := s.ensureIndex(col, f.Field, core.IdxBTree)
+			if err != nil {
+				return nil, err
+			}
+			ids, err := btreeRangeIDs(idx, lo, hi)
+			if err != nil {
+				return nil, err
+			}
+			filtered = make([]*core.Patch, 0, len(ids))
+			for _, id := range ids {
+				p, err := col.Get(id)
+				if err != nil {
+					return nil, err
+				}
+				filtered = append(filtered, p)
+			}
+			plan = append(plan, fmt.Sprintf("btree-index(%s)", f.Field))
+			resp.EstCostSec += s.cost.FilterCost(core.FilterBTreeIndex, len(snap), len(ids))
+		} else if cf, ok := columnFilterRange(col, f.Field, lo, hi, len(snap)); ok {
 			// Same vectorized block-at-a-time path as equality: zone maps
 			// prune blocks whose min/max cannot intersect the interval.
 			filtered = cf.rows
@@ -826,16 +855,11 @@ func (s *Service) executeQuery(ctx context.Context, w *worker, req *Request) (*R
 				dim = len(mv.V)
 			}
 		}
-		// A prebuilt index over the whole collection can only serve an
+		// A maintained index over the whole collection can only serve an
 		// unfiltered join.
 		hasIndex := sj.UseIndex && req.Filter == nil
-		if hasIndex {
-			if _, err := s.ensureIndex(col, sj.Field, core.IdxBallTree); err != nil {
-				return nil, err
-			}
-		}
 		n := len(filtered)
-		sp := s.cost.PlanSimilarityJoin(n, n, dim, hasIndex)
+		sp := s.cost.PlanSimilarityJoinVec(n, n, dim, hasIndex)
 		resp.EstCostSec += sp.EstCost
 		opts := core.SimilarityJoinOpts{
 			LeftField: sj.Field, RightField: sj.Field,
@@ -844,12 +868,15 @@ func (s *Service) executeQuery(ctx context.Context, w *worker, req *Request) (*R
 		}
 		var pairs []core.Tuple
 		switch sp.Method {
-		case core.SimIndexed:
-			idx, err := s.ensureIndex(col, sj.Field, core.IdxBallTree)
+		case core.SimVecIndexed:
+			// The maintained per-collection vector index at exactly this
+			// query's snapshot: reused across versions, incrementally
+			// extended on appends, never rebuilt per query.
+			vi, err := col.VectorIndexAt(snap, ver, sj.Field, core.VecExact)
 			if err != nil {
 				return nil, err
 			}
-			pairs, err = core.SimilarityJoinIndexed(s.db, filtered, col, idx, opts)
+			pairs, err = core.SimilarityJoinVecIndexed(filtered, col, vi, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -1102,6 +1129,61 @@ func (s *Service) ensureIndexOn(db *core.DB, scope string, col *core.Collection,
 	return db.BuildIndex(col, field, kind)
 }
 
+// btreeRangeIDs resolves the numeric half-open range [lo, hi) against a
+// B-tree index. Sort keys are kind-prefixed, so int-keyed and
+// float-keyed rows occupy disjoint key regions and one key-space scan
+// cannot serve the numeric-widening semantics ("ints compare as
+// floats") the scan paths implement — the range runs as two probes, one
+// per numeric kind, with the bounds converted into each kind's key
+// space. The id union is returned ascending, which is snapshot order
+// for the append paths that allocate ids in commit order (the service's
+// own), so the indexed path returns rows in the same order as the scan
+// it replaces.
+func btreeRangeIDs(idx *core.Index, lo, hi float64) ([]core.PatchID, error) {
+	// 2^63: one past MaxInt64, and exactly -MinInt64. Conversion guard —
+	// float64 bounds at or beyond it have no int64 equivalent.
+	const intEdge = float64(1 << 63)
+
+	// Int probe: int64 values v with lo <= v < hi. Ceiling converts both
+	// float bounds to the int key space (v >= lo <=> v >= ceil(lo);
+	// v < hi <=> v < ceil(hi), the integral-hi case included since
+	// ceil(h) == h). Bounds past int64's range clamp to the kind's
+	// edges; the float -Inf key is the first key after the int region,
+	// so it serves as the open upper fence.
+	var ids []core.PatchID
+	intLo, intHi := core.IntV(math.MinInt64), core.FloatV(math.Inf(-1))
+	skipInt := false
+	if c := math.Ceil(lo); c >= intEdge {
+		skipInt = true // no int64 is >= 2^63
+	} else if c > -intEdge {
+		intLo = core.IntV(int64(c))
+	}
+	if c := math.Ceil(hi); c <= -intEdge {
+		skipInt = true // no int64 is < -2^63
+	} else if c < intEdge {
+		intHi = core.IntV(int64(c))
+	}
+	if !skipInt {
+		got, err := idx.LookupRange(&intLo, &intHi)
+		if err != nil {
+			return nil, err
+		}
+		ids = append(ids, got...)
+	}
+
+	// Float probe: an inclusive -Inf low and an exclusive +Inf high are
+	// exactly the scan semantics at open sides (a stored +Inf fails
+	// v < +Inf; NaN keys sort past +Inf and are excluded with it).
+	fLo, fHi := core.FloatV(lo), core.FloatV(hi)
+	got, err := idx.LookupRange(&fLo, &fHi)
+	if err != nil {
+		return nil, err
+	}
+	ids = append(ids, got...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, nil
+}
+
 // ------------------------------------------------------------- stats ----
 
 // Stats is the service's activity snapshot (served by /stats).
@@ -1135,6 +1217,13 @@ type Stats struct {
 	ColumnExtends     int64 `json:"column_extends"`
 	ExtendReuseBlocks int64 `json:"extend_reuse_blocks"`
 	ExtendTotalBlocks int64 `json:"extend_total_blocks"`
+
+	// ANN serving: knn queries executed (cold; cache hits excluded like
+	// every execution counter) and the vector-index maintenance record —
+	// prefix-certified incremental extensions vs full builds.
+	KNNQueries    int64 `json:"knn_queries"`
+	IndexExtends  int64 `json:"index_extends"`
+	IndexRebuilds int64 `json:"index_rebuilds"`
 
 	ResultCache   CacheStats `json:"result_cache"`
 	UDFCache      CacheStats `json:"udf_cache"`
@@ -1201,6 +1290,7 @@ func (s *Service) Stats() Stats {
 	} else {
 		extends, extReused, extTotal = s.db.ColumnExtendStats()
 	}
+	idxExtends, idxRebuilds := s.indexExtendStats()
 	return Stats{
 		UptimeSec:  time.Since(s.start).Seconds(),
 		Workers:    s.cfg.Workers,
@@ -1222,6 +1312,10 @@ func (s *Service) Stats() Stats {
 		ColumnExtends:     extends,
 		ExtendReuseBlocks: extReused,
 		ExtendTotalBlocks: extTotal,
+
+		KNNQueries:    s.tel.knnQueries.Value(),
+		IndexExtends:  idxExtends,
+		IndexRebuilds: idxRebuilds,
 
 		ResultCache:   rc,
 		UDFCache:      s.udfMemo.Stats(),

@@ -131,6 +131,14 @@ func queryMatrix() []Request {
 		{Collection: shardTestCol, SimJoin: &SimJoinSpec{Field: "emb", Eps: 0.2, MinCluster: 2}, Distinct: true},
 		{Collection: shardTestCol, Filter: &FilterSpec{Field: "label", Str: str("pedestrian"), UseIndex: true},
 			SimJoin: &SimJoinSpec{Field: "emb", Eps: 0.25, MinCluster: 1}, Distinct: true},
+		// B-tree range probes (float, int, fractional bounds over ints).
+		{Collection: shardTestCol, Filter: &FilterSpec{Field: "score", Min: fp(1), Max: fp(3), UseIndex: true}},
+		{Collection: shardTestCol, Filter: &FilterSpec{Field: "rank", Min: fp(1.5), Max: fp(4.5), UseIndex: true}},
+		{Collection: shardTestCol, Filter: &FilterSpec{Field: "rank", Min: fp(2), UseIndex: true}},
+		// kNN: planned, pinned-exact, and forced-index forms.
+		{Collection: shardTestCol, KNN: &KNNSpec{Field: "emb", K: 5, Query: knnQ(3)}},
+		{Collection: shardTestCol, KNN: &KNNSpec{Field: "emb", K: 8, Query: knnQ(1), Exact: true}},
+		{Collection: shardTestCol, KNN: &KNNSpec{Field: "emb", K: 4, Query: knnQ(5), UseIndex: true}},
 	}
 }
 
