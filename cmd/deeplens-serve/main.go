@@ -24,6 +24,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -84,7 +85,8 @@ func run() error {
 		replicas   = flag.Int("replicas", 1, "replicas per shard (appends write all replicas of the home shard; reads hedge across them)")
 		queryTO    = flag.Duration("query-timeout", 0, "server-side query deadline (0 = none; requests may override with timeout_ms; exceeded = HTTP 504)")
 		hedgeAfter = flag.Duration("hedge-after", 0, "hedge-budget floor before the fragment p99 takes over (0 = default 25ms, negative disables hedging)")
-		faultSpec  = flag.String("fault", "", "comma-separated failpoint rules point[@shard[.replica]]:prob[:stall_ms], e.g. fragment-stall:0.2 or fragment-error@1.0:1 (points: fragment-error, fragment-stall, append-error, device-stall)")
+		resyncIvl  = flag.Duration("resync-interval", 0, "anti-entropy sweep cadence: how often demoted replicas are re-synced from their primary (0 = default 200ms, negative disables; only with -replicas > 1)")
+		faultSpec  = flag.String("fault", "", "comma-separated failpoint rules point[@shard[.replica]]:prob[:stall_ms], e.g. fragment-stall:0.2 or append-error@*.1:1 (points: fragment-error, fragment-stall, append-error, device-stall, resync-error, resync-stall)")
 		faultSeed  = flag.Int64("fault-seed", 1, "deterministic seed for failpoint probability draws")
 		workers    = flag.Int("workers", 8, "executor pool size")
 		queue      = flag.Int("queue", 64, "admission queue depth")
@@ -147,8 +149,9 @@ func run() error {
 		SlowQueryThreshold: time.Duration(*slowMS) * time.Millisecond,
 		TraceSample:        *traceSmp,
 
-		QueryTimeout: *queryTO,
-		HedgeAfter:   *hedgeAfter,
+		QueryTimeout:   *queryTO,
+		HedgeAfter:     *hedgeAfter,
+		ResyncInterval: *resyncIvl,
 	}
 	if *faultSpec != "" {
 		rules, err := fault.ParseRules(*faultSpec)
@@ -292,7 +295,64 @@ type phaseResult struct {
 	total    time.Duration
 	lats     obs.Summary
 	ok       int
-	rejected int
+	shed     int // cost-based sheds (admission said "expensive, come back later")
+	rejected int // hard rejections (physical queue full) and retry budgets exhausted
+	retried  int // re-submissions after an overload, Retry-After honored
+}
+
+// Closed-loop clients honor the service's Retry-After hint on overload,
+// but cap the sleep — a load generator that sleeps the full server hint
+// (1s+) stops generating load. Bounded attempts keep one hot request
+// from wedging a client forever.
+const (
+	loadgenRetryCap = 250 * time.Millisecond
+	loadgenAttempts = 4
+)
+
+// queryRetry runs one request against the service, retrying overloads
+// with a capped Retry-After backoff, and folds the outcome into res
+// under mu. Successful retries count in both retried and ok; requests
+// that exhaust their attempts land in rejected.
+func queryRetry(svc *service.Service, req service.Request, res *phaseResult, mu *sync.Mutex, tag string) {
+	for attempt := 1; ; attempt++ {
+		t0 := time.Now()
+		_, err := svc.Query(context.Background(), req)
+		lat := time.Since(t0)
+		var oe *service.OverloadError
+		switch {
+		case err == nil:
+			mu.Lock()
+			res.ok++
+			res.lats.ObserveDuration(lat)
+			mu.Unlock()
+			return
+		case errors.Is(err, service.ErrOverloaded):
+			backoff := loadgenRetryCap
+			if errors.As(err, &oe) {
+				mu.Lock()
+				if oe.Shed {
+					res.shed++
+				}
+				mu.Unlock()
+				if oe.RetryAfter > 0 && oe.RetryAfter < backoff {
+					backoff = oe.RetryAfter
+				}
+			}
+			if attempt >= loadgenAttempts {
+				mu.Lock()
+				res.rejected++
+				mu.Unlock()
+				return
+			}
+			time.Sleep(backoff)
+			mu.Lock()
+			res.retried++
+			mu.Unlock()
+		default:
+			log.Printf("%s: %v", tag, err)
+			return
+		}
+	}
 }
 
 func (p *phaseResult) qps() float64 {
@@ -358,20 +418,7 @@ func runPhase(svc *service.Service, name string, clients, total int, reqs []serv
 				if distinct {
 					req = distinctReq(req, i, frames)
 				}
-				t0 := time.Now()
-				_, err := svc.Query(context.Background(), req)
-				lat := time.Since(t0)
-				mu.Lock()
-				switch err {
-				case nil:
-					res.ok++
-					res.lats.ObserveDuration(lat)
-				case service.ErrOverloaded:
-					res.rejected++
-				default:
-					log.Printf("loadgen: %v", err)
-				}
-				mu.Unlock()
+				queryRetry(svc, req, &res, &mu, "loadgen")
 			}
 		}()
 	}
@@ -395,10 +442,10 @@ func runLoadgen(svc *service.Service, clients, total, frames int, distinct bool)
 
 	st := svc.Stats()
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "phase\treqs\tok\trejected\tQPS\tmean\tp50\tp95\tp99")
+	fmt.Fprintln(w, "phase\treqs\tok\tshed\tretried\trejected\tQPS\tmean\tp50\tp95\tp99")
 	for _, p := range []phaseResult{cold, warm} {
-		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%.0f\t%v\t%v\t%v\t%v\n",
-			p.name, total, p.ok, p.rejected, p.qps(),
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%.0f\t%v\t%v\t%v\t%v\n",
+			p.name, total, p.ok, p.shed, p.retried, p.rejected, p.qps(),
 			p.mean().Round(time.Microsecond),
 			p.pct(0.50).Round(time.Microsecond), p.pct(0.95).Round(time.Microsecond),
 			p.pct(0.99).Round(time.Microsecond))
@@ -547,12 +594,13 @@ func runIngest(svc *service.Service, env *bench.Env, clients, total, base int) e
 		total, batch, clients, queryTotal)
 
 	var (
-		appendLats []time.Duration
-		appendErr  error
-		res        = phaseResult{name: "during-ingest"}
-		mu         sync.Mutex
-		wg         sync.WaitGroup
-		seq        = make(chan int)
+		appendLats    []time.Duration
+		appendErr     error
+		appendRetried int
+		res           = phaseResult{name: "during-ingest"}
+		mu            sync.Mutex
+		wg            sync.WaitGroup
+		seq           = make(chan int)
 	)
 	start := time.Now()
 	wg.Add(1)
@@ -563,10 +611,26 @@ func runIngest(svc *service.Service, env *bench.Env, clients, total, base int) e
 			for j := i; j < i+batch && j < total; j++ {
 				req.Patches = append(req.Patches, livePatchSpec(base+j))
 			}
+			// A producer must deliver every row, so overloads from the
+			// write gate retry indefinitely with the same capped backoff
+			// the query clients use; only hard errors abort the stream.
 			t0 := time.Now()
-			if _, err := svc.Append(context.Background(), req); err != nil {
-				appendErr = err
-				return
+			for {
+				_, err := svc.Append(context.Background(), req)
+				if err == nil {
+					break
+				}
+				if !errors.Is(err, service.ErrOverloaded) {
+					appendErr = err
+					return
+				}
+				backoff := loadgenRetryCap
+				var oe *service.OverloadError
+				if errors.As(err, &oe) && oe.RetryAfter > 0 && oe.RetryAfter < backoff {
+					backoff = oe.RetryAfter
+				}
+				appendRetried++
+				time.Sleep(backoff)
 			}
 			appendLats = append(appendLats, time.Since(t0))
 		}
@@ -582,21 +646,7 @@ func runIngest(svc *service.Service, env *bench.Env, clients, total, base int) e
 		go func() {
 			defer wg.Done()
 			for i := range seq {
-				req := reqs[i%len(reqs)]
-				t0 := time.Now()
-				_, err := svc.Query(context.Background(), req)
-				lat := time.Since(t0)
-				mu.Lock()
-				switch err {
-				case nil:
-					res.ok++
-					res.lats.ObserveDuration(lat)
-				case service.ErrOverloaded:
-					res.rejected++
-				default:
-					log.Printf("ingest query: %v", err)
-				}
-				mu.Unlock()
+				queryRetry(svc, reqs[i%len(reqs)], &res, &mu, "ingest query")
 			}
 		}()
 	}
@@ -608,9 +658,9 @@ func runIngest(svc *service.Service, env *bench.Env, clients, total, base int) e
 
 	st := svc.Stats()
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "phase\treqs\tok\trejected\tQPS\tmean\tp50\tp95\tp99")
-	fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%.0f\t%v\t%v\t%v\t%v\n",
-		res.name, queryTotal, res.ok, res.rejected, res.qps(),
+	fmt.Fprintln(w, "phase\treqs\tok\tshed\tretried\trejected\tQPS\tmean\tp50\tp95\tp99")
+	fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%.0f\t%v\t%v\t%v\t%v\n",
+		res.name, queryTotal, res.ok, res.shed, res.retried, res.rejected, res.qps(),
 		res.mean().Round(time.Microsecond),
 		res.pct(0.50).Round(time.Microsecond), res.pct(0.95).Round(time.Microsecond),
 		res.pct(0.99).Round(time.Microsecond))
@@ -623,8 +673,8 @@ func runIngest(svc *service.Service, env *bench.Env, clients, total, base int) e
 	if st.AppendedRows > 0 {
 		perRow = appendSum / time.Duration(st.AppendedRows)
 	}
-	fmt.Printf("\ningest: %d rows in %d appends over %v (%v/row)\n",
-		st.AppendedRows, st.Appends, res.total.Round(time.Millisecond), perRow.Round(100*time.Nanosecond))
+	fmt.Printf("\ningest: %d rows in %d appends over %v (%v/row), %d overload retries\n",
+		st.AppendedRows, st.Appends, res.total.Round(time.Millisecond), perRow.Round(100*time.Nanosecond), appendRetried)
 	reusePct := 0.0
 	if st.ExtendTotalBlocks > 0 {
 		reusePct = 100 * float64(st.ExtendReuseBlocks) / float64(st.ExtendTotalBlocks)

@@ -43,6 +43,11 @@ type DB struct {
 	// prefix-certified incremental extensions vs full builds.
 	idxExtends  atomic.Int64
 	idxRebuilds atomic.Int64
+
+	// cost is the planner's cost model. Every DB gets its own default;
+	// a serving layer shares one model across replica DBs (SetCostModel)
+	// so observed filter latencies from any replica feed one state.
+	cost atomic.Pointer[CostModel]
 }
 
 // ColumnExtendStats reports the live-ingest column-extension counters:
@@ -83,6 +88,7 @@ func Open(path string, dev exec.Device) (*DB, error) {
 	if v, err := sys.Get([]byte("nextver")); err == nil {
 		db.nextVer.Store(kv.ParseU64Key(v))
 	}
+	db.cost.Store(DefaultCostModel())
 	// Load collection descriptors.
 	if err := sys.Scan([]byte("col."), []byte("col/"), func(k, v []byte) bool {
 		var d colDesc
@@ -95,6 +101,20 @@ func Open(path string, dev exec.Device) (*DB, error) {
 		return nil, err
 	}
 	return db, nil
+}
+
+// Cost returns the DB's cost model (never nil for an opened DB).
+func (db *DB) Cost() *CostModel {
+	return db.cost.Load()
+}
+
+// SetCostModel installs a shared cost model — the serving layer points
+// every replica DB at one model so all observed latencies and all plan
+// choices flow through the same state. Nil models are ignored.
+func (db *DB) SetCostModel(cm *CostModel) {
+	if cm != nil {
+		db.cost.Store(cm)
+	}
 }
 
 // Device returns the execution device the engine runs kernels on.

@@ -3,11 +3,13 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"path/filepath"
 	"sort"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"repro/internal/exec"
 	"repro/internal/tensor"
@@ -606,6 +608,77 @@ func TestOptimizerFilterPath(t *testing.T) {
 	indexed, _ := db.ExecuteFilter(col, "label", StrV("car"), FilterHashIndex)
 	if len(scan) != len(indexed) || len(scan) != len(columnar) || len(scan) != 50 {
 		t.Fatalf("scan %d vs columnar %d vs indexed %d", len(scan), len(columnar), len(indexed))
+	}
+}
+
+func TestObservedFilterCostFeedback(t *testing.T) {
+	cm := DefaultCostModel()
+	// Cold model: static constants.
+	if got, want := cm.FilterCost(FilterColumnScan, 1000, 0), 1000*CColScanSec; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("cold column-scan cost = %g, want %g", got, want)
+	}
+	// Below the sample floor the observation must not leak into pricing.
+	for i := 0; i < minFilterObs-1; i++ {
+		cm.ObserveFilter(FilterColumnScan, 1000, time.Second)
+	}
+	if _, ok := cm.ObservedFilterUnit(FilterColumnScan); ok {
+		t.Fatal("observed cost trusted below sample floor")
+	}
+	cm.ObserveFilter(FilterColumnScan, 1000, time.Second)
+	per, ok := cm.ObservedFilterUnit(FilterColumnScan)
+	if !ok || per <= 0 {
+		t.Fatalf("observed per-unit = %g, %v", per, ok)
+	}
+	// 1s per 1000 units observed throughout: the EWMA is exactly 1ms/unit
+	// and ObservedFilterCost must quote it.
+	if got := cm.ObservedFilterCost(FilterColumnScan, 2000, 0); math.Abs(got-2.0) > 1e-9 {
+		t.Fatalf("observed column-scan cost = %g, want 2.0", got)
+	}
+	// FilterCost stays the deterministic static estimator regardless —
+	// it feeds response cost fields that must be byte-identical across
+	// replicas.
+	if got, want := cm.FilterCost(FilterColumnScan, 1000, 0), 1000*CColScanSec; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("static column-scan cost drifted: %g, want %g", got, want)
+	}
+	// Unobserved paths fall through to the static constants.
+	if got, want := cm.ObservedFilterCost(FilterScan, 1000, 0), 1000*CRowScanSec; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("row-scan cost polluted: %g, want %g", got, want)
+	}
+	// Degenerate observations are dropped.
+	cm.ObserveFilter(FilterScan, 0, time.Second)
+	cm.ObserveFilter(FilterScan, 100, 0)
+	if _, ok := cm.ObservedFilterUnit(FilterScan); ok {
+		t.Fatal("degenerate observations counted")
+	}
+}
+
+func TestPlanFilterObservedOverride(t *testing.T) {
+	db := openDB(t)
+	col, _ := db.CreateCollection("dets", simpleSchema())
+	for i := 0; i < 50; i++ {
+		col.Append(mkPatch("car", int64(i)))
+	}
+	db.BuildIndex(col, "label", IdxHash)
+	// Cold start: static preference order holds.
+	if m, _ := db.PlanFilter(col, "label", StrV("car")); m != FilterHashIndex {
+		t.Fatalf("cold plan = %v, want hash-index", m)
+	}
+	cm := db.Cost()
+	// Observe the hash path pathologically slow; the column scan stays
+	// unobserved — the default must not flip on one-sided evidence...
+	for i := 0; i < minFilterObs; i++ {
+		cm.ObserveFilter(FilterHashIndex, 10, time.Second)
+	}
+	if m, _ := db.PlanFilter(col, "label", StrV("car")); m != FilterHashIndex {
+		t.Fatalf("plan flipped on partially-observed comparison: %v", m)
+	}
+	// ...but once both paths are observed and the alternative is
+	// measurably cheaper, the planner overrides the static order.
+	for i := 0; i < minFilterObs; i++ {
+		cm.ObserveFilter(FilterColumnScan, 1000, time.Microsecond)
+	}
+	if m, _ := db.PlanFilter(col, "label", StrV("car")); m != FilterColumnScan {
+		t.Fatalf("observed-cheaper column scan not chosen: %v", m)
 	}
 }
 

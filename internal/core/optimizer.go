@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"repro/internal/exec"
@@ -65,7 +66,33 @@ type CostModel struct {
 	DimPenalty float64
 	// CFetch is the cost of fetching one patch by id during index joins.
 	CFetch float64
+
+	// Observed per-unit filter costs (seconds), fed back by ObserveFilter
+	// from executed selections. When an access path has enough samples,
+	// FilterCost and PlanFilter price from these instead of the shipped
+	// constants — the planner and the serving layer's admission gate then
+	// quote the same observed-latency source.
+	obsMu     sync.Mutex
+	filterEst map[FilterMethod]*filterObs
 }
+
+// filterObs is one access path's measured per-unit cost.
+type filterObs struct {
+	perUnit float64 // EWMA, seconds per unit (row scanned or row fetched)
+	samples int64
+}
+
+const (
+	// filterObsAlpha is the EWMA weight of each new filter observation.
+	filterObsAlpha = 0.2
+	// minFilterObs is how many observations an access path needs before
+	// its measured cost overrides the static constants in planning.
+	minFilterObs = 8
+	// estFilterSelectivity is the planner's matched-rows guess for an
+	// equality probe when no statistics exist: 1/16 of the relation,
+	// floored at one row.
+	estFilterSelectivity = 16
+)
 
 // DefaultCostModel returns constants calibrated against the reference
 // environment.
@@ -373,8 +400,56 @@ const (
 	CColScanSec = 2e-9
 )
 
+// filterUnits is the work-unit count an access path's per-unit cost
+// multiplies: rows fetched for index probes, rows scanned otherwise.
+func filterUnits(method FilterMethod, n, matched int) int {
+	if method == FilterHashIndex || method == FilterBTreeIndex {
+		return matched
+	}
+	return n
+}
+
+// ObserveFilter folds one executed selection's measured latency back
+// into the model as a per-unit EWMA for its access path (units = rows
+// fetched for index probes, rows scanned otherwise). Safe for
+// concurrent use; zero-unit or zero-duration observations are ignored.
+func (cm *CostModel) ObserveFilter(method FilterMethod, units int, dur time.Duration) {
+	if units <= 0 || dur <= 0 {
+		return
+	}
+	per := dur.Seconds() / float64(units)
+	cm.obsMu.Lock()
+	defer cm.obsMu.Unlock()
+	if cm.filterEst == nil {
+		cm.filterEst = make(map[FilterMethod]*filterObs)
+	}
+	ob := cm.filterEst[method]
+	if ob == nil {
+		cm.filterEst[method] = &filterObs{perUnit: per, samples: 1}
+		return
+	}
+	ob.perUnit += filterObsAlpha * (per - ob.perUnit)
+	ob.samples++
+}
+
+// ObservedFilterUnit reports an access path's measured per-unit cost
+// and whether enough samples back it to be trusted in planning.
+func (cm *CostModel) ObservedFilterUnit(method FilterMethod) (float64, bool) {
+	cm.obsMu.Lock()
+	defer cm.obsMu.Unlock()
+	ob := cm.filterEst[method]
+	if ob == nil || ob.samples < minFilterObs {
+		return 0, false
+	}
+	return ob.perUnit, true
+}
+
 // FilterCost estimates a selection's cost over n rows with the given
 // access path (matched is the expected output size for index fetches).
+// Deliberately static: response cost estimates must be deterministic
+// functions of the plan and snapshot (replicas answering the same query
+// return byte-identical responses). Observed-latency pricing lives in
+// ObservedFilterCost.
 func (cm *CostModel) FilterCost(method FilterMethod, n, matched int) float64 {
 	switch method {
 	case FilterHashIndex, FilterBTreeIndex:
@@ -386,28 +461,71 @@ func (cm *CostModel) FilterCost(method FilterMethod, n, matched int) float64 {
 	}
 }
 
+// ObservedFilterCost prices a selection from measured behavior: paths
+// with enough ObserveFilter samples quote their per-unit EWMA, cold
+// paths fall back to the static FilterCost constants. This is the
+// estimate admission control and plan choice consume — unlike
+// FilterCost it drifts with the live system, so it must never feed
+// anything that has to be deterministic across replicas.
+func (cm *CostModel) ObservedFilterCost(method FilterMethod, n, matched int) float64 {
+	if per, ok := cm.ObservedFilterUnit(method); ok {
+		return float64(filterUnits(method, n, matched)) * per
+	}
+	return cm.FilterCost(method, n, matched)
+}
+
 // PlanFilter chooses the access path for an equality selection, after
 // validating the predicate against the schema (plan-time type checking,
-// §4.2). Without an index the planner prefers the columnar scan for
-// scalar fields — declared fields are kind-uniform by schema validation,
-// so the projection always succeeds and strictly dominates the row scan;
-// vector/rect fields (never equality-filtered through this path anyway)
-// keep the row scan.
+// §4.2). The static preference order — hash index, then btree index,
+// then columnar scan for scalar fields (declared fields are
+// kind-uniform by schema validation, so the projection always succeeds
+// and strictly dominates the row scan), then row scan — is the
+// cold-start default. Once the DB's cost model has observed enough
+// executions (ObserveFilter), a measurably cheaper available path
+// overrides it: the default wins ties and all partially-observed
+// comparisons, so plans never flip on noise or thin evidence.
 func (db *DB) PlanFilter(col *Collection, field string, v Value) (FilterMethod, error) {
 	if err := col.Schema().ValidateFilterValue(field, v); err != nil {
 		return 0, err
 	}
+	var cands []FilterMethod
 	if db.HasIndex(col, field, IdxHash) {
-		return FilterHashIndex, nil
+		cands = append(cands, FilterHashIndex)
 	}
 	if db.HasIndex(col, field, IdxBTree) {
-		return FilterBTreeIndex, nil
+		cands = append(cands, FilterBTreeIndex)
 	}
 	switch v.Kind {
 	case KindInt, KindFloat, KindStr:
-		return FilterColumnScan, nil
+		cands = append(cands, FilterColumnScan)
 	}
-	return FilterScan, nil
+	cands = append(cands, FilterScan)
+
+	best := cands[0]
+	cm := db.Cost()
+	if cm == nil {
+		return best, nil
+	}
+	per, ok := cm.ObservedFilterUnit(best)
+	if !ok {
+		return best, nil
+	}
+	n := col.Len()
+	matched := n / estFilterSelectivity
+	if matched < 1 {
+		matched = 1
+	}
+	bestCost := float64(filterUnits(best, n, matched)) * per
+	for _, m := range cands[1:] {
+		per, ok := cm.ObservedFilterUnit(m)
+		if !ok {
+			continue
+		}
+		if c := float64(filterUnits(m, n, matched)) * per; c < bestCost {
+			best, bestCost = m, c
+		}
+	}
+	return best, nil
 }
 
 // ExecuteFilter runs an equality selection with the chosen access path.

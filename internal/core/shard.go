@@ -67,11 +67,27 @@ type Sharded struct {
 
 	// insync[shard][replica]: replica serves reads. The primary
 	// (replica 0) is always in sync; a secondary that misses an append
-	// is demoted until restart.
+	// is demoted until a re-sync repairs it (ResyncReplica).
 	insync  [][]atomic.Bool
 	repErrs atomic.Int64 // secondary append failures observed
 
-	inj *fault.Injector
+	// appendMu[shard] serializes routed appends per shard, so every
+	// replica commits the identical patch sequence in the identical
+	// order — the prefix property replica re-sync verifies against —
+	// and gives the repair engine's final catch-up round a point of
+	// mutual exclusion with concurrent writers.
+	appendMu []sync.Mutex
+
+	// resyncing[shard][replica]: a repair of this replica is in flight
+	// (at most one at a time; /readyz reports these as not-ready).
+	resyncing  [][]atomic.Bool
+	resyncs    atomic.Int64 // completed repairs that re-promoted a replica
+	resyncRows atomic.Int64 // patches streamed to replicas by repairs
+
+	// inj is an atomic pointer because SetFaults may disarm rules at
+	// runtime (chaos tests healing a fault) while the anti-entropy loop
+	// and append path are concurrently reading it.
+	inj atomic.Pointer[fault.Injector]
 
 	mu   sync.RWMutex
 	cols map[string]*ShardedCollection
@@ -171,16 +187,19 @@ func replicaDirName(shard, replica int) string {
 
 func newSharded(dir string, n, r int) *Sharded {
 	s := &Sharded{
-		dir:    dir,
-		shards: make([]*DB, n),
-		reps:   make([][]*DB, n),
-		nrep:   r,
-		insync: make([][]atomic.Bool, n),
-		cols:   make(map[string]*ShardedCollection),
+		dir:       dir,
+		shards:    make([]*DB, n),
+		reps:      make([][]*DB, n),
+		nrep:      r,
+		insync:    make([][]atomic.Bool, n),
+		appendMu:  make([]sync.Mutex, n),
+		resyncing: make([][]atomic.Bool, n),
+		cols:      make(map[string]*ShardedCollection),
 	}
 	for i := range s.reps {
 		s.reps[i] = make([]*DB, r)
 		s.insync[i] = make([]atomic.Bool, r)
+		s.resyncing[i] = make([]atomic.Bool, r)
 		for j := range s.insync[i] {
 			s.insync[i][j].Store(true)
 		}
@@ -200,8 +219,26 @@ func WrapSharded(shards ...*DB) *Sharded {
 	return s
 }
 
-// SetFaults arms the append-path failpoints (nil disables).
-func (s *Sharded) SetFaults(inj *fault.Injector) { s.inj = inj }
+// SetFaults arms the append- and resync-path failpoints (nil disables).
+// Safe to call while appends or repairs are in flight: in-progress
+// operations finish under whichever injector they started with.
+func (s *Sharded) SetFaults(inj *fault.Injector) { s.inj.Store(inj) }
+
+// injector returns the currently armed injector (nil when disabled).
+func (s *Sharded) injector() *fault.Injector { return s.inj.Load() }
+
+// SetCostModel points every replica DB at one shared cost model, so
+// observed filter latencies from any replica feed a single planner
+// state (and the serving layer's admission gate prices from it too).
+func (s *Sharded) SetCostModel(cm *CostModel) {
+	for _, rs := range s.reps {
+		for _, db := range rs {
+			if db != nil {
+				db.SetCostModel(cm)
+			}
+		}
+	}
+}
 
 func (s *Sharded) closeOpened() {
 	for _, rs := range s.reps {
@@ -241,6 +278,50 @@ func (s *Sharded) InSyncReplicas(i int) []int {
 // ReplicaAppendErrors returns how many secondary-replica append failures
 // have been absorbed (each demotes the failing replica).
 func (s *Sharded) ReplicaAppendErrors() int64 { return s.repErrs.Load() }
+
+// Demote removes a secondary replica from the read set (ops/test hook;
+// the append path demotes automatically on a failed secondary write).
+// It reports whether the replica transitioned from in-sync. The primary
+// (replica 0) cannot be demoted.
+func (s *Sharded) Demote(shard, replica int) bool {
+	if shard < 0 || shard >= len(s.shards) || replica <= 0 || replica >= s.nrep {
+		return false
+	}
+	return s.insync[shard][replica].CompareAndSwap(true, false)
+}
+
+// ReplicaLag identifies one replica needing (or undergoing) repair.
+type ReplicaLag struct {
+	Shard   int `json:"shard"`
+	Replica int `json:"replica"`
+	// Resyncing reports a repair currently in flight for this replica.
+	Resyncing bool `json:"resyncing,omitempty"`
+}
+
+// OutOfSyncReplicas lists every replica currently demoted from the read
+// set, in (shard, replica) order — the anti-entropy loop's work list and
+// the /readyz detail. Empty means every replica serves reads.
+func (s *Sharded) OutOfSyncReplicas() []ReplicaLag {
+	var lags []ReplicaLag
+	for i := range s.insync {
+		for j := 1; j < s.nrep; j++ {
+			if !s.insync[i][j].Load() {
+				lags = append(lags, ReplicaLag{
+					Shard:     i,
+					Replica:   j,
+					Resyncing: s.resyncing[i][j].Load(),
+				})
+			}
+		}
+	}
+	return lags
+}
+
+// ResyncStats returns how many repairs have re-promoted a replica and
+// how many patches those repairs streamed in total.
+func (s *Sharded) ResyncStats() (resyncs, rows int64) {
+	return s.resyncs.Load(), s.resyncRows.Load()
+}
 
 // shardHash is a splitmix64 finalizer: sequential patch ids spread
 // uniformly across shards, and placement is a pure function of the id.
@@ -467,6 +548,9 @@ type ShardInfo struct {
 	// OutOfSync lists replicas demoted from the read set after a missed
 	// append (empty when all replicas serve reads).
 	OutOfSync []int `json:"out_of_sync,omitempty"`
+	// Resyncing lists replicas with a repair currently in flight (always
+	// a subset of OutOfSync: promotion happens only after repair).
+	Resyncing []int `json:"resyncing,omitempty"`
 }
 
 // ShardInfos snapshots per-shard row counts, version counters and
@@ -484,6 +568,9 @@ func (s *Sharded) ShardInfos() []ShardInfo {
 		for j := 0; j < s.nrep; j++ {
 			if !s.insync[i][j].Load() {
 				info.OutOfSync = append(info.OutOfSync, j)
+			}
+			if s.resyncing[i][j].Load() {
+				info.Resyncing = append(info.Resyncing, j)
 			}
 		}
 		infos[i] = info
@@ -527,19 +614,29 @@ func (c *ShardedCollection) Len() int {
 }
 
 // Append ids the patch (shard 0 allocates) and routes it to every
-// replica of its home shard, primary first. The write is
-// primary-authoritative: a primary failure fails the append before any
-// secondary is touched, and a secondary failure demotes that replica
-// from the read set while the append succeeds — so an in-sync replica
-// can never be missing a write the primary accepted. A single-shard,
+// in-sync replica of its home shard, primary first, serialized under
+// the shard's append lock. The write is primary-authoritative: a
+// primary failure fails the append before any secondary is touched,
+// and a secondary failure demotes that replica from the read set while
+// the append succeeds — so an in-sync replica can never be missing a
+// write the primary accepted. Demoted replicas are skipped entirely:
+// a demoted replica freezes at an exact prefix of the primary's commit
+// sequence (no holes), which is what lets ResyncReplica stream just
+// the missing suffix and verify it byte-for-byte. A single-shard,
 // single-replica append is exactly an unsharded Append.
 func (c *ShardedCollection) Append(p *Patch) error {
 	if p.ID == 0 {
 		p.ID = c.s.NewPatchID()
 	}
 	home := c.s.ShardFor(p.ID)
+	inj := c.s.injector()
+	c.s.appendMu[home].Lock()
+	defer c.s.appendMu[home].Unlock()
 	for j, col := range c.cols[home] {
-		err := c.s.inj.Fail(fault.AppendError, home, j)
+		if j > 0 && !c.s.insync[home][j].Load() {
+			continue
+		}
+		err := inj.Fail(fault.AppendError, home, j)
 		if err == nil {
 			err = col.Append(p)
 		}

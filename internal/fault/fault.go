@@ -54,6 +54,13 @@ const (
 	// DeviceStall delays a similarity-join task before it submits
 	// kernels, modeling a slow device queue.
 	DeviceStall Point = "device-stall"
+	// ResyncError fails a replica re-sync mid-stream on (shard, replica):
+	// the repair aborts, leaving the replica demoted with whatever valid
+	// prefix it had reached (torn-repair chaos testing).
+	ResyncError Point = "resync-error"
+	// ResyncStall delays a replica re-sync batch, modeling a slow repair
+	// stream (the anti-entropy loop's backoff trigger).
+	ResyncStall Point = "resync-stall"
 )
 
 // ErrInjected is the sentinel every injected failure wraps.
@@ -118,11 +125,11 @@ func ParseRule(spec string) (Rule, error) {
 		}
 	}
 	switch Point(name) {
-	case FragmentError, FragmentStall, AppendError, DeviceStall:
+	case FragmentError, FragmentStall, AppendError, DeviceStall, ResyncError, ResyncStall:
 		r.Point = Point(name)
 	default:
-		return r, fmt.Errorf("fault: unknown failpoint %q (want %s, %s, %s or %s)",
-			name, FragmentError, FragmentStall, AppendError, DeviceStall)
+		return r, fmt.Errorf("fault: unknown failpoint %q (want %s, %s, %s, %s, %s or %s)",
+			name, FragmentError, FragmentStall, AppendError, DeviceStall, ResyncError, ResyncStall)
 	}
 	prob, err := strconv.ParseFloat(parts[1], 64)
 	if err != nil || prob < 0 || prob > 1 {
@@ -173,7 +180,7 @@ type Injector struct {
 	seed  uint64
 	rules []Rule
 	seq   atomic.Uint64
-	fired [4]atomic.Int64 // per-point fired counters, indexed by pointIdx
+	fired [6]atomic.Int64 // per-point fired counters, indexed by pointIdx
 }
 
 func pointIdx(p Point) int {
@@ -184,6 +191,10 @@ func pointIdx(p Point) int {
 		return 1
 	case AppendError:
 		return 2
+	case ResyncError:
+		return 4
+	case ResyncStall:
+		return 5
 	default:
 		return 3
 	}

@@ -37,6 +37,8 @@ func TestParseRule(t *testing.T) {
 		{"fragment-stall@*.0:1:25", Rule{Point: FragmentStall, Shard: Any, Replica: 0, Prob: 1, Stall: 25 * time.Millisecond}},
 		{"fragment-error@1.1:1", Rule{Point: FragmentError, Shard: 1, Replica: 1, Prob: 1}},
 		{"device-stall:0", Rule{Point: DeviceStall, Shard: Any, Replica: Any, Prob: 0}},
+		{"resync-error@0.1:1", Rule{Point: ResyncError, Shard: 0, Replica: 1, Prob: 1}},
+		{"resync-stall:0.5:20", Rule{Point: ResyncStall, Shard: Any, Replica: Any, Prob: 0.5, Stall: 20 * time.Millisecond}},
 	}
 	for _, c := range cases {
 		got, err := ParseRule(c.spec)
@@ -94,6 +96,32 @@ func TestScopeMatching(t *testing.T) {
 	}
 	if got := in.Fired(FragmentError); got != 1 {
 		t.Fatalf("Fired = %d, want 1", got)
+	}
+}
+
+// TestResyncPointsFireIndependently pins the resync failpoints' counter
+// slots: firing one must not bleed into any other point's Fired count.
+func TestResyncPointsFireIndependently(t *testing.T) {
+	in := New(Config{Seed: 3, Rules: []Rule{
+		{Point: ResyncError, Shard: Any, Replica: Any, Prob: 1},
+		{Point: ResyncStall, Shard: Any, Replica: Any, Prob: 1, Stall: time.Millisecond},
+	}})
+	if err := in.Fail(ResyncError, 2, 1); !errors.Is(err, ErrInjected) {
+		t.Fatalf("armed resync-error did not fire: %v", err)
+	}
+	if err := in.Stall(context.Background(), ResyncStall, 0, 1); err != nil {
+		t.Fatalf("completed resync stall returned error: %v", err)
+	}
+	if got := in.Fired(ResyncError); got != 1 {
+		t.Fatalf("Fired(resync-error) = %d, want 1", got)
+	}
+	if got := in.Fired(ResyncStall); got != 1 {
+		t.Fatalf("Fired(resync-stall) = %d, want 1", got)
+	}
+	for _, p := range []Point{FragmentError, FragmentStall, AppendError, DeviceStall} {
+		if got := in.Fired(p); got != 0 {
+			t.Fatalf("Fired(%s) = %d, want 0 (resync counters bled)", p, got)
+		}
 	}
 }
 

@@ -106,8 +106,13 @@ func TestHedgedReadsSurviveStalledReplica(t *testing.T) {
 	if st.Replicas != 2 {
 		t.Fatalf("stats replicas = %d, want 2", st.Replicas)
 	}
-	if healthy.Stats().HedgedFragments != 0 {
-		t.Fatal("fault-free twin hedged (budget too tight for healthy reads)")
+	// A fault-free service may hedge occasionally by design — once the
+	// histogram is warm the budget tracks 2x the live p99, so ~1% of
+	// fat-tail fragments race a hedge — but hedges must stay rare next
+	// to a service whose primaries are all stalled.
+	if hh := healthy.Stats().HedgedFragments; hh*10 > st.HedgedFragments {
+		t.Fatalf("fault-free twin hedged %d times vs %d under stalls (healthy budget too tight)",
+			hh, st.HedgedFragments)
 	}
 }
 
@@ -405,6 +410,171 @@ func TestHTTPOverloadAndTimeout(t *testing.T) {
 		t.Fatal("429 missing Retry-After")
 	}
 	wg.Wait()
+}
+
+// TestAutoResyncAfterReplicaKill: every secondary replica drops every
+// client append (a "killed" replica), demoting it on first write. The
+// anti-entropy loop must stream the missed suffix back and re-promote
+// without any operator action — and afterwards, hedged reads landing on
+// the repaired replicas must be byte-identical to a fault-free twin
+// holding the same data.
+func TestAutoResyncAfterReplicaKill(t *testing.T) {
+	const initial, appends = 60, 90
+	cfg := Config{
+		Workers:        2,
+		HedgeAfter:     5 * time.Millisecond,
+		ResyncInterval: 15 * time.Millisecond,
+		Faults: fault.Config{Seed: 23, Rules: []fault.Rule{
+			// Replica 1 misses every client append...
+			{Point: fault.AppendError, Shard: fault.Any, Replica: 1, Prob: 1},
+			// ...and every primary stalls on reads, so post-repair queries
+			// hedge onto the replicas the resync rebuilt.
+			{Point: fault.FragmentStall, Shard: fault.Any, Replica: 0, Prob: 1, Stall: 200 * time.Millisecond},
+		}},
+	}
+	sdb, svc := synthReplicated(t, 3, 2, initial, cfg)
+	sc, err := sdb.Collection(shardTestCol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < appends; i++ {
+		if err := sc.Append(synthPatch(initial + i)); err != nil {
+			t.Fatalf("append with killed replicas: %v", err)
+		}
+	}
+	// The append fault stays armed (it only hits client appends; the
+	// repair stream commits directly on the replica), so once the burst
+	// stops the loop converges to fully in-sync.
+	deadline := time.Now().Add(10 * time.Second)
+	for len(sdb.OutOfSyncReplicas()) > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("replicas never healed: %+v", sdb.OutOfSyncReplicas())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	st := svc.Stats()
+	if st.ReplicaResyncs == 0 || st.ResyncRows == 0 {
+		t.Fatalf("healed with resyncs=%d rows=%d, want both nonzero", st.ReplicaResyncs, st.ResyncRows)
+	}
+	if st.OutOfSyncReplicas != 0 {
+		t.Fatalf("stats report %d out-of-sync replicas after heal", st.OutOfSyncReplicas)
+	}
+
+	// Fault-free twin with identical contents (patch ids are assigned by
+	// the same deterministic counter, so placement matches too).
+	hdb, healthy := synthReplicated(t, 3, 2, initial, Config{Workers: 2})
+	hsc, err := hdb.Collection(shardTestCol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < appends; i++ {
+		if err := hsc.Append(synthPatch(initial + i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx := context.Background()
+	for qi, req := range queryMatrix() {
+		hr, err := healthy.Query(ctx, req)
+		if err != nil {
+			t.Fatalf("query %d fault-free: %v", qi, err)
+		}
+		cr, err := svc.Query(ctx, req)
+		if err != nil {
+			t.Fatalf("query %d post-repair: %v", qi, err)
+		}
+		if hg, cg := goldenKey(t, hr), goldenKey(t, cr); hg != cg {
+			t.Errorf("query %d diverges on resynced replicas:\n  healthy: %s\n  repaired: %s", qi, hg, cg)
+		}
+	}
+	if svc.Stats().HedgedFragments == 0 {
+		t.Fatal("stalled primaries produced zero hedges (repaired replicas never served reads)")
+	}
+}
+
+// TestTornResyncReadyzHeals: while repairs keep tearing (injected
+// resync-error), demoted replicas stay demoted and /readyz reports
+// not-ready with per-shard detail; healing the storage fault lets the
+// backoff-paced loop finish a repair and flip readiness back.
+func TestTornResyncReadyzHeals(t *testing.T) {
+	const initial = 90
+	cfg := Config{
+		Workers:        2,
+		ResyncInterval: 10 * time.Millisecond,
+		Faults: fault.Config{Seed: 29, Rules: []fault.Rule{
+			{Point: fault.AppendError, Shard: fault.Any, Replica: 1, Prob: 1},
+			{Point: fault.ResyncError, Shard: fault.Any, Replica: 1, Prob: 1},
+		}},
+	}
+	sdb, svc := synthReplicated(t, 2, 2, initial, cfg)
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	getReady := func() (int, struct {
+		Ready     bool              `json:"ready"`
+		OutOfSync []core.ReplicaLag `json:"out_of_sync"`
+	}) {
+		t.Helper()
+		var body struct {
+			Ready     bool              `json:"ready"`
+			OutOfSync []core.ReplicaLag `json:"out_of_sync"`
+		}
+		resp, err := http.Get(srv.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, body
+	}
+
+	if code, body := getReady(); code != http.StatusOK || !body.Ready {
+		t.Fatalf("fresh service /readyz = %d ready=%v, want 200 ready", code, body.Ready)
+	}
+
+	sc, err := sdb.Collection(shardTestCol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if err := sc.Append(synthPatch(initial + i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(sdb.OutOfSyncReplicas()) == 0 {
+		t.Fatal("appends with a dead secondary demoted nothing")
+	}
+	// Give the loop several sweeps' worth of torn repair attempts.
+	time.Sleep(60 * time.Millisecond)
+	if resyncs, _ := sdb.ResyncStats(); resyncs != 0 {
+		t.Fatalf("torn resyncs promoted replicas: %d completions", resyncs)
+	}
+	code, body := getReady()
+	if code != http.StatusServiceUnavailable || body.Ready {
+		t.Fatalf("/readyz during torn repairs = %d ready=%v, want 503 not-ready", code, body.Ready)
+	}
+	if len(body.OutOfSync) == 0 || body.OutOfSync[0].Replica != 1 {
+		t.Fatalf("/readyz detail = %+v, want replica-1 lags", body.OutOfSync)
+	}
+
+	// Heal the storage fault: the next (backoff-paced) repair succeeds.
+	sdb.SetFaults(nil)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		code, body := getReady()
+		if code == http.StatusOK && body.Ready {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("/readyz never recovered: %d %+v", code, body)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	resyncs, rows := sdb.ResyncStats()
+	if resyncs == 0 || rows == 0 {
+		t.Fatalf("healed with resyncs=%d rows=%d, want both nonzero", resyncs, rows)
+	}
 }
 
 // TestDegradedHTTPResponseShape: the JSON surface carries the

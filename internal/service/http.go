@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/core"
@@ -18,6 +19,8 @@ import (
 //	GET  /metrics    — the same state as Prometheus text exposition
 //	GET  /debug/slow — recent slow queries, newest first (JSON)
 //	GET  /healthz    — liveness probe
+//	GET  /readyz     — readiness probe: 503 with per-shard detail while
+//	                   any replica is out-of-sync or a resync is running
 //
 // Admission overflow maps to 429 so load balancers can back off; unknown
 // collections/fields map to 400 (the plan-time type checking the paper
@@ -30,6 +33,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/slow", s.handleSlow)
 	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/readyz", s.handleReady)
 	return mux
 }
 
@@ -62,7 +66,7 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 	case err == nil:
 		writeJSON(w, http.StatusOK, resp)
 	case errors.Is(err, ErrOverloaded):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", retryAfterHeader(err))
 		writeJSON(w, http.StatusTooManyRequests, httpError{err.Error()})
 	case errors.Is(err, ErrClosed):
 		writeJSON(w, http.StatusServiceUnavailable, httpError{err.Error()})
@@ -96,6 +100,12 @@ func (s *Service) handleAppend(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusOK, resp)
+	case errors.Is(err, ErrOverloaded):
+		// The write gate is saturated: same backpressure contract as
+		// /query, so load balancers slow the producer instead of the
+		// producer starving reads.
+		w.Header().Set("Retry-After", retryAfterHeader(err))
+		writeJSON(w, http.StatusTooManyRequests, httpError{err.Error()})
 	case errors.Is(err, ErrClosed):
 		writeJSON(w, http.StatusServiceUnavailable, httpError{err.Error()})
 	case errors.Is(err, ErrAppendStorage):
@@ -126,6 +136,45 @@ func (s *Service) handleSlow(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"threshold_ms": float64(s.cfg.SlowQueryThreshold.Microseconds()) / 1000,
 		"entries":      s.SlowQueries(),
+	})
+}
+
+// retryAfterHeader renders an overload rejection's cost-aware backoff
+// hint in whole seconds (minimum 1, the pre-typed-error contract).
+func retryAfterHeader(err error) string {
+	var oe *OverloadError
+	if errors.As(err, &oe) {
+		secs := int(oe.RetryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		return strconv.Itoa(secs)
+	}
+	return "1"
+}
+
+// handleReady is the readiness probe: unlike /healthz (pure liveness),
+// it reports not-ready (503) while any replica is out of the read set
+// or a repair is in flight, with per-shard detail — so rolling deploys
+// and load balancers wait for the fleet to heal before routing traffic
+// that expects full hedge headroom.
+func (s *Service) handleReady(w http.ResponseWriter, r *http.Request) {
+	if s.closed.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "status": "closed"})
+		return
+	}
+	if s.shards == nil || s.shards.Replicas() < 2 {
+		writeJSON(w, http.StatusOK, map[string]any{"ready": true})
+		return
+	}
+	lags := s.shards.OutOfSyncReplicas()
+	if len(lags) == 0 {
+		writeJSON(w, http.StatusOK, map[string]any{"ready": true})
+		return
+	}
+	writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+		"ready":       false,
+		"out_of_sync": lags,
 	})
 }
 

@@ -101,6 +101,18 @@ func (s *Service) Append(ctx context.Context, req AppendRequest) (*AppendRespons
 	if len(specs) == 0 {
 		return nil, errors.New("service: append needs a patch or a patches batch")
 	}
+	// Appends commit inline on the caller's goroutine — they never enter
+	// the worker queue, so a write burst can't deadlock behind queued
+	// reads — but they pass the same admission gate via a concurrency
+	// cap: past it, reject immediately with a cost-aware Retry-After
+	// (HTTP 429) instead of letting unbounded writers pile in.
+	release, err := s.adm.admitAppend()
+	if err != nil {
+		s.tel.rejected.Inc()
+		s.tel.admissionShed.Inc()
+		return nil, err
+	}
+	defer release()
 
 	var (
 		schema   core.Schema
@@ -145,6 +157,7 @@ func (s *Service) Append(ctx context.Context, req AppendRequest) (*AppendRespons
 	s.noteAppended(req.Collection, len(ids))
 	dur := time.Since(start)
 	s.tel.appendDur.Observe(dur.Seconds())
+	s.adm.observe(classAppend, dur)
 	return &AppendResponse{
 		Collection: req.Collection,
 		Appended:   len(ids),

@@ -392,6 +392,12 @@ type statsContract struct {
 	FragmentRetries   int64             `json:"fragment_retries"`
 	DegradedQueries   int64             `json:"degraded_queries"`
 	ReplicaAppendErrs int64             `json:"replica_append_errors"`
+	ReplicaResyncs    int64             `json:"replica_resyncs"`
+	ResyncRows        int64             `json:"resync_rows"`
+	OutOfSyncReplicas int               `json:"out_of_sync_replicas"`
+	AdmissionShed     int64             `json:"admission_shed"`
+	QueueCostSec      float64           `json:"queue_cost_sec"`
+	EffQueueDepth     int               `json:"effective_queue_depth"`
 }
 
 // TestStatsJSONContract pins the /stats response shape: every field the
@@ -436,6 +442,8 @@ func TestStatsJSONContract(t *testing.T) {
 		"batcher", "fusion_factor",
 		"shards", "replicas", "shard_info", "scatter_queries", "scatter_tasks", "merge_time_ms",
 		"hedged_fragments", "fragment_retries", "degraded_queries", "replica_append_errors",
+		"replica_resyncs", "resync_rows", "out_of_sync_replicas",
+		"admission_shed", "queue_cost_sec", "effective_queue_depth",
 	} {
 		if _, ok := keys[want]; !ok {
 			t.Errorf("/stats dropped field %q", want)

@@ -45,6 +45,12 @@ type telemetry struct {
 	fragmentRetries *obs.Counter
 	degradedQueries *obs.Counter
 
+	// admissionShed counts requests rejected by the adaptive gate while
+	// the queue still had physical room (expensive queries past the
+	// effective depth, appends past the write gate) — the deliberate
+	// load-shedding slice of rejected.
+	admissionShed *obs.Counter
+
 	// Latency and shape distributions.
 	queryDur  *obs.Histogram // full Query wall time (matches client-side)
 	appendDur *obs.Histogram
@@ -79,6 +85,8 @@ func newTelemetry(s *Service, cfg Config) *telemetry {
 		hedgedFragments: r.Counter("deeplens_hedged_fragments_total", "Scatter fragments hedged to another replica after the latency budget.", nil),
 		fragmentRetries: r.Counter("deeplens_fragment_retries_total", "Scatter fragment attempts retried after an error.", nil),
 		degradedQueries: r.Counter("deeplens_degraded_queries_total", "Queries answered partially (allow_partial with every replica of a shard down).", nil),
+
+		admissionShed: r.Counter("deeplens_admission_shed_total", "Requests shed by the adaptive admission gate (expensive queries past the effective depth, appends past the write gate).", nil),
 
 		queryDur:    r.Histogram("deeplens_query_duration_seconds", "Query wall time, admission to response.", nil, obs.DefaultLatencyBuckets),
 		appendDur:   r.Histogram("deeplens_append_duration_seconds", "Append request wall time.", nil, obs.DefaultLatencyBuckets),
@@ -135,6 +143,24 @@ func newTelemetry(s *Service, cfg Config) *telemetry {
 		}
 		return float64(n)
 	})
+	r.CounterFunc("deeplens_replica_resyncs_total", "Completed replica repairs (each re-promoted a demoted replica into the read set).", nil, func() float64 {
+		if s.shards == nil {
+			return 0
+		}
+		n, _ := s.shards.ResyncStats()
+		return float64(n)
+	})
+	r.CounterFunc("deeplens_resync_rows_total", "Patches streamed to demoted replicas by repairs.", nil, func() float64 {
+		if s.shards == nil {
+			return 0
+		}
+		_, rows := s.shards.ResyncStats()
+		return float64(rows)
+	})
+	r.GaugeFunc("deeplens_admission_queue_cost_seconds", "Summed priced cost (estimated seconds of work) of the tasks currently queued.", nil,
+		func() float64 { return s.adm.QueuedCostSec() })
+	r.GaugeFunc("deeplens_admission_effective_depth", "Adaptive queue bound derived from the observed drain rate.", nil,
+		func() float64 { return float64(s.adm.effectiveDepth()) })
 
 	for _, c := range []struct {
 		label string

@@ -298,6 +298,17 @@ func (s *Service) filterFragment(ctx context.Context, req *Request, fval core.Va
 	if f == nil {
 		return frag, nil
 	}
+	// Fragments feed the same observed-latency state as the unsharded
+	// path: each replica's filter stage reports its access path and
+	// duration to the shared cost model.
+	fltStart := time.Now()
+	var fltMethod core.FilterMethod
+	fltUnits := 0
+	defer func() {
+		if fltMethod != 0 {
+			s.cost.ObserveFilter(fltMethod, fltUnits, time.Since(fltStart))
+		}
+	}()
 	col := scol.Replica(i, r)
 	if f.isRange() {
 		lo, hi := f.bounds()
@@ -326,15 +337,18 @@ func (s *Service) filterFragment(ctx context.Context, req *Request, fval core.Va
 			frag.filtered = filtered
 			frag.planOps = append(frag.planOps, fmt.Sprintf("btree-index(%s)", f.Field))
 			frag.cost += s.cost.FilterCost(core.FilterBTreeIndex, len(snap), len(ids))
+			fltMethod, fltUnits = core.FilterBTreeIndex, len(ids)
 		} else if cf, ok := columnFilterRange(col, f.Field, lo, hi, len(snap)); ok {
 			frag.filtered = cf.rows
 			frag.csel = cf
 			frag.planOps = append(frag.planOps, fmt.Sprintf("column-scan(%s)", f.Field))
 			frag.cost += s.cost.FilterCost(core.FilterColumnScan, len(snap), 0)
+			fltMethod, fltUnits = core.FilterColumnScan, len(snap)
 		} else {
 			frag.filtered = rowFilterRange(snap, f.Field, lo, hi)
 			frag.planOps = append(frag.planOps, fmt.Sprintf("scan-filter(%s)", f.Field))
 			frag.cost += float64(len(snap)) * scanCmpCostSec
+			fltMethod, fltUnits = core.FilterScan, len(snap)
 		}
 		return frag, nil
 	}
@@ -363,6 +377,7 @@ func (s *Service) filterFragment(ctx context.Context, req *Request, fval core.Va
 		frag.filtered = filtered
 		frag.planOps = append(frag.planOps, fmt.Sprintf("hash-index(%s)", f.Field))
 		frag.cost += float64(len(ids)) * s.cost.CFetch
+		fltMethod, fltUnits = core.FilterHashIndex, len(ids)
 	} else if cf, ok := columnFilterEq(col, f.Field, fval, len(snap)); ok {
 		// Columnar fragment: each replica prunes and scans its own blocks
 		// (same kernels, labels and cost accounting as the unsharded
@@ -371,6 +386,7 @@ func (s *Service) filterFragment(ctx context.Context, req *Request, fval core.Va
 		frag.csel = cf
 		frag.planOps = append(frag.planOps, fmt.Sprintf("column-scan(%s)", f.Field))
 		frag.cost += s.cost.FilterCost(core.FilterColumnScan, len(snap), 0)
+		fltMethod, fltUnits = core.FilterColumnScan, len(snap)
 	} else {
 		filtered := make([]*core.Patch, 0, len(snap)/4)
 		for k, p := range snap {
@@ -386,6 +402,7 @@ func (s *Service) filterFragment(ctx context.Context, req *Request, fval core.Va
 		frag.filtered = filtered
 		frag.planOps = append(frag.planOps, fmt.Sprintf("scan-filter(%s)", f.Field))
 		frag.cost += float64(len(snap)) * scanCmpCostSec
+		fltMethod, fltUnits = core.FilterScan, len(snap)
 	}
 	return frag, nil
 }

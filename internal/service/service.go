@@ -139,8 +139,14 @@ type Config struct {
 	// observed to derive the budget from the live p99 (default 25ms;
 	// negative disables hedging). Only effective with > 1 replica.
 	HedgeAfter time.Duration
+	// ResyncInterval is the anti-entropy sweep cadence: how often the
+	// background repair loop checks for demoted replicas and re-syncs
+	// them (default 200ms; negative disables the loop). Failed repairs
+	// back off exponentially per replica regardless of the cadence.
+	// Only effective with a replicated sharded backend.
+	ResyncInterval time.Duration
 	// Faults arms the deterministic fault-injection failpoints in the
-	// scatter/append paths (chaos tests, `deeplens-serve -fault`).
+	// scatter/append/resync paths (chaos tests, `deeplens-serve -fault`).
 	// Zero value: no faults.
 	Faults fault.Config
 }
@@ -196,18 +202,26 @@ func (c Config) withDefaults(shards int) Config {
 	case c.HedgeAfter < 0:
 		c.HedgeAfter = 0 // hedging disabled
 	}
+	switch {
+	case c.ResyncInterval == 0:
+		c.ResyncInterval = defaultResyncInterval
+	case c.ResyncInterval < 0:
+		c.ResyncInterval = 0 // anti-entropy loop disabled
+	}
 	return c
 }
 
 // task is one admitted query awaiting a worker.
 type task struct {
-	ctx  context.Context
-	req  *Request
-	key  string    // result-cache key ("" = uncacheable)
-	enq  time.Time // admission time (queue-wait telemetry)
-	resp *Response
-	err  error
-	done chan struct{}
+	ctx   context.Context
+	req   *Request
+	key   string    // result-cache key ("" = uncacheable)
+	enq   time.Time // admission time (queue-wait telemetry)
+	class string    // admission class (filter/join/knn/infer)
+	cost  float64   // priced cost at admission, in estimated seconds
+	resp  *Response
+	err   error
+	done  chan struct{}
 }
 
 // flight is an in-progress computation identical cold queries coalesce on.
@@ -264,6 +278,10 @@ type Service struct {
 	// inj evaluates the armed fault-injection failpoints on the scatter
 	// and join paths (nil = disabled, one pointer compare per site).
 	inj *fault.Injector
+
+	// adm is the adaptive cost-classed admission gate fronting the
+	// worker queue and the inline append path.
+	adm *admission
 
 	inFlight, peakInFlight atomic.Int64
 
@@ -327,6 +345,16 @@ func buildService(db *core.DB, sdb *core.Sharded, cfg Config) (*Service, error) 
 	if sdb != nil {
 		sdb.SetFaults(s.inj)
 	}
+	// One cost model across the service and every backing DB: observed
+	// filter latencies feed the same state that PlanFilter, admission
+	// pricing and /stats cost estimates all read from.
+	if db != nil {
+		db.SetCostModel(s.cost)
+	}
+	if sdb != nil {
+		sdb.SetCostModel(s.cost)
+	}
+	s.adm = newAdmission(cfg.Workers, cfg.QueueDepth)
 	s.tel = newTelemetry(s, cfg)
 	// Lease every device for the service's lifetime and front each with a
 	// kernel batcher. Workers are assigned round-robin: with Devices ==
@@ -384,6 +412,14 @@ func buildService(db *core.DB, sdb *core.Sharded, cfg Config) (*Service, error) 
 		}
 		s.wg.Add(1)
 		go s.run(w)
+	}
+	// Self-healing: with replicated shards, the anti-entropy loop
+	// repairs demoted replicas in the background so a fault's blast
+	// radius is one repair interval of reduced hedge headroom, not a
+	// restart.
+	if sdb != nil && sdb.Replicas() > 1 && cfg.ResyncInterval > 0 {
+		s.wg.Add(1)
+		go s.runAntiEntropy(cfg.ResyncInterval)
 	}
 	return s, nil
 }
@@ -580,18 +616,36 @@ func (s *Service) finishFlight(key string, fl *flight, resp *Response, err error
 	close(fl.done)
 }
 
-// enqueue admits the task, rejecting with ErrOverloaded when the queue
-// is full.
+// enqueue runs the adaptive admission gate and, if the request passes,
+// places the task on the worker queue. Rejections are typed
+// *OverloadError (unwrapping to ErrOverloaded): a hard rejection when
+// the channel is physically full, a cost-based shed when the queue has
+// crossed its drain-rate-derived effective depth and this request
+// prices as expensive. Cheap requests keep admitting past the soft
+// watermark — under pressure the service degrades by shedding the work
+// that would hold the queue longest.
 func (s *Service) enqueue(ctx context.Context, req *Request, key string) (*task, error) {
-	t := &task{ctx: ctx, req: req, key: key, enq: time.Now(), done: make(chan struct{})}
+	class, cost := s.priceQuery(req, key)
+	t := &task{
+		ctx: ctx, req: req, key: key, enq: time.Now(),
+		class: class, cost: cost, done: make(chan struct{}),
+	}
 	// The queue send and the in-flight increment happen under statsMu so
 	// Stats observes them as one event (a task is never visible in the
 	// queue without being counted in flight, or vice versa).
 	s.statsMu.Lock()
+	queued := len(s.queue)
+	if queued >= s.adm.effectiveDepth() && cost >= expensiveCostFloorSec {
+		s.statsMu.Unlock()
+		s.tel.rejected.Inc()
+		s.tel.admissionShed.Inc()
+		return nil, &OverloadError{RetryAfter: s.adm.retryAfter(queued), Class: class, Shed: true}
+	}
 	select {
 	case s.queue <- t:
 		n := s.inFlight.Add(1)
 		s.statsMu.Unlock()
+		s.adm.noteQueued(cost)
 		for {
 			peak := s.peakInFlight.Load()
 			if n <= peak || s.peakInFlight.CompareAndSwap(peak, n) {
@@ -603,7 +657,7 @@ func (s *Service) enqueue(ctx context.Context, req *Request, key string) (*task,
 	default:
 		s.statsMu.Unlock()
 		s.tel.rejected.Inc()
-		return nil, ErrOverloaded
+		return nil, &OverloadError{RetryAfter: s.adm.retryAfter(queued), Class: class}
 	}
 }
 
@@ -638,6 +692,7 @@ func (s *Service) run(w *worker) {
 }
 
 func (s *Service) process(w *worker, t *task) {
+	s.adm.noteDequeued(t.cost)
 	defer func() {
 		s.statsMu.Lock()
 		s.inFlight.Add(-1)
@@ -664,6 +719,12 @@ func (s *Service) process(w *worker, t *task) {
 		ctx = context.Background()
 	}
 	resp, err := s.execute(ctx, w, t.req)
+	// Feed the admission estimators from what execution actually cost —
+	// the same observed-latency source the planner's feedback uses — so
+	// the gate's class prices and drain rate track the live workload.
+	svc := time.Since(start)
+	s.adm.observe(t.class, svc)
+	s.adm.observeDrain(svc)
 	if err != nil {
 		ex.End()
 		s.tel.failed.Inc()
@@ -757,6 +818,13 @@ func (s *Service) executeQuery(ctx context.Context, w *worker, req *Request) (*R
 	filtered := snap
 	var csel *columnSelection // non-nil when the filter stage ran columnar
 
+	// The filter stage reports its access path and measured latency back
+	// into the cost model (CostModel.ObserveFilter), so future plans and
+	// admission estimates price from observed behavior.
+	fltStart := time.Now()
+	var fltMethod core.FilterMethod
+	fltUnits := 0
+
 	if f := req.Filter; f != nil && f.isRange() {
 		lo, hi := f.bounds()
 		if err := col.Schema().ValidateFilterRange(f.Field); err != nil {
@@ -781,6 +849,7 @@ func (s *Service) executeQuery(ctx context.Context, w *worker, req *Request) (*R
 			}
 			plan = append(plan, fmt.Sprintf("btree-index(%s)", f.Field))
 			resp.EstCostSec += s.cost.FilterCost(core.FilterBTreeIndex, len(snap), len(ids))
+			fltMethod, fltUnits = core.FilterBTreeIndex, len(ids)
 		} else if cf, ok := columnFilterRange(col, f.Field, lo, hi, len(snap)); ok {
 			// Same vectorized block-at-a-time path as equality: zone maps
 			// prune blocks whose min/max cannot intersect the interval.
@@ -788,10 +857,12 @@ func (s *Service) executeQuery(ctx context.Context, w *worker, req *Request) (*R
 			csel = cf
 			plan = append(plan, fmt.Sprintf("column-scan(%s)", f.Field))
 			resp.EstCostSec += s.cost.FilterCost(core.FilterColumnScan, len(snap), 0)
+			fltMethod, fltUnits = core.FilterColumnScan, len(snap)
 		} else {
 			filtered = rowFilterRange(snap, f.Field, lo, hi)
 			plan = append(plan, fmt.Sprintf("scan-filter(%s)", f.Field))
 			resp.EstCostSec += float64(len(snap)) * scanCmpCostSec
+			fltMethod, fltUnits = core.FilterScan, len(snap)
 		}
 	} else if f != nil {
 		v, err := f.value()
@@ -820,6 +891,7 @@ func (s *Service) executeQuery(ctx context.Context, w *worker, req *Request) (*R
 			}
 			plan = append(plan, fmt.Sprintf("hash-index(%s)", f.Field))
 			resp.EstCostSec += float64(len(ids)) * s.cost.CFetch
+			fltMethod, fltUnits = core.FilterHashIndex, len(ids)
 		} else if cf, ok := columnFilterEq(col, f.Field, v, len(snap)); ok {
 			// Vectorized block-at-a-time evaluation over the collection's
 			// columnar projection: zone maps skip blocks that cannot
@@ -830,6 +902,7 @@ func (s *Service) executeQuery(ctx context.Context, w *worker, req *Request) (*R
 			csel = cf
 			plan = append(plan, fmt.Sprintf("column-scan(%s)", f.Field))
 			resp.EstCostSec += s.cost.FilterCost(core.FilterColumnScan, len(snap), 0)
+			fltMethod, fltUnits = core.FilterColumnScan, len(snap)
 		} else {
 			filtered = make([]*core.Patch, 0, len(snap)/4)
 			for _, p := range snap {
@@ -839,7 +912,11 @@ func (s *Service) executeQuery(ctx context.Context, w *worker, req *Request) (*R
 			}
 			plan = append(plan, fmt.Sprintf("scan-filter(%s)", f.Field))
 			resp.EstCostSec += float64(len(snap)) * scanCmpCostSec
+			fltMethod, fltUnits = core.FilterScan, len(snap)
 		}
+	}
+	if fltMethod != 0 {
+		s.cost.ObserveFilter(fltMethod, fltUnits, time.Since(fltStart))
 	}
 
 	if sj := req.SimJoin; sj != nil {
@@ -1260,6 +1337,20 @@ type Stats struct {
 	FragmentRetries     int64 `json:"fragment_retries"`
 	DegradedQueries     int64 `json:"degraded_queries"`
 	ReplicaAppendErrors int64 `json:"replica_append_errors"`
+
+	// Self-healing: completed replica repairs, the rows they streamed,
+	// and how many replicas are currently out of the read set (the
+	// /readyz gate; zero when the fleet is fully healed).
+	ReplicaResyncs    int64 `json:"replica_resyncs"`
+	ResyncRows        int64 `json:"resync_rows"`
+	OutOfSyncReplicas int   `json:"out_of_sync_replicas"`
+
+	// Adaptive admission: deliberate load sheds (the slice of Rejected
+	// taken while the queue still had room), the summed priced cost of
+	// the queued work, and the current drain-rate-derived queue bound.
+	AdmissionShed       int64   `json:"admission_shed"`
+	QueueCostSec        float64 `json:"queue_cost_sec"`
+	EffectiveQueueDepth int     `json:"effective_queue_depth"`
 }
 
 // Stats snapshots the service counters.
@@ -1280,13 +1371,16 @@ func (s *Service) Stats() Stats {
 	nshards, nreplicas := 1, 1
 	var shardInfo []core.ShardInfo
 	var extends, extReused, extTotal int64
-	var repErrs int64
+	var repErrs, resyncs, resyncRows int64
+	var outOfSync int
 	if s.shards != nil {
 		nshards = s.shards.NumShards()
 		nreplicas = s.shards.Replicas()
 		shardInfo = s.shards.ShardInfos()
 		extends, extReused, extTotal = s.shards.ColumnExtendStats()
 		repErrs = s.shards.ReplicaAppendErrors()
+		resyncs, resyncRows = s.shards.ResyncStats()
+		outOfSync = len(s.shards.OutOfSyncReplicas())
 	} else {
 		extends, extReused, extTotal = s.db.ColumnExtendStats()
 	}
@@ -1345,6 +1439,14 @@ func (s *Service) Stats() Stats {
 		FragmentRetries:     s.tel.fragmentRetries.Value(),
 		DegradedQueries:     s.tel.degradedQueries.Value(),
 		ReplicaAppendErrors: repErrs,
+
+		ReplicaResyncs:    resyncs,
+		ResyncRows:        resyncRows,
+		OutOfSyncReplicas: outOfSync,
+
+		AdmissionShed:       s.tel.admissionShed.Value(),
+		QueueCostSec:        s.adm.QueuedCostSec(),
+		EffectiveQueueDepth: s.adm.effectiveDepth(),
 	}
 }
 
