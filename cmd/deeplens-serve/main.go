@@ -95,6 +95,7 @@ func run() error {
 		batchMax   = flag.Int("batch-max", 0, "kernel batcher: flush at this many kernels (0 = default)")
 		batchWin   = flag.Duration("batch-window", 0, "kernel batcher: partial-batch flush deadline (0 = default)")
 		cacheMB    = flag.Int("cache-mb", 32, "result cache budget (MiB)")
+		colMemMB   = flag.Int("column-mem-budget", 0, "tiered column store: resident spilled-segment budget in MiB (0 disables tiering and keeps columns purely in memory; negative spills for restart-warm columns but never evicts)")
 		udfCacheMB = flag.Int("udf-cache-mb", 128, "UDF materialization cache budget (MiB)")
 		ttl        = flag.Duration("ttl", 5*time.Minute, "result cache TTL (0 = never expire)")
 		slowMS     = flag.Int("slow-query-ms", 250, "slow-query log threshold in milliseconds (negative disables GET /debug/slow)")
@@ -152,6 +153,8 @@ func run() error {
 		QueryTimeout:   *queryTO,
 		HedgeAfter:     *hedgeAfter,
 		ResyncInterval: *resyncIvl,
+
+		ColumnMemBudget: int64(*colMemMB) << 20,
 	}
 	if *faultSpec != "" {
 		rules, err := fault.ParseRules(*faultSpec)

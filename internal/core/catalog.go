@@ -48,6 +48,12 @@ type DB struct {
 	// a serving layer shares one model across replica DBs (SetCostModel)
 	// so observed filter latencies from any replica feed one state.
 	cost atomic.Pointer[CostModel]
+
+	// segCache, when installed, attaches a disk spill tier to every
+	// collection's column store: sealed segments persist into a
+	// per-collection bucket and the shared cache budgets the resident
+	// set. Nil (the default) keeps column stores purely in-memory.
+	segCache atomic.Pointer[SegmentCache]
 }
 
 // ColumnExtendStats reports the live-ingest column-extension counters:
@@ -115,6 +121,25 @@ func (db *DB) SetCostModel(cm *CostModel) {
 	if cm != nil {
 		db.cost.Store(cm)
 	}
+}
+
+// SetSegmentCache installs the shared column-segment cache, enabling
+// the tiered column store: sealed segments spill through the kv pager
+// and the cache byte-budgets how many stay resident. The serving layer
+// installs one cache across every replica DB so a single budget governs
+// the whole process. Nil caches are ignored. Install before the first
+// query: stores built without a spill tier stay in-memory until their
+// collection's version moves.
+func (db *DB) SetSegmentCache(sc *SegmentCache) {
+	if sc != nil {
+		db.segCache.Store(sc)
+	}
+}
+
+// SegmentCache returns the installed segment cache (nil when the column
+// stores are purely in-memory).
+func (db *DB) SegmentCache() *SegmentCache {
+	return db.segCache.Load()
 }
 
 // Device returns the execution device the engine runs kernels on.
@@ -300,6 +325,26 @@ func (db *DB) DropCollection(name string) error {
 			return err
 		}
 	}
+	// Spilled column segments and their manifest: a re-created collection
+	// of the same name must never rehydrate the dropped one's columns.
+	if has, err := db.store.HasBucket(colSegBucket(name)); err == nil && has {
+		sb, err := db.store.Bucket(colSegBucket(name))
+		if err != nil {
+			return err
+		}
+		var segKeys [][]byte
+		if err := sb.Scan(nil, nil, func(k, _ []byte) bool {
+			segKeys = append(segKeys, append([]byte(nil), k...))
+			return true
+		}); err != nil {
+			return err
+		}
+		for _, k := range segKeys {
+			if err := sb.Delete(k); err != nil && !errors.Is(err, kv.ErrNotFound) {
+				return err
+			}
+		}
+	}
 	// Index descriptors for this collection.
 	var idxKeys [][]byte
 	prefix := []byte("idx." + name + ".")
@@ -403,6 +448,12 @@ type Collection struct {
 	// (built lazily by Columns, invalidated by version movement).
 	colMu    sync.Mutex
 	colStore *ColumnStore
+
+	// spillMu guards the lazily created column spill handle — the
+	// collection's disk tier for sealed column segments, present only
+	// when the DB has a SegmentCache installed.
+	spillMu sync.Mutex
+	spillH  *columnSpill
 
 	// vecMu guards the cached vector indexes, keyed field + "/" + mode
 	// (built lazily by VectorIndexAt, maintained like colStore).
@@ -643,6 +694,31 @@ func (c *Collection) InvalidateColumns() {
 	c.colMu.Unlock()
 }
 
+// colSegBucket is the kv bucket holding a collection's spilled column
+// segments and manifest.
+func colSegBucket(name string) string { return "colseg." + name }
+
+// columnSpillHandle lazily creates the collection's disk tier for
+// sealed column segments. Returns nil — pure in-memory column stores —
+// when the DB has no segment cache installed or the bucket cannot open.
+func (c *Collection) columnSpillHandle() *columnSpill {
+	sc := c.db.SegmentCache()
+	if sc == nil {
+		return nil
+	}
+	c.spillMu.Lock()
+	defer c.spillMu.Unlock()
+	if c.spillH != nil {
+		return c.spillH
+	}
+	b, err := c.db.store.Bucket(colSegBucket(c.name))
+	if err != nil {
+		return nil
+	}
+	c.spillH = &columnSpill{bucket: b, cache: sc}
+	return c.spillH
+}
+
 // Columns returns the columnar projection of the collection's current
 // snapshot, building it lazily and upgrading whenever the version has
 // moved — the same version-keyed invalidation the serving layer's result
@@ -684,12 +760,12 @@ func (c *Collection) ColumnsWithInfo() (*ColumnStore, ColumnsInfo, error) {
 	old := c.colStore
 	c.colMu.Unlock()
 
-	// Build or extend with colMu free: Extend memcpys the sealed arrays
-	// (O(history), even if cheap per byte), and holding the lock across
-	// that would stall every concurrent cache-hit reader on the
-	// collection — the same stall shape Snapshot's cold load avoids on
-	// c.mu. Racing builders at most duplicate work; the double-checked
-	// install below keeps one canonical store per version.
+	// Build or extend with colMu free: a full build projects the whole
+	// snapshot (and an extend still re-projects the tail), and holding
+	// the lock across that would stall every concurrent cache-hit reader
+	// on the collection — the same stall shape Snapshot's cold load
+	// avoids on c.mu. Racing builders at most duplicate work; the
+	// double-checked install below keeps one canonical store per version.
 	var cs *ColumnStore
 	if old != nil && old.version < ver && snapshotExtends(old.patches, ps) {
 		var st ExtendStats
@@ -700,7 +776,7 @@ func (c *Collection) ColumnsWithInfo() (*ColumnStore, ColumnsInfo, error) {
 		c.db.colExtendReused.Add(int64(st.ReusedBlocks))
 		c.db.colExtendTotal.Add(int64(st.TotalBlocks))
 	} else {
-		cs = NewColumnStore(ps, ver)
+		cs = newColumnStoreSpill(ps, ver, c.columnSpillHandle())
 		info.Built = true
 	}
 

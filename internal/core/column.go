@@ -5,37 +5,36 @@ package core
 // row-at-a-time fallback every non-indexed filter pays an interface
 // iterator call, a Metadata map lookup and a predicate-closure invocation
 // per patch. The ColumnStore lazily projects hot metadata fields from a
-// collection snapshot into typed columnar arrays (int64 / float64 /
+// collection snapshot into typed columnar form (int64 / float64 /
 // dictionary-encoded strings, plus a null bitmap), partitioned into
-// fixed-size blocks carrying zone maps (min/max for numerics, a small
-// distinct-set for low-cardinality strings). Vectorized kernels evaluate
-// equality and range predicates block-at-a-time into selection index
-// lists, skipping blocks the zone map proves empty, and run top-k,
-// group-count and count aggregation directly over the arrays. Results
-// are byte-identical to the row-at-a-time operators by construction:
-// selection lists are emitted in row (snapshot) order, top-k reproduces
-// the stable sort's (value, row) order, and group-count groups and
-// orders by the same SortKey encoding the row operator uses.
+// fixed-size immutable segments carrying zone maps (min/max for numerics,
+// a small distinct-set for low-cardinality strings). Vectorized kernels
+// evaluate equality and range predicates segment-at-a-time into selection
+// index lists, skipping segments the zone map proves empty, and run
+// top-k, group-count and count aggregation directly over the arrays.
+// Results are byte-identical to the row-at-a-time operators by
+// construction: selection lists are emitted in row (snapshot) order,
+// top-k reproduces the stable sort's (value, row) order, and group-count
+// groups and orders by the same SortKey encoding the row operator uses.
 //
 // A store is built over one immutable snapshot and carries its version;
 // appends bump the collection version, so a reader comparing versions
 // rebuilds — exactly the invalidation discipline the serving layer's
 // caches use (see Collection.Columns).
 //
-// Under a live append stream a full rebuild per version bump re-projects
-// every column over the whole history — a Meta map lookup (and dictionary
-// probe) per row per column, per appended batch. Because snapshots are
-// prefix-stable and blocks are fixed-size, an older store's sealed (full)
-// blocks — typed array prefixes, zone maps, dictionary codes, null-bitmap
-// words — are exactly what a fresh build over the longer snapshot would
-// produce for those rows. Extend exploits that: it memcpys the sealed
-// prefix, re-projects only the rows at and past the old tail block, and
-// recomputes only the tail-onward zone maps. Per-row re-projection work
-// drops to O(appended rows); the array copies are still O(history), but
-// as flat memcpys rather than per-row map traffic — a large constant-
-// factor win (~8x end-to-end on the streaming-ingest benchmark), not an
-// asymptotic one. Sharing sealed blocks by reference (chunked arrays)
-// would remove the copy too and is the natural follow-on.
+// Segments are the unit of sharing and of tiering. Because snapshots are
+// prefix-stable and segments are fixed-size, an older store's sealed
+// (full) segments — typed arrays, zone maps, dictionary codes, null
+// bitmaps — are exactly what a fresh build over the longer snapshot would
+// produce for those rows. Extend therefore carries sealed segments over
+// by pointer: no history memcpy at all, O(appended rows) re-projection
+// for the tail, and stale readers pin only the segments they still
+// reference. The same immutability makes sealed segments spillable: with
+// a spill tier attached (see segment.go) their bytes serialize through
+// internal/codec into a kv bucket, the resident summaries keep pruning
+// exact, and the scan kernels fault surviving segments back in through a
+// byte-budgeted LRU — so a collection's column footprint is bounded by
+// the budget, not its history.
 
 import (
 	"math"
@@ -43,9 +42,9 @@ import (
 	"sync"
 )
 
-// ColumnBlockSize is the number of rows per zone-mapped block. Small
+// ColumnBlockSize is the number of rows per zone-mapped segment. Small
 // enough that a selective predicate skips real work on clustered data,
-// large enough that the per-block min/max test is noise.
+// large enough that the per-segment min/max test is noise.
 const ColumnBlockSize = 1024
 
 // ColumnStore holds the columnar projections of one collection snapshot.
@@ -54,15 +53,23 @@ const ColumnBlockSize = 1024
 type ColumnStore struct {
 	patches []*Patch
 	version uint64
+	spill   *columnSpill // nil: purely in-memory store
 
 	mu   sync.RWMutex
 	cols map[string]*Column
 }
 
-// NewColumnStore builds an empty store over a snapshot. Columns project
-// lazily on first access.
+// NewColumnStore builds an empty in-memory store over a snapshot.
+// Columns project lazily on first access.
 func NewColumnStore(patches []*Patch, version uint64) *ColumnStore {
-	return &ColumnStore{patches: patches, version: version, cols: make(map[string]*Column)}
+	return newColumnStoreSpill(patches, version, nil)
+}
+
+// newColumnStoreSpill builds a store whose sealed segments spill through
+// sp (nil keeps the store purely in-memory). The catalog attaches a
+// collection's spill handle here when the DB has a SegmentCache.
+func newColumnStoreSpill(patches []*Patch, version uint64, sp *columnSpill) *ColumnStore {
+	return &ColumnStore{patches: patches, version: version, spill: sp, cols: make(map[string]*Column)}
 }
 
 // Version is the collection version the store's snapshot reflects.
@@ -75,43 +82,123 @@ func (cs *ColumnStore) Len() int { return len(cs.patches) }
 // patches[i]).
 func (cs *ColumnStore) Patches() []*Patch { return cs.patches }
 
-// zoneMap summarizes one block of a column for predicate pruning.
+// zoneMap summarizes one segment of a column for predicate pruning.
 type zoneMap struct {
 	lo, hi int // row range [lo, hi)
 	// Numeric bounds over non-null rows (valid when !allNull).
 	minI, maxI int64
 	minF, maxF float64
-	// codeSet is a presence bitset of dictionary codes < 64 in this block
+	// codeSet is a presence bitset of dictionary codes < 64 in this segment
 	// (string columns; valid while the dictionary holds at most 64 codes).
 	codeSet uint64
 	allNull bool
 }
 
-// Column is one metadata field projected over the snapshot: a typed
-// dense array plus a null bitmap and per-block zone maps. A column
-// projects only when every non-missing value shares one scalar kind
-// (int, float or string); mixed or vector-valued fields stay row-only.
+// Column is one metadata field projected over the snapshot: a sequence
+// of fixed-size immutable segments, each a typed array plus a local null
+// bitmap, summarized by an always-resident zone map. A column projects
+// only when every non-missing value shares one scalar kind (int, float
+// or string); mixed or vector-valued fields stay row-only. Sealed
+// segments are shared by pointer with older and newer stores over the
+// same collection, and — when a spill tier is attached — may have their
+// data dropped from memory and reloaded from disk on demand.
 type Column struct {
 	kind    ValueKind
-	ints    []int64
-	floats  []float64
-	codes   []uint32
+	n       int
+	field   string
+	patches []*Patch // backing snapshot (rebuild source if a spilled segment is unreadable)
+	spill   *columnSpill
+	segs    []*colSegment
 	dict    []string
 	dictIdx map[string]uint32 // value -> code (built during projection)
-	nulls   []uint64          // bitmap: bit set = value present
-	blocks  []zoneMap
-	nnull   int // number of null (missing) rows
+	// sharedDict marks dict/dictIdx as borrowed from an older column;
+	// the first genuinely new string clones both before appending.
+	sharedDict bool
+	nnull      int // number of null (missing) rows
 }
 
 // Kind reports the column's uniform value kind.
 func (c *Column) Kind() ValueKind { return c.kind }
 
-// Blocks reports the zone-mapped block count (testing and EXPLAIN).
-func (c *Column) Blocks() int { return len(c.blocks) }
+// Blocks reports the zone-mapped segment count (testing and EXPLAIN).
+func (c *Column) Blocks() int { return len(c.segs) }
 
-func (c *Column) null(i int) bool { return c.nulls[i>>6]&(1<<(uint(i)&63)) == 0 }
+// segRows returns a segment's row data, faulting it in from the spill
+// tier when evicted. The returned segData is immutable and stays valid
+// for the caller regardless of later evictions.
+func (c *Column) segRows(sg *colSegment, st *ScanStats) *segData {
+	if d := sg.data.Load(); d != nil {
+		if c.spill != nil && sg.ondisk.Load() {
+			c.spill.cache.touch(sg)
+		}
+		return d
+	}
+	return c.loadSeg(sg, st)
+}
 
-func (c *Column) setPresent(i int) { c.nulls[i>>6] |= 1 << (uint(i) & 63) }
+// loadSeg reloads an evicted segment from the kv bucket; if the bytes
+// are missing or corrupt it falls back to re-projecting the rows from
+// the resident snapshot (always possible, counted as a fault).
+func (c *Column) loadSeg(sg *colSegment, st *ScanStats) *segData {
+	if st != nil {
+		st.SegLoads++
+	}
+	sp := c.spill
+	var d *segData
+	if sp != nil {
+		if raw, err := sp.bucket.Get(segKey(c.field, sg.zone.lo/ColumnBlockSize)); err == nil {
+			if dd, derr := decodeSegData(c.kind, sg.rows(), raw); derr == nil {
+				d = dd
+			}
+		}
+		if d != nil {
+			sp.cache.loads.Add(1)
+		} else {
+			sp.cache.loadFaults.Add(1)
+		}
+	}
+	if d == nil {
+		d = c.rebuildSeg(sg)
+	}
+	if sg.data.CompareAndSwap(nil, d) {
+		if sp != nil {
+			sp.cache.insert(sg, d.bytes())
+		}
+		return d
+	}
+	if w := sg.data.Load(); w != nil {
+		return w // another loader won; adopt its copy
+	}
+	return d // winner already evicted again; our copy is still valid
+}
+
+// rebuildSeg re-projects a segment's rows from the resident snapshot —
+// the recovery path when a spilled segment's bytes are unreadable. A
+// sealed prefix row can never introduce a new dictionary string (codes
+// assign in first-appearance order over the whole column), so the
+// rebuild is deterministic and lock-free.
+func (c *Column) rebuildSeg(sg *colSegment) *segData {
+	lo, hi := sg.zone.lo, sg.zone.hi
+	d := &segData{nulls: make([]uint64, (hi-lo+63)/64)}
+	d.alloc(c.kind, hi-lo)
+	for i := lo; i < hi; i++ {
+		v, ok := c.patches[i].Meta[c.field]
+		if !ok {
+			continue
+		}
+		j := i - lo
+		d.setPresent(j)
+		switch c.kind {
+		case KindInt:
+			d.ints[j] = v.I
+		case KindFloat:
+			d.floats[j] = v.F
+		case KindStr:
+			d.codes[j] = c.dictIdx[v.S]
+		}
+	}
+	return d
+}
 
 // Column returns the projection of field, building and caching it on
 // first use. ok is false when the field cannot be columnized (no
@@ -123,7 +210,7 @@ func (cs *ColumnStore) Column(field string) (*Column, bool) {
 	if cached {
 		return col, col != nil
 	}
-	col = projectColumn(cs.patches, field)
+	col = cs.buildColumn(field)
 	cs.mu.Lock()
 	if prev, raced := cs.cols[field]; raced {
 		col = prev // another projector won; keep one canonical column
@@ -134,30 +221,49 @@ func (cs *ColumnStore) Column(field string) (*Column, bool) {
 	return col, col != nil
 }
 
-// ExtendStats is one incremental extension's block accounting: of the
+// buildColumn produces field's column: from the spill manifest when the
+// disk tier already holds its sealed prefix (summaries load resident,
+// data stays cold), else by full projection — which then seeds the disk
+// tier for the next reopen.
+func (cs *ColumnStore) buildColumn(field string) *Column {
+	if cs.spill != nil {
+		if col, handled := cs.spill.rehydrate(field, cs.patches); handled {
+			return col
+		}
+	}
+	col := projectColumn(cs.patches, field)
+	if col != nil {
+		col.spill = cs.spill
+		if cs.spill != nil {
+			cs.spill.persist(col)
+		}
+	}
+	return col
+}
+
+// ExtendStats is one incremental extension's segment accounting: of the
 // old store's TotalBlocks (summed over its projected columns),
-// ReusedBlocks sealed blocks were carried over with their arrays and
-// zone maps intact; only the remainder (the partial tail block per
-// column) was re-projected.
+// ReusedBlocks sealed segments were carried over by pointer — arrays,
+// zone maps and dictionary codes untouched; only the remainder (the
+// partial tail segment per column) was re-projected.
 type ExtendStats struct {
 	Columns      int // projected columns carried into the new store
-	ReusedBlocks int // sealed old blocks reused verbatim
-	TotalBlocks  int // all old blocks (reused + rebuilt tails)
+	ReusedBlocks int // sealed old segments shared verbatim
+	TotalBlocks  int // all old segments (shared + rebuilt tails)
 }
 
 // Extend builds the store for a longer snapshot that has this store's
 // snapshot as a prefix (the caller must guarantee the prefix property;
 // Collection.Columns checks it). Every column already projected here is
-// carried forward: sealed (full) blocks keep their array contents, zone
-// maps and dictionary codes byte-for-byte, only rows from the old tail
-// block's start onward get fresh zone maps and only genuinely new rows
-// project — so the result is indistinguishable from NewColumnStore over
-// newPatches with the same columns accessed, at O(appended rows)
-// re-projection cost plus a flat memcpy of the sealed arrays.
-// The receiver is not mutated and stays valid for readers still holding
-// it; columns never projected on the old store stay lazy on the new one.
+// carried forward: sealed (full) segments are shared by pointer — no
+// copy of any kind — and only rows from the old tail segment's start
+// onward re-project, so the result is indistinguishable from
+// NewColumnStore over newPatches with the same columns accessed, at
+// O(appended rows) cost. The receiver is not mutated and stays valid for
+// readers still holding it; columns never projected on the old store
+// stay lazy on the new one.
 func (cs *ColumnStore) Extend(newPatches []*Patch, newVersion uint64) (*ColumnStore, ExtendStats) {
-	next := NewColumnStore(newPatches, newVersion)
+	next := newColumnStoreSpill(newPatches, newVersion, cs.spill)
 	oldN := len(cs.patches)
 	var st ExtendStats
 	cs.mu.RLock()
@@ -181,181 +287,162 @@ func (cs *ColumnStore) Extend(newPatches []*Patch, newVersion uint64) (*ColumnSt
 		st.Columns++
 		sealed := oldN / ColumnBlockSize
 		st.ReusedBlocks += sealed
-		st.TotalBlocks += len(col.blocks)
+		st.TotalBlocks += len(col.segs)
+		if cs.spill != nil {
+			cs.spill.persist(ext) // newly sealed tail segments spill
+		}
 	}
 	return next, st
 }
 
-// extendColumn grows one projected column over the appended suffix
-// rows [oldN, len(patches)). Returns nil when a suffix row makes the
-// field non-columnizable (vector/rect value or a kind mismatch) — the
-// same verdict a fresh projection over the full snapshot would reach.
+// extendColumn grows one projected column over the appended suffix rows:
+// sealed segments share by pointer, the old tail segment's rows onward
+// re-project. Returns nil when a suffix row makes the field
+// non-columnizable (vector/rect value or a kind mismatch) — the same
+// verdict a fresh projection over the full snapshot would reach.
 func extendColumn(old *Column, field string, patches []*Patch, oldN int) *Column {
 	n := len(patches)
-	col := &Column{
-		kind:    old.kind,
-		nulls:   make([]uint64, (n+63)/64),
-		nnull:   old.nnull,
-		dictIdx: make(map[string]uint32, len(old.dictIdx)),
-	}
-	copy(col.nulls, old.nulls)
-	switch old.kind {
-	case KindInt:
-		col.ints = make([]int64, n)
-		copy(col.ints, old.ints)
-	case KindFloat:
-		col.floats = make([]float64, n)
-		copy(col.floats, old.floats)
-	case KindStr:
-		col.codes = make([]uint32, n)
-		copy(col.codes, old.codes)
-		col.dict = append(make([]string, 0, len(old.dict)), old.dict...)
-		for s, code := range old.dictIdx {
-			col.dictIdx[s] = code
-		}
-	}
-	for i := oldN; i < n; i++ {
-		v, ok := patches[i].Meta[field]
-		if !ok {
-			col.nnull++
-			continue
-		}
-		switch v.Kind {
-		case KindInt, KindFloat, KindStr:
-		default:
-			return nil // vectors/rects are not columnar
-		}
-		if v.Kind != col.kind {
-			return nil // mixed kinds: row path only
-		}
-		col.assign(i, v)
-	}
-	// Sealed blocks keep their summaries; the old tail block absorbed new
-	// rows, so it and everything after it recompute.
 	sealed := oldN / ColumnBlockSize
-	col.blocks = make([]zoneMap, 0, (n+ColumnBlockSize-1)/ColumnBlockSize)
-	col.blocks = append(col.blocks, old.blocks[:sealed]...)
-	col.appendZoneMaps(sealed*ColumnBlockSize, n)
+	col := &Column{
+		kind:       old.kind,
+		n:          n,
+		field:      field,
+		patches:    patches,
+		spill:      old.spill,
+		dict:       old.dict,
+		dictIdx:    old.dictIdx,
+		sharedDict: true,
+		segs:       make([]*colSegment, 0, (n+ColumnBlockSize-1)/ColumnBlockSize),
+	}
+	col.segs = append(col.segs, old.segs[:sealed]...)
+	for _, sg := range col.segs {
+		col.nnull += sg.nnull
+	}
+	if !col.appendRows(sealed*ColumnBlockSize, n) {
+		return nil
+	}
 	return col
 }
 
-// projectColumn builds the typed array + null bitmap + zone maps for one
-// field, or nil when the field is not columnizable.
+// projectColumn builds the segmented projection of one field, or nil
+// when the field is not columnizable.
 func projectColumn(patches []*Patch, field string) *Column {
 	n := len(patches)
-	col := &Column{nulls: make([]uint64, (n+63)/64), dictIdx: make(map[string]uint32)}
-	for i, p := range patches {
-		v, ok := p.Meta[field]
-		if !ok {
-			col.nnull++
-			continue
-		}
-		switch v.Kind {
-		case KindInt, KindFloat, KindStr:
-		default:
-			return nil // vectors/rects are not columnar
-		}
-		if col.kind == 0 {
-			col.kind = v.Kind
-			switch v.Kind {
-			case KindInt:
-				col.ints = make([]int64, n)
-			case KindFloat:
-				col.floats = make([]float64, n)
-			case KindStr:
-				col.codes = make([]uint32, n)
-			}
-		} else if v.Kind != col.kind {
-			return nil // mixed kinds: row path only
-		}
-		col.assign(i, v)
+	col := &Column{
+		n:       n,
+		field:   field,
+		patches: patches,
+		dictIdx: make(map[string]uint32),
+		segs:    make([]*colSegment, 0, (n+ColumnBlockSize-1)/ColumnBlockSize),
+	}
+	if !col.appendRows(0, n) {
+		return nil
 	}
 	if col.kind == 0 {
 		return nil // every row null: nothing to scan
 	}
-	col.buildZoneMaps(n)
 	return col
 }
 
-// assign stores a non-null value at row i. The typed array must already
-// be sized past i; v.Kind must equal the column kind. Dictionary codes
-// allocate in first-appearance order, so assigning rows in ascending
-// order reproduces a fresh projection's code assignment exactly.
-func (c *Column) assign(i int, v Value) {
-	c.setPresent(i)
-	switch v.Kind {
-	case KindInt:
-		c.ints[i] = v.I
-	case KindFloat:
-		c.floats[i] = v.F
-	case KindStr:
-		code, seen := c.dictIdx[v.S]
-		if !seen {
-			code = uint32(len(c.dict))
-			c.dictIdx[v.S] = code
-			c.dict = append(c.dict, v.S)
-		}
-		c.codes[i] = code
-	}
-}
-
-// buildZoneMaps computes per-block summaries after projection.
-func (c *Column) buildZoneMaps(n int) {
-	nb := (n + ColumnBlockSize - 1) / ColumnBlockSize
-	c.blocks = make([]zoneMap, 0, nb)
-	c.appendZoneMaps(0, n)
-}
-
-// appendZoneMaps appends block summaries covering rows [from, n), from
-// block-aligned. Extend uses it to recompute only tail-onward blocks.
-func (c *Column) appendZoneMaps(from, n int) {
+// appendRows projects rows [from, n) of c.patches into fresh segments
+// appended to c.segs (from must be ColumnBlockSize-aligned). Dictionary
+// codes assign in first-appearance order, so projecting rows in
+// ascending order reproduces a fresh full projection's codes exactly;
+// a dictionary borrowed from an older column clones copy-on-write
+// before the first genuinely new string. Returns false when a row makes
+// the field non-columnizable (vector/rect value or scalar kind
+// mismatch) — the verdict a fresh projection would reach.
+func (c *Column) appendRows(from, n int) bool {
 	for lo := from; lo < n; lo += ColumnBlockSize {
 		hi := lo + ColumnBlockSize
 		if hi > n {
 			hi = n
 		}
-		z := zoneMap{lo: lo, hi: hi, allNull: true}
+		sg := &colSegment{zone: zoneMap{lo: lo, hi: hi}, sealed: hi-lo == ColumnBlockSize}
+		d := &segData{nulls: make([]uint64, (hi-lo+63)/64)}
+		d.alloc(c.kind, hi-lo)
 		for i := lo; i < hi; i++ {
-			if c.null(i) {
+			v, ok := c.patches[i].Meta[c.field]
+			if !ok {
+				c.nnull++
+				sg.nnull++
 				continue
 			}
-			switch c.kind {
-			case KindInt:
-				v := c.ints[i]
-				if z.allNull || v < z.minI {
-					z.minI = v
-				}
-				if z.allNull || v > z.maxI {
-					z.maxI = v
-				}
-			case KindFloat:
-				v := c.floats[i]
-				if z.allNull || v < z.minF {
-					z.minF = v
-				}
-				if z.allNull || v > z.maxF {
-					z.maxF = v
-				}
-			case KindStr:
-				if code := c.codes[i]; code < 64 {
-					z.codeSet |= 1 << code
-				}
+			switch v.Kind {
+			case KindInt, KindFloat, KindStr:
+			default:
+				return false // vectors/rects are not columnar
 			}
-			z.allNull = false
+			if c.kind == 0 {
+				c.setKind(v.Kind)
+				d.alloc(c.kind, hi-lo)
+			} else if v.Kind != c.kind {
+				return false // mixed kinds: row path only
+			}
+			j := i - lo
+			d.setPresent(j)
+			switch v.Kind {
+			case KindInt:
+				d.ints[j] = v.I
+			case KindFloat:
+				d.floats[j] = v.F
+			case KindStr:
+				d.codes[j] = c.addCode(v.S)
+			}
 		}
-		c.blocks = append(c.blocks, z)
+		sg.computeZone(c.kind, d)
+		sg.data.Store(d)
+		c.segs = append(c.segs, sg)
 	}
+	return true
+}
+
+// setKind records the kind discovered at the first non-null row and
+// retro-allocates typed arrays on the all-null segments built before it.
+// Only reachable during a fresh projection, so every earlier segment's
+// data is private to this builder.
+func (c *Column) setKind(k ValueKind) {
+	c.kind = k
+	for _, sg := range c.segs {
+		if d := sg.data.Load(); d != nil {
+			d.alloc(k, sg.rows())
+		}
+	}
+}
+
+// addCode returns s's dictionary code, allocating the next code on first
+// appearance. A dictionary shared with an older column is cloned before
+// its first mutation, so racing extends off one store never interfere.
+func (c *Column) addCode(s string) uint32 {
+	if code, ok := c.dictIdx[s]; ok {
+		return code
+	}
+	if c.sharedDict {
+		c.dict = append([]string(nil), c.dict...)
+		idx := make(map[string]uint32, len(c.dictIdx)+1)
+		for k, v := range c.dictIdx {
+			idx[k] = v
+		}
+		c.dictIdx = idx
+		c.sharedDict = false
+	}
+	code := uint32(len(c.dict))
+	c.dictIdx[s] = code
+	c.dict = append(c.dict, s)
+	return code
 }
 
 // ---------------------------------------------------------- predicates ----
 
 // ScanStats reports one columnar predicate evaluation's pruning work:
-// how many zone-mapped blocks the column holds, how many the zone maps
-// skipped, and how many rows the surviving blocks actually swept.
+// how many zone-mapped segments the column holds, how many the zone maps
+// skipped, how many rows the surviving segments actually swept, and how
+// many cold segments had to be faulted in from the spill tier.
 type ScanStats struct {
-	Blocks      int // zone-mapped blocks in the column
-	Pruned      int // blocks skipped by zone-map/dictionary pruning
-	RowsScanned int // rows swept in unpruned blocks
+	Blocks      int // zone-mapped segments in the column
+	Pruned      int // segments skipped by zone-map/dictionary pruning
+	RowsScanned int // rows swept in unpruned segments
+	SegLoads    int // evicted segments faulted in from the disk tier
 }
 
 // Add accumulates o into s (aggregating the fragments of one query).
@@ -363,10 +450,11 @@ func (s *ScanStats) Add(o ScanStats) {
 	s.Blocks += o.Blocks
 	s.Pruned += o.Pruned
 	s.RowsScanned += o.RowsScanned
+	s.SegLoads += o.SegLoads
 }
 
 // FilterEq evaluates field == v into a selection index list in row
-// order, skipping blocks whose zone map proves no row can match. ok is
+// order, skipping segments whose zone map proves no row can match. ok is
 // false when the field has no column (caller falls back to the row scan)
 // — a kind mismatch between the column and the constant is a valid
 // (empty) result, mirroring Value.Equal.
@@ -377,14 +465,16 @@ func (cs *ColumnStore) FilterEq(field string, v Value) ([]int32, bool) {
 
 // FilterEqStats is FilterEq reporting per-call pruning statistics —
 // the instrumented path trace spans read, kept separate so untraced
-// callers pay nothing new.
+// callers pay nothing new. Pruning tests run against the resident zone
+// maps before any segment data is touched, so a pruned segment is never
+// faulted in from disk.
 func (cs *ColumnStore) FilterEqStats(field string, v Value) ([]int32, ScanStats, bool) {
 	var st ScanStats
 	col, ok := cs.Column(field)
 	if !ok {
 		return nil, st, false
 	}
-	st.Blocks = len(col.blocks)
+	st.Blocks = len(col.segs)
 	if col.kind != v.Kind {
 		st.Pruned = st.Blocks
 		return nil, st, true // row path: mv.Equal(v) is false for every row
@@ -392,22 +482,24 @@ func (cs *ColumnStore) FilterEqStats(field string, v Value) ([]int32, ScanStats,
 	var sel []int32
 	switch col.kind {
 	case KindInt:
-		for _, z := range col.blocks {
+		for _, sg := range col.segs {
+			z := sg.zone
 			if z.allNull || v.I < z.minI || v.I > z.maxI {
 				st.Pruned++
 				continue
 			}
 			st.RowsScanned += z.hi - z.lo
-			sel = appendEqInt(sel, col, z, v.I)
+			sel = appendEqInt(sel, col.segRows(sg, &st), z.lo, z.hi-z.lo, v.I)
 		}
 	case KindFloat:
-		for _, z := range col.blocks {
+		for _, sg := range col.segs {
+			z := sg.zone
 			if z.allNull || v.F < z.minF || v.F > z.maxF {
 				st.Pruned++
 				continue
 			}
 			st.RowsScanned += z.hi - z.lo
-			sel = appendEqFloat(sel, col, z, v.F)
+			sel = appendEqFloat(sel, col.segRows(sg, &st), z.lo, z.hi-z.lo, v.F)
 		}
 	case KindStr:
 		code, present := col.code(v.S)
@@ -416,7 +508,8 @@ func (cs *ColumnStore) FilterEqStats(field string, v Value) ([]int32, ScanStats,
 			return nil, st, true // value not in the dictionary: no row matches
 		}
 		smallDict := len(col.dict) <= 64
-		for _, z := range col.blocks {
+		for _, sg := range col.segs {
+			z := sg.zone
 			if z.allNull {
 				st.Pruned++
 				continue
@@ -426,7 +519,7 @@ func (cs *ColumnStore) FilterEqStats(field string, v Value) ([]int32, ScanStats,
 				continue
 			}
 			st.RowsScanned += z.hi - z.lo
-			sel = appendEqCode(sel, col, z, code)
+			sel = appendEqCode(sel, col.segRows(sg, &st), z.lo, z.hi-z.lo, code)
 		}
 	}
 	return sel, st, true
@@ -438,31 +531,32 @@ func (c *Column) code(s string) (uint32, bool) {
 	return code, ok
 }
 
-// The block inner loops are split out so the per-block hot path has no
-// switch inside it: one bounds-checked array sweep per block.
+// The segment inner loops are split out so the per-segment hot path has
+// no switch inside it: one bounds-checked array sweep per segment, with
+// rows addressed locally (global row = base + j).
 
-func appendEqInt(sel []int32, c *Column, z zoneMap, v int64) []int32 {
-	for i := z.lo; i < z.hi; i++ {
-		if c.ints[i] == v && !c.null(i) {
-			sel = append(sel, int32(i))
+func appendEqInt(sel []int32, d *segData, base, rows int, v int64) []int32 {
+	for j := 0; j < rows; j++ {
+		if d.ints[j] == v && !d.null(j) {
+			sel = append(sel, int32(base+j))
 		}
 	}
 	return sel
 }
 
-func appendEqFloat(sel []int32, c *Column, z zoneMap, v float64) []int32 {
-	for i := z.lo; i < z.hi; i++ {
-		if c.floats[i] == v && !c.null(i) {
-			sel = append(sel, int32(i))
+func appendEqFloat(sel []int32, d *segData, base, rows int, v float64) []int32 {
+	for j := 0; j < rows; j++ {
+		if d.floats[j] == v && !d.null(j) {
+			sel = append(sel, int32(base+j))
 		}
 	}
 	return sel
 }
 
-func appendEqCode(sel []int32, c *Column, z zoneMap, code uint32) []int32 {
-	for i := z.lo; i < z.hi; i++ {
-		if c.codes[i] == code && !c.null(i) {
-			sel = append(sel, int32(i))
+func appendEqCode(sel []int32, d *segData, base, rows int, code uint32) []int32 {
+	for j := 0; j < rows; j++ {
+		if d.codes[j] == code && !d.null(j) {
+			sel = append(sel, int32(base+j))
 		}
 	}
 	return sel
@@ -485,32 +579,36 @@ func (cs *ColumnStore) FilterRangeStats(field string, lo, hi float64) ([]int32, 
 	if !ok {
 		return nil, st, false
 	}
-	st.Blocks = len(col.blocks)
+	st.Blocks = len(col.segs)
 	var sel []int32
 	switch col.kind {
 	case KindInt:
-		for _, z := range col.blocks {
+		for _, sg := range col.segs {
+			z := sg.zone
 			if z.allNull || float64(z.maxI) < lo || float64(z.minI) >= hi {
 				st.Pruned++
 				continue
 			}
 			st.RowsScanned += z.hi - z.lo
-			for i := z.lo; i < z.hi; i++ {
-				if f := float64(col.ints[i]); f >= lo && f < hi && !col.null(i) {
-					sel = append(sel, int32(i))
+			d := col.segRows(sg, &st)
+			for j, rows := 0, z.hi-z.lo; j < rows; j++ {
+				if f := float64(d.ints[j]); f >= lo && f < hi && !d.null(j) {
+					sel = append(sel, int32(z.lo+j))
 				}
 			}
 		}
 	case KindFloat:
-		for _, z := range col.blocks {
+		for _, sg := range col.segs {
+			z := sg.zone
 			if z.allNull || z.maxF < lo || z.minF >= hi {
 				st.Pruned++
 				continue
 			}
 			st.RowsScanned += z.hi - z.lo
-			for i := z.lo; i < z.hi; i++ {
-				if f := col.floats[i]; f >= lo && f < hi && !col.null(i) {
-					sel = append(sel, int32(i))
+			d := col.segRows(sg, &st)
+			for j, rows := 0, z.hi-z.lo; j < rows; j++ {
+				if f := d.floats[j]; f >= lo && f < hi && !d.null(j) {
+					sel = append(sel, int32(z.lo+j))
 				}
 			}
 		}
@@ -561,11 +659,27 @@ func (cs *ColumnStore) TopK(sel []int32, field string, desc bool, k int) ([]int3
 	if k <= 0 {
 		return []int32{}, true
 	}
+	// Pin every candidate segment's data up front: the comparator then
+	// reads plain arrays, and a concurrent eviction cannot stall the sort.
+	datas := make([]*segData, len(col.segs))
+	if all {
+		for si, sg := range col.segs {
+			datas[si] = col.segRows(sg, nil)
+		}
+	} else {
+		for _, r := range sel {
+			if si := int(r) / ColumnBlockSize; datas[si] == nil {
+				datas[si] = col.segRows(col.segs[si], nil)
+			}
+		}
+	}
 	// before reports whether row a orders strictly before row b in the
 	// output: Value.Less on the column values (null = zero Value, whose
 	// kind 0 sorts below every real kind), ties in row order.
 	before := func(a, b int32) bool {
-		an, bn := col.null(int(a)), col.null(int(b))
+		da, ja := datas[int(a)/ColumnBlockSize], int(a)%ColumnBlockSize
+		db, jb := datas[int(b)/ColumnBlockSize], int(b)%ColumnBlockSize
+		an, bn := da.null(ja), db.null(jb)
 		if an || bn {
 			if an != bn {
 				// One null: ascending puts the null first, descending last.
@@ -576,11 +690,11 @@ func (cs *ColumnStore) TopK(sel []int32, field string, desc bool, k int) ([]int3
 		var less, greater bool
 		switch col.kind {
 		case KindInt:
-			less, greater = col.ints[a] < col.ints[b], col.ints[a] > col.ints[b]
+			less, greater = da.ints[ja] < db.ints[jb], da.ints[ja] > db.ints[jb]
 		case KindFloat:
-			less, greater = col.floats[a] < col.floats[b], col.floats[a] > col.floats[b]
+			less, greater = da.floats[ja] < db.floats[jb], da.floats[ja] > db.floats[jb]
 		case KindStr:
-			sa, sb := col.dict[col.codes[a]], col.dict[col.codes[b]]
+			sa, sb := col.dict[da.codes[ja]], col.dict[db.codes[jb]]
 			less, greater = sa < sb, sa > sb
 		}
 		if desc {
@@ -621,7 +735,8 @@ func (cs *ColumnStore) CountEq(field string, v Value) (int, bool) {
 // the same rows: groups key on the value's SortKey encoding (so e.g.
 // -0.0 and +0.0 stay distinct, as in the row path) and order by it
 // ascending. ok is false when the field has no column; null rows drop,
-// like rows missing the field.
+// like rows missing the field. All-null segments are skipped without
+// touching their data.
 func (cs *ColumnStore) GroupCount(field string) ([]Tuple, bool) {
 	col, okc := cs.Column(field)
 	if !okc {
@@ -631,9 +746,15 @@ func (cs *ColumnStore) GroupCount(field string) ([]Tuple, bool) {
 	case KindInt:
 		// SortKey order for ints is numeric order.
 		counts := make(map[int64]int64)
-		for i := range col.ints {
-			if !col.null(i) {
-				counts[col.ints[i]]++
+		for _, sg := range col.segs {
+			if sg.zone.allNull {
+				continue
+			}
+			d := col.segRows(sg, nil)
+			for j, rows := 0, sg.rows(); j < rows; j++ {
+				if !d.null(j) {
+					counts[d.ints[j]]++
+				}
 			}
 		}
 		keys := make([]int64, 0, len(counts))
@@ -652,13 +773,19 @@ func (cs *ColumnStore) GroupCount(field string) ([]Tuple, bool) {
 		// and orders NaNs by their encoding.
 		counts := make(map[uint64]int64)
 		vals := make(map[uint64]float64)
-		for i := range col.floats {
-			if col.null(i) {
+		for _, sg := range col.segs {
+			if sg.zone.allNull {
 				continue
 			}
-			k := floatSortBits(col.floats[i])
-			counts[k]++
-			vals[k] = col.floats[i]
+			d := col.segRows(sg, nil)
+			for j, rows := 0, sg.rows(); j < rows; j++ {
+				if d.null(j) {
+					continue
+				}
+				k := floatSortBits(d.floats[j])
+				counts[k]++
+				vals[k] = d.floats[j]
+			}
 		}
 		keys := make([]uint64, 0, len(counts))
 		for k := range counts {
@@ -672,9 +799,15 @@ func (cs *ColumnStore) GroupCount(field string) ([]Tuple, bool) {
 		return out, true
 	case KindStr:
 		counts := make([]int64, len(col.dict))
-		for i := range col.codes {
-			if !col.null(i) {
-				counts[col.codes[i]]++
+		for _, sg := range col.segs {
+			if sg.zone.allNull {
+				continue
+			}
+			d := col.segRows(sg, nil)
+			for j, rows := 0, sg.rows(); j < rows; j++ {
+				if !d.null(j) {
+					counts[d.codes[j]]++
+				}
 			}
 		}
 		order := make([]uint32, 0, len(col.dict))

@@ -74,6 +74,15 @@ type CostModel struct {
 	// quote the same observed-latency source.
 	obsMu     sync.Mutex
 	filterEst map[FilterMethod]*filterObs
+	knnEst    map[knnObsKey]*filterObs
+}
+
+// knnObsKey identifies one kNN access path for observation feedback:
+// the physical method plus, for the index, its access mode (mode is
+// normalized to zero for scans).
+type knnObsKey struct {
+	method KNNMethod
+	mode   VecIndexMode
 }
 
 // filterObs is one access path's measured per-unit cost.
@@ -324,7 +333,109 @@ func (cm *CostModel) PlanKNN(n, dim, k int, exact bool, recallFloor float64, for
 		}
 	}
 	best.Explain = explain
+
+	// Observed-latency override, the PlanFilter rule applied to kNN: the
+	// static choice stands until both it and a challenger have enough
+	// ObserveKNN samples, and only a strictly cheaper admissible path
+	// (never a semantic change — forceIndex and the approx gate still
+	// bound the candidate set) replaces it. EstCost stays the static
+	// formula of whatever wins: replicas must quote deterministic costs.
+	type knnCand struct {
+		method KNNMethod
+		mode   VecIndexMode
+		est    float64
+	}
+	var cands []knnCand
+	if !forceIndex {
+		cands = append(cands, knnCand{KNNScan, 0, scanCost})
+	}
+	cands = append(cands, knnCand{KNNIndex, VecExact, exactCost})
+	if allowApprox {
+		cands = append(cands, knnCand{KNNIndex, VecApprox, approxCost})
+	}
+	if per, ok := cm.ObservedKNNUnit(best.Method, best.Mode); ok {
+		bestObs := per * cm.knnUnits(best.Method, best.Mode, n, dim, k)
+		for _, c := range cands {
+			if c.method == best.Method && c.mode == best.Mode {
+				continue
+			}
+			cper, cok := cm.ObservedKNNUnit(c.method, c.mode)
+			if !cok {
+				continue
+			}
+			if obs := cper * cm.knnUnits(c.method, c.mode, n, dim, k); obs < bestObs {
+				best = KNNPlan{Method: c.method, Mode: c.mode, EstCost: c.est, Explain: explain}
+				bestObs = obs
+			}
+		}
+	}
 	return best
+}
+
+// knnUnits is the work-unit count a kNN access path's per-unit cost
+// multiplies — the static cost formulas stripped of their calibrated
+// constants, so an EWMA over (latency / units) transfers across
+// relation sizes, dimensionalities and k.
+func (cm *CostModel) knnUnits(method KNNMethod, mode VecIndexMode, n, dim, k int) float64 {
+	nf, df, kf := float64(n), float64(dim), float64(k)
+	var u float64
+	switch {
+	case method == KNNScan:
+		u = nf * df
+	case mode == VecApprox:
+		u = float64(vecLSHTables*vecLSHBits)*df + knnCandFrac*nf*df
+	default:
+		frontier := 1 + math.Log2(kf+1)
+		inflate := 1.0
+		if n > 1000 {
+			inflate = math.Pow(nf/1000, cm.ProbeAlpha)
+		}
+		dimInflate := 1 + cm.DimPenalty*math.Max(0, df-8)
+		u = df * 32 * math.Log2(nf+2) * inflate * dimInflate * frontier
+	}
+	return math.Max(u, 1)
+}
+
+// ObserveKNN folds one executed kNN query's measured latency back into
+// the model as a per-unit EWMA for its access path, exactly as
+// ObserveFilter does for selections. Safe for concurrent use;
+// zero-duration observations are ignored.
+func (cm *CostModel) ObserveKNN(method KNNMethod, mode VecIndexMode, n, dim, k int, dur time.Duration) {
+	if dur <= 0 {
+		return
+	}
+	if method == KNNScan {
+		mode = 0
+	}
+	per := dur.Seconds() / cm.knnUnits(method, mode, n, dim, k)
+	cm.obsMu.Lock()
+	defer cm.obsMu.Unlock()
+	if cm.knnEst == nil {
+		cm.knnEst = make(map[knnObsKey]*filterObs)
+	}
+	key := knnObsKey{method, mode}
+	ob := cm.knnEst[key]
+	if ob == nil {
+		cm.knnEst[key] = &filterObs{perUnit: per, samples: 1}
+		return
+	}
+	ob.perUnit += filterObsAlpha * (per - ob.perUnit)
+	ob.samples++
+}
+
+// ObservedKNNUnit reports a kNN access path's measured per-unit cost
+// and whether enough samples back it to be trusted in planning.
+func (cm *CostModel) ObservedKNNUnit(method KNNMethod, mode VecIndexMode) (float64, bool) {
+	if method == KNNScan {
+		mode = 0
+	}
+	cm.obsMu.Lock()
+	defer cm.obsMu.Unlock()
+	ob := cm.knnEst[knnObsKey{method, mode}]
+	if ob == nil || ob.samples < minFilterObs {
+		return 0, false
+	}
+	return ob.perUnit, true
 }
 
 // CacheAwareCost folds a result cache in front of a plan into its

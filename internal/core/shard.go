@@ -240,6 +240,19 @@ func (s *Sharded) SetCostModel(cm *CostModel) {
 	}
 }
 
+// SetSegmentCache points every replica DB at one shared column-segment
+// cache, so a single byte budget governs the resident spilled-segment
+// set across all shards and replicas (see DB.SetSegmentCache).
+func (s *Sharded) SetSegmentCache(sc *SegmentCache) {
+	for _, rs := range s.reps {
+		for _, db := range rs {
+			if db != nil {
+				db.SetSegmentCache(sc)
+			}
+		}
+	}
+}
+
 func (s *Sharded) closeOpened() {
 	for _, rs := range s.reps {
 		for _, db := range rs {

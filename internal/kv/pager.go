@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 )
 
 // PageSize is the fixed size of all pages in a store file.
@@ -44,6 +45,11 @@ type Pager struct {
 	// rootDir holds the page id of the bucket-directory tree root; it is
 	// owned by Store but persisted via the meta page alongside pager state.
 	rootDir uint64
+
+	// reads counts every page read served (cache hit or disk), so callers
+	// can assert access patterns — e.g. that a zone-map-pruned columnar
+	// scan never faults a spilled segment in from the page file.
+	reads atomic.Int64
 }
 
 type cachedPage struct {
@@ -118,6 +124,7 @@ func (p *Pager) readLocked(id uint64) ([]byte, error) {
 	if id == 0 || id >= p.npages {
 		return nil, fmt.Errorf("%w: %d (have %d)", ErrBadPage, id, p.npages)
 	}
+	p.reads.Add(1)
 	if cp, ok := p.cache[id]; ok {
 		p.clock++
 		cp.used = p.clock
@@ -233,6 +240,11 @@ func (p *Pager) Free(id uint64) error {
 	p.freeHead = id
 	return nil
 }
+
+// Reads returns the cumulative count of page reads served (cache hits
+// included) since the pager opened. Deltas around an operation bound the
+// page traffic it generated.
+func (p *Pager) Reads() int64 { return p.reads.Load() }
 
 // NumPages returns the current page count including the meta page.
 func (p *Pager) NumPages() uint64 {

@@ -152,10 +152,14 @@ func (s *Service) executeKNN(ctx context.Context, req *Request) (*Response, erro
 		return nil, err
 	}
 	plan := s.cost.PlanKNN(len(snap), len(q), spec.K, spec.Exact, spec.RecallFloor, spec.UseIndex)
+	probeStart := time.Now()
 	ns, err := knnProbe(col, snap, ver, spec, q, plan)
 	if err != nil {
 		return nil, err
 	}
+	// Feed the probe's measured latency back into the planner (the same
+	// observed-cost loop filters run through ObserveFilter).
+	s.cost.ObserveKNN(plan.Method, plan.Mode, len(snap), len(q), spec.K, time.Since(probeStart))
 	resp := &Response{Value: len(ns), EstCostSec: plan.EstCost}
 	if resp.Rows, err = knnRows(ns, col.Get); err != nil {
 		return nil, err
@@ -310,10 +314,12 @@ func (s *Service) knnShardProbe(ctx context.Context, scol *core.ShardedCollectio
 		return nil, err
 	}
 	plan := s.cost.PlanKNN(len(snap), len(q), spec.K, spec.Exact, spec.RecallFloor, spec.UseIndex)
+	probeStart := time.Now()
 	ns, err := knnProbe(col, snap, ver, spec, q, plan)
 	if err != nil {
 		return nil, err
 	}
+	s.cost.ObserveKNN(plan.Method, plan.Mode, len(snap), len(q), spec.K, time.Since(probeStart))
 	frag := &knnFragment{ns: ns, label: knnLabel(plan, spec), cost: plan.EstCost}
 	if plan.Method == core.KNNIndex {
 		frag.mode = plan.Mode

@@ -368,6 +368,12 @@ type statsContract struct {
 	ColumnExtends     int64             `json:"column_extends"`
 	ExtendReuseBlocks int64             `json:"extend_reuse_blocks"`
 	ExtendTotalBlocks int64             `json:"extend_total_blocks"`
+	SegmentSpills     int64             `json:"segment_spills"`
+	SegmentLoads      int64             `json:"segment_loads"`
+	SegmentLoadFaults int64             `json:"segment_load_faults"`
+	SegmentEvictions  int64             `json:"segment_evictions"`
+	SegmentResBytes   int64             `json:"segment_resident_bytes"`
+	ColumnMemBudget   int64             `json:"column_mem_budget"`
 	KNNQueries        int64             `json:"knn_queries"`
 	IndexExtends      int64             `json:"index_extends"`
 	IndexRebuilds     int64             `json:"index_rebuilds"`
@@ -436,6 +442,8 @@ func TestStatsJSONContract(t *testing.T) {
 		"admitted", "rejected", "coalesced", "completed", "failed",
 		"in_flight", "peak_in_flight",
 		"appends", "appended_rows", "column_extends", "extend_reuse_blocks", "extend_total_blocks",
+		"segment_spills", "segment_loads", "segment_load_faults",
+		"segment_evictions", "segment_resident_bytes", "column_mem_budget",
 		"knn_queries", "index_extends", "index_rebuilds",
 		"result_cache", "udf_cache", "result_hit_rate",
 		"device", "devices", "device_kernels", "device_launches", "device_flops", "device_overhead_ms",

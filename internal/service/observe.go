@@ -194,6 +194,21 @@ func newTelemetry(s *Service, cfg Config) *telemetry {
 		n, _, _ := s.columnExtendStats()
 		return float64(n)
 	})
+	r.CounterFunc("deeplens_segment_spills_total", "Sealed column segments written through the kv pager by the tiered column store.", nil, func() float64 {
+		return float64(s.segCache.Stats().Spills)
+	})
+	r.CounterFunc("deeplens_segment_loads_total", "Cold column segments read back from disk.", nil, func() float64 {
+		return float64(s.segCache.Stats().Loads)
+	})
+	r.CounterFunc("deeplens_segment_load_faults_total", "Unreadable spilled segments rebuilt from the row snapshot.", nil, func() float64 {
+		return float64(s.segCache.Stats().LoadFaults)
+	})
+	r.CounterFunc("deeplens_segment_evictions_total", "Resident column segments dropped under memory-budget pressure.", nil, func() float64 {
+		return float64(s.segCache.Stats().Evictions)
+	})
+	r.GaugeFunc("deeplens_segment_resident_bytes", "Bytes of spilled column segments currently resident.", nil, func() float64 {
+		return float64(s.segCache.Stats().ResidentBytes)
+	})
 	r.CounterFunc("deeplens_index_extends_total", "Incremental vector-index extensions performed (prefix-certified appends).", nil, func() float64 {
 		n, _ := s.indexExtendStats()
 		return float64(n)

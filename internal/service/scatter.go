@@ -64,6 +64,7 @@ func (f *shardFragment) annotate(sp *obs.SpanHandle, shard, snapRows int) {
 		sp.AttrInt("blocks", int64(c.scan.Blocks))
 		sp.AttrInt("blocks_pruned", int64(c.scan.Pruned))
 		sp.AttrInt("rows_scanned", int64(c.scan.RowsScanned))
+		sp.AttrInt("seg_loads", int64(c.scan.SegLoads))
 		switch {
 		case c.colInfo.Extended:
 			sp.Attr("columns", "extended")

@@ -149,6 +149,14 @@ type Config struct {
 	// scatter/append/resync paths (chaos tests, `deeplens-serve -fault`).
 	// Zero value: no faults.
 	Faults fault.Config
+	// ColumnMemBudget enables the tiered column store: sealed column
+	// segments spill through the kv pager and at most this many bytes of
+	// them stay resident (LRU-evicted beyond it; zone maps and null
+	// summaries always stay in memory, so pruned scans never fault cold
+	// segments). Results are byte-identical to the in-memory store at
+	// any budget. 0 (default) keeps columns purely in memory; negative
+	// spills for restart-warm columns but never evicts.
+	ColumnMemBudget int64
 }
 
 // withDefaults resolves zero values. shards is the backing partition
@@ -283,6 +291,12 @@ type Service struct {
 	// worker queue and the inline append path.
 	adm *admission
 
+	// segCache is the tiered column store's byte-budgeted residency
+	// cache, installed on every backing DB when Config.ColumnMemBudget
+	// enables tiering (nil otherwise). /stats and /metrics read its
+	// spill/load/eviction counters.
+	segCache *core.SegmentCache
+
 	inFlight, peakInFlight atomic.Int64
 
 	// statsMu makes (queue depth, in-flight count) observable as one
@@ -353,6 +367,22 @@ func buildService(db *core.DB, sdb *core.Sharded, cfg Config) (*Service, error) 
 	}
 	if sdb != nil {
 		sdb.SetCostModel(s.cost)
+	}
+	// Tiered columns: one segment cache across every backing DB, so the
+	// budget bounds total column residency service-wide (negative budget
+	// = spill without eviction).
+	if cfg.ColumnMemBudget != 0 {
+		budget := cfg.ColumnMemBudget
+		if budget < 0 {
+			budget = 0
+		}
+		s.segCache = core.NewSegmentCache(budget)
+		if db != nil {
+			db.SetSegmentCache(s.segCache)
+		}
+		if sdb != nil {
+			sdb.SetSegmentCache(s.segCache)
+		}
 	}
 	s.adm = newAdmission(cfg.Workers, cfg.QueueDepth)
 	s.tel = newTelemetry(s, cfg)
@@ -1295,6 +1325,17 @@ type Stats struct {
 	ExtendReuseBlocks int64 `json:"extend_reuse_blocks"`
 	ExtendTotalBlocks int64 `json:"extend_total_blocks"`
 
+	// Tiered columns: the spilled-segment record (all zero when
+	// Config.ColumnMemBudget leaves tiering off). SegmentLoadFaults
+	// counts segments rebuilt from the row snapshot after an unreadable
+	// spill blob — never a failed query, always a counted repair.
+	SegmentSpills        int64 `json:"segment_spills"`
+	SegmentLoads         int64 `json:"segment_loads"`
+	SegmentLoadFaults    int64 `json:"segment_load_faults"`
+	SegmentEvictions     int64 `json:"segment_evictions"`
+	SegmentResidentBytes int64 `json:"segment_resident_bytes"`
+	ColumnMemBudget      int64 `json:"column_mem_budget"`
+
 	// ANN serving: knn queries executed (cold; cache hits excluded like
 	// every execution counter) and the vector-index maintenance record —
 	// prefix-certified incremental extensions vs full builds.
@@ -1385,6 +1426,7 @@ func (s *Service) Stats() Stats {
 		extends, extReused, extTotal = s.db.ColumnExtendStats()
 	}
 	idxExtends, idxRebuilds := s.indexExtendStats()
+	scs := s.segCache.Stats() // nil-safe: zero record when tiering is off
 	return Stats{
 		UptimeSec:  time.Since(s.start).Seconds(),
 		Workers:    s.cfg.Workers,
@@ -1406,6 +1448,13 @@ func (s *Service) Stats() Stats {
 		ColumnExtends:     extends,
 		ExtendReuseBlocks: extReused,
 		ExtendTotalBlocks: extTotal,
+
+		SegmentSpills:        scs.Spills,
+		SegmentLoads:         scs.Loads,
+		SegmentLoadFaults:    scs.LoadFaults,
+		SegmentEvictions:     scs.Evictions,
+		SegmentResidentBytes: scs.ResidentBytes,
+		ColumnMemBudget:      s.cfg.ColumnMemBudget,
 
 		KNNQueries:    s.tel.knnQueries.Value(),
 		IndexExtends:  idxExtends,
